@@ -1,0 +1,74 @@
+//! Columnar substrate benchmarks: the load-vs-scan asymmetry that
+//! makes partial loading worthwhile, plus skip-scan vs full-scan.
+
+use ciao_columnar::{read_table, write_table, Schema, Table, TableBuilder};
+use ciao_datagen::Dataset;
+use ciao_engine::{scan_count, ScanOptions};
+use ciao_json::JsonValue;
+use ciao_predicate::parse_query;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const ROWS: usize = 20_000;
+
+fn records() -> Vec<JsonValue> {
+    Dataset::WinLog.generate(4, ROWS)
+}
+
+fn build_table(records: &[JsonValue]) -> Table {
+    let schema = Arc::new(Schema::infer(records).expect("schema"));
+    let mut tb = TableBuilder::with_block_size(schema, &[0], 1024);
+    for (i, r) in records.iter().enumerate() {
+        // Predicate 0 bits: level = "Error" (exact, for skip scans).
+        let is_error = r.get("level").and_then(JsonValue::as_str) == Some("Error");
+        let _ = i;
+        tb.push_record(r, &BTreeMap::from([(0, is_error)]));
+    }
+    tb.finish()
+}
+
+fn bench_columnar(c: &mut Criterion) {
+    let recs = records();
+    let mut group = c.benchmark_group("columnar");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_function("load_from_parsed", |b| {
+        b.iter(|| build_table(black_box(&recs)))
+    });
+
+    let table = build_table(&recs);
+    let query = parse_query("q", r#"level = "Error""#).unwrap();
+
+    group.bench_function("scan_full", |b| {
+        b.iter(|| scan_count(black_box(&table), &query, &ScanOptions::full()))
+    });
+    group.bench_function("scan_with_skipping", |b| {
+        b.iter(|| scan_count(black_box(&table), &query, &ScanOptions::skipping(vec![0])))
+    });
+
+    let ndjson: String = recs
+        .iter()
+        .map(|r| {
+            let mut s = ciao_json::to_string(r);
+            s.push('\n');
+            s
+        })
+        .collect();
+    group.bench_function("scan_raw_jit_parse", |b| {
+        let lines: Vec<String> = ndjson.lines().map(str::to_owned).collect();
+        b.iter(|| ciao_engine::scan_raw_records(black_box(&lines), &query))
+    });
+
+    let bytes = write_table(&table);
+    group.bench_function("serialize", |b| b.iter(|| write_table(black_box(&table))));
+    group.bench_function("deserialize", |b| {
+        b.iter(|| read_table(black_box(&bytes)).expect("roundtrip"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

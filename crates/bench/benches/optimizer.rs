@@ -1,0 +1,71 @@
+//! Optimizer benchmarks and the algorithm ablation called out in
+//! DESIGN.md: Algorithm 1 vs Algorithm 2 vs max-of-both vs the
+//! exhaustive oracle (small n), plus greedy scaling with pool size.
+
+use ciao_optimizer::{
+    greedy_benefit, greedy_ratio, solve, solve_exhaustive, solve_partial_enum, Candidate,
+    Instance, QueryRef,
+};
+use ciao_predicate::{Clause, SimplePredicate};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Deterministic pseudo-random instance with `n` candidates and `n/2`
+/// queries of ~3 clauses each.
+fn instance(n: usize, budget: f64) -> Instance {
+    let mix = |i: usize, salt: usize| ((i + 1) * 2654435761 + salt * 40503) % 1000;
+    let candidates = (0..n)
+        .map(|i| Candidate {
+            clause: Clause::single(SimplePredicate::IntEq {
+                key: format!("k{i}"),
+                value: i as i64,
+            }),
+            selectivity: 0.05 + 0.9 * mix(i, 1) as f64 / 1000.0,
+            cost: 0.1 + 2.0 * mix(i, 2) as f64 / 1000.0,
+        })
+        .collect();
+    let queries = (0..n / 2)
+        .map(|q| QueryRef {
+            name: format!("q{q}"),
+            freq: 1.0,
+            candidates: (0..3).map(|j| mix(q, 3 + j) % n).collect(),
+        })
+        .collect();
+    Instance {
+        candidates,
+        queries,
+        budget,
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_scaling");
+    for n in [50usize, 100, 200, 400] {
+        let inst = instance(n, 10.0);
+        group.bench_with_input(BenchmarkId::new("solve", n), &inst, |b, inst| {
+            b.iter(|| solve(black_box(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_ablation");
+    let inst = instance(18, 5.0);
+    group.bench_function("alg1_benefit_greedy", |b| {
+        b.iter(|| greedy_benefit(black_box(&inst)))
+    });
+    group.bench_function("alg2_ratio_greedy", |b| {
+        b.iter(|| greedy_ratio(black_box(&inst)))
+    });
+    group.bench_function("max_of_both", |b| b.iter(|| solve(black_box(&inst))));
+    group.bench_function("partial_enum_seed2", |b| {
+        b.iter(|| solve_partial_enum(black_box(&inst), 2))
+    });
+    group.bench_function("exhaustive_oracle_n18", |b| {
+        b.iter(|| solve_exhaustive(black_box(&inst)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_ablation);
+criterion_main!(benches);

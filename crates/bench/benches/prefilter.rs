@@ -1,0 +1,35 @@
+//! Client prefilter throughput vs number of pushed predicates — the
+//! quantity the budget knob controls (more predicates = more client
+//! microseconds per record).
+
+use ciao_client::Prefilter;
+use ciao_datagen::Dataset;
+use ciao_json::RecordChunk;
+use ciao_predicate::{compile_clause, Clause, SimplePredicate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_prefilter(c: &mut Criterion) {
+    let chunk = RecordChunk::from_ndjson(&Dataset::WinLog.generate_ndjson(2, 1024));
+    let keywords = ciao_datagen::text::keyword_pool(16);
+
+    let mut group = c.benchmark_group("prefilter");
+    group.throughput(Throughput::Elements(chunk.len() as u64));
+    for n in [1usize, 2, 4, 8, 16] {
+        let prefilter = Prefilter::new((0..n).map(|i| {
+            let clause = Clause::single(SimplePredicate::StrContains {
+                key: "info".into(),
+                needle: keywords[i].clone(),
+            });
+            (i as u32, compile_clause(&clause).expect("pushable"))
+        }));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &prefilter,
+            |b, prefilter| b.iter(|| prefilter.run_chunk(&chunk)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefilter);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Substring-search kernel benchmarks: the client's single primitive.
+//!
+//! Compares the precompiled [`ciao_client::Finder`] against std's
+//! `str::find` on record/pattern shapes representative of the three
+//! datasets (short keys, medium keywords, long messages; hit and miss
+//! cases — the cost model's two branches).
+
+use ciao_client::Finder;
+use ciao_datagen::Dataset;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_search(c: &mut Criterion) {
+    let records: Vec<String> = Dataset::WinLog
+        .generate_ndjson(1, 2000)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    let total_bytes: usize = records.iter().map(String::len).sum();
+
+    let cases = [
+        ("hit_short", "\"level\""),   // key present in every record
+        ("hit_rare", "kw000"),        // common keyword
+        ("miss_short", "\"zzz\""),
+        ("miss_long", "this needle never appears anywhere"),
+    ];
+
+    let mut group = c.benchmark_group("search");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    for (name, needle) in cases {
+        let finder = Finder::new(needle);
+        group.bench_with_input(BenchmarkId::new("finder", name), &finder, |b, finder| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for r in &records {
+                    if finder.is_match(black_box(r.as_bytes())) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("std_find", name), &needle, |b, needle| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for r in &records {
+                    if black_box(r.as_str()).contains(needle) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

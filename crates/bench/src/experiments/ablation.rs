@@ -1,0 +1,104 @@
+//! Optimizer ablation (a DESIGN.md design-choice study, not a paper
+//! figure): objective quality of Algorithm 1, Algorithm 2, the paper's
+//! max-of-both, and partial enumeration, against the exhaustive
+//! optimum on real workload instances at varied budgets.
+
+use ciao_optimizer::{
+    greedy_benefit, greedy_ratio, solve_exhaustive, solve_partial_enum, CostModel,
+    InstanceBuilder,
+};
+use ciao_predicate::{compile_clause, Query, SelectivityEstimator};
+use ciao_datagen::Dataset;
+use ciao_workload::{build_pool, WorkloadConfig};
+
+/// One ablation row: objectives at one budget.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Budget (µs/record).
+    pub budget: f64,
+    /// Candidate pool size after dedup.
+    pub candidates: usize,
+    /// Algorithm 1 objective.
+    pub alg1: f64,
+    /// Algorithm 2 objective.
+    pub alg2: f64,
+    /// max(Alg1, Alg2) — the paper's solver.
+    pub max_of_both: f64,
+    /// Partial enumeration (seed 2).
+    pub partial_enum: f64,
+    /// Exhaustive optimum (`None` when the instance is too large).
+    pub optimal: Option<f64>,
+}
+
+/// Runs the ablation on a real WinLog workload. Queries are capped so
+/// the candidate pool stays within exhaustive reach when possible.
+pub fn run(queries_count: usize, budgets: &[f64], seed: u64) -> Vec<AblationRow> {
+    let dataset = Dataset::WinLog;
+    let sample = dataset.generate(seed, 2_000);
+    let pool = build_pool(dataset);
+    let mut cfg = WorkloadConfig::workload_b(dataset, seed);
+    cfg.queries = queries_count;
+    let queries = cfg.generate(&pool);
+
+    let estimator = SelectivityEstimator::new(&sample);
+    let clauses: Vec<_> = queries.iter().flat_map(Query::pushable_clauses).collect();
+    let sels = estimator.estimate_all(clauses);
+    let model = CostModel::default_uncalibrated();
+    let mean_len = sample
+        .iter()
+        .map(|r| ciao_json::to_string(r).len())
+        .sum::<usize>() as f64
+        / sample.len() as f64;
+
+    budgets
+        .iter()
+        .map(|&budget| {
+            let instance = InstanceBuilder::new(&sels, budget).build(&queries, |c| {
+                model.clause_cost(&compile_clause(c).unwrap(), mean_len, sels.get(c))
+            });
+            let alg1 = greedy_benefit(&instance).objective;
+            let alg2 = greedy_ratio(&instance).objective;
+            let partial = solve_partial_enum(&instance, 2).objective;
+            let optimal = (instance.len() <= 20)
+                .then(|| solve_exhaustive(&instance).objective);
+            AblationRow {
+                budget,
+                candidates: instance.len(),
+                alg1,
+                alg2,
+                max_of_both: alg1.max(alg2),
+                partial_enum: partial,
+                optimal,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_hold_on_real_instances() {
+        let rows = run(8, &[0.5, 1.0, 2.0, 4.0], 3);
+        for r in &rows {
+            assert!(r.max_of_both >= r.alg1 - 1e-12);
+            assert!(r.max_of_both >= r.alg2 - 1e-12);
+            assert!(
+                r.partial_enum >= r.max_of_both - 1e-9,
+                "partial enum {} below max-of-both {} at budget {}",
+                r.partial_enum,
+                r.max_of_both,
+                r.budget
+            );
+            if let Some(opt) = r.optimal {
+                assert!(r.partial_enum <= opt + 1e-9);
+                assert!(r.max_of_both >= 0.5 * (1.0 - (-1.0f64).exp()) * opt - 1e-9);
+            }
+        }
+        // Objectives grow with budget.
+        for w in rows.windows(2) {
+            assert!(w[1].max_of_both >= w[0].max_of_both - 1e-12);
+        }
+    }
+}

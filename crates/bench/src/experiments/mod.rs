@@ -1,0 +1,9 @@
+//! One module per paper experiment group.
+
+pub mod ablation;
+pub mod datasets;
+pub mod end_to_end;
+pub mod fig6;
+pub mod micro;
+pub mod table4;
+pub mod tables;

@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the CIAO
+//! paper (see `EXPERIMENTS.md` at the repository root for the index).
+//!
+//! Each experiment is a pure function from parameters to printable
+//! rows, so the same code backs the `repro` binary, the integration
+//! tests that assert the paper's *shapes*, and the Criterion benches.
+//!
+//! Scale: the paper runs on 5–27 GB datasets; defaults here are sized
+//! for seconds-per-experiment on a laptop. Absolute times differ from
+//! the paper; the shapes (who wins, where the knees are) are what the
+//! assertions check.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::datasets::ExperimentScale;

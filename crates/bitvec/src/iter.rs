@@ -1,0 +1,148 @@
+//! Iterators over bits and over set-bit positions.
+
+use crate::{BitVec, WORD_BITS};
+
+/// Iterator over every bit as `bool`, in index order.
+pub struct BitIter<'a> {
+    bv: &'a BitVec,
+    front: usize,
+    back: usize, // one past the last unyielded index
+}
+
+impl<'a> Iterator for BitIter<'a> {
+    type Item = bool;
+
+    #[inline]
+    fn next(&mut self) -> Option<bool> {
+        if self.front == self.back {
+            return None;
+        }
+        let b = unsafe { self.bv.get_unchecked(self.front) };
+        self.front += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl<'a> DoubleEndedIterator for BitIter<'a> {
+    fn next_back(&mut self) -> Option<bool> {
+        if self.front == self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(unsafe { self.bv.get_unchecked(self.back) })
+    }
+}
+
+impl<'a> ExactSizeIterator for BitIter<'a> {}
+
+/// Iterator over the indices of set bits, ascending.
+///
+/// Walks the word array and peels off one trailing-zeros position per
+/// `next`, so iteration cost is proportional to the number of set bits
+/// plus the number of words — fast on the sparse bitvectors produced by
+/// selective predicates.
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> Iterator for OnesIter<'a> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+impl BitVec {
+    /// Iterates every bit in order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            bv: self,
+            front: 0,
+            back: self.len(),
+        }
+    }
+
+    /// Iterates the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            words: self.as_words(),
+            word_idx: 0,
+            current: self.as_words().first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects set-bit indices into a vector.
+    pub fn ones_positions(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a BitVec {
+    type Item = bool;
+    type IntoIter = BitIter<'a>;
+    fn into_iter(self) -> BitIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_iter_roundtrip() {
+        let bv = BitVec::from_fn(133, |i| i % 7 == 3);
+        let bools: Vec<bool> = bv.iter().collect();
+        assert_eq!(bools.len(), 133);
+        for (i, b) in bools.iter().enumerate() {
+            assert_eq!(*b, i % 7 == 3);
+        }
+    }
+
+    #[test]
+    fn bit_iter_reversed() {
+        let bv = BitVec::from_bools(&[true, false, true]);
+        let rev: Vec<bool> = bv.iter().rev().collect();
+        assert_eq!(rev, vec![true, false, true]);
+        assert_eq!(bv.iter().len(), 3);
+    }
+
+    #[test]
+    fn ones_iter_sparse() {
+        let mut bv = BitVec::zeros(1000);
+        let set = [0usize, 63, 64, 127, 500, 999];
+        for &i in &set {
+            bv.set(i, true);
+        }
+        assert_eq!(bv.ones_positions(), set);
+    }
+
+    #[test]
+    fn ones_iter_empty_and_full() {
+        assert_eq!(BitVec::zeros(100).iter_ones().count(), 0);
+        assert_eq!(BitVec::new().iter_ones().count(), 0);
+        let full = BitVec::ones(70);
+        assert_eq!(full.ones_positions(), (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ones_iter_matches_count() {
+        let bv = BitVec::from_fn(321, |i| (i * i) % 11 == 4);
+        assert_eq!(bv.iter_ones().count(), bv.count_ones());
+    }
+}

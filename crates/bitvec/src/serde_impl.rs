@@ -1,0 +1,66 @@
+//! Serde support: a `BitVec` serializes as `(len, words)`.
+//!
+//! The serde representation exists so bitvectors can ride inside larger
+//! serde-encoded structures (plans, reports); the hot client→server path
+//! uses the leaner [`crate::wire`] format instead.
+
+use crate::{words_for, BitVec};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for BitVec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.len(), self.as_words()).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for BitVec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (len, words): (usize, Vec<u64>) = Deserialize::deserialize(deserializer)?;
+        if words.len() != words_for(len) {
+            return Err(D::Error::custom(format!(
+                "bitvec word count {} inconsistent with length {len}",
+                words.len()
+            )));
+        }
+        let rem = len % 64;
+        if rem != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return Err(D::Error::custom("bitvec has set bits beyond its length"));
+                }
+            }
+        }
+        Ok(BitVec { words, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BitVec;
+
+    #[test]
+    fn serde_roundtrip_json() {
+        let bv = BitVec::from_fn(100, |i| i % 9 == 1);
+        let json = serde_json::to_string(&bv).unwrap();
+        let back: BitVec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bv);
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_words() {
+        let json = "[100, [1, 2]]"; // needs 2 words for 100 bits: ok count but dirty tail
+        // 100 bits -> words_for = 2, rem = 36; word[1] = 2 has bit 1 set -> bit 65 < 100, fine.
+        let ok: Result<BitVec, _> = serde_json::from_str(json);
+        assert!(ok.is_ok());
+
+        let short = "[100, [1]]";
+        let err: Result<BitVec, _> = serde_json::from_str(short);
+        assert!(err.is_err());
+
+        // len 4 but bit 10 set in the single word.
+        let dirty = format!("[4, [{}]]", 0b100_0000_1111u64);
+        let err: Result<BitVec, _> = serde_json::from_str(&dirty);
+        assert!(err.is_err());
+    }
+}

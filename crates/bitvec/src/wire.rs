@@ -1,0 +1,157 @@
+//! Compact wire format for shipping bitvectors from client to server.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [u64 len_in_bits][packed words: ceil(len/64) * 8 bytes]
+//! ```
+//!
+//! The format is deliberately trivial: clients in the paper are
+//! under-powered edge devices, so encoding must be a `memcpy`, not an
+//! entropy coder. Sparse compression happens implicitly because parked
+//! records never ship their payloads.
+
+use crate::{words_for, BitVec};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors produced when decoding a bitvector from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes available than the header demands.
+    Truncated {
+        /// Bytes required to finish decoding.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Bits beyond `len` in the final word were set — the producer
+    /// violated the tail-invariant, so the payload is suspect.
+    DirtyTail,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => write!(
+                f,
+                "truncated bitvec payload: need {needed} bytes, have {available}"
+            ),
+            WireError::DirtyTail => write!(f, "bitvec payload has set bits beyond its length"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl BitVec {
+    /// Serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        8 + self.as_words().len() * 8
+    }
+
+    /// Appends the wire encoding to `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.wire_len());
+        buf.put_u64_le(self.len() as u64);
+        for &w in self.as_words() {
+            buf.put_u64_le(w);
+        }
+    }
+
+    /// Encodes into a fresh byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one bitvector from the front of `buf`, advancing it.
+    pub fn decode_from(buf: &mut impl Buf) -> Result<BitVec, WireError> {
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated {
+                needed: 8,
+                available: buf.remaining(),
+            });
+        }
+        let len = buf.get_u64_le() as usize;
+        let nwords = words_for(len);
+        if buf.remaining() < nwords * 8 {
+            return Err(WireError::Truncated {
+                needed: nwords * 8,
+                available: buf.remaining(),
+            });
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(buf.get_u64_le());
+        }
+        // Enforce tail invariant on untrusted input.
+        let rem = len % 64;
+        if rem != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return Err(WireError::DirtyTail);
+                }
+            }
+        }
+        Ok(BitVec { words, len })
+    }
+
+    /// Decodes a bitvector that must occupy the whole slice.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<BitVec, WireError> {
+        BitVec::decode_from(&mut bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for n in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let bv = BitVec::from_fn(n, |i| i % 13 == 5);
+            let bytes = bv.to_bytes();
+            assert_eq!(bytes.len(), bv.wire_len());
+            let back = BitVec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, bv);
+        }
+    }
+
+    #[test]
+    fn sequential_decode() {
+        let a = BitVec::from_fn(10, |i| i % 2 == 0);
+        let b = BitVec::from_fn(77, |i| i % 3 == 0);
+        let mut buf = BytesMut::new();
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(BitVec::decode_from(&mut bytes).unwrap(), a);
+        assert_eq!(BitVec::decode_from(&mut bytes).unwrap(), b);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_header() {
+        let err = BitVec::from_bytes(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_body() {
+        let bv = BitVec::ones(100);
+        let bytes = bv.to_bytes();
+        let err = BitVec::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn dirty_tail_rejected() {
+        // len = 4 bits but a bit at position 10 set.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(4);
+        buf.put_u64_le(0b100_0000_1111);
+        let err = BitVec::from_bytes(&buf.freeze()).unwrap_err();
+        assert_eq!(err, WireError::DirtyTail);
+    }
+}

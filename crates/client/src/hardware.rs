@@ -1,0 +1,188 @@
+//! Simulated client hardware profiles (substitute for paper Table IV).
+//!
+//! The paper calibrates its cost model on three physical platforms: a
+//! local bare-metal server (R² ≈ 0.90), an Alibaba Cloud VM behind an
+//! opaque hypervisor (R² ≈ 0.67), and a large bare-metal cluster node
+//! (R² ≈ 0.98). We do not have those machines, so each profile here
+//! generates *measured* predicate-evaluation times from a ground-truth
+//! linear model — the same functional form as §V-D —
+//!
+//! ```text
+//! T = sel·(k1·len(p) + k2·len(t)) + (1−sel)·(k3·len(p) + k4·len(t)) + c
+//! ```
+//!
+//! perturbed by multiplicative Gaussian noise plus occasional stall
+//! outliers (hypervisor preemption / VM migration). The substitution
+//! preserves exactly what Table IV demonstrates: OLS recovers the
+//! coefficients well when noise is small, and R² collapses as
+//! virtualization noise grows.
+
+use rand::Rng;
+
+/// A simulated client machine.
+#[derive(Debug, Clone)]
+pub struct HardwareProfile {
+    /// Display name (matches Table IV's platform column).
+    pub name: String,
+    /// Ground-truth cost-model coefficients `[k1, k2, k3, k4]` in
+    /// µs/byte and the startup constant `c` in µs.
+    pub k: [f64; 4],
+    /// Startup cost per substring search, µs.
+    pub c: f64,
+    /// Standard deviation of multiplicative noise (fraction of the
+    /// true cost).
+    pub noise_frac: f64,
+    /// Probability that a measurement hits a stall.
+    pub stall_prob: f64,
+    /// Stall magnitude as a multiple of the true cost.
+    pub stall_scale: f64,
+}
+
+impl HardwareProfile {
+    /// The paper's 2-core i7 "Local Server": bare metal, modest noise.
+    pub fn local_server() -> HardwareProfile {
+        HardwareProfile {
+            name: "Local Server".into(),
+            k: [0.004, 0.0011, 0.002, 0.0009],
+            c: 0.05,
+            noise_frac: 0.14,
+            stall_prob: 0.01,
+            stall_scale: 2.0,
+        }
+    }
+
+    /// "Alibaba Cloud" ECS: virtualized, heavy noise and stalls.
+    pub fn alibaba_cloud() -> HardwareProfile {
+        HardwareProfile {
+            name: "Alibaba Cloud".into(),
+            k: [0.005, 0.0014, 0.0025, 0.0011],
+            c: 0.08,
+            noise_frac: 0.155,
+            stall_prob: 0.014,
+            stall_scale: 2.5,
+        }
+    }
+
+    /// "PKU Weiming" cluster node: fast bare metal, very low noise.
+    pub fn pku_weiming() -> HardwareProfile {
+        HardwareProfile {
+            name: "PKU Weiming".into(),
+            k: [0.003, 0.0008, 0.0015, 0.0006],
+            c: 0.03,
+            noise_frac: 0.055,
+            stall_prob: 0.002,
+            stall_scale: 1.5,
+        }
+    }
+
+    /// All three Table IV platforms.
+    pub fn table4_platforms() -> Vec<HardwareProfile> {
+        vec![
+            Self::local_server(),
+            Self::alibaba_cloud(),
+            Self::pku_weiming(),
+        ]
+    }
+
+    /// The noiseless expected cost of evaluating a pattern of
+    /// `pattern_len` bytes on records of mean length `record_len`,
+    /// where the pattern is found with probability `sel` (µs).
+    pub fn true_cost(&self, pattern_len: f64, record_len: f64, sel: f64) -> f64 {
+        let [k1, k2, k3, k4] = self.k;
+        sel * (k1 * pattern_len + k2 * record_len)
+            + (1.0 - sel) * (k3 * pattern_len + k4 * record_len)
+            + self.c
+    }
+
+    /// One noisy measurement of the average per-record cost for a
+    /// predicate, as the calibration harness would observe it.
+    pub fn measure(
+        &self,
+        pattern_len: f64,
+        record_len: f64,
+        sel: f64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let base = self.true_cost(pattern_len, record_len, sel);
+        // Box–Muller Gaussian from two uniforms; avoids needing
+        // rand_distr while keeping measurements reproducible per seed.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let mut t = base * (1.0 + self.noise_frac * gauss);
+        if rng.gen_bool(self.stall_prob) {
+            t += base * self.stall_scale * rng.gen_range(0.5..1.5);
+        }
+        t.max(base * 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn true_cost_matches_formula() {
+        let hw = HardwareProfile::local_server();
+        let sel = 0.25;
+        let (lp, lt) = (10.0, 200.0);
+        let expected = sel * (0.004 * lp + 0.0011 * lt)
+            + 0.75 * (0.002 * lp + 0.0009 * lt)
+            + 0.05;
+        assert!((hw.true_cost(lp, lt, sel) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurements_are_positive_and_centered() {
+        let hw = HardwareProfile::local_server();
+        let mut rng = StdRng::seed_from_u64(42);
+        let truth = hw.true_cost(12.0, 300.0, 0.1);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| hw.measure(12.0, 300.0, 0.1, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean > 0.0);
+        // Mean should land near the truth (stalls push it up slightly).
+        assert!(
+            (mean - truth).abs() / truth < 0.15,
+            "mean {mean} too far from truth {truth}"
+        );
+    }
+
+    #[test]
+    fn cloud_is_noisier_than_bare_metal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spread = |hw: &HardwareProfile, rng: &mut StdRng| {
+            let truth = hw.true_cost(10.0, 250.0, 0.2);
+            let xs: Vec<f64> = (0..1000).map(|_| hw.measure(10.0, 250.0, 0.2, rng)).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+            var.sqrt() / truth
+        };
+        let local = spread(&HardwareProfile::local_server(), &mut rng);
+        let cloud = spread(&HardwareProfile::alibaba_cloud(), &mut rng);
+        let pku = spread(&HardwareProfile::pku_weiming(), &mut rng);
+        assert!(cloud > local, "cloud {cloud} should be noisier than local {local}");
+        assert!(local > pku, "local {local} should be noisier than pku {pku}");
+    }
+
+    #[test]
+    fn found_case_costs_more_when_k_says_so() {
+        // With these coefficient choices, a higher selectivity (more
+        // finds) raises the expected cost.
+        let hw = HardwareProfile::local_server();
+        assert!(hw.true_cost(10.0, 300.0, 0.9) > hw.true_cost(10.0, 300.0, 0.1));
+    }
+
+    #[test]
+    fn platforms_enumerated() {
+        let ps = HardwareProfile::table4_platforms();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].name, "Local Server");
+        assert_eq!(ps[1].name, "Alibaba Cloud");
+        assert_eq!(ps[2].name, "PKU Weiming");
+    }
+}

@@ -1,0 +1,45 @@
+//! CIAO's client side.
+//!
+//! A data client (edge sensor, log shipper) receives a handful of
+//! compiled pattern strings from the server and, for every raw JSON
+//! record it produces, answers one question per pattern: *could this
+//! record satisfy the predicate?* — using nothing but substring search
+//! (paper §IV). The answers ship as one bitvector per predicate
+//! alongside the raw chunk.
+//!
+//! Correctness contract (property-tested against typed evaluation):
+//! raw matching may report **false positives** but never **false
+//! negatives**. Everything downstream (partial loading, data skipping)
+//! relies on that asymmetry.
+//!
+//! Modules:
+//!
+//! * [`search`] — reusable substring searchers (Horspool with a
+//!   first-byte fast path), the client's only text primitive.
+//! * [`raw_eval`] — pattern/clause matching over raw records.
+//! * [`prefilter`] — per-chunk evaluation producing bitvectors.
+//! * [`budget`] — runtime budget enforcement with conservative
+//!   degradation (over budget ⇒ remaining bits forced to 1).
+//! * [`parallel`] — multi-core chunk prefiltering, bit-identical to
+//!   the serial path.
+//! * [`hardware`] — simulated hardware profiles for the cost-model
+//!   calibration experiments (paper Table IV).
+//! * [`stats`] — client-side counters.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod hardware;
+pub mod parallel;
+pub mod prefilter;
+pub mod raw_eval;
+pub mod search;
+pub mod stats;
+
+pub use budget::{Budget, BudgetedPrefilter};
+pub use parallel::ParallelPrefilter;
+pub use hardware::HardwareProfile;
+pub use prefilter::{ChunkFilterResult, CompiledPredicate, Prefilter};
+pub use raw_eval::{match_clause, match_pattern, CompiledClause};
+pub use search::Finder;
+pub use stats::ClientStats;

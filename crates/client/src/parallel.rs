@@ -1,0 +1,175 @@
+//! Parallel chunk prefiltering.
+//!
+//! A real log shipper owns more than one core; pattern matching is
+//! embarrassingly parallel across chunks (each chunk's bitvectors are
+//! independent). This module fans chunks out over a scoped thread pool
+//! and returns results **in input order**, bit-identical to the serial
+//! path — asserted by tests, relied upon by the loader's framing
+//! checks.
+
+use crate::prefilter::{ChunkFilterResult, Prefilter};
+use crate::stats::ClientStats;
+use ciao_json::RecordChunk;
+use parking_lot::Mutex;
+
+/// A prefilter that processes chunk batches across threads.
+#[derive(Debug, Clone)]
+pub struct ParallelPrefilter {
+    prefilter: Prefilter,
+    workers: usize,
+}
+
+impl ParallelPrefilter {
+    /// Wraps a prefilter with a worker count. `workers == 1` degrades
+    /// to the serial path with no threads spawned.
+    pub fn new(prefilter: Prefilter, workers: usize) -> ParallelPrefilter {
+        assert!(workers > 0, "need at least one worker");
+        ParallelPrefilter { prefilter, workers }
+    }
+
+    /// Uses all available parallelism.
+    pub fn with_available_parallelism(prefilter: Prefilter) -> ParallelPrefilter {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::new(prefilter, workers)
+    }
+
+    /// The wrapped prefilter.
+    pub fn prefilter(&self) -> &Prefilter {
+        &self.prefilter
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Prefilters every chunk, returning results in input order and
+    /// merging per-worker counters into `stats`.
+    pub fn run_chunks(
+        &self,
+        chunks: &[RecordChunk],
+        stats: &mut ClientStats,
+    ) -> Vec<ChunkFilterResult> {
+        if self.workers == 1 || chunks.len() <= 1 {
+            return chunks
+                .iter()
+                .map(|c| self.prefilter.run_chunk_with_stats(c, stats))
+                .collect();
+        }
+
+        let mut results: Vec<Option<ChunkFilterResult>> = vec![None; chunks.len()];
+        let shared_stats = Mutex::new(ClientStats::default());
+        // Static round-robin-free partition: contiguous slices keep
+        // result stitching trivial and cache-friendly.
+        let per_worker = chunks.len().div_ceil(self.workers);
+        crossbeam::thread::scope(|scope| {
+            for (in_slice, out_slice) in chunks
+                .chunks(per_worker)
+                .zip(results.chunks_mut(per_worker))
+            {
+                let prefilter = &self.prefilter;
+                let shared = &shared_stats;
+                scope.spawn(move |_| {
+                    let mut local = ClientStats::default();
+                    for (chunk, slot) in in_slice.iter().zip(out_slice.iter_mut()) {
+                        *slot = Some(prefilter.run_chunk_with_stats(chunk, &mut local));
+                    }
+                    shared.lock().merge(&local);
+                });
+            }
+        })
+        .expect("prefilter worker panicked");
+        stats.merge(&shared_stats.into_inner());
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled by its worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::{compile_clause, parse_clause};
+
+    fn chunks(n_chunks: usize, per_chunk: usize) -> Vec<RecordChunk> {
+        (0..n_chunks)
+            .map(|c| {
+                let recs: Vec<String> = (0..per_chunk)
+                    .map(|i| {
+                        format!(
+                            r#"{{"stars":{},"name":"u{}-{}"}}"#,
+                            (c * per_chunk + i) % 5 + 1,
+                            c,
+                            i
+                        )
+                    })
+                    .collect();
+                RecordChunk::from_records(&recs).unwrap()
+            })
+            .collect()
+    }
+
+    fn prefilter() -> Prefilter {
+        Prefilter::new([
+            (0, compile_clause(&parse_clause("stars = 5").unwrap()).unwrap()),
+            (1, compile_clause(&parse_clause(r#"name LIKE "%u3-%""#).unwrap()).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let cs = chunks(13, 47);
+        let pf = prefilter();
+
+        let mut serial_stats = ClientStats::default();
+        let serial: Vec<_> = cs
+            .iter()
+            .map(|c| pf.run_chunk_with_stats(c, &mut serial_stats))
+            .collect();
+
+        for workers in [1, 2, 3, 8, 32] {
+            let par = ParallelPrefilter::new(pf.clone(), workers);
+            let mut par_stats = ClientStats::default();
+            let results = par.run_chunks(&cs, &mut par_stats);
+            assert_eq!(results.len(), serial.len());
+            for (a, b) in results.iter().zip(&serial) {
+                assert_eq!(a.bitvecs, b.bitvecs, "workers={workers}");
+                assert_eq!(a.predicate_ids, b.predicate_ids);
+            }
+            assert_eq!(par_stats.records_processed, serial_stats.records_processed);
+            assert_eq!(par_stats.matches_for(0), serial_stats.matches_for(0));
+            assert_eq!(par_stats.matches_for(1), serial_stats.matches_for(1));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_chunks() {
+        let cs = chunks(2, 10);
+        let par = ParallelPrefilter::new(prefilter(), 16);
+        let mut stats = ClientStats::default();
+        let results = par.run_chunks(&cs, &mut stats);
+        assert_eq!(results.len(), 2);
+        assert_eq!(stats.records_processed, 20);
+    }
+
+    #[test]
+    fn empty_chunk_list() {
+        let par = ParallelPrefilter::new(prefilter(), 4);
+        let mut stats = ClientStats::default();
+        assert!(par.run_chunks(&[], &mut stats).is_empty());
+        assert_eq!(stats.records_processed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ParallelPrefilter::new(prefilter(), 0);
+    }
+
+    #[test]
+    fn available_parallelism_constructor() {
+        let par = ParallelPrefilter::with_available_parallelism(prefilter());
+        assert!(par.workers() >= 1);
+    }
+}

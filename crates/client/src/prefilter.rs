@@ -1,0 +1,234 @@
+//! Chunk-level prefiltering: raw records in, bitvectors out.
+
+use crate::raw_eval::CompiledClause;
+use crate::stats::ClientStats;
+use ciao_bitvec::BitVec;
+use ciao_json::RecordChunk;
+use ciao_predicate::ClausePattern;
+use std::time::{Duration, Instant};
+
+/// A pushed-down predicate as the client sees it: a server-assigned id
+/// plus compiled pattern strings.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    /// Server-assigned predicate id (indexes the bitvector set).
+    pub id: u32,
+    clause: CompiledClause,
+}
+
+impl CompiledPredicate {
+    /// Compiles the clause pattern shipped by the server.
+    pub fn new(id: u32, pattern: &ClausePattern) -> CompiledPredicate {
+        CompiledPredicate {
+            id,
+            clause: CompiledClause::new(pattern),
+        }
+    }
+
+    /// Evaluates against one raw record.
+    #[inline]
+    pub fn is_match(&self, record: &[u8]) -> bool {
+        self.clause.is_match(record)
+    }
+
+    /// Total pattern bytes (for cost accounting).
+    pub fn pattern_len(&self) -> usize {
+        self.clause.pattern_len()
+    }
+}
+
+/// The result of prefiltering one chunk: one bitvector per predicate,
+/// aligned with the prefilter's predicate order.
+#[derive(Debug, Clone)]
+pub struct ChunkFilterResult {
+    /// Predicate ids, parallel to `bitvecs`.
+    pub predicate_ids: Vec<u32>,
+    /// `bitvecs[i].bit(r)` ⇔ record `r` may satisfy predicate `i`.
+    pub bitvecs: Vec<BitVec>,
+    /// Records evaluated.
+    pub records: usize,
+    /// Wall-clock time spent matching.
+    pub elapsed: Duration,
+}
+
+impl ChunkFilterResult {
+    /// The bitvector for a predicate id, if that predicate was pushed.
+    pub fn bitvec_for(&self, id: u32) -> Option<&BitVec> {
+        self.predicate_ids
+            .iter()
+            .position(|&p| p == id)
+            .map(|i| &self.bitvecs[i])
+    }
+
+    /// OR of all bitvectors — the partial-loading admission mask
+    /// (paper §VI-A: load a record iff it is valid for ≥1 predicate).
+    /// `None` when no predicates were pushed (then everything loads).
+    pub fn admission_mask(&self) -> Option<BitVec> {
+        let refs: Vec<&BitVec> = self.bitvecs.iter().collect();
+        BitVec::union_all(&refs)
+    }
+
+    /// Mean matching cost per record in microseconds.
+    pub fn micros_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.elapsed.as_secs_f64() * 1e6 / self.records as f64
+        }
+    }
+}
+
+/// Evaluates a fixed set of pushed predicates over raw chunks.
+#[derive(Debug, Clone, Default)]
+pub struct Prefilter {
+    predicates: Vec<CompiledPredicate>,
+}
+
+impl Prefilter {
+    /// Builds a prefilter from `(id, pattern)` pairs.
+    pub fn new(predicates: impl IntoIterator<Item = (u32, ClausePattern)>) -> Prefilter {
+        Prefilter {
+            predicates: predicates
+                .into_iter()
+                .map(|(id, p)| CompiledPredicate::new(id, &p))
+                .collect(),
+        }
+    }
+
+    /// Number of pushed predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// The compiled predicates in evaluation order.
+    pub fn predicates(&self) -> &[CompiledPredicate] {
+        &self.predicates
+    }
+
+    /// Evaluates every predicate on every record of `chunk`.
+    pub fn run_chunk(&self, chunk: &RecordChunk) -> ChunkFilterResult {
+        self.run_chunk_with_stats(chunk, &mut ClientStats::default())
+    }
+
+    /// Like [`Prefilter::run_chunk`], also accumulating counters.
+    pub fn run_chunk_with_stats(
+        &self,
+        chunk: &RecordChunk,
+        stats: &mut ClientStats,
+    ) -> ChunkFilterResult {
+        let start = Instant::now();
+        let n = chunk.len();
+        let mut bitvecs: Vec<BitVec> = self
+            .predicates
+            .iter()
+            .map(|_| BitVec::zeros(n))
+            .collect();
+        for (r, record) in chunk.iter().enumerate() {
+            let bytes = record.as_bytes();
+            for (p, pred) in self.predicates.iter().enumerate() {
+                if pred.is_match(bytes) {
+                    bitvecs[p].set(r, true);
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        stats.record_chunk(n, self.predicates.len(), elapsed);
+        for (p, bv) in bitvecs.iter().enumerate() {
+            stats.record_matches(self.predicates[p].id, bv.count_ones());
+        }
+        ChunkFilterResult {
+            predicate_ids: self.predicates.iter().map(|p| p.id).collect(),
+            bitvecs,
+            records: n,
+            elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::{compile_clause, parse_clause};
+
+    fn pattern(text: &str) -> ClausePattern {
+        compile_clause(&parse_clause(text).unwrap()).unwrap()
+    }
+
+    fn chunk() -> RecordChunk {
+        RecordChunk::from_records(&[
+            r#"{"name":"Bob","stars":5}"#,
+            r#"{"name":"Alice","stars":3}"#,
+            r#"{"name":"John","stars":5}"#,
+            r#"{"name":"Carol","stars":1}"#,
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_one_bitvec_per_predicate() {
+        let pf = Prefilter::new([
+            (7, pattern(r#"name = "Bob""#)),
+            (9, pattern("stars = 5")),
+        ]);
+        let res = pf.run_chunk(&chunk());
+        assert_eq!(res.predicate_ids, vec![7, 9]);
+        assert_eq!(res.records, 4);
+        assert_eq!(res.bitvecs.len(), 2);
+        assert_eq!(res.bitvecs[0].ones_positions(), vec![0]);
+        assert_eq!(res.bitvecs[1].ones_positions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn bitvec_for_lookup() {
+        let pf = Prefilter::new([(7, pattern(r#"name = "Bob""#))]);
+        let res = pf.run_chunk(&chunk());
+        assert!(res.bitvec_for(7).is_some());
+        assert!(res.bitvec_for(8).is_none());
+    }
+
+    #[test]
+    fn admission_mask_is_union() {
+        let pf = Prefilter::new([
+            (0, pattern(r#"name = "Bob""#)),
+            (1, pattern("stars = 1")),
+        ]);
+        let res = pf.run_chunk(&chunk());
+        let mask = res.admission_mask().unwrap();
+        assert_eq!(mask.ones_positions(), vec![0, 3]);
+    }
+
+    #[test]
+    fn no_predicates_means_no_mask() {
+        let pf = Prefilter::new([]);
+        let res = pf.run_chunk(&chunk());
+        assert!(res.admission_mask().is_none());
+        assert_eq!(res.bitvecs.len(), 0);
+    }
+
+    #[test]
+    fn empty_chunk() {
+        let pf = Prefilter::new([(0, pattern("stars = 5"))]);
+        let res = pf.run_chunk(&RecordChunk::from_ndjson(""));
+        assert_eq!(res.records, 0);
+        assert_eq!(res.bitvecs[0].len(), 0);
+        assert_eq!(res.micros_per_record(), 0.0);
+    }
+
+    #[test]
+    fn disjunction_predicate() {
+        let pf = Prefilter::new([(0, pattern(r#"name IN ("Bob","John")"#))]);
+        let res = pf.run_chunk(&chunk());
+        assert_eq!(res.bitvecs[0].ones_positions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut stats = ClientStats::default();
+        let pf = Prefilter::new([(3, pattern("stars = 5"))]);
+        pf.run_chunk_with_stats(&chunk(), &mut stats);
+        pf.run_chunk_with_stats(&chunk(), &mut stats);
+        assert_eq!(stats.records_processed, 8);
+        assert_eq!(stats.predicate_evals, 8);
+        assert_eq!(stats.matches_for(3), 4);
+    }
+}

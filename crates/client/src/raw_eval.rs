@@ -1,0 +1,216 @@
+//! Raw-text pattern evaluation (paper §IV-B).
+//!
+//! Matching is deliberately conservative. The one place this
+//! implementation strengthens the paper's prose: for key-value match we
+//! examine **every** occurrence of the key string, not only the first.
+//! A record like `{"person":{"age":99},"age":10}` contains the key
+//! pattern `"age"` twice; checking only the first window (which ends at
+//! the next comma) would miss the real top-level `age:10` pair and
+//! produce a false negative — the one failure mode the system must
+//! never have.
+
+use crate::search::Finder;
+use ciao_predicate::{ClausePattern, Pattern};
+
+/// A pattern compiled to reusable searchers.
+#[derive(Debug, Clone)]
+pub enum CompiledPattern {
+    /// Single substring search.
+    Find(Finder),
+    /// Key search then value search in the window up to the next `,`.
+    KeyThenValue {
+        /// Searcher for the quoted key.
+        key: Finder,
+        /// Searcher for the value text.
+        value: Finder,
+        /// Searcher for the window delimiter.
+        delim: Finder,
+    },
+}
+
+impl CompiledPattern {
+    /// Compiles one pattern.
+    pub fn new(pattern: &Pattern) -> CompiledPattern {
+        match pattern {
+            Pattern::Find { needle } => CompiledPattern::Find(Finder::new(needle)),
+            Pattern::KeyThenValue { key, value } => CompiledPattern::KeyThenValue {
+                key: Finder::new(key),
+                value: Finder::new(value),
+                delim: Finder::new(","),
+            },
+        }
+    }
+
+    /// Evaluates against one raw record.
+    pub fn is_match(&self, record: &[u8]) -> bool {
+        match self {
+            CompiledPattern::Find(f) => f.is_match(record),
+            CompiledPattern::KeyThenValue { key, value, delim } => {
+                let mut pos = 0;
+                while let Some(at) = key.find_from(record, pos) {
+                    let wstart = at + key.len();
+                    let wend = delim
+                        .find_from(record, wstart)
+                        .unwrap_or(record.len());
+                    if value.find_from(&record[..wend], wstart).is_some() {
+                        return true;
+                    }
+                    pos = at + 1;
+                }
+                false
+            }
+        }
+    }
+
+    /// Total pattern bytes, mirroring [`Pattern::pattern_len`].
+    pub fn pattern_len(&self) -> usize {
+        match self {
+            CompiledPattern::Find(f) => f.len(),
+            CompiledPattern::KeyThenValue { key, value, .. } => key.len() + value.len(),
+        }
+    }
+}
+
+/// A compiled disjunctive clause: matches when any disjunct matches.
+#[derive(Debug, Clone)]
+pub struct CompiledClause {
+    patterns: Vec<CompiledPattern>,
+}
+
+impl CompiledClause {
+    /// Compiles a clause pattern.
+    pub fn new(clause: &ClausePattern) -> CompiledClause {
+        CompiledClause {
+            patterns: clause.patterns.iter().map(CompiledPattern::new).collect(),
+        }
+    }
+
+    /// Evaluates the disjunction against one raw record.
+    #[inline]
+    pub fn is_match(&self, record: &[u8]) -> bool {
+        self.patterns.iter().any(|p| p.is_match(record))
+    }
+
+    /// Number of disjunct patterns.
+    pub fn arity(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Summed pattern bytes across disjuncts.
+    pub fn pattern_len(&self) -> usize {
+        self.patterns.iter().map(CompiledPattern::pattern_len).sum()
+    }
+}
+
+/// One-shot pattern match (compiles throwaway searchers).
+pub fn match_pattern(record: &str, pattern: &Pattern) -> bool {
+    CompiledPattern::new(pattern).is_match(record.as_bytes())
+}
+
+/// One-shot clause match.
+pub fn match_clause(record: &str, clause: &ClausePattern) -> bool {
+    CompiledClause::new(clause).is_match(record.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::{compile_clause, compile_simple, Clause, SimplePredicate};
+
+    fn pat(p: &SimplePredicate) -> Pattern {
+        compile_simple(p).expect("pushable")
+    }
+
+    #[test]
+    fn exact_match_quoted_operand() {
+        let p = pat(&SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() });
+        assert!(match_pattern(r#"{"name":"Bob","age":22}"#, &p));
+        assert!(!match_pattern(r#"{"name":"Alice","age":22}"#, &p));
+        // False positive by design: "Bob" under a different key still hits.
+        assert!(match_pattern(r#"{"friend":"Bob"}"#, &p));
+        // Substring of a longer value does NOT hit (quotes anchor it).
+        assert!(!match_pattern(r#"{"name":"Bobby"}"#, &p));
+    }
+
+    #[test]
+    fn substring_match() {
+        let p = pat(&SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() });
+        assert!(match_pattern(r#"{"text":"so delicious!"}"#, &p));
+        assert!(!match_pattern(r#"{"text":"awful"}"#, &p));
+        // False positive: needle in another field is still a hit.
+        assert!(match_pattern(r#"{"title":"delicious"}"#, &p));
+    }
+
+    #[test]
+    fn key_presence() {
+        let p = pat(&SimplePredicate::NotNull { key: "email".into() });
+        assert!(match_pattern(r#"{"email":"x@y.z"}"#, &p));
+        assert!(!match_pattern(r#"{"phone":"123"}"#, &p));
+        // False positive: key present but null still matches raw.
+        assert!(match_pattern(r#"{"email":null}"#, &p));
+    }
+
+    #[test]
+    fn key_value_two_phase() {
+        let p = pat(&SimplePredicate::IntEq { key: "age".into(), value: 10 });
+        assert!(match_pattern(r#"{"age":10,"x":1}"#, &p));
+        assert!(match_pattern(r#"{"x":1,"age":10}"#, &p)); // value at end, no trailing comma
+        assert!(!match_pattern(r#"{"age":11,"x":10}"#, &p)); // 10 after the comma
+        assert!(!match_pattern(r#"{"x":10}"#, &p)); // key absent
+    }
+
+    #[test]
+    fn key_value_false_positive_on_prefix_digits() {
+        // "age":100 contains the digits "10" in the window — a false
+        // positive the server must re-verify away.
+        let p = pat(&SimplePredicate::IntEq { key: "age".into(), value: 10 });
+        assert!(match_pattern(r#"{"age":100}"#, &p));
+    }
+
+    #[test]
+    fn key_value_checks_every_key_occurrence() {
+        // The first occurrence of `"age"` is a *nested* key whose window
+        // (up to the next comma) lacks "10"; the real top-level pair
+        // comes later. First-occurrence-only matching would produce a
+        // false negative — the failure mode CIAO forbids.
+        let rec = r#"{"person":{"age":99},"age":10}"#;
+        let p = pat(&SimplePredicate::IntEq { key: "age".into(), value: 10 });
+        assert!(match_pattern(rec, &p));
+    }
+
+    #[test]
+    fn bool_key_value() {
+        let p = pat(&SimplePredicate::BoolEq { key: "isActive".into(), value: true });
+        assert!(match_pattern(r#"{"isActive":true}"#, &p));
+        assert!(!match_pattern(r#"{"isActive":false}"#, &p));
+    }
+
+    #[test]
+    fn clause_disjunction() {
+        let clause = Clause::new(vec![
+            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
+            SimplePredicate::StrEq { key: "name".into(), value: "John".into() },
+        ]);
+        let cp = compile_clause(&clause).unwrap();
+        assert!(match_clause(r#"{"name":"John"}"#, &cp));
+        assert!(match_clause(r#"{"name":"Bob"}"#, &cp));
+        assert!(!match_clause(r#"{"name":"Carol"}"#, &cp));
+        let cc = CompiledClause::new(&cp);
+        assert_eq!(cc.arity(), 2);
+        assert_eq!(cc.pattern_len(), 11);
+    }
+
+    #[test]
+    fn compiled_reuse_matches_one_shot() {
+        let p = pat(&SimplePredicate::IntEq { key: "stars".into(), value: 5 });
+        let compiled = CompiledPattern::new(&p);
+        for rec in [
+            r#"{"stars":5}"#,
+            r#"{"stars":4}"#,
+            r#"{"stars":50}"#,
+            r#"{"rating":5}"#,
+        ] {
+            assert_eq!(compiled.is_match(rec.as_bytes()), match_pattern(rec, &p), "{rec}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Substring search primitives.
+//!
+//! The client evaluates every predicate with substring search (the
+//! paper uses C++ `string::find`). Patterns here are compiled once per
+//! pushdown plan and reused across millions of records, so [`Finder`]
+//! precomputes a Boyer–Moore–Horspool bad-character table per needle
+//! and adds a cheap first-byte skip for short needles.
+
+/// A reusable compiled searcher for one needle.
+#[derive(Debug, Clone)]
+pub struct Finder {
+    needle: Vec<u8>,
+    /// Horspool shift table: for each byte value, how far the window
+    /// may jump when the last byte mismatches. Boxed so a `Finder` (and
+    /// everything holding one, like compiled plans) stays small to move.
+    shift: Box<[usize; 256]>,
+}
+
+impl Finder {
+    /// Compiles a searcher. Empty needles are legal and match at
+    /// position 0 of any haystack.
+    pub fn new(needle: impl AsRef<[u8]>) -> Finder {
+        let needle = needle.as_ref().to_vec();
+        let n = needle.len();
+        let mut shift = Box::new([n.max(1); 256]);
+        if n > 0 {
+            for (i, &b) in needle[..n - 1].iter().enumerate() {
+                shift[b as usize] = n - 1 - i;
+            }
+        }
+        Finder { needle, shift }
+    }
+
+    /// The needle bytes.
+    #[inline]
+    pub fn needle(&self) -> &[u8] {
+        &self.needle
+    }
+
+    /// Needle length in bytes — the `len(p)` term of the cost model.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.needle.len()
+    }
+
+    /// True for the empty needle.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.needle.is_empty()
+    }
+
+    /// Finds the first occurrence in `haystack`.
+    #[inline]
+    pub fn find(&self, haystack: &[u8]) -> Option<usize> {
+        self.find_from(haystack, 0)
+    }
+
+    /// Finds the first occurrence at or after byte offset `start`.
+    pub fn find_from(&self, haystack: &[u8], start: usize) -> Option<usize> {
+        let n = self.needle.len();
+        if n == 0 {
+            return (start <= haystack.len()).then_some(start);
+        }
+        if start >= haystack.len() || haystack.len() - start < n {
+            return None;
+        }
+        if n == 1 {
+            let b = self.needle[0];
+            return haystack[start..]
+                .iter()
+                .position(|&x| x == b)
+                .map(|p| p + start);
+        }
+        let last = n - 1;
+        let last_byte = self.needle[last];
+        let mut i = start;
+        while i + n <= haystack.len() {
+            let tail = haystack[i + last];
+            if tail == last_byte && haystack[i..i + n] == self.needle[..] {
+                return Some(i);
+            }
+            i += self.shift[tail as usize];
+        }
+        None
+    }
+
+    /// True when the needle occurs anywhere in `haystack`.
+    #[inline]
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// Counts non-overlapping occurrences.
+    pub fn count(&self, haystack: &[u8]) -> usize {
+        if self.needle.is_empty() {
+            return haystack.len() + 1;
+        }
+        let mut count = 0;
+        let mut pos = 0;
+        while let Some(at) = self.find_from(haystack, pos) {
+            count += 1;
+            pos = at + self.needle.len();
+        }
+        count
+    }
+}
+
+/// One-shot convenience search (compiles a throwaway table; prefer a
+/// cached [`Finder`] in hot paths).
+pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    Finder::new(needle).find(haystack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_finds() {
+        let f = Finder::new("delicious");
+        assert_eq!(f.find(b"absolutely delicious food"), Some(11));
+        assert_eq!(f.find(b"nothing here"), None);
+        assert_eq!(f.find(b"delicious"), Some(0));
+        assert_eq!(f.find(b"deliciou"), None);
+    }
+
+    #[test]
+    fn single_byte_needle() {
+        let f = Finder::new(",");
+        assert_eq!(f.find(b"a,b,c"), Some(1));
+        assert_eq!(f.find_from(b"a,b,c", 2), Some(3));
+        assert_eq!(f.find_from(b"a,b,c", 4), None);
+    }
+
+    #[test]
+    fn empty_needle_matches_at_start() {
+        let f = Finder::new("");
+        assert!(f.is_empty());
+        assert_eq!(f.find(b"anything"), Some(0));
+        assert_eq!(f.find_from(b"abc", 2), Some(2));
+        assert_eq!(f.find_from(b"abc", 3), Some(3));
+        assert_eq!(f.find_from(b"abc", 4), None);
+        assert_eq!(f.find(b""), Some(0));
+    }
+
+    #[test]
+    fn find_from_boundaries() {
+        let f = Finder::new("ab");
+        assert_eq!(f.find_from(b"abab", 0), Some(0));
+        assert_eq!(f.find_from(b"abab", 1), Some(2));
+        assert_eq!(f.find_from(b"abab", 3), None);
+        assert_eq!(f.find_from(b"abab", 100), None);
+    }
+
+    #[test]
+    fn overlapping_patterns() {
+        let f = Finder::new("aaa");
+        assert_eq!(f.find(b"aaaaa"), Some(0));
+        assert_eq!(f.find_from(b"aaaaa", 1), Some(1));
+        assert_eq!(f.count(b"aaaaaa"), 2); // non-overlapping
+    }
+
+    #[test]
+    fn repeated_suffix_needle() {
+        // Exercises the Horspool shift on needles whose last byte
+        // repeats inside the needle.
+        let f = Finder::new("abab");
+        assert_eq!(f.find(b"aabab_abab"), Some(1));
+        assert_eq!(f.find(b"ababab"), Some(0));
+        assert_eq!(f.find(b"abacabab"), Some(4));
+    }
+
+    #[test]
+    fn needle_longer_than_haystack() {
+        let f = Finder::new("longneedle");
+        assert_eq!(f.find(b"short"), None);
+        assert_eq!(f.find(b""), None);
+    }
+
+    #[test]
+    fn binary_safety() {
+        let f = Finder::new([0u8, 255, 0]);
+        let hay = [1u8, 0, 255, 0, 2];
+        assert_eq!(f.find(&hay), Some(1));
+    }
+
+    #[test]
+    fn matches_std_behaviour_on_corpus() {
+        let hays = [
+            "", "a", "abc", "the quick brown fox", "aaaaaaaaab",
+            r#"{"name":"Bob","age":22}"#, "ababababab", "xyzxyzxyz",
+        ];
+        let needles = ["", "a", "ab", "Bob", "\"age\"", "xyz", "b\"", "zz", "fox"];
+        for h in &hays {
+            for n in &needles {
+                let ours = Finder::new(n).find(h.as_bytes());
+                let std = h.find(n);
+                assert_eq!(ours, std, "mismatch for needle {n:?} in {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_helper() {
+        assert_eq!(find(b"hello world", b"world"), Some(6));
+    }
+}

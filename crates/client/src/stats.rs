@@ -1,0 +1,118 @@
+//! Client-side counters.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Counters accumulated while prefiltering chunks.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// Raw records seen.
+    pub records_processed: usize,
+    /// Total predicate evaluations (records × pushed predicates).
+    pub predicate_evals: usize,
+    /// Wall-clock time spent matching.
+    pub matching_time: Duration,
+    /// Chunks processed.
+    pub chunks: usize,
+    /// Chunks where the budget enforcement degraded evaluation.
+    pub degraded_chunks: usize,
+    matches: HashMap<u32, usize>,
+}
+
+impl ClientStats {
+    /// Accumulates one processed chunk.
+    pub fn record_chunk(&mut self, records: usize, predicates: usize, elapsed: Duration) {
+        self.records_processed += records;
+        self.predicate_evals += records * predicates;
+        self.matching_time += elapsed;
+        self.chunks += 1;
+    }
+
+    /// Accumulates match counts for one predicate.
+    pub fn record_matches(&mut self, predicate_id: u32, count: usize) {
+        *self.matches.entry(predicate_id).or_insert(0) += count;
+    }
+
+    /// Total raw matches recorded for a predicate id.
+    pub fn matches_for(&self, predicate_id: u32) -> usize {
+        self.matches.get(&predicate_id).copied().unwrap_or(0)
+    }
+
+    /// Observed (raw) selectivity of a predicate: matches / records.
+    pub fn observed_selectivity(&self, predicate_id: u32) -> f64 {
+        if self.records_processed == 0 {
+            0.0
+        } else {
+            self.matches_for(predicate_id) as f64 / self.records_processed as f64
+        }
+    }
+
+    /// Mean matching cost per record in microseconds.
+    pub fn micros_per_record(&self) -> f64 {
+        if self.records_processed == 0 {
+            0.0
+        } else {
+            self.matching_time.as_secs_f64() * 1e6 / self.records_processed as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ClientStats) {
+        self.records_processed += other.records_processed;
+        self.predicate_evals += other.predicate_evals;
+        self.matching_time += other.matching_time;
+        self.chunks += other.chunks;
+        self.degraded_chunks += other.degraded_chunks;
+        for (&id, &count) in &other.matches {
+            *self.matches.entry(id).or_insert(0) += count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation() {
+        let mut s = ClientStats::default();
+        s.record_chunk(100, 3, Duration::from_micros(250));
+        s.record_chunk(50, 3, Duration::from_micros(100));
+        s.record_matches(1, 30);
+        s.record_matches(1, 10);
+        s.record_matches(2, 5);
+
+        assert_eq!(s.records_processed, 150);
+        assert_eq!(s.predicate_evals, 450);
+        assert_eq!(s.chunks, 2);
+        assert_eq!(s.matches_for(1), 40);
+        assert_eq!(s.matches_for(2), 5);
+        assert_eq!(s.matches_for(99), 0);
+        assert!((s.observed_selectivity(1) - 40.0 / 150.0).abs() < 1e-12);
+        assert!((s.micros_per_record() - 350.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ClientStats::default();
+        assert_eq!(s.micros_per_record(), 0.0);
+        assert_eq!(s.observed_selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = ClientStats::default();
+        a.record_chunk(10, 1, Duration::from_micros(10));
+        a.record_matches(1, 4);
+        let mut b = ClientStats::default();
+        b.record_chunk(20, 1, Duration::from_micros(20));
+        b.record_matches(1, 6);
+        b.record_matches(2, 2);
+        b.degraded_chunks = 1;
+        a.merge(&b);
+        assert_eq!(a.records_processed, 30);
+        assert_eq!(a.matches_for(1), 10);
+        assert_eq!(a.matches_for(2), 2);
+        assert_eq!(a.degraded_chunks, 1);
+    }
+}

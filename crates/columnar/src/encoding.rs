@@ -1,0 +1,369 @@
+//! Light-weight column encodings for the on-disk format.
+//!
+//! Two classic schemes, chosen because they are what make columnar
+//! formats cheap to scan and expensive to *build* — the asymmetry
+//! partial loading exploits:
+//!
+//! * **Dictionary** encoding for strings: distinct values stored once,
+//!   rows as u32 codes. Machine logs have tiny per-column cardinality.
+//! * **RLE** (run-length) for integers and dictionary codes: logs are
+//!   bursty, so long runs are common.
+//!
+//! Encodings are chosen adaptively per column chunk; a plain encoding
+//! backs everything else.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Errors from decoding an encoded column chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended early.
+    Truncated,
+    /// A dictionary code referenced a missing entry.
+    BadDictionaryCode {
+        /// The offending code.
+        code: u32,
+        /// Dictionary size.
+        dict_len: usize,
+    },
+    /// Unknown encoding tag.
+    UnknownEncoding(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "encoded column truncated"),
+            DecodeError::BadDictionaryCode { code, dict_len } => {
+                write!(f, "dictionary code {code} out of range (dict has {dict_len})")
+            }
+            DecodeError::UnknownEncoding(t) => write!(f, "unknown encoding tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "encoded string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn get_checked<const N: usize>(buf: &mut impl Buf) -> Result<[u8; N], DecodeError> {
+    if buf.remaining() < N {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = [0u8; N];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, DecodeError> {
+    Ok(u32::from_le_bytes(get_checked::<4>(buf)?))
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    Ok(u64::from_le_bytes(get_checked::<8>(buf)?))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut impl Buf) -> Result<String, DecodeError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)
+}
+
+// --- integer RLE ----------------------------------------------------------
+
+/// Encoding tags for integer columns.
+const INT_PLAIN: u8 = 0;
+const INT_RLE: u8 = 1;
+
+/// Encodes an i64 column chunk, choosing RLE when it is smaller.
+pub fn encode_ints(values: &[i64], out: &mut BytesMut) {
+    let runs = count_runs(values);
+    // RLE stores (value, run_len) per run at 12 bytes; plain is 8/value.
+    let rle_size = runs * 12;
+    let plain_size = values.len() * 8;
+    if rle_size < plain_size {
+        out.put_u8(INT_RLE);
+        out.put_u64_le(values.len() as u64);
+        let mut i = 0;
+        while i < values.len() {
+            let v = values[i];
+            let mut j = i + 1;
+            while j < values.len() && values[j] == v {
+                j += 1;
+            }
+            out.put_i64_le(v);
+            out.put_u32_le((j - i) as u32);
+            i = j;
+        }
+    } else {
+        out.put_u8(INT_PLAIN);
+        out.put_u64_le(values.len() as u64);
+        for &v in values {
+            out.put_i64_le(v);
+        }
+    }
+}
+
+/// Decodes an i64 column chunk.
+pub fn decode_ints(buf: &mut impl Buf) -> Result<Vec<i64>, DecodeError> {
+    let tag = get_checked::<1>(buf)?[0];
+    let n = get_u64(buf)? as usize;
+    match tag {
+        INT_PLAIN => {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(i64::from_le_bytes(get_checked::<8>(buf)?));
+            }
+            Ok(out)
+        }
+        INT_RLE => {
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                let v = i64::from_le_bytes(get_checked::<8>(buf)?);
+                let run = get_u32(buf)? as usize;
+                if run == 0 || out.len() + run > n {
+                    return Err(DecodeError::Truncated);
+                }
+                out.extend(std::iter::repeat_n(v, run));
+            }
+            Ok(out)
+        }
+        other => Err(DecodeError::UnknownEncoding(other)),
+    }
+}
+
+fn count_runs(values: &[i64]) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<i64> = None;
+    for &v in values {
+        if prev != Some(v) {
+            runs += 1;
+            prev = Some(v);
+        }
+    }
+    runs
+}
+
+// --- string dictionary -----------------------------------------------------
+
+/// Encoding tags for string columns.
+const STR_PLAIN: u8 = 0;
+const STR_DICT: u8 = 1;
+
+/// Encodes a string column chunk: dictionary when the distinct count is
+/// at most half the row count, plain otherwise.
+pub fn encode_strings(values: &[String], out: &mut BytesMut) {
+    let mut dict: Vec<&str> = Vec::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(values.len());
+    let mut index: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    for v in values {
+        let code = *index.entry(v.as_str()).or_insert_with(|| {
+            dict.push(v.as_str());
+            (dict.len() - 1) as u32
+        });
+        codes.push(code);
+    }
+
+    if !values.is_empty() && dict.len() * 2 <= values.len() {
+        out.put_u8(STR_DICT);
+        out.put_u64_le(values.len() as u64);
+        out.put_u32_le(dict.len() as u32);
+        for entry in &dict {
+            put_str(out, entry);
+        }
+        // Codes as RLE-able ints (reuse the int codec).
+        let code_ints: Vec<i64> = codes.iter().map(|&c| c as i64).collect();
+        encode_ints(&code_ints, out);
+    } else {
+        out.put_u8(STR_PLAIN);
+        out.put_u64_le(values.len() as u64);
+        for v in values {
+            put_str(out, v);
+        }
+    }
+}
+
+/// Decodes a string column chunk.
+pub fn decode_strings(buf: &mut impl Buf) -> Result<Vec<String>, DecodeError> {
+    let tag = get_checked::<1>(buf)?[0];
+    let n = get_u64(buf)? as usize;
+    match tag {
+        STR_PLAIN => {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(get_str(buf)?);
+            }
+            Ok(out)
+        }
+        STR_DICT => {
+            let dict_len = get_u32(buf)? as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(get_str(buf)?);
+            }
+            let codes = decode_ints(buf)?;
+            if codes.len() != n {
+                return Err(DecodeError::Truncated);
+            }
+            codes
+                .into_iter()
+                .map(|c| {
+                    let c = c as u32;
+                    dict.get(c as usize)
+                        .cloned()
+                        .ok_or(DecodeError::BadDictionaryCode {
+                            code: c,
+                            dict_len: dict.len(),
+                        })
+                })
+                .collect()
+        }
+        other => Err(DecodeError::UnknownEncoding(other)),
+    }
+}
+
+// --- floats (plain) ---------------------------------------------------------
+
+/// Encodes an f64 column chunk (always plain; floats rarely repeat).
+pub fn encode_floats(values: &[f64], out: &mut BytesMut) {
+    out.put_u64_le(values.len() as u64);
+    for &v in values {
+        out.put_f64_le(v);
+    }
+}
+
+/// Decodes an f64 column chunk.
+pub fn decode_floats(buf: &mut impl Buf) -> Result<Vec<f64>, DecodeError> {
+    let n = get_u64(buf)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f64::from_le_bytes(get_checked::<8>(buf)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_ints(values: &[i64]) {
+        let mut buf = BytesMut::new();
+        encode_ints(values, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_ints(&mut bytes).unwrap();
+        assert_eq!(back, values);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn int_plain_roundtrip() {
+        roundtrip_ints(&[]);
+        roundtrip_ints(&[1, 2, 3, -7, i64::MAX, i64::MIN]);
+    }
+
+    #[test]
+    fn int_rle_roundtrip_and_smaller() {
+        let runs: Vec<i64> = std::iter::repeat_n(5, 1000)
+            .chain(std::iter::repeat_n(-2, 500))
+            .collect();
+        let mut buf = BytesMut::new();
+        encode_ints(&runs, &mut buf);
+        assert_eq!(buf[0], INT_RLE);
+        assert!(buf.len() < runs.len() * 8 / 10, "RLE should crush runs");
+        let back = decode_ints(&mut buf.freeze()).unwrap();
+        assert_eq!(back, runs);
+    }
+
+    #[test]
+    fn int_random_stays_plain() {
+        let vals: Vec<i64> = (0..100).map(|i| i * 37 % 91 - 45).collect();
+        let mut buf = BytesMut::new();
+        encode_ints(&vals, &mut buf);
+        assert_eq!(buf[0], INT_PLAIN);
+    }
+
+    #[test]
+    fn string_dict_roundtrip() {
+        let values: Vec<String> = (0..300)
+            .map(|i| format!("level-{}", i % 4))
+            .collect();
+        let mut buf = BytesMut::new();
+        encode_strings(&values, &mut buf);
+        assert_eq!(buf[0], STR_DICT);
+        let back = decode_strings(&mut buf.freeze()).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn string_high_cardinality_stays_plain() {
+        let values: Vec<String> = (0..50).map(|i| format!("unique-{i}")).collect();
+        let mut buf = BytesMut::new();
+        encode_strings(&values, &mut buf);
+        assert_eq!(buf[0], STR_PLAIN);
+        let back = decode_strings(&mut buf.freeze()).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn string_empty_and_unicode() {
+        let values = vec!["".to_owned(), "héllo 😀".to_owned(), "".to_owned()];
+        let mut buf = BytesMut::new();
+        encode_strings(&values, &mut buf);
+        let back = decode_strings(&mut buf.freeze()).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let values = [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, -0.0];
+        let mut buf = BytesMut::new();
+        encode_floats(&values, &mut buf);
+        let back = decode_floats(&mut buf.freeze()).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let mut buf = BytesMut::new();
+        encode_ints(&[1, 2, 3], &mut buf);
+        let bytes = buf.freeze();
+        for cut in 0..bytes.len() {
+            let mut slice = &bytes[..cut];
+            assert!(decode_ints(&mut slice).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(99);
+        buf.put_u64_le(1);
+        assert_eq!(
+            decode_ints(&mut buf.freeze()).unwrap_err(),
+            DecodeError::UnknownEncoding(99)
+        );
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(STR_PLAIN);
+        buf.put_u64_le(1);
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert_eq!(
+            decode_strings(&mut buf.freeze()).unwrap_err(),
+            DecodeError::BadUtf8
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! On-disk format for columnar tables.
+//!
+//! ```text
+//! [magic "CIAO"] [version u16]
+//! [schema: field count u32, then (name, dtype tag) per field]
+//! [block count u32]
+//! per block:
+//!   [row count u64]
+//!   [bitvec count u32] then (predicate id u32, BitVec wire) per entry
+//!   per column: [validity BitVec wire] [encoded values]
+//! ```
+//!
+//! Everything is little-endian. Column stats are recomputed on read —
+//! they are derived data, and recomputation keeps readers honest about
+//! the actual payload.
+
+use crate::block::Block;
+use crate::column::{Column, ColumnValues};
+use crate::encoding::{
+    decode_floats, decode_ints, decode_strings, encode_floats, encode_ints, encode_strings,
+    DecodeError,
+};
+use crate::metadata::{BlockMetadata, ColumnStats};
+use crate::schema::{DataType, Field, Schema, SchemaError};
+use crate::table::Table;
+use ciao_bitvec::{BitVec, WireError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"CIAO";
+const VERSION: u16 = 1;
+
+/// Read/write failures.
+#[derive(Debug)]
+pub enum IoError {
+    /// Missing/incorrect magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended early.
+    Truncated,
+    /// Column payload failed to decode.
+    Decode(DecodeError),
+    /// A bitvector failed to decode.
+    BitVec(WireError),
+    /// Schema failed validation.
+    Schema(SchemaError),
+    /// Internal inconsistency (e.g. column length vs row count).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::BadMagic => write!(f, "not a CIAO columnar file (bad magic)"),
+            IoError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            IoError::Truncated => write!(f, "file truncated"),
+            IoError::Decode(e) => write!(f, "column decode error: {e}"),
+            IoError::BitVec(e) => write!(f, "bitvector decode error: {e}"),
+            IoError::Schema(e) => write!(f, "schema error: {e}"),
+            IoError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<DecodeError> for IoError {
+    fn from(e: DecodeError) -> Self {
+        IoError::Decode(e)
+    }
+}
+
+impl From<WireError> for IoError {
+    fn from(e: WireError) -> Self {
+        IoError::BitVec(e)
+    }
+}
+
+impl From<SchemaError> for IoError {
+    fn from(e: SchemaError) -> Self {
+        IoError::Schema(e)
+    }
+}
+
+/// Serializes a table to bytes.
+pub fn write_table(table: &Table) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+
+    let empty = Schema::new(vec![]).expect("empty schema is valid");
+    let schema = table.schema().unwrap_or(&empty);
+    buf.put_u32_le(schema.len() as u32);
+    for field in schema.fields() {
+        buf.put_u32_le(field.name.len() as u32);
+        buf.put_slice(field.name.as_bytes());
+        buf.put_u8(field.dtype.tag());
+    }
+
+    buf.put_u32_le(table.blocks().len() as u32);
+    for block in table.blocks() {
+        buf.put_u64_le(block.row_count() as u64);
+        let bitvecs: Vec<(u32, &BitVec)> = block.metadata().bitvectors().collect();
+        buf.put_u32_le(bitvecs.len() as u32);
+        for (id, bv) in bitvecs {
+            buf.put_u32_le(id);
+            bv.encode_into(&mut buf);
+        }
+        for (idx, _field) in schema.fields().iter().enumerate() {
+            let col = block.column(idx);
+            col.validity().encode_into(&mut buf);
+            match col.values() {
+                ColumnValues::Str(v) | ColumnValues::Json(v) => encode_strings(v, &mut buf),
+                ColumnValues::Int(v) => encode_ints(v, &mut buf),
+                ColumnValues::Float(v) => encode_floats(v, &mut buf),
+                ColumnValues::Bool(b) => b.encode_into(&mut buf),
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn get_u16(buf: &mut impl Buf) -> Result<u16, IoError> {
+    if buf.remaining() < 2 {
+        return Err(IoError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut impl Buf) -> Result<u32, IoError> {
+    if buf.remaining() < 4 {
+        return Err(IoError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut impl Buf) -> Result<u64, IoError> {
+    if buf.remaining() < 8 {
+        return Err(IoError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_string(buf: &mut impl Buf) -> Result<String, IoError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(IoError::Truncated);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| IoError::Corrupt("field name not UTF-8".into()))
+}
+
+/// Deserializes a table from bytes.
+pub fn read_table(mut bytes: &[u8]) -> Result<Table, IoError> {
+    let buf = &mut bytes;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    buf.advance(4);
+    let version = get_u16(buf)?;
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+
+    let field_count = get_u32(buf)? as usize;
+    let mut fields = Vec::with_capacity(field_count);
+    for _ in 0..field_count {
+        let name = get_string(buf)?;
+        if !buf.has_remaining() {
+            return Err(IoError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let dtype = DataType::from_tag(tag)
+            .ok_or_else(|| IoError::Corrupt(format!("unknown dtype tag {tag}")))?;
+        fields.push(Field { name, dtype });
+    }
+    let schema = Arc::new(Schema::new(fields)?);
+
+    let block_count = get_u32(buf)? as usize;
+    let mut blocks = Vec::with_capacity(block_count);
+    for _ in 0..block_count {
+        let row_count = get_u64(buf)? as usize;
+        let bitvec_count = get_u32(buf)? as usize;
+        let mut bitvecs = BTreeMap::new();
+        for _ in 0..bitvec_count {
+            let id = get_u32(buf)?;
+            let bv = BitVec::decode_from(buf)?;
+            if bv.len() != row_count {
+                return Err(IoError::Corrupt(format!(
+                    "bitvec for predicate {id} has {} bits for {row_count} rows",
+                    bv.len()
+                )));
+            }
+            bitvecs.insert(id, bv);
+        }
+        let mut columns = Vec::with_capacity(schema.len());
+        for field in schema.fields() {
+            let validity = BitVec::decode_from(buf)?;
+            let values = match field.dtype {
+                DataType::Str => ColumnValues::Str(decode_strings(buf)?),
+                DataType::Json => ColumnValues::Json(decode_strings(buf)?),
+                DataType::Int => ColumnValues::Int(decode_ints(buf)?),
+                DataType::Float => ColumnValues::Float(decode_floats(buf)?),
+                DataType::Bool => ColumnValues::Bool(BitVec::decode_from(buf)?),
+            };
+            let col = Column::new(values, validity);
+            if col.len() != row_count {
+                return Err(IoError::Corrupt(format!(
+                    "column `{}` has {} rows, block has {row_count}",
+                    field.name,
+                    col.len()
+                )));
+            }
+            columns.push(col);
+        }
+        // Recompute stats rather than trusting the producer.
+        let stats: Vec<ColumnStats> = columns.iter().map(recompute_stats).collect();
+        let metadata = BlockMetadata::new(row_count, stats, bitvecs);
+        blocks.push(Block::new(Arc::clone(&schema), columns, metadata));
+    }
+    Ok(Table::from_blocks(schema, blocks))
+}
+
+fn recompute_stats(col: &Column) -> ColumnStats {
+    let mut stats = ColumnStats {
+        null_count: col.null_count(),
+        ..ColumnStats::default()
+    };
+    for row in 0..col.len() {
+        if let crate::column::Cell::Int(v) = col.cell(row) {
+            stats.min_int = Some(stats.min_int.map_or(v, |m| m.min(v)));
+            stats.max_int = Some(stats.max_int.map_or(v, |m| m.max(v)));
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use ciao_json::parse;
+
+    fn sample_table() -> Table {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("name", DataType::Str),
+                Field::new("stars", DataType::Int),
+                Field::new("score", DataType::Float),
+                Field::new("active", DataType::Bool),
+                Field::new("meta", DataType::Json),
+            ])
+            .unwrap(),
+        );
+        let mut tb = TableBuilder::with_block_size(schema, &[1, 5], 3);
+        for i in 0..8i64 {
+            let rec = parse(&format!(
+                r#"{{"name":"level-{}","stars":{},"score":{}.5,"active":{},"meta":{{"i":{}}}}}"#,
+                i % 3,
+                i,
+                i,
+                i % 2 == 0,
+                i
+            ))
+            .unwrap();
+            let bits = BTreeMap::from([(1, i % 2 == 0), (5, i % 3 == 0)]);
+            tb.push_record(&rec, &bits);
+        }
+        tb.finish()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let table = sample_table();
+        let bytes = write_table(&table);
+        let back = read_table(&bytes).unwrap();
+        assert_eq!(back.row_count(), table.row_count());
+        assert_eq!(back.blocks().len(), table.blocks().len());
+        assert_eq!(back.schema(), table.schema());
+        // Full logical equality block by block.
+        for (a, b) in table.blocks().iter().zip(back.blocks()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_table() {
+        let t = Table::default();
+        let bytes = write_table(&t);
+        let back = read_table(&bytes).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bitvectors_survive() {
+        let table = sample_table();
+        let back = read_table(&write_table(&table)).unwrap();
+        for (a, b) in table.blocks().iter().zip(back.blocks()) {
+            assert_eq!(
+                a.metadata().bitvec(1).unwrap(),
+                b.metadata().bitvec(1).unwrap()
+            );
+            assert_eq!(
+                a.metadata().bitvec(5).unwrap(),
+                b.metadata().bitvec(5).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_recomputed_on_read() {
+        let table = sample_table();
+        let back = read_table(&write_table(&table)).unwrap();
+        let idx = back.schema().unwrap().index_of("stars").unwrap();
+        let stats = &back.blocks()[0].metadata().column_stats[idx];
+        assert_eq!(stats.min_int, Some(0));
+        assert_eq!(stats.max_int, Some(2));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(read_table(b"NOPE....."), Err(IoError::BadMagic)));
+        assert!(matches!(read_table(b""), Err(IoError::BadMagic)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = write_table(&sample_table()).to_vec();
+        bytes[4] = 0xff;
+        assert!(matches!(read_table(&bytes), Err(IoError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = write_table(&sample_table());
+        // Every strict prefix must fail loudly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                read_table(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Block-level metadata.
+//!
+//! Each data block of the columnar file carries the bitvectors of every
+//! pushed-down predicate, re-packed to the block's rows at load time
+//! (paper §VI-A: "we store the bit-vector information of this object
+//! into the metadata of each data block"). Query processing ANDs the
+//! bitvectors of a query's pushed clauses to skip rows (§VI-B).
+
+use ciao_bitvec::BitVec;
+use std::collections::BTreeMap;
+
+/// Per-column statistics, kept for min/max pruning and diagnostics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// NULL rows in this block's column chunk.
+    pub null_count: usize,
+    /// Minimum integer value (Int columns with ≥1 non-null row only).
+    pub min_int: Option<i64>,
+    /// Maximum integer value.
+    pub max_int: Option<i64>,
+}
+
+/// Metadata attached to one block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BlockMetadata {
+    /// Rows in the block.
+    pub row_count: usize,
+    /// One stats entry per schema column.
+    pub column_stats: Vec<ColumnStats>,
+    /// Predicate id → validity bits for this block's rows.
+    bitvectors: BTreeMap<u32, BitVec>,
+}
+
+impl BlockMetadata {
+    /// Assembles metadata, validating bitvector lengths.
+    pub fn new(
+        row_count: usize,
+        column_stats: Vec<ColumnStats>,
+        bitvectors: BTreeMap<u32, BitVec>,
+    ) -> BlockMetadata {
+        for (id, bv) in &bitvectors {
+            assert_eq!(
+                bv.len(),
+                row_count,
+                "bitvector for predicate {id} has {} bits for {row_count} rows",
+                bv.len()
+            );
+        }
+        BlockMetadata {
+            row_count,
+            column_stats,
+            bitvectors,
+        }
+    }
+
+    /// The bitvector for one predicate id.
+    pub fn bitvec(&self, predicate_id: u32) -> Option<&BitVec> {
+        self.bitvectors.get(&predicate_id)
+    }
+
+    /// All stored `(predicate id, bitvector)` pairs, ordered by id.
+    pub fn bitvectors(&self) -> impl Iterator<Item = (u32, &BitVec)> {
+        self.bitvectors.iter().map(|(&id, bv)| (id, bv))
+    }
+
+    /// Number of stored bitvectors.
+    pub fn bitvector_count(&self) -> usize {
+        self.bitvectors.len()
+    }
+
+    /// Intersection (AND) of the bitvectors for `predicate_ids` — the
+    /// §VI-B skip mask. Returns `None` when any id is missing, which
+    /// callers must treat as "cannot skip, scan everything":
+    /// a missing bitvector says nothing about which rows qualify.
+    pub fn skip_mask(&self, predicate_ids: &[u32]) -> Option<BitVec> {
+        let mut acc: Option<BitVec> = None;
+        for id in predicate_ids {
+            let bv = self.bitvectors.get(id)?;
+            acc = Some(match acc {
+                None => bv.clone(),
+                Some(mut m) => {
+                    m.and_assign(bv);
+                    m
+                }
+            });
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> BlockMetadata {
+        let mut bvs = BTreeMap::new();
+        bvs.insert(1, BitVec::from_bools(&[true, false, true, false]));
+        bvs.insert(2, BitVec::from_bools(&[true, true, false, false]));
+        BlockMetadata::new(4, vec![], bvs)
+    }
+
+    #[test]
+    fn lookup() {
+        let m = meta();
+        assert_eq!(m.bitvec(1).unwrap().ones_positions(), vec![0, 2]);
+        assert!(m.bitvec(9).is_none());
+        assert_eq!(m.bitvector_count(), 2);
+        assert_eq!(m.bitvectors().map(|(id, _)| id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn skip_mask_is_intersection() {
+        let m = meta();
+        let mask = m.skip_mask(&[1, 2]).unwrap();
+        assert_eq!(mask.ones_positions(), vec![0]);
+        let single = m.skip_mask(&[2]).unwrap();
+        assert_eq!(single.ones_positions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn missing_predicate_yields_none() {
+        let m = meta();
+        assert!(m.skip_mask(&[1, 99]).is_none());
+        assert!(m.skip_mask(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bits for")]
+    fn length_mismatch_rejected() {
+        let mut bvs = BTreeMap::new();
+        bvs.insert(1, BitVec::zeros(3));
+        BlockMetadata::new(4, vec![], bvs);
+    }
+}

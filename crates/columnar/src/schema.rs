@@ -1,0 +1,356 @@
+//! Table schemas.
+
+use ciao_json::JsonValue;
+
+/// The column types the store supports.
+///
+/// Non-scalar JSON (objects, arrays) is stored as its compact
+/// serialized text under [`DataType::Json`]; CIAO's predicate columns
+/// are always scalars, so nested payloads only need to survive a
+/// round-trip, not support comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// UTF-8 string.
+    Str,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Arbitrary nested JSON, kept as serialized text.
+    Json,
+}
+
+impl DataType {
+    /// The natural column type for a JSON value (`None` for null —
+    /// nulls carry no type information).
+    pub fn of(value: &JsonValue) -> Option<DataType> {
+        match value {
+            JsonValue::Null => None,
+            JsonValue::Bool(_) => Some(DataType::Bool),
+            JsonValue::Number(n) => Some(if n.is_int() { DataType::Int } else { DataType::Float }),
+            JsonValue::String(_) => Some(DataType::Str),
+            JsonValue::Array(_) | JsonValue::Object(_) => Some(DataType::Json),
+        }
+    }
+
+    /// Widens two observed types into one storable type, if possible.
+    /// Int widens to Float; everything else must match.
+    pub fn unify(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Int, Float) | (Float, Int) => Some(Float),
+            _ => None,
+        }
+    }
+
+    /// Wire tag for the io module.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DataType::Str => 0,
+            DataType::Int => 1,
+            DataType::Float => 2,
+            DataType::Bool => 3,
+            DataType::Json => 4,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<DataType> {
+        Some(match tag {
+            0 => DataType::Str,
+            1 => DataType::Int,
+            2 => DataType::Float,
+            3 => DataType::Bool,
+            4 => DataType::Json,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataType::Str => "str",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Bool => "bool",
+            DataType::Json => "json",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column definition. Every column is nullable — records in CIAO's
+/// domains are sparse machine logs, and absence is the common case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name = top-level JSON key.
+    pub name: String,
+    /// Storage type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// Schema construction/validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two fields share a name.
+    DuplicateField(String),
+    /// A key appeared with incompatible types across records.
+    TypeConflict {
+        /// Field name.
+        field: String,
+        /// Previously inferred type.
+        first: DataType,
+        /// Conflicting type.
+        second: DataType,
+    },
+    /// Inference saw no usable records.
+    NoRecords,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::DuplicateField(name) => write!(f, "duplicate field `{name}`"),
+            SchemaError::TypeConflict { field, first, second } => {
+                write!(f, "field `{field}` seen as both {first} and {second}")
+            }
+            SchemaError::NoRecords => write!(f, "cannot infer a schema from zero records"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// An ordered set of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Result<Schema, SchemaError> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.as_str()) {
+                return Err(SchemaError::DuplicateField(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Infers a schema from sample records: union of top-level keys,
+    /// types unified across records (Int+Float ⇒ Float). Keys that only
+    /// ever appear null default to `Str`. Non-object records are
+    /// skipped. Irreconcilable types (e.g. Int vs Str) are an error;
+    /// use [`Schema::infer_lenient`] for dirty streams.
+    pub fn infer(records: &[JsonValue]) -> Result<Schema, SchemaError> {
+        Self::infer_impl(records, true)
+    }
+
+    /// Like [`Schema::infer`], but on a type conflict the first-seen
+    /// type wins — later conflicting values become NULLs (counted as
+    /// coercion failures) at load time instead of sinking the whole
+    /// pipeline. This is the right trade for machine logs, where one
+    /// producer emitting `"stars":"five"` must not block ingestion.
+    pub fn infer_lenient(records: &[JsonValue]) -> Result<Schema, SchemaError> {
+        Self::infer_impl(records, false)
+    }
+
+    fn infer_impl(records: &[JsonValue], strict: bool) -> Result<Schema, SchemaError> {
+        let mut order: Vec<String> = Vec::new();
+        let mut types: std::collections::HashMap<String, Option<DataType>> =
+            std::collections::HashMap::new();
+        let mut saw_object = false;
+        for rec in records {
+            let Some(pairs) = rec.as_object() else {
+                continue;
+            };
+            saw_object = true;
+            for (k, v) in pairs {
+                let entry = types.entry(k.clone());
+                if let std::collections::hash_map::Entry::Vacant(_) = entry {
+                    order.push(k.clone());
+                }
+                let slot = types.entry(k.clone()).or_insert(None);
+                if let Some(t) = DataType::of(v) {
+                    *slot = match *slot {
+                        None => Some(t),
+                        Some(prev) => match prev.unify(t) {
+                            Some(unified) => Some(unified),
+                            None if strict => {
+                                return Err(SchemaError::TypeConflict {
+                                    field: k.clone(),
+                                    first: prev,
+                                    second: t,
+                                })
+                            }
+                            // Lenient: first-seen type wins.
+                            None => Some(prev),
+                        },
+                    };
+                }
+            }
+        }
+        if !saw_object {
+            return Err(SchemaError::NoRecords);
+        }
+        let fields = order
+            .into_iter()
+            .map(|name| {
+                let dtype = types[&name].unwrap_or(DataType::Str);
+                Field { name, dtype }
+            })
+            .collect();
+        Schema::new(fields)
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field lookup by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_json::parse;
+
+    #[test]
+    fn datatype_of() {
+        assert_eq!(DataType::of(&JsonValue::Null), None);
+        assert_eq!(DataType::of(&JsonValue::from(true)), Some(DataType::Bool));
+        assert_eq!(DataType::of(&JsonValue::from(3)), Some(DataType::Int));
+        assert_eq!(DataType::of(&JsonValue::from(3.5)), Some(DataType::Float));
+        assert_eq!(DataType::of(&JsonValue::from("s")), Some(DataType::Str));
+        assert_eq!(DataType::of(&parse("[1]").unwrap()), Some(DataType::Json));
+        assert_eq!(DataType::of(&parse("{}").unwrap()), Some(DataType::Json));
+    }
+
+    #[test]
+    fn unify_rules() {
+        assert_eq!(DataType::Int.unify(DataType::Float), Some(DataType::Float));
+        assert_eq!(DataType::Float.unify(DataType::Int), Some(DataType::Float));
+        assert_eq!(DataType::Str.unify(DataType::Str), Some(DataType::Str));
+        assert_eq!(DataType::Str.unify(DataType::Int), None);
+        assert_eq!(DataType::Bool.unify(DataType::Json), None);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for t in [DataType::Str, DataType::Int, DataType::Float, DataType::Bool, DataType::Json] {
+            assert_eq!(DataType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(DataType::from_tag(99), None);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateField("a".into()));
+    }
+
+    #[test]
+    fn infer_from_records() {
+        let records: Vec<JsonValue> = [
+            r#"{"name":"Bob","age":22,"score":4.5}"#,
+            r#"{"name":"Alice","age":30,"tags":[1,2]}"#,
+            r#"{"name":null,"age":25,"email":null}"#,
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let schema = Schema::infer(&records).unwrap();
+        assert_eq!(schema.len(), 5);
+        assert_eq!(schema.field("name").unwrap().dtype, DataType::Str);
+        assert_eq!(schema.field("age").unwrap().dtype, DataType::Int);
+        assert_eq!(schema.field("score").unwrap().dtype, DataType::Float);
+        assert_eq!(schema.field("tags").unwrap().dtype, DataType::Json);
+        // Only-null key defaults to Str.
+        assert_eq!(schema.field("email").unwrap().dtype, DataType::Str);
+        // Declaration order follows first appearance.
+        assert_eq!(schema.fields()[0].name, "name");
+        assert_eq!(schema.index_of("score"), Some(2));
+        assert_eq!(schema.index_of("missing"), None);
+    }
+
+    #[test]
+    fn infer_widens_int_to_float() {
+        let records: Vec<JsonValue> =
+            [r#"{"x":1}"#, r#"{"x":2.5}"#].iter().map(|s| parse(s).unwrap()).collect();
+        let schema = Schema::infer(&records).unwrap();
+        assert_eq!(schema.field("x").unwrap().dtype, DataType::Float);
+    }
+
+    #[test]
+    fn infer_conflict() {
+        let records: Vec<JsonValue> =
+            [r#"{"x":1}"#, r#"{"x":"s"}"#].iter().map(|s| parse(s).unwrap()).collect();
+        let err = Schema::infer(&records).unwrap_err();
+        assert!(matches!(err, SchemaError::TypeConflict { .. }));
+    }
+
+    #[test]
+    fn infer_lenient_first_type_wins() {
+        let records: Vec<JsonValue> = [r#"{"x":1,"y":"a"}"#, r#"{"x":"s","y":2.5}"#]
+            .iter()
+            .map(|s| parse(s).unwrap())
+            .collect();
+        let schema = Schema::infer_lenient(&records).unwrap();
+        assert_eq!(schema.field("x").unwrap().dtype, DataType::Int);
+        assert_eq!(schema.field("y").unwrap().dtype, DataType::Str);
+        // Compatible widening still applies in lenient mode.
+        let nums: Vec<JsonValue> = [r#"{"z":1}"#, r#"{"z":0.5}"#]
+            .iter()
+            .map(|s| parse(s).unwrap())
+            .collect();
+        assert_eq!(
+            Schema::infer_lenient(&nums).unwrap().field("z").unwrap().dtype,
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn infer_empty() {
+        assert_eq!(Schema::infer(&[]).unwrap_err(), SchemaError::NoRecords);
+        let non_obj = vec![parse("[1,2]").unwrap()];
+        assert_eq!(Schema::infer(&non_obj).unwrap_err(), SchemaError::NoRecords);
+    }
+}

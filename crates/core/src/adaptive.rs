@@ -1,0 +1,265 @@
+//! Adaptive replanning from observed client statistics.
+//!
+//! The optimizer plans against selectivities estimated on a historical
+//! sample (§VII-C). Real streams drift: a predicate planned at 2%
+//! selectivity that starts matching 40% of records wastes its budget
+//! *and* its partial-loading power. Clients already count raw matches
+//! per predicate ([`ciao_client::ClientStats`]); this module compares
+//! those observations against the plan, reports drift, and rebuilds
+//! the plan with the observed values substituted.
+//!
+//! The observed raw-match rate is an upper bound on the true typed
+//! selectivity (false positives, never negatives), which makes it a
+//! *conservative* replanning input: it can only make the optimizer
+//! less optimistic about a predicate's filtering power.
+
+use crate::plan::{PlanError, PushdownPlan};
+use ciao_client::ClientStats;
+use ciao_json::JsonValue;
+use ciao_optimizer::{solve, CostModel, InstanceBuilder};
+use ciao_predicate::{compile_clause, Query, SelectivityEstimator, SelectivityMap};
+
+/// One predicate's planned-vs-observed comparison.
+#[derive(Debug, Clone)]
+pub struct DriftEntry {
+    /// Predicate id in the current plan.
+    pub id: u32,
+    /// Selectivity the plan was built with.
+    pub planned: f64,
+    /// Raw-match rate the client actually observed.
+    pub observed: f64,
+}
+
+impl DriftEntry {
+    /// Absolute selectivity drift.
+    pub fn drift(&self) -> f64 {
+        (self.observed - self.planned).abs()
+    }
+}
+
+/// Compares a plan's selectivity estimates with client observations.
+/// Predicates with no observations yet are omitted.
+pub fn drift_report(plan: &PushdownPlan, stats: &ClientStats) -> Vec<DriftEntry> {
+    if stats.records_processed == 0 {
+        return Vec::new();
+    }
+    plan.predicates
+        .iter()
+        .map(|p| DriftEntry {
+            id: p.id,
+            planned: p.selectivity,
+            observed: stats.observed_selectivity(p.id),
+        })
+        .collect()
+}
+
+/// True when any pushed predicate drifted by more than `threshold`
+/// (absolute selectivity).
+pub fn should_replan(report: &[DriftEntry], threshold: f64) -> bool {
+    report.iter().any(|e| e.drift() > threshold)
+}
+
+/// Rebuilds the plan, overriding the sample-estimated selectivity of
+/// every currently pushed predicate with its observed raw-match rate.
+/// Unpushed candidates keep their sample estimates (there are no
+/// observations for them).
+pub fn replan_with_observations(
+    queries: &[Query],
+    sample: &[JsonValue],
+    current: &PushdownPlan,
+    stats: &ClientStats,
+    cost_model: &CostModel,
+    budget: f64,
+) -> Result<PushdownPlan, PlanError> {
+    if queries.is_empty() {
+        return Err(PlanError::NoQueries);
+    }
+    // Start from fresh sample estimates…
+    let estimator = SelectivityEstimator::new(sample);
+    let all_clauses: Vec<_> = queries.iter().flat_map(Query::pushable_clauses).collect();
+    let mut selectivities: SelectivityMap = estimator.estimate_all(all_clauses);
+    // …then overwrite with live observations where we have them.
+    if stats.records_processed > 0 {
+        for p in &current.predicates {
+            selectivities.insert(p.clause.clone(), stats.observed_selectivity(p.id).clamp(0.0, 1.0));
+        }
+    }
+
+    let mean_record_len = current.mean_record_len;
+    let builder = InstanceBuilder::new(&selectivities, budget);
+    let instance = builder.build(queries, |clause| {
+        let pattern = compile_clause(clause).expect("pushable clause compiles");
+        cost_model.clause_cost(&pattern, mean_record_len, selectivities.get(clause))
+    });
+    let solved = solve(&instance);
+    let best = solved.best();
+    let mut selected = best.selected.clone();
+    selected.sort_unstable();
+
+    let predicates: Vec<_> = selected
+        .iter()
+        .enumerate()
+        .map(|(id, &idx)| {
+            let cand = &instance.candidates[idx];
+            crate::plan::PushedPredicate {
+                id: id as u32,
+                clause: cand.clause.clone(),
+                pattern: compile_clause(&cand.clause).expect("pushable"),
+                selectivity: cand.selectivity,
+                cost: cand.cost,
+            }
+        })
+        .collect();
+    let query_coverage = {
+        // Recompute coverage for the new predicate set.
+        let by_clause: std::collections::HashMap<_, _> =
+            predicates.iter().map(|p| (&p.clause, p.id)).collect();
+        queries
+            .iter()
+            .map(|q| {
+                let mut ids: Vec<u32> = q
+                    .clauses
+                    .iter()
+                    .filter_map(|c| by_clause.get(c).copied())
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect()
+    };
+    Ok(PushdownPlan {
+        predicates,
+        budget,
+        objective: best.objective,
+        total_cost: best.cost,
+        winner: solved.winner.to_owned(),
+        mean_record_len,
+        query_coverage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::parse_query;
+    use std::time::Duration;
+
+    fn sample() -> Vec<JsonValue> {
+        (0..200)
+            .map(|i| {
+                ciao_json::parse(&format!(
+                    r#"{{"a":{},"b":{}}}"#,
+                    i % 100, // a = X is ~1% selective in the sample
+                    i % 4    // b = X is ~25% selective
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn workload() -> Vec<Query> {
+        vec![
+            parse_query("qa", "a = 7").unwrap(),
+            parse_query("qb", "b = 1").unwrap(),
+        ]
+    }
+
+    fn plan(budget: f64) -> PushdownPlan {
+        PushdownPlan::build(&workload(), &sample(), &CostModel::default_uncalibrated(), budget)
+            .unwrap()
+    }
+
+    /// Synthesizes client stats where predicate `id` matched `frac` of
+    /// records.
+    fn observed(plan: &PushdownPlan, fracs: &[(u32, f64)]) -> ClientStats {
+        let mut stats = ClientStats::default();
+        stats.record_chunk(10_000, plan.len(), Duration::from_millis(1));
+        for &(id, frac) in fracs {
+            stats.record_matches(id, (10_000.0 * frac) as usize);
+        }
+        stats
+    }
+
+    #[test]
+    fn drift_detected() {
+        let p = plan(10.0);
+        assert_eq!(p.len(), 2, "both predicates fit the budget");
+        // Predicate 0 drifted massively; 1 is on target.
+        let planned0 = p.predicates[0].selectivity;
+        let stats = observed(&p, &[(0, 0.9), (1, p.predicates[1].selectivity)]);
+        let report = drift_report(&p, &stats);
+        assert_eq!(report.len(), 2);
+        let e0 = report.iter().find(|e| e.id == 0).unwrap();
+        assert!((e0.planned - planned0).abs() < 1e-12);
+        assert!((e0.observed - 0.9).abs() < 1e-12);
+        assert!(should_replan(&report, 0.3));
+        assert!(!should_replan(&report, 0.95));
+    }
+
+    #[test]
+    fn no_observations_no_drift() {
+        let p = plan(10.0);
+        let stats = ClientStats::default();
+        assert!(drift_report(&p, &stats).is_empty());
+        assert!(!should_replan(&[], 0.1));
+    }
+
+    #[test]
+    fn replanning_drops_a_useless_predicate() {
+        // Tight budget: only one predicate fits. The sample says `a = 7`
+        // is far more selective (1% vs 25%), so it gets pushed.
+        let tight = {
+            let full = plan(1_000.0);
+            // Find a budget that admits exactly one predicate.
+            let min_cost = full
+                .predicates
+                .iter()
+                .map(|p| p.cost)
+                .fold(f64::INFINITY, f64::min);
+            plan(min_cost + 1e-6)
+        };
+        assert_eq!(tight.len(), 1);
+        let pushed_clause = tight.predicates[0].clause.clone();
+        assert_eq!(pushed_clause.to_string(), "a = 7");
+
+        // Live traffic: `a = 7` actually matches 95% of records.
+        let stats = observed(&tight, &[(0, 0.95)]);
+        let report = drift_report(&tight, &stats);
+        assert!(should_replan(&report, 0.3));
+
+        let new_plan = replan_with_observations(
+            &workload(),
+            &sample(),
+            &tight,
+            &stats,
+            &CostModel::default_uncalibrated(),
+            tight.budget,
+        )
+        .unwrap();
+        assert_eq!(new_plan.len(), 1);
+        assert_eq!(
+            new_plan.predicates[0].clause.to_string(),
+            "b = 1",
+            "replanning should switch to the genuinely selective predicate"
+        );
+    }
+
+    #[test]
+    fn replan_without_observations_equals_fresh_plan() {
+        let p = plan(10.0);
+        let fresh = replan_with_observations(
+            &workload(),
+            &sample(),
+            &p,
+            &ClientStats::default(),
+            &CostModel::default_uncalibrated(),
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(fresh.len(), p.len());
+        for (a, b) in fresh.predicates.iter().zip(&p.predicates) {
+            assert_eq!(a.clause, b.clause);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Just-in-time promotion of parked records.
+//!
+//! The paper parks records "to be loaded when needed (e.g. just-in-time
+//! loading)" (§I) and cites Invisible Loading as the lineage. This
+//! module implements that promotion: when an **uncovered** query forces
+//! a scan of the parked raw store, the parse work is already being
+//! paid — so instead of discarding the parsed DOMs, the server can
+//! migrate them into the columnar table. The next uncovered query then
+//! scans columns instead of re-parsing text.
+//!
+//! Promoted records need predicate bits for the block metadata; the
+//! server regenerates them by re-running the plan's raw patterns over
+//! the parked text — the same conservative bits the client would have
+//! produced, so every skipping guarantee still holds.
+
+use crate::plan::PushdownPlan;
+use ciao_client::Prefilter;
+use ciao_columnar::{Schema, Table, TableBuilder};
+use ciao_json::{parse, RecordChunk};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Outcome of one promotion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromotionStats {
+    /// Parked records parsed and appended to the columnar side.
+    pub promoted: usize,
+    /// Records that still fail to parse (stay parked).
+    pub still_parked: usize,
+}
+
+/// Promotes every parseable parked record into a new table fragment.
+///
+/// Returns the fragment (same schema/block size discipline as the main
+/// table) and the surviving parked records. The caller appends the
+/// fragment's blocks to its table.
+pub fn promote_parked(
+    plan: &PushdownPlan,
+    schema: Arc<Schema>,
+    parked: Vec<String>,
+    block_size: usize,
+) -> (Table, Vec<String>, PromotionStats) {
+    let ids = plan.ids();
+    let mut builder = TableBuilder::with_block_size(schema, &ids, block_size);
+    let mut survivors = Vec::new();
+    let mut stats = PromotionStats::default();
+
+    // Regenerate conservative bits with the plan's own patterns.
+    let prefilter: Prefilter = plan.prefilter();
+    let chunk = match RecordChunk::from_records(&parked) {
+        Ok(c) => c,
+        Err(_) => {
+            // Parked records came from NDJSON lines, so this cannot
+            // happen; defend anyway by keeping everything parked.
+            return (builder.finish(), parked, stats);
+        }
+    };
+    let filter = prefilter.run_chunk(&chunk);
+
+    for (i, record) in chunk.iter().enumerate() {
+        match parse(record) {
+            Ok(value) => {
+                let bits: BTreeMap<u32, bool> = ids
+                    .iter()
+                    .map(|&id| {
+                        (
+                            id,
+                            filter.bitvec_for(id).is_some_and(|bv| bv.bit(i)),
+                        )
+                    })
+                    .collect();
+                builder.push_record(&value, &bits);
+                stats.promoted += 1;
+            }
+            Err(_) => {
+                survivors.push(record.to_owned());
+                stats.still_parked += 1;
+            }
+        }
+    }
+    (builder.finish(), survivors, stats)
+}
+
+/// Policy decision: promote when an **uncovered query** (none of its
+/// clauses were pushed) is about to scan a non-empty parked store —
+/// the parse cost is being paid either way, so bank it. Covered
+/// queries never read the parked side and never trigger promotion.
+pub fn should_promote(query_pushed_ids: &[u32], parked_len: usize) -> bool {
+    parked_len > 0 && query_pushed_ids.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_optimizer::CostModel;
+    use ciao_predicate::parse_query;
+
+    fn setup() -> (PushdownPlan, Arc<Schema>, Vec<String>) {
+        let sample: Vec<_> = (0..50)
+            .map(|i| {
+                ciao_json::parse(&format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i))
+                    .unwrap()
+            })
+            .collect();
+        let queries = vec![parse_query("q", "stars = 5").unwrap()];
+        let plan = PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 10.0)
+            .unwrap();
+        let schema = Arc::new(Schema::infer(&sample).unwrap());
+        let parked: Vec<String> = (0..30)
+            .map(|i| format!(r#"{{"stars":{},"name":"p{}"}}"#, i % 5 + 1, i))
+            .collect();
+        (plan, schema, parked)
+    }
+
+    #[test]
+    fn promotes_parseable_records_with_bits() {
+        let (plan, schema, parked) = setup();
+        let (fragment, survivors, stats) = promote_parked(&plan, schema, parked, 8);
+        assert_eq!(stats.promoted, 30);
+        assert_eq!(stats.still_parked, 0);
+        assert!(survivors.is_empty());
+        assert_eq!(fragment.row_count(), 30);
+        // Bits present in every block for the plan's predicate.
+        let id = plan.ids()[0];
+        let total_ones: usize = fragment
+            .blocks()
+            .iter()
+            .map(|b| b.metadata().bitvec(id).unwrap().count_ones())
+            .sum();
+        assert_eq!(total_ones, 6, "stars=5 records carry a set bit");
+    }
+
+    #[test]
+    fn unparseable_records_stay_parked() {
+        let (plan, schema, mut parked) = setup();
+        parked.push("not json at all".to_owned());
+        let (fragment, survivors, stats) = promote_parked(&plan, schema, parked, 8);
+        assert_eq!(stats.promoted, 30);
+        assert_eq!(stats.still_parked, 1);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(fragment.row_count(), 30);
+    }
+
+    #[test]
+    fn promotion_policy() {
+        // Uncovered query + parked records → promote.
+        assert!(should_promote(&[], 100));
+        // Covered query never reads parked.
+        assert!(!should_promote(&[1], 100));
+        // Nothing to promote.
+        assert!(!should_promote(&[], 0));
+    }
+}

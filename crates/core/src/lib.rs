@@ -1,0 +1,64 @@
+//! # CIAO — client-assisted data loading
+//!
+//! A from-scratch Rust reproduction of *CIAO: An Optimization Framework
+//! for Client-Assisted Data Loading* (ICDE 2021, arXiv:2102.11793).
+//!
+//! CIAO offloads cheap predicate pre-filtering to the **clients** that
+//! produce data (edge sensors, log shippers): given a workload of
+//! prospective queries and a per-record compute budget, it selects a
+//! near-optimal set of predicates (a submodular maximization under a
+//! knapsack, §V), compiles them to substring patterns the clients can
+//! evaluate **without parsing** (§IV), and uses the resulting
+//! bitvectors twice on the server (§VI):
+//!
+//! 1. **Partial loading** — records whose bits are all 0 are parked as
+//!    raw JSON instead of being parsed into the columnar store;
+//! 2. **Data skipping** — per-block bitvectors are ANDed into skip
+//!    masks at query time.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ciao::{CiaoConfig, Pipeline};
+//! use ciao_predicate::parse_query;
+//!
+//! // Some raw NDJSON records (normally produced by edge clients).
+//! let ndjson: String = (0..500)
+//!     .map(|i| format!("{{\"level\":\"{}\",\"code\":{}}}\n",
+//!                      if i % 10 == 0 { "Error" } else { "Info" }, i % 7))
+//!     .collect();
+//!
+//! // A prospective workload.
+//! let queries = vec![
+//!     parse_query("q0", r#"level = "Error""#).unwrap(),
+//!     parse_query("q1", r#"level = "Error" AND code = 3"#).unwrap(),
+//! ];
+//!
+//! // Run the whole system: plan → client prefilter → partial load → queries.
+//! let report = Pipeline::new(CiaoConfig::default().with_budget_micros(1.0))
+//!     .run(&ndjson, &queries)
+//!     .unwrap();
+//!
+//! assert_eq!(report.query_results[0].count, 50);
+//! assert!(report.load.loaded_records <= 500);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod config;
+pub mod jit;
+pub mod loader;
+pub mod pipeline;
+pub mod plan;
+pub mod report;
+pub mod server;
+
+pub use adaptive::{drift_report, replan_with_observations, DriftEntry};
+pub use config::CiaoConfig;
+pub use jit::PromotionStats;
+pub use loader::{AdmissionPolicy, LoadStats, Loader};
+pub use pipeline::{Pipeline, PipelineError, PipelineReport, QueryReport};
+pub use plan::{PlanError, PushdownPlan, PushedPredicate};
+pub use report::TimingBreakdown;
+pub use server::Server;

@@ -1,0 +1,361 @@
+//! The pushdown plan: what ships to the clients.
+//!
+//! Planning glues the pieces of paper §V together: estimate clause
+//! selectivities on a sample, cost each pushable clause with the
+//! calibrated model, run the combined greedy under the budget, and
+//! assign each chosen clause a predicate id plus compiled pattern
+//! strings — the "predicate hashmap" of §VI.
+
+use ciao_client::Prefilter;
+use ciao_json::JsonValue;
+use ciao_optimizer::{solve, CostModel, InstanceBuilder};
+use ciao_predicate::{compile_clause, Clause, ClausePattern, Query, SelectivityEstimator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Planning failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The workload is empty.
+    NoQueries,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoQueries => write!(f, "cannot plan for an empty workload"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One predicate chosen for pushdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PushedPredicate {
+    /// Server-assigned id (indexes bitvectors end to end).
+    pub id: u32,
+    /// The clause.
+    pub clause: Clause,
+    /// Compiled pattern strings (paper Table I).
+    pub pattern: ClausePattern,
+    /// Estimated selectivity used during planning.
+    pub selectivity: f64,
+    /// Modeled per-record cost (µs).
+    pub cost: f64,
+}
+
+/// The complete plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PushdownPlan {
+    /// The selected predicates, ids dense from 0.
+    pub predicates: Vec<PushedPredicate>,
+    /// Budget the plan was solved under (µs/record).
+    pub budget: f64,
+    /// Objective value `f(S)` achieved.
+    pub objective: f64,
+    /// Total modeled cost of the selection (µs/record).
+    pub total_cost: f64,
+    /// Which greedy variant won ("benefit" or "ratio").
+    pub winner: String,
+    /// Mean record length observed in the planning sample (bytes).
+    pub mean_record_len: f64,
+    /// Per workload query (in workload order): the ids of its clauses
+    /// that were pushed down. An empty entry marks an **uncovered**
+    /// query, which disables partial loading entirely — a record the
+    /// uncovered query may need cannot be recognized from bits alone,
+    /// so nothing may be parked (paper §VII-E-2/3 behaviour).
+    pub query_coverage: Vec<Vec<u32>>,
+}
+
+impl PushdownPlan {
+    /// Builds a plan from a workload and a sample of parsed records.
+    ///
+    /// `budget = 0` produces an empty plan (the paper's baseline).
+    pub fn build(
+        queries: &[Query],
+        sample: &[JsonValue],
+        cost_model: &CostModel,
+        budget: f64,
+    ) -> Result<PushdownPlan, PlanError> {
+        if queries.is_empty() {
+            return Err(PlanError::NoQueries);
+        }
+        let mean_record_len = if sample.is_empty() {
+            256.0 // harmless default when no sample exists
+        } else {
+            let total: usize = sample.iter().map(|r| ciao_json::to_string(r).len()).sum();
+            total as f64 / sample.len() as f64
+        };
+
+        // Selectivity estimation over all distinct pushable clauses.
+        let estimator = SelectivityEstimator::new(sample);
+        let all_clauses: Vec<&Clause> = queries.iter().flat_map(Query::pushable_clauses).collect();
+        let selectivities = estimator.estimate_all(all_clauses);
+
+        // Candidate costs via the calibrated model.
+        let builder = InstanceBuilder::new(&selectivities, budget);
+        let instance = builder.build(queries, |clause| {
+            let pattern = compile_clause(clause).expect("pushable clause compiles");
+            cost_model.clause_cost(&pattern, mean_record_len, selectivities.get(clause))
+        });
+
+        let solved = solve(&instance);
+        let best = solved.best();
+        let mut selected = best.selected.clone();
+        selected.sort_unstable(); // dense, stable id assignment
+
+        let predicates: Vec<PushedPredicate> = selected
+            .iter()
+            .enumerate()
+            .map(|(id, &idx)| {
+                let cand = &instance.candidates[idx];
+                PushedPredicate {
+                    id: id as u32,
+                    clause: cand.clause.clone(),
+                    pattern: compile_clause(&cand.clause).expect("pushable"),
+                    selectivity: cand.selectivity,
+                    cost: cand.cost,
+                }
+            })
+            .collect();
+
+        let query_coverage = coverage_of(queries, &predicates);
+
+        Ok(PushdownPlan {
+            predicates,
+            budget,
+            objective: best.objective,
+            total_cost: best.cost,
+            winner: solved.winner.to_owned(),
+            mean_record_len,
+            query_coverage,
+        })
+    }
+
+    /// Builds a plan from an explicitly chosen clause set, bypassing
+    /// the optimizer. Used by the micro-benchmarks that control the
+    /// pushdown ("we push down 2 predicates for each workload",
+    /// §VII-E) and useful for manual operation.
+    pub fn manual(
+        clauses: &[Clause],
+        queries: &[Query],
+        sample: &[JsonValue],
+        cost_model: &CostModel,
+    ) -> PushdownPlan {
+        let mean_record_len = if sample.is_empty() {
+            256.0
+        } else {
+            let total: usize = sample.iter().map(|r| ciao_json::to_string(r).len()).sum();
+            total as f64 / sample.len() as f64
+        };
+        let estimator = SelectivityEstimator::new(sample);
+        let selectivities = estimator.estimate_all(clauses.iter());
+        let predicates: Vec<PushedPredicate> = clauses
+            .iter()
+            .enumerate()
+            .map(|(id, clause)| {
+                let pattern = compile_clause(clause)
+                    .unwrap_or_else(|| panic!("clause {clause} is not pushable"));
+                let selectivity = selectivities.get(clause);
+                let cost = cost_model.clause_cost(&pattern, mean_record_len, selectivity);
+                PushedPredicate {
+                    id: id as u32,
+                    clause: clause.clone(),
+                    pattern,
+                    selectivity,
+                    cost,
+                }
+            })
+            .collect();
+        let total_cost = predicates.iter().map(|p| p.cost).sum();
+        let query_coverage = coverage_of(queries, &predicates);
+        PushdownPlan {
+            budget: total_cost,
+            objective: 0.0,
+            total_cost,
+            winner: "manual".to_owned(),
+            mean_record_len,
+            query_coverage,
+            predicates,
+        }
+    }
+
+    /// True when every workload query has at least one pushed clause —
+    /// the precondition for parking any record at all.
+    pub fn is_fully_covering(&self) -> bool {
+        !self.query_coverage.is_empty() && self.query_coverage.iter().all(|ids| !ids.is_empty())
+    }
+
+    /// Number of pushed predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True when nothing was pushed (zero budget or no candidates).
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The ids, dense from 0.
+    pub fn ids(&self) -> Vec<u32> {
+        self.predicates.iter().map(|p| p.id).collect()
+    }
+
+    /// Clause → id lookup (the server's predicate hashmap).
+    pub fn clause_to_id(&self) -> HashMap<Clause, u32> {
+        self.predicates
+            .iter()
+            .map(|p| (p.clause.clone(), p.id))
+            .collect()
+    }
+
+    /// Builds the client-side prefilter for this plan.
+    pub fn prefilter(&self) -> Prefilter {
+        Prefilter::new(
+            self.predicates
+                .iter()
+                .map(|p| (p.id, p.pattern.clone())),
+        )
+    }
+}
+
+/// Computes per-query pushed-clause id sets.
+fn coverage_of(queries: &[Query], predicates: &[PushedPredicate]) -> Vec<Vec<u32>> {
+    let by_clause: HashMap<&Clause, u32> =
+        predicates.iter().map(|p| (&p.clause, p.id)).collect();
+    queries
+        .iter()
+        .map(|q| {
+            let mut ids: Vec<u32> = q
+                .clauses
+                .iter()
+                .filter_map(|c| by_clause.get(c).copied())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::parse_query;
+
+    fn sample() -> Vec<JsonValue> {
+        (0..200)
+            .map(|i| {
+                ciao_json::parse(&format!(
+                    r#"{{"stars":{},"name":"u{}","age":{}}}"#,
+                    i % 5 + 1,
+                    i % 10,
+                    i % 50
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn workload() -> Vec<Query> {
+        vec![
+            parse_query("q0", "stars = 5").unwrap(),
+            parse_query("q1", r#"stars = 5 AND name = "u3""#).unwrap(),
+            parse_query("q2", "age < 10").unwrap(), // not pushable
+        ]
+    }
+
+    #[test]
+    fn plan_selects_within_budget() {
+        let plan = PushdownPlan::build(
+            &workload(),
+            &sample(),
+            &CostModel::default_uncalibrated(),
+            5.0,
+        )
+        .unwrap();
+        assert!(!plan.is_empty());
+        assert!(plan.total_cost <= 5.0 + 1e-9);
+        assert!(plan.objective > 0.0);
+        // Ids dense from zero.
+        assert_eq!(plan.ids(), (0..plan.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_budget_plans_nothing() {
+        let plan = PushdownPlan::build(
+            &workload(),
+            &sample(),
+            &CostModel::default_uncalibrated(),
+            0.0,
+        )
+        .unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.objective, 0.0);
+    }
+
+    #[test]
+    fn unpushable_clauses_never_planned() {
+        let plan = PushdownPlan::build(
+            &workload(),
+            &sample(),
+            &CostModel::default_uncalibrated(),
+            1_000.0,
+        )
+        .unwrap();
+        for p in &plan.predicates {
+            assert!(p.clause.is_pushable());
+        }
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let err = PushdownPlan::build(&[], &sample(), &CostModel::default_uncalibrated(), 1.0)
+            .unwrap_err();
+        assert_eq!(err, PlanError::NoQueries);
+    }
+
+    #[test]
+    fn empty_sample_still_plans() {
+        // With no sample, every clause gets the smoothing prior 0.5 —
+        // planning proceeds on that guess rather than failing.
+        let plan =
+            PushdownPlan::build(&workload(), &[], &CostModel::default_uncalibrated(), 5.0)
+                .unwrap();
+        assert_eq!(plan.mean_record_len, 256.0);
+        for p in &plan.predicates {
+            assert_eq!(p.selectivity, 0.5);
+        }
+    }
+
+    #[test]
+    fn clause_lookup_and_prefilter() {
+        let plan = PushdownPlan::build(
+            &workload(),
+            &sample(),
+            &CostModel::default_uncalibrated(),
+            5.0,
+        )
+        .unwrap();
+        let map = plan.clause_to_id();
+        assert_eq!(map.len(), plan.len());
+        let pf = plan.prefilter();
+        assert_eq!(pf.predicate_count(), plan.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = PushdownPlan::build(
+            &workload(),
+            &sample(),
+            &CostModel::default_uncalibrated(),
+            5.0,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: PushdownPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), plan.len());
+        assert_eq!(back.predicates[0].clause, plan.predicates[0].clause);
+    }
+}

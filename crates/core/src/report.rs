@@ -1,0 +1,66 @@
+//! Timing breakdowns for experiment reporting.
+
+use std::time::Duration;
+
+/// The three stacked components of the paper's end-to-end figures
+/// (Figs. 3–5): client prefiltering, server data loading, query
+/// processing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingBreakdown {
+    /// Time clients spent evaluating pushed predicates.
+    pub prefiltering: Duration,
+    /// Time the server spent on partial loading (parse + columnar
+    /// conversion + bitvector repacking).
+    pub loading: Duration,
+    /// Time executing the query workload.
+    pub query: Duration,
+}
+
+impl TimingBreakdown {
+    /// End-to-end total.
+    pub fn total(&self) -> Duration {
+        self.prefiltering + self.loading + self.query
+    }
+
+    /// Seconds triple `(prefiltering, loading, query)` for plotting.
+    pub fn as_secs(&self) -> (f64, f64, f64) {
+        (
+            self.prefiltering.as_secs_f64(),
+            self.loading.as_secs_f64(),
+            self.query.as_secs_f64(),
+        )
+    }
+}
+
+impl std::fmt::Display for TimingBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "prefilter {:.3}s + load {:.3}s + query {:.3}s = {:.3}s",
+            self.prefiltering.as_secs_f64(),
+            self.loading.as_secs_f64(),
+            self.query.as_secs_f64(),
+            self.total().as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let t = TimingBreakdown {
+            prefiltering: Duration::from_millis(100),
+            loading: Duration::from_millis(200),
+            query: Duration::from_millis(300),
+        };
+        assert_eq!(t.total(), Duration::from_millis(600));
+        let (p, l, q) = t.as_secs();
+        assert!((p - 0.1).abs() < 1e-9);
+        assert!((l - 0.2).abs() < 1e-9);
+        assert!((q - 0.3).abs() < 1e-9);
+        assert!(t.to_string().contains("0.600s"));
+    }
+}

@@ -1,0 +1,326 @@
+//! The CIAO server: ingest + query entry point.
+
+use crate::loader::{AdmissionPolicy, LoadStats, Loader};
+use crate::plan::PushdownPlan;
+use ciao_client::ChunkFilterResult;
+use ciao_columnar::{Schema, Table};
+use ciao_engine::{Executor, QueryOutcome};
+use ciao_json::RecordChunk;
+use ciao_predicate::Query;
+use std::sync::Arc;
+
+/// A running CIAO server instance.
+///
+/// Lifecycle: construct with a plan and schema → [`Server::ingest`]
+/// chunks (with their client filter results) → [`Server::finalize`] →
+/// [`Server::execute`] queries. Executing before finalizing answers
+/// over the data ingested so far (the table seals lazily).
+#[derive(Debug)]
+pub struct Server {
+    plan: PushdownPlan,
+    schema: Arc<Schema>,
+    block_size: usize,
+    loader: Option<Loader>,
+    table: Table,
+    parked: Vec<String>,
+    stats: LoadStats,
+    executor: Executor,
+    promotions: crate::jit::PromotionStats,
+}
+
+impl Server {
+    /// Creates a server for a plan and a (pre-inferred) schema.
+    pub fn new(plan: PushdownPlan, schema: Arc<Schema>, block_size: usize) -> Server {
+        let executor = Executor::new(
+            plan.predicates
+                .iter()
+                .map(|p| (p.clause.clone(), p.id)),
+        );
+        let policy = if plan.is_empty() {
+            AdmissionPolicy::LoadAll
+        } else {
+            AdmissionPolicy::from_coverage(&plan.query_coverage)
+        };
+        let loader = Loader::new(Arc::clone(&schema), &plan.ids(), policy, block_size);
+        Server {
+            plan,
+            schema,
+            block_size,
+            loader: Some(loader),
+            table: Table::default(),
+            parked: Vec::new(),
+            stats: LoadStats::default(),
+            executor,
+            promotions: crate::jit::PromotionStats::default(),
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &PushdownPlan {
+        &self.plan
+    }
+
+    /// Ingests one raw chunk and its bitvectors (partial loading).
+    ///
+    /// Panics when called after [`Server::finalize`].
+    pub fn ingest(&mut self, chunk: &RecordChunk, filter: &ChunkFilterResult) {
+        self.loader
+            .as_mut()
+            .expect("server already finalized")
+            .load_chunk(chunk, filter);
+    }
+
+    /// Seals the columnar table. Idempotent.
+    pub fn finalize(&mut self) {
+        if let Some(loader) = self.loader.take() {
+            let (table, parked, stats) = loader.finish();
+            self.table = table;
+            self.parked = parked;
+            self.stats = stats;
+        }
+    }
+
+    /// Executes a `COUNT(*)` query (finalizes first if needed — but
+    /// only through `&mut`; use [`Server::execute`] after an explicit
+    /// finalize for shared access).
+    pub fn execute_mut(&mut self, query: &Query) -> QueryOutcome {
+        self.finalize();
+        self.execute(query)
+    }
+
+    /// Executes a `COUNT(*)` query against the finalized state.
+    pub fn execute(&self, query: &Query) -> QueryOutcome {
+        assert!(
+            self.loader.is_none(),
+            "finalize() the server before shared-access execution"
+        );
+        self.executor.execute_count(&self.table, &self.parked, query)
+    }
+
+    /// Load statistics (valid after finalize).
+    pub fn load_stats(&self) -> LoadStats {
+        match &self.loader {
+            Some(loader) => loader.stats(),
+            None => self.stats,
+        }
+    }
+
+    /// The columnar table (valid after finalize).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The parked raw records (valid after finalize).
+    pub fn parked(&self) -> &[String] {
+        &self.parked
+    }
+
+    /// Executes with **just-in-time promotion**: when an uncovered
+    /// query is about to pay the parse cost of the parked store, the
+    /// parsed records are promoted into the columnar table first (with
+    /// regenerated predicate bits), so later uncovered queries scan
+    /// columns instead of re-parsing text. Answers are identical to
+    /// [`Server::execute`].
+    pub fn execute_jit(&mut self, query: &Query) -> QueryOutcome {
+        self.finalize();
+        let pushed = self.executor.pushed_ids_for(query);
+        if crate::jit::should_promote(&pushed, self.parked.len()) {
+            let parked = std::mem::take(&mut self.parked);
+            let (fragment, survivors, stats) = crate::jit::promote_parked(
+                &self.plan,
+                Arc::clone(&self.schema),
+                parked,
+                self.block_size,
+            );
+            self.table.merge(fragment);
+            self.parked = survivors;
+            self.promotions.promoted += stats.promoted;
+            self.promotions.still_parked = stats.still_parked;
+        }
+        self.execute(query)
+    }
+
+    /// Cumulative promotion counters.
+    pub fn promotions(&self) -> crate::jit::PromotionStats {
+        self.promotions
+    }
+
+    /// Executes `SELECT * WHERE query`, returning the matching records
+    /// (same routing and skipping as [`Server::execute`]).
+    pub fn select(&self, query: &Query) -> Vec<ciao_json::JsonValue> {
+        assert!(
+            self.loader.is_none(),
+            "finalize() the server before shared-access execution"
+        );
+        self.executor
+            .execute_select(&self.table, &self.parked, query)
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PushdownPlan;
+    use ciao_optimizer::CostModel;
+    use ciao_predicate::parse_query;
+
+    fn records(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i))
+            .collect()
+    }
+
+    fn setup(budget: f64) -> (Server, RecordChunk) {
+        let raw = records(100);
+        let chunk = RecordChunk::from_records(&raw).unwrap();
+        let sample: Vec<_> = raw
+            .iter()
+            .take(50)
+            .map(|r| ciao_json::parse(r).unwrap())
+            .collect();
+        let queries = vec![parse_query("q0", "stars = 5").unwrap()];
+        let plan =
+            PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), budget)
+                .unwrap();
+        let schema = Arc::new(Schema::infer(&sample).unwrap());
+        let server = Server::new(plan, schema, 16);
+        (server, chunk)
+    }
+
+    #[test]
+    fn end_to_end_with_pushdown() {
+        let (mut server, chunk) = setup(10.0);
+        assert!(!server.plan().is_empty());
+        let pf = server.plan().prefilter();
+        let filter = pf.run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+        server.finalize();
+
+        assert_eq!(server.load_stats().loaded_records, 20);
+        assert_eq!(server.load_stats().parked_records, 80);
+
+        let q = parse_query("q", "stars = 5").unwrap();
+        let out = server.execute(&q);
+        assert_eq!(out.count, 20);
+        assert!(out.metrics.used_skipping);
+        assert!(!out.metrics.scanned_parked);
+    }
+
+    #[test]
+    fn baseline_zero_budget_loads_all() {
+        let (mut server, chunk) = setup(0.0);
+        assert!(server.plan().is_empty());
+        let pf = server.plan().prefilter();
+        let filter = pf.run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+        server.finalize();
+        assert_eq!(server.load_stats().loaded_records, 100);
+
+        let q = parse_query("q", "stars = 5").unwrap();
+        let out = server.execute(&q);
+        assert_eq!(out.count, 20);
+        assert!(!out.metrics.used_skipping);
+    }
+
+    #[test]
+    fn uncovered_query_still_correct() {
+        let (mut server, chunk) = setup(10.0);
+        let pf = server.plan().prefilter();
+        let filter = pf.run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+        let out = server.execute_mut(&parse_query("q", "stars = 2").unwrap());
+        assert_eq!(out.count, 20);
+        assert!(out.metrics.scanned_parked);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finalized")]
+    fn ingest_after_finalize_rejected() {
+        let (mut server, chunk) = setup(10.0);
+        let filter = server.plan().prefilter().run_chunk(&chunk);
+        server.finalize();
+        server.ingest(&chunk, &filter);
+    }
+
+    #[test]
+    #[should_panic(expected = "finalize()")]
+    fn execute_before_finalize_rejected() {
+        let (server, _) = setup(10.0);
+        server.execute(&parse_query("q", "stars = 5").unwrap());
+    }
+
+    #[test]
+    fn select_returns_matching_records() {
+        let (mut server, chunk) = setup(10.0);
+        let filter = server.plan().prefilter().run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+        server.finalize();
+
+        // Covered query: records come from the columnar side.
+        let rows = server.select(&parse_query("q", "stars = 5").unwrap());
+        assert_eq!(rows.len(), 20);
+        for r in &rows {
+            assert_eq!(r.get("stars").unwrap().as_i64(), Some(5));
+        }
+        // Uncovered query: records come from the parked raw side.
+        let rows = server.select(&parse_query("q", "stars = 2").unwrap());
+        assert_eq!(rows.len(), 20);
+        for r in &rows {
+            assert_eq!(r.get("stars").unwrap().as_i64(), Some(2));
+        }
+    }
+
+    #[test]
+    fn jit_promotion_preserves_answers_and_drains_parked() {
+        let (mut server, chunk) = setup(10.0);
+        let pf = server.plan().prefilter();
+        let filter = pf.run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+        server.finalize();
+        assert_eq!(server.parked().len(), 80);
+
+        // Uncovered query: triggers promotion and still answers right.
+        let q2 = parse_query("q", "stars = 2").unwrap();
+        let out = server.execute_jit(&q2);
+        assert_eq!(out.count, 20);
+        assert_eq!(server.promotions().promoted, 80);
+        assert!(server.parked().is_empty());
+        assert_eq!(server.table().row_count(), 100);
+
+        // Subsequent uncovered query scans zero raw records.
+        let q3 = parse_query("q", "stars = 3").unwrap();
+        let out = server.execute_jit(&q3);
+        assert_eq!(out.count, 20);
+        assert_eq!(out.metrics.raw_scan.records_parsed, 0);
+
+        // Covered query still correct after the merge, with skipping.
+        let q5 = parse_query("q", "stars = 5").unwrap();
+        let out = server.execute_jit(&q5);
+        assert_eq!(out.count, 20);
+        assert!(out.metrics.used_skipping);
+    }
+
+    #[test]
+    fn jit_noop_for_covered_queries() {
+        let (mut server, chunk) = setup(10.0);
+        let filter = server.plan().prefilter().run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+        let q5 = parse_query("q", "stars = 5").unwrap();
+        let out = server.execute_jit(&q5);
+        assert_eq!(out.count, 20);
+        assert_eq!(server.promotions().promoted, 0);
+        assert_eq!(server.parked().len(), 80);
+    }
+
+    #[test]
+    fn finalize_idempotent() {
+        let (mut server, chunk) = setup(10.0);
+        let filter = server.plan().prefilter().run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+        server.finalize();
+        let rows = server.table().row_count();
+        server.finalize();
+        assert_eq!(server.table().row_count(), rows);
+    }
+}

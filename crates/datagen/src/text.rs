@@ -1,0 +1,142 @@
+//! Text synthesis helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Neutral filler words for review/message text.
+pub const FILLER: &[&str] = &[
+    "the", "a", "and", "with", "for", "this", "place", "was", "really", "very", "quite", "just",
+    "had", "got", "our", "their", "service", "time", "staff", "menu", "order", "table", "night",
+    "day", "visit", "experience", "price", "portion", "flavor", "dish", "drink", "coffee",
+    "burger", "pizza", "salad", "again", "definitely", "maybe", "also", "then", "still",
+];
+
+/// Sentiment keywords used by the Yelp `text LIKE <string>` templates
+/// (5 candidates per Table II).
+pub const YELP_KEYWORDS: &[&str] = &["delicious", "terrible", "friendly", "overpriced", "cozy"];
+
+/// Builds a vocabulary of `n` synthetic message keywords
+/// (`kw000`…`kwNNN`) for the Windows-log `info LIKE <string>` template
+/// (200 candidates per Table II).
+pub fn keyword_pool(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("kw{i:03}")).collect()
+}
+
+/// Generates a sentence of `words` filler words, optionally embedding
+/// each provided keyword.
+pub fn sentence(rng: &mut StdRng, words: usize, keywords: &[&str]) -> String {
+    let mut parts: Vec<&str> = (0..words)
+        .map(|_| FILLER[rng.gen_range(0..FILLER.len())])
+        .collect();
+    for kw in keywords {
+        let at = rng.gen_range(0..=parts.len());
+        parts.insert(at, kw);
+    }
+    parts.join(" ")
+}
+
+/// Picks an index from explicit weights.
+pub fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if t < *w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+/// A Zipf-ish sampler over `0..n`: index `i` has weight `1/(i+1)^s`.
+/// Used to give log keywords and user ids realistic skew.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let t = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&t).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentence_embeds_keywords() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 10, &["delicious", "cozy"]);
+        assert!(s.contains("delicious"));
+        assert!(s.contains("cozy"));
+        assert!(s.split(' ').count() >= 12);
+    }
+
+    #[test]
+    fn keyword_pool_shape() {
+        let pool = keyword_pool(200);
+        assert_eq!(pool.len(), 200);
+        assert_eq!(pool[0], "kw000");
+        assert_eq!(pool[199], "kw199");
+        // All distinct and none a substring of another (fixed width),
+        // so LIKE selectivities don't bleed into each other.
+        let set: std::collections::HashSet<_> = pool.iter().collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [0.8, 0.15, 0.05];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert!(counts[0] > 7_500 && counts[0] < 8_500, "{counts:?}");
+        assert!(counts[2] < 800, "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = ZipfSampler::new(100, 1.2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50], "{:?}", &counts[..12]);
+        // Every sample in range.
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Synthetic Windows System Log records (Loghub substitute).
+//!
+//! Table II templates: `info LIKE <string>` over 200 message keywords,
+//! plus `time LIKE` templates for month/day/hour/minute/second.
+//!
+//! The `level` field carries the calibrated frequencies that the §VII-E
+//! selectivity micro-benchmarks rely on (paper values 0.35 / 0.15 /
+//! 0.01): `Info` ≈ 0.49, `Warning` ≈ 0.35, `Error` ≈ 0.15,
+//! `Critical` ≈ 0.01.
+
+use crate::text::{keyword_pool, sentence, weighted_index, ZipfSampler};
+use ciao_json::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Log levels with their generation frequencies.
+pub const LEVELS: [(&str, f64); 4] = [
+    ("Info", 0.49),
+    ("Warning", 0.35),
+    ("Error", 0.15),
+    ("Critical", 0.01),
+];
+
+/// Windows services that emit log lines.
+pub const SERVICES: [&str; 8] = [
+    "CBS", "CSI", "WuaEng", "DnsClient", "Kernel-Power", "Defrag", "SideBySide", "WinLogon",
+];
+
+/// Deterministic Windows-log generator.
+#[derive(Debug)]
+pub struct WinLogGenerator {
+    rng: StdRng,
+    keywords: Vec<String>,
+    keyword_zipf: ZipfSampler,
+    /// Seconds since the epoch of the simulated trace start; advances
+    /// monotonically like a real log.
+    clock: u64,
+}
+
+impl WinLogGenerator {
+    /// Creates a generator with a seed.
+    pub fn new(seed: u64) -> WinLogGenerator {
+        WinLogGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x57494e4c), // "WINL"
+            keywords: keyword_pool(200),
+            keyword_zipf: ZipfSampler::new(200, 1.1),
+            // 2016-01-01 00:00:00 in a simplified civil calendar.
+            clock: 0,
+        }
+    }
+
+    /// Generates one log record.
+    pub fn record(&mut self) -> JsonValue {
+        let rng = &mut self.rng;
+        // Advance 0–10 seconds per line; 226 days ≈ 19.5M seconds of
+        // span at realistic volumes.
+        self.clock += rng.gen_range(0..=10);
+        let time = format_time(self.clock);
+
+        let weights: Vec<f64> = LEVELS.iter().map(|(_, w)| *w).collect();
+        let level = LEVELS[weighted_index(rng, &weights)].0;
+
+        let service = SERVICES[rng.gen_range(0..SERVICES.len())];
+
+        // 1–3 zipf-distributed keywords embedded in the message: head
+        // keywords are common (high selectivity spread for Table II's
+        // 200-candidate pool).
+        let kw_count = rng.gen_range(1..=3);
+        let mut kws: Vec<&str> = Vec::with_capacity(kw_count);
+        for _ in 0..kw_count {
+            kws.push(self.keywords[self.keyword_zipf.sample(rng)].as_str());
+        }
+        let words = rng.gen_range(6..20);
+        let info = sentence(rng, words, &kws);
+
+        JsonValue::object([
+            ("time", JsonValue::from(time)),
+            ("level", JsonValue::from(level)),
+            ("service", JsonValue::from(service)),
+            ("pid", JsonValue::from(rng.gen_range(4i64..2000))),
+            ("info", JsonValue::from(info)),
+        ])
+    }
+
+    /// Generates `n` records.
+    pub fn generate(&mut self, n: usize) -> Vec<JsonValue> {
+        (0..n).map(|_| self.record()).collect()
+    }
+
+    /// The message keyword pool (for workload construction).
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+}
+
+/// Formats seconds-since-trace-start as `YYYY-MM-DD HH:MM:SS,mmm`
+/// using a simplified 30-day-month calendar (the predicate templates
+/// only pattern-match digits, so civil-calendar fidelity is
+/// irrelevant).
+fn format_time(clock: u64) -> String {
+    let secs = clock % 60;
+    let mins = (clock / 60) % 60;
+    let hours = (clock / 3600) % 24;
+    let days = clock / 86_400;
+    let month = (days / 30) % 12 + 1;
+    let day = days % 30 + 1;
+    let year = 2016 + days / 360;
+    let millis = (clock * 997) % 1000;
+    format!("{year}-{month:02}-{day:02} {hours:02}:{mins:02}:{secs:02},{millis:03}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<JsonValue> {
+        WinLogGenerator::new(3).generate(n)
+    }
+
+    #[test]
+    fn schema_fields_present() {
+        for r in sample(50) {
+            for key in ["time", "level", "service", "pid", "info"] {
+                assert!(r.has_key(key), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_frequencies_match_design() {
+        let recs = sample(20_000);
+        let frac = |lvl: &str| {
+            recs.iter()
+                .filter(|r| r.get("level").unwrap().as_str() == Some(lvl))
+                .count() as f64
+                / recs.len() as f64
+        };
+        assert!((frac("Warning") - 0.35).abs() < 0.03, "Warning {}", frac("Warning"));
+        assert!((frac("Error") - 0.15).abs() < 0.02, "Error {}", frac("Error"));
+        assert!((frac("Critical") - 0.01).abs() < 0.006, "Critical {}", frac("Critical"));
+    }
+
+    #[test]
+    fn time_is_monotone_and_well_formed() {
+        let recs = sample(200);
+        let mut prev = String::new();
+        for r in recs {
+            let t = r.get("time").unwrap().as_str().unwrap().to_owned();
+            assert_eq!(t.len(), 23, "bad time format {t}");
+            assert!(t >= prev, "time went backwards: {prev} then {t}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn keyword_skew() {
+        let recs = sample(5_000);
+        let count = |kw: &str| {
+            recs.iter()
+                .filter(|r| r.get("info").unwrap().as_str().unwrap().contains(kw))
+                .count()
+        };
+        // Head keyword far more common than a tail keyword.
+        assert!(count("kw000") > 10 * count("kw150").max(1), "head {} tail {}", count("kw000"), count("kw150"));
+    }
+
+    #[test]
+    fn time_format_edges() {
+        assert_eq!(format_time(0), "2016-01-01 00:00:00,000");
+        assert!(format_time(86_400).starts_with("2016-01-02 00:00:00"));
+        assert!(format_time(86_400 * 30).starts_with("2016-02-01"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Synthetic YCSB customer records (fakeit substitute).
+//!
+//! The paper generates 25-attribute customer documents with fakeit.
+//! Table II templates covered here: `isActive = <bool>` (2),
+//! `linear_score = <int>` (100), `weighted_score = <int>` (100),
+//! `phone_country = <string>` (3), `age_group = <string>` (4),
+//! `age_by_group = <int>` (100), `url_domain LIKE <string>` (12),
+//! `url_site LIKE <string>` (14), `email LIKE <string>` (2).
+//!
+//! Records also carry nested objects and arrays (address, children,
+//! visited places) so the columnar `Json` path and the raw-matching
+//! multi-occurrence key search see realistic structure.
+
+use crate::text::weighted_index;
+use ciao_json::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Phone country codes (3 candidates).
+pub const PHONE_COUNTRIES: [&str; 3] = ["+1", "+44", "+86"];
+
+/// Age groups (4 candidates).
+pub const AGE_GROUPS: [&str; 4] = ["child", "young_adult", "adult", "senior"];
+
+/// URL domains (12 candidates).
+pub const URL_DOMAINS: [&str; 12] = [
+    "com", "org", "net", "io", "dev", "app", "shop", "blog", "info", "biz", "co", "ai",
+];
+
+/// URL sites (14 candidates).
+pub const URL_SITES: [&str; 14] = [
+    "alphamart", "bitforge", "cloudnest", "dataharbor", "echolab", "fluxcart", "gridpoint",
+    "hyperloop", "ironclad", "jetstream", "kiteworks", "lumenfield", "moonbase", "novatrade",
+];
+
+/// Email domains (2 candidates).
+pub const EMAIL_DOMAINS: [&str; 2] = ["@gmail.test", "@corp.test"];
+
+/// First names for generated customers.
+const FIRST_NAMES: [&str; 12] = [
+    "Ava", "Ben", "Cleo", "Dan", "Elle", "Finn", "Gus", "Hana", "Iris", "Jack", "Kira", "Liam",
+];
+
+/// City pool for nested addresses.
+const CITIES: [&str; 8] = [
+    "Chicago", "Austin", "Seattle", "Denver", "Boston", "Miami", "Portland", "Nashville",
+];
+
+/// Deterministic YCSB customer generator.
+#[derive(Debug)]
+pub struct YcsbGenerator {
+    rng: StdRng,
+    serial: u64,
+}
+
+impl YcsbGenerator {
+    /// Creates a generator with a seed.
+    pub fn new(seed: u64) -> YcsbGenerator {
+        YcsbGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x59435342), // "YCSB"
+            serial: 0,
+        }
+    }
+
+    /// Generates one customer record (25 attributes, some nested).
+    pub fn record(&mut self) -> JsonValue {
+        let rng = &mut self.rng;
+        self.serial += 1;
+
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let age_group_idx = weighted_index(rng, &[0.15, 0.3, 0.4, 0.15]);
+        let age_group = AGE_GROUPS[age_group_idx];
+        let age = match age_group_idx {
+            0 => rng.gen_range(1..18),
+            1 => rng.gen_range(18..30),
+            2 => rng.gen_range(30..65),
+            _ => rng.gen_range(65..100),
+        };
+        let site = URL_SITES[rng.gen_range(0..URL_SITES.len())];
+        let domain = URL_DOMAINS[rng.gen_range(0..URL_DOMAINS.len())];
+        let email_user = format!("{}{}", first.to_lowercase(), self.serial % 9973);
+        let email_domain = EMAIL_DOMAINS[rng.gen_range(0..EMAIL_DOMAINS.len())];
+        let children: Vec<JsonValue> = (0..rng.gen_range(0..4))
+            .map(|i| {
+                JsonValue::object([
+                    ("name", JsonValue::from(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())])),
+                    ("age", JsonValue::from(rng.gen_range(0i64..18))),
+                    ("idx", JsonValue::from(i as i64)),
+                ])
+            })
+            .collect();
+        let visited: Vec<JsonValue> = (0..rng.gen_range(0..5))
+            .map(|_| JsonValue::from(CITIES[rng.gen_range(0..CITIES.len())]))
+            .collect();
+
+        JsonValue::object([
+            ("customer_id", JsonValue::from(format!("c-{:08}", self.serial))),
+            ("first_name", JsonValue::from(first)),
+            ("last_name", JsonValue::from(format!("L{}", rng.gen_range(0..500)))),
+            ("isActive", JsonValue::from(rng.gen_bool(0.7))),
+            ("linear_score", JsonValue::from(rng.gen_range(0i64..100))),
+            (
+                "weighted_score",
+                // Quadratic skew toward low scores.
+                JsonValue::from({
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    (u * u * 100.0) as i64
+                }),
+            ),
+            ("phone_country", JsonValue::from(PHONE_COUNTRIES[rng.gen_range(0..3)])),
+            ("phone", JsonValue::from(format!("{:010}", rng.gen_range(0u64..10_000_000_000)))),
+            ("age_group", JsonValue::from(age_group)),
+            ("age_by_group", JsonValue::from(age)),
+            ("url", JsonValue::from(format!("https://{site}.{domain}/u/{}", self.serial))),
+            ("url_site", JsonValue::from(site)),
+            ("url_domain", JsonValue::from(domain)),
+            ("email", JsonValue::from(format!("{email_user}{email_domain}"))),
+            (
+                "address",
+                JsonValue::object([
+                    ("street", JsonValue::from(format!("{} Main St", rng.gen_range(1..2000)))),
+                    ("city", JsonValue::from(CITIES[rng.gen_range(0..CITIES.len())])),
+                    ("zip", JsonValue::from(format!("{:05}", rng.gen_range(10000..99999)))),
+                ]),
+            ),
+            ("children", JsonValue::Array(children)),
+            ("visited_places", JsonValue::Array(visited)),
+            ("balance", JsonValue::from(rng.gen_range(0.0..10_000.0))),
+            ("loyalty_points", JsonValue::from(rng.gen_range(0i64..50_000))),
+            ("signup_year", JsonValue::from(rng.gen_range(2010i64..2021))),
+            ("newsletter", JsonValue::from(rng.gen_bool(0.4))),
+            ("premium", JsonValue::from(rng.gen_bool(0.12))),
+            ("device", JsonValue::from(["ios", "android", "web"][rng.gen_range(0..3)])),
+            ("locale", JsonValue::from(["en-US", "en-GB", "zh-CN", "es-MX"][rng.gen_range(0..4)])),
+            ("notes", JsonValue::Null),
+        ])
+    }
+
+    /// Generates `n` records.
+    pub fn generate(&mut self, n: usize) -> Vec<JsonValue> {
+        (0..n).map(|_| self.record()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<JsonValue> {
+        YcsbGenerator::new(5).generate(n)
+    }
+
+    #[test]
+    fn has_25_attributes() {
+        for r in sample(20) {
+            assert_eq!(r.as_object().unwrap().len(), 25);
+        }
+    }
+
+    #[test]
+    fn table2_domains_respected() {
+        for r in sample(500) {
+            assert!(PHONE_COUNTRIES
+                .contains(&r.get("phone_country").unwrap().as_str().unwrap()));
+            assert!(AGE_GROUPS.contains(&r.get("age_group").unwrap().as_str().unwrap()));
+            assert!(URL_DOMAINS.contains(&r.get("url_domain").unwrap().as_str().unwrap()));
+            assert!(URL_SITES.contains(&r.get("url_site").unwrap().as_str().unwrap()));
+            let ls = r.get("linear_score").unwrap().as_i64().unwrap();
+            assert!((0..100).contains(&ls));
+            let ws = r.get("weighted_score").unwrap().as_i64().unwrap();
+            assert!((0..100).contains(&ws));
+            let email = r.get("email").unwrap().as_str().unwrap();
+            assert!(EMAIL_DOMAINS.iter().any(|d| email.ends_with(d)), "{email}");
+        }
+    }
+
+    #[test]
+    fn age_consistent_with_group() {
+        for r in sample(500) {
+            let group = r.get("age_group").unwrap().as_str().unwrap();
+            let age = r.get("age_by_group").unwrap().as_i64().unwrap();
+            let ok = match group {
+                "child" => (1..18).contains(&age),
+                "young_adult" => (18..30).contains(&age),
+                "adult" => (30..65).contains(&age),
+                "senior" => (65..100).contains(&age),
+                other => panic!("unknown group {other}"),
+            };
+            assert!(ok, "{group} has age {age}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_present() {
+        let recs = sample(100);
+        assert!(recs.iter().any(|r| {
+            r.get("children")
+                .unwrap()
+                .as_array()
+                .is_some_and(|a| !a.is_empty())
+        }));
+        for r in &recs {
+            assert!(r.get("address").unwrap().get("city").is_some());
+            assert!(r.get("notes").unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn weighted_score_skews_low() {
+        let recs = sample(2000);
+        let low = recs
+            .iter()
+            .filter(|r| r.get("weighted_score").unwrap().as_i64().unwrap() < 25)
+            .count();
+        assert!(low > recs.len() / 2, "quadratic skew missing: {low}");
+    }
+}

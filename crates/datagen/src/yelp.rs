@@ -1,0 +1,161 @@
+//! Synthetic Yelp `review.json` records.
+//!
+//! Field and value domains follow paper Table II:
+//!
+//! | template                | candidates |
+//! |-------------------------|------------|
+//! | `useful = <int>`        | 100        |
+//! | `cool = <int>`          | 100        |
+//! | `funny = <int>`         | 100        |
+//! | `stars = <int>`         | 5          |
+//! | `user_id = <string>`    | 5 (popular users) |
+//! | `text LIKE <string>`    | 5 keywords |
+//! | `date LIKE "%20..%"`    | 14 years   |
+//! | `date LIKE "%-..-%"`    | 12 months  |
+
+use crate::text::{sentence, weighted_index, ZipfSampler, YELP_KEYWORDS};
+use ciao_json::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Popular user ids targeted by the `user_id = <string>` template.
+pub const POPULAR_USERS: [&str; 5] = [
+    "u-kx1aF2YNtW", "u-qQ9rT7LbsM", "u-Zw3pC5VhdR", "u-Jf8nS2KmxA", "u-Ty6vB9GceL",
+];
+
+/// Deterministic Yelp review generator.
+#[derive(Debug)]
+pub struct YelpGenerator {
+    rng: StdRng,
+    vote_zipf: ZipfSampler,
+    serial: u64,
+}
+
+impl YelpGenerator {
+    /// Creates a generator with a seed.
+    pub fn new(seed: u64) -> YelpGenerator {
+        YelpGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x59454c50), // "YELP"
+            // useful/funny/cool votes are heavily skewed toward 0.
+            vote_zipf: ZipfSampler::new(100, 1.3),
+            serial: 0,
+        }
+    }
+
+    /// Generates one review record.
+    pub fn record(&mut self) -> JsonValue {
+        let rng = &mut self.rng;
+        self.serial += 1;
+
+        // ~20% of reviews come from one of the 5 popular users.
+        let user_id = if rng.gen_bool(0.2) {
+            POPULAR_USERS[rng.gen_range(0..POPULAR_USERS.len())].to_owned()
+        } else {
+            format!("u-{:012x}", rng.gen::<u64>() & 0xffff_ffff_ffff)
+        };
+
+        // Stars follow Yelp's J-shape: lots of 5s and 1s.
+        let stars = [1i64, 2, 3, 4, 5][weighted_index(rng, &[0.15, 0.08, 0.12, 0.25, 0.40])];
+
+        // Each sentiment keyword appears in ~8% of reviews.
+        let mut kws: Vec<&str> = Vec::new();
+        for kw in YELP_KEYWORDS {
+            if rng.gen_bool(0.08) {
+                kws.push(kw);
+            }
+        }
+        let words = rng.gen_range(12..60);
+        let text = sentence(rng, words, &kws);
+
+        let year = 2004 + rng.gen_range(0..14);
+        let month = rng.gen_range(1..=12);
+        let day = rng.gen_range(1..=28);
+        let date = format!("{year}-{month:02}-{day:02}");
+
+        JsonValue::object([
+            ("review_id", JsonValue::from(format!("r-{:08}", self.serial))),
+            ("user_id", JsonValue::from(user_id)),
+            (
+                "business_id",
+                JsonValue::from(format!("b-{:06x}", rng.gen_range(0..0x100_0000))),
+            ),
+            ("stars", JsonValue::from(stars)),
+            ("useful", JsonValue::from(self.vote_zipf.sample(rng) as i64)),
+            ("funny", JsonValue::from(self.vote_zipf.sample(rng) as i64)),
+            ("cool", JsonValue::from(self.vote_zipf.sample(rng) as i64)),
+            ("text", JsonValue::from(text)),
+            ("date", JsonValue::from(date)),
+        ])
+    }
+
+    /// Generates `n` records.
+    pub fn generate(&mut self, n: usize) -> Vec<JsonValue> {
+        (0..n).map(|_| self.record()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<JsonValue> {
+        YelpGenerator::new(7).generate(n)
+    }
+
+    #[test]
+    fn schema_matches_table2() {
+        let recs = sample(100);
+        for r in &recs {
+            for key in [
+                "review_id", "user_id", "business_id", "stars", "useful", "funny", "cool",
+                "text", "date",
+            ] {
+                assert!(r.has_key(key), "missing {key}");
+            }
+            let stars = r.get("stars").unwrap().as_i64().unwrap();
+            assert!((1..=5).contains(&stars));
+            let useful = r.get("useful").unwrap().as_i64().unwrap();
+            assert!((0..100).contains(&useful));
+            let date = r.get("date").unwrap().as_str().unwrap();
+            assert_eq!(date.len(), 10);
+            let year: i32 = date[..4].parse().unwrap();
+            assert!((2004..=2017).contains(&year));
+        }
+    }
+
+    #[test]
+    fn popular_users_appear_often() {
+        let recs = sample(2000);
+        let popular = recs
+            .iter()
+            .filter(|r| {
+                POPULAR_USERS.contains(&r.get("user_id").unwrap().as_str().unwrap())
+            })
+            .count();
+        let frac = popular as f64 / recs.len() as f64;
+        assert!((0.15..0.25).contains(&frac), "popular fraction {frac}");
+    }
+
+    #[test]
+    fn keywords_have_expected_frequency() {
+        let recs = sample(2000);
+        for kw in crate::text::YELP_KEYWORDS {
+            let hits = recs
+                .iter()
+                .filter(|r| r.get("text").unwrap().as_str().unwrap().contains(kw))
+                .count();
+            let frac = hits as f64 / recs.len() as f64;
+            assert!((0.04..0.14).contains(&frac), "{kw} selectivity {frac}");
+        }
+    }
+
+    #[test]
+    fn votes_skew_toward_zero() {
+        let recs = sample(2000);
+        let zeros = recs
+            .iter()
+            .filter(|r| r.get("useful").unwrap().as_i64() == Some(0))
+            .count();
+        assert!(zeros > recs.len() / 5, "vote skew missing: {zeros}");
+    }
+}

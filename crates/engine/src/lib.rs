@@ -1,0 +1,36 @@
+//! CIAO's query execution engine (the repo's Spark substitute).
+//!
+//! The paper integrates data skipping into Spark 2.4's scan: for every
+//! `SELECT COUNT(*) … WHERE <conjunctive predicates>` query it (a)
+//! looks up which of the query's clauses were pushed down, (b) ANDs
+//! their per-block bitvectors into a skip mask, (c) scans only the
+//! surviving rows, and (d) **re-verifies every clause** on each
+//! survivor, because client bits admit false positives (§VI-B).
+//!
+//! Two scan paths exist:
+//!
+//! * [`scan`] — over the columnar table, with optional skipping;
+//! * [`raw_scan`] — over parked raw JSON records, each JIT-parsed then
+//!   evaluated. This path runs only when a query has **no** pushed
+//!   clause: if any clause was pushed, no parked record can satisfy it
+//!   (no false negatives), so the parked side is skipped wholesale.
+//!
+//! [`exec::Executor`] ties the two together and reports [`metrics`].
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod metrics;
+pub mod raw_scan;
+pub mod row_eval;
+pub mod scan;
+pub mod select;
+pub mod zone;
+
+pub use exec::{Executor, QueryOutcome};
+pub use select::{select_from_raw, select_from_table, SelectResult};
+pub use zone::block_can_match;
+pub use metrics::{QueryMetrics, ScanMetrics};
+pub use raw_scan::scan_raw_records;
+pub use row_eval::{eval_clause_on_block, eval_query_on_block, eval_simple_on_block};
+pub use scan::{scan_count, ScanOptions};

@@ -1,0 +1,111 @@
+//! Execution metrics.
+
+use std::time::Duration;
+
+/// Counters from one table or raw scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanMetrics {
+    /// Blocks visited.
+    pub blocks_visited: usize,
+    /// Blocks pruned wholesale by zone maps.
+    pub blocks_pruned: usize,
+    /// Rows actually evaluated.
+    pub rows_scanned: usize,
+    /// Rows skipped via bitvector masks without evaluation.
+    pub rows_skipped: usize,
+    /// Rows that satisfied the query.
+    pub rows_matched: usize,
+    /// Raw records JIT-parsed (raw scans only).
+    pub records_parsed: usize,
+}
+
+impl ScanMetrics {
+    /// Merges another scan's counters into this one.
+    pub fn merge(&mut self, other: &ScanMetrics) {
+        self.blocks_visited += other.blocks_visited;
+        self.blocks_pruned += other.blocks_pruned;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_skipped += other.rows_skipped;
+        self.rows_matched += other.rows_matched;
+        self.records_parsed += other.records_parsed;
+    }
+
+    /// Fraction of candidate rows that skipping eliminated.
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.rows_scanned + self.rows_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.rows_skipped as f64 / total as f64
+        }
+    }
+}
+
+/// Full accounting for one executed query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Columnar-side counters.
+    pub table_scan: ScanMetrics,
+    /// Parked-raw-side counters (zeroed when the parked side was
+    /// skipped wholesale).
+    pub raw_scan: ScanMetrics,
+    /// Whether bitvector skipping was applied.
+    pub used_skipping: bool,
+    /// Whether the parked raw store had to be scanned.
+    pub scanned_parked: bool,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl QueryMetrics {
+    /// Total rows satisfying the query across both sides.
+    pub fn total_matched(&self) -> usize {
+        self.table_scan.rows_matched + self.raw_scan.rows_matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_ratio() {
+        let mut a = ScanMetrics {
+            blocks_visited: 1,
+            blocks_pruned: 1,
+            rows_scanned: 10,
+            rows_skipped: 30,
+            rows_matched: 4,
+            records_parsed: 0,
+        };
+        let b = ScanMetrics {
+            blocks_visited: 2,
+            blocks_pruned: 0,
+            rows_scanned: 20,
+            rows_skipped: 0,
+            rows_matched: 6,
+            records_parsed: 20,
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks_visited, 3);
+        assert_eq!(a.rows_scanned, 30);
+        assert_eq!(a.rows_matched, 10);
+        assert_eq!(a.records_parsed, 20);
+        assert!((a.skip_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio() {
+        assert_eq!(ScanMetrics::default().skip_ratio(), 0.0);
+    }
+
+    #[test]
+    fn query_totals() {
+        let m = QueryMetrics {
+            table_scan: ScanMetrics { rows_matched: 3, ..Default::default() },
+            raw_scan: ScanMetrics { rows_matched: 2, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(m.total_matched(), 5);
+    }
+}

@@ -1,0 +1,75 @@
+//! Just-in-time scan over parked raw JSON records.
+//!
+//! Records that partial loading left unconverted are still part of the
+//! logical table. When a query has no pushed clause, the engine must
+//! parse each parked record (paying the full parse cost that loading
+//! deferred) and evaluate the query on the DOM (paper §VI-B, final
+//! paragraph).
+
+use crate::metrics::ScanMetrics;
+use ciao_json::parse;
+use ciao_predicate::{eval_query, Query};
+
+/// Counts parked records satisfying `query`, parsing each on demand.
+///
+/// Unparseable records are counted in `records_parsed` but never match
+/// — a malformed log line cannot satisfy a predicate, and dropping the
+/// whole scan for one bad record would be wrong for this domain.
+pub fn scan_raw_records<S: AsRef<str>>(records: &[S], query: &Query) -> ScanMetrics {
+    let mut metrics = ScanMetrics::default();
+    for rec in records {
+        metrics.records_parsed += 1;
+        metrics.rows_scanned += 1;
+        match parse(rec.as_ref()) {
+            Ok(value) => {
+                if eval_query(query, &value) {
+                    metrics.rows_matched += 1;
+                }
+            }
+            Err(_) => {
+                // Malformed parked record: cannot match anything.
+            }
+        }
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::parse_query;
+
+    #[test]
+    fn counts_matches() {
+        let records = vec![
+            r#"{"stars":5}"#.to_owned(),
+            r#"{"stars":3}"#.to_owned(),
+            r#"{"stars":5,"x":1}"#.to_owned(),
+        ];
+        let q = parse_query("q", "stars = 5").unwrap();
+        let m = scan_raw_records(&records, &q);
+        assert_eq!(m.rows_matched, 2);
+        assert_eq!(m.records_parsed, 3);
+    }
+
+    #[test]
+    fn malformed_records_never_match() {
+        let records = vec![
+            "not json".to_owned(),
+            r#"{"stars":5}"#.to_owned(),
+            r#"{"stars":"#.to_owned(),
+        ];
+        let q = parse_query("q", "stars = 5").unwrap();
+        let m = scan_raw_records(&records, &q);
+        assert_eq!(m.rows_matched, 1);
+        assert_eq!(m.records_parsed, 3);
+    }
+
+    #[test]
+    fn empty_store() {
+        let q = parse_query("q", "stars = 5").unwrap();
+        let m = scan_raw_records::<String>(&[], &q);
+        assert_eq!(m.rows_matched, 0);
+        assert_eq!(m.records_parsed, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Zone-map block pruning.
+//!
+//! Blocks already carry per-column min/max and null counts
+//! ([`ciao_columnar::ColumnStats`]); classic data-skipping systems
+//! (Sun et al., cited by the paper as the data-skipping lineage) use
+//! exactly this metadata to skip whole blocks. This module adds that
+//! layer *under* CIAO's bitvector skipping: a block is pruned when the
+//! query is **provably false for every row** of the block.
+//!
+//! Pruning is conservative — "don't know" always means "scan". Rules,
+//! per simple predicate, for "false on every row":
+//!
+//! | predicate | provably false for the block when |
+//! |---|---|
+//! | `k = v` (int)  | column absent, all-null, or `v ∉ [min,max]` |
+//! | `k < v`        | column absent, all-null, or `min ≥ v` |
+//! | `k > v`        | column absent, all-null, or `max ≤ v` |
+//! | `k != NULL`    | column absent or all-null |
+//! | anything else  | never (no stats for strings/bools/floats) |
+//!
+//! A clause (disjunction) is block-false iff **every** disjunct is;
+//! a query is block-false iff **any** clause is (conjunction).
+
+use ciao_columnar::Block;
+use ciao_predicate::{Clause, Query, SimplePredicate};
+
+/// True when the block might contain a row satisfying the query.
+pub fn block_can_match(query: &Query, block: &Block) -> bool {
+    !query.clauses.iter().any(|c| clause_false_for_block(c, block))
+}
+
+/// True when no row of the block can satisfy the clause.
+fn clause_false_for_block(clause: &Clause, block: &Block) -> bool {
+    clause
+        .disjuncts()
+        .iter()
+        .all(|p| simple_false_for_block(p, block))
+}
+
+fn simple_false_for_block(p: &SimplePredicate, block: &Block) -> bool {
+    let stats_for = |key: &str| {
+        block
+            .schema()
+            .index_of(key)
+            .map(|i| &block.metadata().column_stats[i])
+    };
+    let all_null = |key: &str| match stats_for(key) {
+        None => true, // column absent: every cell reads NULL
+        Some(s) => s.null_count == block.row_count(),
+    };
+    match p {
+        SimplePredicate::IntEq { key, value } => {
+            if all_null(key) {
+                return true;
+            }
+            match stats_for(key) {
+                Some(s) => match (s.min_int, s.max_int) {
+                    (Some(min), Some(max)) => *value < min || *value > max,
+                    // Non-int column (or no int rows): IntEq can never
+                    // hold on typed evaluation.
+                    _ => true,
+                },
+                None => true,
+            }
+        }
+        SimplePredicate::IntLt { key, value } => {
+            if all_null(key) {
+                return true;
+            }
+            match stats_for(key).and_then(|s| s.min_int) {
+                Some(min) => min >= *value,
+                None => true,
+            }
+        }
+        SimplePredicate::IntGt { key, value } => {
+            if all_null(key) {
+                return true;
+            }
+            match stats_for(key).and_then(|s| s.max_int) {
+                Some(max) => max <= *value,
+                None => true,
+            }
+        }
+        SimplePredicate::NotNull { key } => all_null(key),
+        // No block statistics for string/bool/float columns.
+        SimplePredicate::StrEq { .. }
+        | SimplePredicate::StrContains { .. }
+        | SimplePredicate::BoolEq { .. }
+        | SimplePredicate::FloatEq { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_columnar::{Schema, TableBuilder};
+    use ciao_json::parse;
+    use ciao_predicate::parse_query;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// One block with stars ∈ [3, 7], a nullable email, and a name.
+    fn block() -> ciao_columnar::Table {
+        let recs: Vec<_> = [
+            r#"{"stars":3,"name":"a","email":"x@y"}"#,
+            r#"{"stars":7,"name":"b"}"#,
+            r#"{"stars":5,"name":"c"}"#,
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let schema = Arc::new(Schema::infer(&recs).unwrap());
+        let mut tb = TableBuilder::new(schema, &[]);
+        for r in &recs {
+            tb.push_record(r, &BTreeMap::new());
+        }
+        tb.finish()
+    }
+
+    fn can_match(q: &str) -> bool {
+        let t = block();
+        block_can_match(&parse_query("q", q).unwrap(), &t.blocks()[0])
+    }
+
+    #[test]
+    fn int_eq_range_pruning() {
+        assert!(can_match("stars = 5"));
+        assert!(can_match("stars = 3"));
+        assert!(can_match("stars = 7"));
+        assert!(!can_match("stars = 2"));
+        assert!(!can_match("stars = 8"));
+        assert!(can_match("stars = 4"), "inside range: must scan even if absent");
+    }
+
+    #[test]
+    fn range_pruning() {
+        assert!(!can_match("stars < 3"));
+        assert!(can_match("stars < 4"));
+        assert!(!can_match("stars > 7"));
+        assert!(can_match("stars > 6"));
+    }
+
+    #[test]
+    fn missing_and_null_columns() {
+        assert!(!can_match("absent_col = 5"));
+        assert!(!can_match("absent_col != NULL"));
+        assert!(can_match("email != NULL")); // one non-null email
+        // Int predicate over a string column can never hold.
+        assert!(!can_match("name = 5"));
+    }
+
+    #[test]
+    fn conjunction_prunes_if_any_clause_is_false() {
+        assert!(!can_match("stars = 5 AND stars = 99"));
+        assert!(can_match("stars = 5 AND stars = 7"));
+    }
+
+    #[test]
+    fn disjunction_needs_all_disjuncts_false() {
+        assert!(can_match("stars IN (99, 5)"));
+        assert!(!can_match("stars IN (99, 100)"));
+    }
+
+    #[test]
+    fn unprunable_types_always_scan() {
+        assert!(can_match(r#"name = "zzz""#));
+        assert!(can_match(r#"name LIKE "%zzz%""#));
+        assert!(can_match("stars = 5.0")); // FloatEq has no stats
+    }
+}

@@ -1,0 +1,164 @@
+//! JSON string escaping and unescaping.
+
+/// Appends `s` to `out` with JSON escaping applied (no surrounding
+/// quotes). Escapes the two mandatory characters (`"`, `\`), control
+/// characters below 0x20, and nothing else — multi-byte UTF-8 passes
+/// through verbatim, which keeps serialized records byte-identical to
+//  typical producers (rapidJSON, serde_json default behaviour).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\x08' => out.push_str("\\b"),
+            '\x0c' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a string, returning a fresh buffer (with quotes omitted).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+/// Errors from [`unescape`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnescapeError {
+    /// `\` at end of input.
+    TrailingBackslash,
+    /// `\x` where `x` is not a legal escape introducer.
+    InvalidEscape(char),
+    /// `\u` not followed by 4 hex digits.
+    InvalidUnicodeEscape,
+    /// A high surrogate without a following low surrogate (or vice
+    /// versa), or a combined pair outside the scalar range.
+    LoneSurrogate,
+}
+
+impl std::fmt::Display for UnescapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnescapeError::TrailingBackslash => write!(f, "backslash at end of string"),
+            UnescapeError::InvalidEscape(c) => write!(f, "invalid escape sequence `\\{c}`"),
+            UnescapeError::InvalidUnicodeEscape => write!(f, "`\\u` needs four hex digits"),
+            UnescapeError::LoneSurrogate => write!(f, "unpaired UTF-16 surrogate"),
+        }
+    }
+}
+
+impl std::error::Error for UnescapeError {}
+
+/// Decodes the escape sequences in the *contents* of a JSON string
+/// (quotes already stripped). Handles `\uXXXX` including surrogate
+/// pairs.
+pub fn unescape(s: &str) -> Result<String, UnescapeError> {
+    if !s.contains('\\') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        let esc = chars.next().ok_or(UnescapeError::TrailingBackslash)?;
+        match esc {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\x08'),
+            'f' => out.push('\x0c'),
+            'u' => {
+                let hi = read_hex4(&mut chars)?;
+                let scalar = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must be followed by \uDC00..\uDFFF.
+                    if chars.next() != Some('\\') || chars.next() != Some('u') {
+                        return Err(UnescapeError::LoneSurrogate);
+                    }
+                    let lo = read_hex4(&mut chars)?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(UnescapeError::LoneSurrogate);
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(UnescapeError::LoneSurrogate);
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(scalar).ok_or(UnescapeError::LoneSurrogate)?);
+            }
+            other => return Err(UnescapeError::InvalidEscape(other)),
+        }
+    }
+    Ok(out)
+}
+
+fn read_hex4(chars: &mut std::str::Chars<'_>) -> Result<u32, UnescapeError> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        let c = chars.next().ok_or(UnescapeError::InvalidUnicodeEscape)?;
+        let d = c.to_digit(16).ok_or(UnescapeError::InvalidUnicodeEscape)?;
+        v = v * 16 + d;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+        assert_eq!(escape("\x01"), "\\u0001");
+        assert_eq!(escape("héllo ünïcode"), "héllo ünïcode");
+    }
+
+    #[test]
+    fn unescape_simple() {
+        assert_eq!(unescape("plain").unwrap(), "plain");
+        assert_eq!(unescape("a\\\"b").unwrap(), "a\"b");
+        assert_eq!(unescape("a\\/b").unwrap(), "a/b");
+        assert_eq!(unescape("\\n\\r\\t\\b\\f").unwrap(), "\n\r\t\x08\x0c");
+    }
+
+    #[test]
+    fn unescape_unicode() {
+        assert_eq!(unescape("\\u0041").unwrap(), "A");
+        assert_eq!(unescape("\\u00e9").unwrap(), "é");
+        // U+1F600 as surrogate pair
+        assert_eq!(unescape("\\ud83d\\ude00").unwrap(), "😀");
+    }
+
+    #[test]
+    fn unescape_errors() {
+        assert_eq!(unescape("bad\\").unwrap_err(), UnescapeError::TrailingBackslash);
+        assert_eq!(unescape("\\q").unwrap_err(), UnescapeError::InvalidEscape('q'));
+        assert_eq!(unescape("\\u12").unwrap_err(), UnescapeError::InvalidUnicodeEscape);
+        assert_eq!(unescape("\\uZZZZ").unwrap_err(), UnescapeError::InvalidUnicodeEscape);
+        assert_eq!(unescape("\\ud800x").unwrap_err(), UnescapeError::LoneSurrogate);
+        assert_eq!(unescape("\\udc00").unwrap_err(), UnescapeError::LoneSurrogate);
+        assert_eq!(unescape("\\ud83d\\u0041").unwrap_err(), UnescapeError::LoneSurrogate);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in ["", "plain", "with \"quotes\"", "tab\there", "emoji 😀", "\x07bell"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s, "roundtrip failed for {s:?}");
+        }
+    }
+}

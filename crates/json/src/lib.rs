@@ -1,0 +1,41 @@
+//! From-scratch JSON substrate for CIAO.
+//!
+//! The paper's server fully parses JSON (rapidJSON) only for the records
+//! that survive client prefiltering; everything else stays as raw text.
+//! This crate supplies both sides of that asymmetry:
+//!
+//! * a **DOM + recursive-descent parser + serializer** ([`JsonValue`],
+//!   [`parse`], [`to_string`]) used at load time and for JIT parsing of
+//!   parked records, and
+//! * **raw chunking** ([`chunk::RecordChunk`]) that splits
+//!   newline-delimited JSON into per-record byte slices *without*
+//!   parsing, which is all the client ever does.
+//!
+//! The parser is strict RFC 8259 except where noted (it accepts any
+//! top-level value, not just objects/arrays).
+//!
+//! # Example
+//!
+//! ```
+//! use ciao_json::{parse, JsonValue};
+//!
+//! let v = parse(r#"{"name":"Bob","age":22}"#).unwrap();
+//! assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("Bob"));
+//! assert_eq!(v.get("age").and_then(JsonValue::as_i64), Some(22));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+mod escape;
+mod number;
+mod parse;
+mod ser;
+mod value;
+
+pub use chunk::{ChunkError, ChunkReader, RecordChunk};
+pub use escape::{escape, escape_into, unescape, UnescapeError};
+pub use number::JsonNumber;
+pub use parse::{parse, parse_bytes, ParseError, ParserOptions};
+pub use ser::{to_pretty_string, to_string, write_value};
+pub use value::JsonValue;

@@ -1,0 +1,429 @@
+//! A strict recursive-descent JSON parser.
+//!
+//! This is the "expensive full parse" side of CIAO's cost asymmetry: it
+//! allocates a DOM, unescapes every string, and validates numbers —
+//! exactly the work the client-side prefilter avoids. It is therefore
+//! written to be *correct and representative*, not exotic: one pass,
+//! byte-oriented, with a recursion-depth limit so adversarial inputs
+//! cannot blow the stack.
+
+use crate::escape::unescape;
+use crate::number::JsonNumber;
+use crate::value::JsonValue;
+
+/// Position-annotated parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The failure categories the parser reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended inside a value.
+    UnexpectedEof,
+    /// A byte that cannot start/continue the expected production.
+    UnexpectedByte(u8),
+    /// Malformed number literal.
+    BadNumber,
+    /// Malformed string literal (bad escape, unpaired surrogate, raw
+    /// control character, or invalid UTF-8).
+    BadString(String),
+    /// Nesting exceeded [`ParserOptions::max_depth`].
+    TooDeep,
+    /// Valid value followed by trailing non-whitespace bytes.
+    TrailingData,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input at byte {}", self.offset),
+            ParseErrorKind::UnexpectedByte(b) => write!(
+                f,
+                "unexpected byte {:?} at offset {}",
+                char::from(*b),
+                self.offset
+            ),
+            ParseErrorKind::BadNumber => write!(f, "malformed number at offset {}", self.offset),
+            ParseErrorKind::BadString(msg) => write!(f, "malformed string at offset {}: {msg}", self.offset),
+            ParseErrorKind::TooDeep => write!(f, "nesting too deep at offset {}", self.offset),
+            ParseErrorKind::TrailingData => write!(f, "trailing data after value at offset {}", self.offset),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parser knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ParserOptions {
+    /// Maximum object/array nesting depth (default 128).
+    pub max_depth: usize,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        ParserOptions { max_depth: 128 }
+    }
+}
+
+/// Parses a complete JSON document from a string.
+pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
+    parse_bytes(input.as_bytes())
+}
+
+/// Parses a complete JSON document from bytes (must be UTF-8 in string
+/// literals; everything structural is ASCII).
+pub fn parse_bytes(input: &[u8]) -> Result<JsonValue, ParseError> {
+    parse_bytes_with(input, ParserOptions::default())
+}
+
+/// Parses with explicit options.
+pub fn parse_bytes_with(input: &[u8], options: ParserOptions) -> Result<JsonValue, ParseError> {
+    let mut p = Cursor {
+        input,
+        pos: 0,
+        options,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err(ParseErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+    options: ParserOptions,
+}
+
+impl<'a> Cursor<'a> {
+    #[inline]
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            kind,
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(x) => Err(self.err(ParseErrorKind::UnexpectedByte(x))),
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else if self.input.len() - self.pos < word.len() {
+            Err(self.err(ParseErrorKind::UnexpectedEof))
+        } else {
+            Err(self.err(ParseErrorKind::UnexpectedByte(self.input[self.pos])))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        if depth > self.options.max_depth {
+            return Err(self.err(ParseErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal(b"true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal(b"false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal(b"null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(ParseErrorKind::UnexpectedByte(b))),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    /// Parses a string literal, returning its unescaped contents.
+    fn string(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        self.expect(b'"')?;
+        let content_start = self.pos;
+        // Scan to the closing quote, honoring backslash escapes and
+        // rejecting raw control characters.
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    self.pos += 1;
+                    if self.peek().is_none() {
+                        return Err(self.err(ParseErrorKind::UnexpectedEof));
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(ParseError {
+                        offset: self.pos,
+                        kind: ParseErrorKind::BadString(format!(
+                            "raw control character 0x{b:02x} in string"
+                        )),
+                    });
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let raw = &self.input[content_start..self.pos];
+        self.pos += 1; // consume closing quote
+        let raw_str = std::str::from_utf8(raw).map_err(|e| ParseError {
+            offset: start,
+            kind: ParseErrorKind::BadString(format!("invalid UTF-8: {e}")),
+        })?;
+        unescape(raw_str).map_err(|e| ParseError {
+            offset: start,
+            kind: ParseErrorKind::BadString(e.to_string()),
+        })
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ParseErrorKind::BadNumber)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The scanned range is pure ASCII by construction.
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Number(JsonNumber::Int(i)));
+            }
+            // Integer overflow: fall back to float like most parsers.
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(JsonValue::Number(JsonNumber::Float(f))),
+            _ => Err(ParseError {
+                offset: start,
+                kind: ParseErrorKind::BadNumber,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::from(42));
+        assert_eq!(parse("-7").unwrap(), JsonValue::from(-7));
+        assert_eq!(parse("2.5").unwrap(), JsonValue::from(2.5));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::from(1000.0));
+        assert_eq!(parse("2.5E-1").unwrap(), JsonValue::from(0.25));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::from("hi"));
+    }
+
+    #[test]
+    fn containers() {
+        let v = parse(r#"  {"a": [1, 2, {"b": null}], "c": "x"}  "#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a[2].get("b").unwrap().is_null());
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(vec![]));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""tab\there A \"q\" 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\there A \"q\" 😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "", "nul", "tru", "{", "[", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a:1}",
+            "01", "1.", ".5", "1e", "+1", "--1", "\"unterminated", "[1]]", "{} x",
+            "\"bad \\q escape\"", "nan", "Infinity",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn raw_control_char_rejected() {
+        let err = parse("\"a\nb\"").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadString(_)));
+    }
+
+    #[test]
+    fn error_offsets() {
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedByte(b'x'));
+    }
+
+    #[test]
+    fn trailing_data() {
+        let err = parse("1 1").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TrailingData);
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+
+        let custom = parse_bytes_with(b"[[1]]", ParserOptions { max_depth: 1 });
+        assert!(custom.is_err());
+    }
+
+    #[test]
+    fn integer_overflow_becomes_float() {
+        let v = parse("99999999999999999999999").unwrap();
+        assert!(v.as_i64().is_none());
+        assert!(v.as_f64().unwrap() > 9.9e22);
+    }
+
+    #[test]
+    fn huge_exponent_rejected() {
+        // Overflows to infinity, which JSON cannot represent.
+        assert!(parse("1e999").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_preserved() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.as_object().unwrap().len(), 2);
+        assert_eq!(v.get("k").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn negative_zero_and_int_bounds() {
+        assert_eq!(parse("-0").unwrap().as_i64(), Some(0));
+        assert_eq!(
+            parse("9223372036854775807").unwrap().as_i64(),
+            Some(i64::MAX)
+        );
+        assert_eq!(
+            parse("-9223372036854775808").unwrap().as_i64(),
+            Some(i64::MIN)
+        );
+    }
+}

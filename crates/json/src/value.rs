@@ -1,0 +1,279 @@
+//! The JSON document object model.
+
+use crate::number::JsonNumber;
+
+/// A parsed JSON value.
+///
+/// Objects keep their key-value pairs in **insertion order** in a flat
+/// `Vec`. CIAO's datasets are machine-generated records with a handful
+/// of fields, where a vector beats a hash map on both construction cost
+/// and iteration, and order preservation keeps the serialized text
+/// byte-comparable with the raw record the client matched against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (see [`JsonNumber`] for the int/float split).
+    Number(JsonNumber),
+    /// A (fully unescaped) string.
+    String(String),
+    /// An ordered array of values.
+    Array(Vec<JsonValue>),
+    /// An object as ordered key-value pairs. Duplicate keys are kept
+    /// as-is; lookups return the first match (matching rapidJSON).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object value from an iterator of pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array value.
+    pub fn array(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Looks up `key` in an object (first match). `None` for non-objects
+    /// and missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Indexes into an array. `None` for non-arrays and out-of-range.
+    pub fn get_index(&self, idx: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Follows a dotted path of object keys, e.g. `"address.city"`.
+    pub fn get_path(&self, path: &str) -> Option<&JsonValue> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a number (exact integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Floating-point view of a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True when the value contains `key` as a direct object member.
+    pub fn has_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Human-readable type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+
+    /// Recursively counts scalar leaves; used by load-cost accounting.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            JsonValue::Array(items) => items.iter().map(JsonValue::leaf_count).sum(),
+            JsonValue::Object(pairs) => pairs.iter().map(|(_, v)| v.leaf_count()).sum(),
+            _ => 1,
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Number(JsonNumber::Int(n))
+    }
+}
+
+impl From<i32> for JsonValue {
+    fn from(n: i32) -> Self {
+        JsonValue::Number(JsonNumber::Int(n as i64))
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(JsonNumber::Float(n))
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(o: Option<T>) -> Self {
+        o.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from("Bob")),
+            ("age", JsonValue::from(22)),
+            (
+                "address",
+                JsonValue::object([("city", JsonValue::from("Chicago"))]),
+            ),
+            (
+                "tags",
+                JsonValue::array([JsonValue::from("a"), JsonValue::from("b")]),
+            ),
+            ("score", JsonValue::from(4.5)),
+            ("active", JsonValue::from(true)),
+            ("email", JsonValue::Null),
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let v = sample();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("Bob"));
+        assert_eq!(v.get("age").unwrap().as_i64(), Some(22));
+        assert_eq!(v.get("score").unwrap().as_f64(), Some(4.5));
+        assert_eq!(v.get("active").unwrap().as_bool(), Some(true));
+        assert!(v.get("email").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.get_path("address.city").unwrap().as_str(), Some("Chicago"));
+        assert!(v.get_path("address.zip").is_none());
+        assert_eq!(v.get("tags").unwrap().get_index(1).unwrap().as_str(), Some("b"));
+        assert!(v.get("tags").unwrap().get_index(2).is_none());
+    }
+
+    #[test]
+    fn type_mismatches_return_none() {
+        let v = JsonValue::from("text");
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(v.as_bool(), None);
+        assert!(v.as_array().is_none());
+        assert!(v.as_object().is_none());
+        assert!(v.get("x").is_none());
+        assert!(v.get_index(0).is_none());
+    }
+
+    #[test]
+    fn int_float_views() {
+        let i = JsonValue::from(7);
+        assert_eq!(i.as_i64(), Some(7));
+        assert_eq!(i.as_f64(), Some(7.0));
+        let f = JsonValue::from(7.5);
+        assert_eq!(f.as_i64(), None);
+        assert_eq!(f.as_f64(), Some(7.5));
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins() {
+        let v = JsonValue::Object(vec![
+            ("k".into(), JsonValue::from(1)),
+            ("k".into(), JsonValue::from(2)),
+        ]);
+        assert_eq!(v.get("k").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn leaf_count_recurses() {
+        assert_eq!(sample().leaf_count(), 8);
+        assert_eq!(JsonValue::Null.leaf_count(), 1);
+        assert_eq!(JsonValue::array([]).leaf_count(), 0);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(JsonValue::Null.type_name(), "null");
+        assert_eq!(JsonValue::from(true).type_name(), "bool");
+        assert_eq!(JsonValue::from(1).type_name(), "number");
+        assert_eq!(JsonValue::from("s").type_name(), "string");
+        assert_eq!(JsonValue::array([]).type_name(), "array");
+        assert_eq!(JsonValue::object::<String>([]).type_name(), "object");
+    }
+
+    #[test]
+    fn option_conversion() {
+        let some: JsonValue = Some(3i64).into();
+        assert_eq!(some.as_i64(), Some(3));
+        let none: JsonValue = Option::<i64>::None.into();
+        assert!(none.is_null());
+    }
+}

@@ -1,0 +1,137 @@
+//! Differential and property tests for the JSON substrate.
+//!
+//! `serde_json` is used purely as a reference oracle (dev-dependency):
+//! whatever our parser accepts must agree with serde_json's reading,
+//! and parse→serialize→parse must be the identity on our DOM.
+
+use ciao_json::{parse, to_string, JsonValue};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary JSON values with bounded size/depth.
+fn arb_json() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::from),
+        any::<i64>().prop_map(JsonValue::from),
+        // Finite floats only; JSON has no NaN/inf.
+        prop::num::f64::NORMAL.prop_map(JsonValue::from),
+        "[a-zA-Z0-9 _\\-\"\\\\\n\t😀é]{0,20}".prop_map(JsonValue::from),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(|pairs| JsonValue::Object(
+                    pairs.into_iter().collect()
+                )),
+        ]
+    })
+}
+
+fn to_serde(v: &JsonValue) -> serde_json::Value {
+    serde_json::from_str(&to_string(v)).expect("our serializer must emit valid JSON")
+}
+
+fn assert_equivalent(ours: &JsonValue, theirs: &serde_json::Value) {
+    match (ours, theirs) {
+        (JsonValue::Null, serde_json::Value::Null) => {}
+        (JsonValue::Bool(a), serde_json::Value::Bool(b)) => assert_eq!(a, b),
+        (JsonValue::String(a), serde_json::Value::String(b)) => assert_eq!(a, b),
+        (JsonValue::Number(a), serde_json::Value::Number(b)) => {
+            // `-0` is a known representational split (we: Int(0), serde:
+            // Float(-0.0)); compare numerically when the int views differ.
+            match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => assert_eq!(x, y),
+                _ => {
+                    let theirs = b.as_f64().expect("numeric view");
+                    assert!(
+                        (a.as_f64() - theirs).abs() <= f64::EPSILON * a.as_f64().abs().max(1.0),
+                        "float mismatch: {} vs {theirs}",
+                        a.as_f64()
+                    );
+                }
+            };
+        }
+        (JsonValue::Array(a), serde_json::Value::Array(b)) => {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_equivalent(x, y);
+            }
+        }
+        (JsonValue::Object(a), serde_json::Value::Object(b)) => {
+            // serde_json's map dedups duplicate keys keeping the LAST
+            // value; our DOM keeps every pair (lookups return the
+            // first, like rapidJSON). Compare serde's view against our
+            // last occurrence per key.
+            let mut last: std::collections::HashMap<&str, &JsonValue> = Default::default();
+            for (k, v) in a {
+                last.insert(k.as_str(), v);
+            }
+            assert_eq!(last.len(), b.len(), "distinct key counts differ");
+            for (k, v) in last {
+                let theirs = b.get(k).unwrap_or_else(|| panic!("missing key {k}"));
+                assert_equivalent(v, theirs);
+            }
+        }
+        (x, y) => panic!("shape mismatch: {} vs {y:?}", x.type_name()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_identity(v in arb_json()) {
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn serde_json_agrees(v in arb_json()) {
+        let theirs = to_serde(&v);
+        assert_equivalent(&v, &theirs);
+    }
+
+    #[test]
+    fn we_accept_what_serde_emits(v in arb_json()) {
+        // serde_json reserializes our document; we must re-parse it to an
+        // equivalent DOM (numbers may change spelling but not value).
+        let theirs = to_serde(&v);
+        let retext = serde_json::to_string(&theirs).unwrap();
+        let back = parse(&retext).unwrap();
+        assert_equivalent(&back, &theirs);
+    }
+
+    #[test]
+    fn rejection_agreement_on_mutations(v in arb_json(), cut in 0usize..64) {
+        // Truncated documents must be rejected by both parsers.
+        let text = to_string(&v);
+        if text.len() > 1 {
+            let cut = 1 + cut % (text.len() - 1);
+            if text.is_char_boundary(cut) {
+                let broken = &text[..cut];
+                let ours = parse(broken).is_ok();
+                let theirs = serde_json::from_str::<serde_json::Value>(broken).is_ok();
+                prop_assert_eq!(ours, theirs, "disagreement on {:?}", broken);
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_agreement() {
+    // Hand-picked tricky documents, all valid.
+    let corpus = [
+        r#"{"a":[[],{},[{}]],"b":"A😀","c":1e-3}"#,
+        r#"[0.1, -0, 1E+2, 123456789012345678901234567890]"#,
+        r#"{"nested":{"very":{"deep":{"value":null}}}}"#,
+        "[true,false,null]",
+        r#""\\\"\/\b\f\n\r\t""#,
+    ];
+    for doc in corpus {
+        let ours = parse(doc).unwrap_or_else(|e| panic!("we rejected {doc:?}: {e}"));
+        let theirs: serde_json::Value = serde_json::from_str(doc).unwrap();
+        assert_equivalent(&ours, &theirs);
+    }
+}

@@ -1,0 +1,68 @@
+//! Exhaustive-ish float round-trip fuzz: serialize → parse must be the
+//! identity for every finite f64, including subnormals and extreme
+//! magnitudes, through BOTH our parser and the (correctly rounded)
+//! serde_json oracle. This caught a real bug: long decimal expansions
+//! of extreme magnitudes are mis-rounded by fast float parsers, which
+//! is why the serializer switches to scientific notation outside
+//! [1e-5, 1e17).
+
+use ciao_json::{parse, to_string, JsonValue};
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+#[test]
+fn random_bit_patterns_roundtrip() {
+    let mut state: u64 = 0x0123_4567_89ab_cdef;
+    let mut tested = 0u64;
+    while tested < 500_000 {
+        let f = f64::from_bits(xorshift(&mut state));
+        if !f.is_finite() {
+            continue;
+        }
+        tested += 1;
+        let s = to_string(&JsonValue::from(f));
+
+        // Our own parser.
+        let ours = parse(&s).unwrap_or_else(|e| panic!("rejected {s}: {e}"));
+        let got = ours.as_f64().expect("number");
+        assert!(
+            got == f || (f == 0.0 && got == 0.0),
+            "our parser drifted: {f:e} -> {s} -> {got:e}"
+        );
+
+        // The oracle.
+        let oracle: serde_json::Value = serde_json::from_str(&s).unwrap();
+        let theirs = oracle.as_f64().expect("number");
+        assert!(
+            theirs == f || (f == 0.0 && theirs == 0.0),
+            "oracle drifted: {f:e} -> {s} -> {theirs:e}"
+        );
+    }
+}
+
+#[test]
+fn boundary_values_roundtrip() {
+    for &f in &[
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        5e-324,
+        1e-5,
+        9.999999999999999e-6,
+        1e17,
+        1e17,
+    ] {
+        let s = to_string(&JsonValue::from(f));
+        let back = parse(&s).unwrap().as_f64().unwrap();
+        assert!(back == f || (f == 0.0 && back == 0.0), "{f:e} via {s} gave {back:e}");
+    }
+}

@@ -1,0 +1,218 @@
+//! The client-side predicate evaluation cost model (paper §V-D).
+//!
+//! ```text
+//! T = sel(p) · (k1·len(p) + k2·len(t))
+//!   + (1 − sel(p)) · (k3·len(p) + k4·len(t))
+//!   + c
+//! ```
+//!
+//! `len(p)` is the pattern-string length, `len(t)` the mean record
+//! length, and the two branches model the found / not-found cases of a
+//! substring search. The five constants are hardware-dependent and
+//! estimated from historical measurements by OLS ([`CostModel::fit`]).
+//! A disjunctive clause costs the sum of its disjuncts' costs.
+
+use crate::regression::{ols_fit, RegressionError};
+use ciao_predicate::{ClausePattern, Pattern};
+use serde::{Deserialize, Serialize};
+
+/// One calibration observation: a predicate evaluated over a sample of
+/// records, with its measured mean per-record cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationSample {
+    /// Pattern string length (bytes).
+    pub pattern_len: f64,
+    /// Mean record length (bytes).
+    pub record_len: f64,
+    /// Observed selectivity of the pattern, in `[0,1]`.
+    pub selectivity: f64,
+    /// Measured mean evaluation cost (µs per record).
+    pub measured_micros: f64,
+}
+
+impl CalibrationSample {
+    /// The §V-D feature vector `[sel·lp, sel·lt, (1−sel)·lp, (1−sel)·lt, 1]`.
+    pub fn features(&self) -> Vec<f64> {
+        let s = self.selectivity;
+        vec![
+            s * self.pattern_len,
+            s * self.record_len,
+            (1.0 - s) * self.pattern_len,
+            (1.0 - s) * self.record_len,
+            1.0,
+        ]
+    }
+}
+
+/// A calibrated cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// `[k1, k2, k3, k4]` in µs per byte.
+    pub k: [f64; 4],
+    /// Startup cost `c` in µs.
+    pub c: f64,
+    /// Goodness of fit from calibration (1.0 for hand-built models).
+    pub r_squared: f64,
+}
+
+impl CostModel {
+    /// A model with explicitly chosen coefficients.
+    pub fn from_coefficients(k: [f64; 4], c: f64) -> CostModel {
+        CostModel {
+            k,
+            c,
+            r_squared: 1.0,
+        }
+    }
+
+    /// A deliberately simple default used when no calibration data is
+    /// available: symmetric found/not-found costs of ~1 ns/byte on the
+    /// record and 4 ns/byte on the pattern, 50 ns startup. Matches the
+    /// order of magnitude of `string::find` on commodity hardware.
+    pub fn default_uncalibrated() -> CostModel {
+        CostModel {
+            k: [0.004, 0.001, 0.004, 0.001],
+            c: 0.05,
+            r_squared: 1.0,
+        }
+    }
+
+    /// Fits the model from calibration samples by OLS.
+    pub fn fit(samples: &[CalibrationSample]) -> Result<CostModel, RegressionError> {
+        let x: Vec<Vec<f64>> = samples.iter().map(CalibrationSample::features).collect();
+        let y: Vec<f64> = samples.iter().map(|s| s.measured_micros).collect();
+        let fit = ols_fit(&x, &y)?;
+        Ok(CostModel {
+            k: [fit.beta[0], fit.beta[1], fit.beta[2], fit.beta[3]],
+            c: fit.beta[4],
+            r_squared: fit.r_squared,
+        })
+    }
+
+    /// Expected cost (µs) of one substring search with the given
+    /// pattern length, record length, and hit probability.
+    pub fn predict(&self, pattern_len: f64, record_len: f64, selectivity: f64) -> f64 {
+        let s = selectivity.clamp(0.0, 1.0);
+        let found = self.k[0] * pattern_len + self.k[1] * record_len;
+        let missed = self.k[2] * pattern_len + self.k[3] * record_len;
+        (s * found + (1.0 - s) * missed + self.c).max(0.0)
+    }
+
+    /// Cost of one compiled pattern (a key-value match is two searches:
+    /// the key probe plus the windowed value probe).
+    pub fn pattern_cost(&self, pattern: &Pattern, record_len: f64, selectivity: f64) -> f64 {
+        match pattern {
+            Pattern::Find { needle } => self.predict(needle.len() as f64, record_len, selectivity),
+            Pattern::KeyThenValue { key, value } => {
+                // The key probe scans the record; the value probe scans
+                // only the (short) window, modeled as a small constant
+                // fraction of the record.
+                let key_cost = self.predict(key.len() as f64, record_len, selectivity);
+                let window = (record_len / 8.0).max(value.len() as f64);
+                let value_cost = self.predict(value.len() as f64, window, selectivity);
+                key_cost + value_cost
+            }
+        }
+    }
+
+    /// Cost of a disjunctive clause: sum over disjunct patterns (§V-D).
+    pub fn clause_cost(&self, clause: &ClausePattern, record_len: f64, selectivity: f64) -> f64 {
+        clause
+            .patterns
+            .iter()
+            .map(|p| self.pattern_cost(p, record_len, selectivity))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_matches_formula() {
+        let m = CostModel::from_coefficients([0.004, 0.0011, 0.002, 0.0009], 0.05);
+        let (lp, lt, s) = (12.0, 300.0, 0.25);
+        let expected =
+            s * (0.004 * lp + 0.0011 * lt) + (1.0 - s) * (0.002 * lp + 0.0009 * lt) + 0.05;
+        assert!((m.predict(lp, lt, s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_clamped() {
+        let m = CostModel::default_uncalibrated();
+        assert_eq!(m.predict(10.0, 100.0, -0.5), m.predict(10.0, 100.0, 0.0));
+        assert_eq!(m.predict(10.0, 100.0, 1.5), m.predict(10.0, 100.0, 1.0));
+    }
+
+    #[test]
+    fn fit_recovers_known_coefficients() {
+        let truth = CostModel::from_coefficients([0.005, 0.0012, 0.0021, 0.0008], 0.07);
+        // Spread of (lp, lt, sel) combinations with exact targets.
+        let mut samples = Vec::new();
+        for lp in [3.0, 8.0, 15.0, 24.0] {
+            for lt in [80.0, 200.0, 500.0, 1200.0] {
+                for sel in [0.05, 0.2, 0.5, 0.8] {
+                    samples.push(CalibrationSample {
+                        pattern_len: lp,
+                        record_len: lt,
+                        selectivity: sel,
+                        measured_micros: truth.predict(lp, lt, sel),
+                    });
+                }
+            }
+        }
+        let fit = CostModel::fit(&samples).unwrap();
+        for i in 0..4 {
+            assert!(
+                (fit.k[i] - truth.k[i]).abs() < 1e-6,
+                "k{i}: {} vs {}",
+                fit.k[i],
+                truth.k[i]
+            );
+        }
+        assert!((fit.c - truth.c).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn fit_needs_enough_samples() {
+        let s = CalibrationSample {
+            pattern_len: 5.0,
+            record_len: 100.0,
+            selectivity: 0.5,
+            measured_micros: 1.0,
+        };
+        assert!(matches!(
+            CostModel::fit(&[s, s, s]).unwrap_err(),
+            RegressionError::Underdetermined { .. }
+        ));
+    }
+
+    #[test]
+    fn clause_cost_sums_disjuncts() {
+        use ciao_predicate::{compile_clause, parse_clause};
+        let m = CostModel::default_uncalibrated();
+        let single = compile_clause(&parse_clause(r#"name = "Bob""#).unwrap()).unwrap();
+        let pair = compile_clause(&parse_clause(r#"name IN ("Bob","Bob")"#).unwrap()).unwrap();
+        let c1 = m.clause_cost(&single, 200.0, 0.1);
+        let c2 = m.clause_cost(&pair, 200.0, 0.1);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_value_costs_more_than_plain_find() {
+        use ciao_predicate::{compile_clause, parse_clause};
+        let m = CostModel::default_uncalibrated();
+        let find = compile_clause(&parse_clause(r#"name = "abcd""#).unwrap()).unwrap();
+        let kv = compile_clause(&parse_clause("abcd = 1").unwrap()).unwrap();
+        // Same dominant key/needle length; the kv match adds a second probe.
+        assert!(m.clause_cost(&kv, 300.0, 0.1) > m.clause_cost(&find, 300.0, 0.1));
+    }
+
+    #[test]
+    fn costs_are_non_negative() {
+        let m = CostModel::from_coefficients([-1.0, -1.0, -1.0, -1.0], -1.0);
+        assert_eq!(m.predict(10.0, 10.0, 0.5), 0.0);
+    }
+}

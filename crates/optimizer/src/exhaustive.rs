@@ -1,0 +1,113 @@
+//! Exhaustive (optimal) solver for small instances.
+//!
+//! Used as the oracle in tests and ablation benches: the combined
+//! greedy must stay within the `½(1−1/e)` bound of this optimum.
+
+use crate::greedy::Selection;
+use crate::objective::Instance;
+
+/// Enumerates all `2^n` subsets. Panics above 25 candidates — this is
+/// a test oracle, not a production path.
+pub fn solve_exhaustive(instance: &Instance) -> Selection {
+    let n = instance.len();
+    assert!(n <= 25, "exhaustive solver is for small instances (n = {n})");
+    let mut best = Selection::empty();
+    let mut mask = vec![false; n];
+    for bits in 0u64..(1u64 << n) {
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = bits >> i & 1 == 1;
+        }
+        let cost = instance.total_cost(&mask);
+        if cost > instance.budget + 1e-9 {
+            continue;
+        }
+        let obj = instance.objective(&mask);
+        if obj > best.objective + 1e-15 {
+            best = Selection {
+                selected: (0..n).filter(|&i| mask[i]).collect(),
+                objective: obj,
+                cost,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{Candidate, QueryRef};
+    use crate::solver::solve;
+    use ciao_predicate::{Clause, SimplePredicate};
+
+    fn clause(tag: u32) -> Clause {
+        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+    }
+
+    fn instance(specs: &[(f64, f64)], budget: f64) -> Instance {
+        Instance {
+            candidates: specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(selectivity, cost))| Candidate {
+                    clause: clause(i as u32),
+                    selectivity,
+                    cost,
+                })
+                .collect(),
+            queries: (0..specs.len())
+                .map(|i| QueryRef { name: format!("q{i}"), freq: 1.0, candidates: vec![i] })
+                .collect(),
+            budget,
+        }
+    }
+
+    #[test]
+    fn finds_knapsack_optimum() {
+        // Budget 5: best is {1, 2} (gains 0.8 + 0.7 = 1.5, cost 5),
+        // not the naive {0} (gain 0.99, cost 5).
+        let inst = instance(&[(0.01, 5.0), (0.2, 2.0), (0.3, 3.0)], 5.0);
+        let opt = solve_exhaustive(&inst);
+        assert_eq!(opt.selected, vec![1, 2]);
+        assert!((opt.objective - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance_gives_empty() {
+        let inst = instance(&[], 1.0);
+        let opt = solve_exhaustive(&inst);
+        assert!(opt.selected.is_empty());
+        assert_eq!(opt.objective, 0.0);
+    }
+
+    #[test]
+    fn greedy_within_khuller_bound() {
+        // Deterministic mini-sweep of adversarial-ish instances.
+        let cases: Vec<(Vec<(f64, f64)>, f64)> = vec![
+            (vec![(0.01, 10.0), (0.2, 1.0)], 10.0),
+            (vec![(0.1, 10.0), (0.5, 1.0), (0.5, 1.0)], 10.0),
+            (vec![(0.5, 1.0), (0.5, 2.0), (0.5, 3.0), (0.5, 4.0)], 6.0),
+            (vec![(0.9, 0.5), (0.05, 5.0), (0.3, 2.0)], 5.5),
+        ];
+        let bound = 0.5 * (1.0 - (-1.0f64).exp()); // ½(1 − 1/e)
+        for (specs, budget) in cases {
+            let inst = instance(&specs, budget);
+            let opt = solve_exhaustive(&inst);
+            let greedy = solve(&inst);
+            assert!(
+                greedy.best().objective >= bound * opt.objective - 1e-12,
+                "greedy {} below bound of optimal {} on {specs:?}",
+                greedy.best().objective,
+                opt.objective
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "small instances")]
+    fn refuses_large_instances() {
+        let specs: Vec<(f64, f64)> = (0..26).map(|_| (0.5, 1.0)).collect();
+        let inst = instance(&specs, 100.0);
+        solve_exhaustive(&inst);
+    }
+}

@@ -1,0 +1,242 @@
+//! The two greedy algorithms of paper §V-C.
+//!
+//! Algorithm 1 ("naive greedy") repeatedly adds the feasible candidate
+//! with the largest absolute objective gain. Algorithm 2 adds the
+//! feasible candidate with the largest gain **per unit cost**. Each can
+//! be arbitrarily bad alone; their maximum is a `½(1−1/e)`
+//! approximation (see [`crate::solver`]).
+
+use crate::objective::Instance;
+
+/// The outcome of one selection algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Selected candidate indices, in the order chosen.
+    pub selected: Vec<usize>,
+    /// `f(S)` of the selection.
+    pub objective: f64,
+    /// Total modeled cost.
+    pub cost: f64,
+}
+
+impl Selection {
+    /// The empty selection.
+    pub fn empty() -> Selection {
+        Selection {
+            selected: Vec::new(),
+            objective: 0.0,
+            cost: 0.0,
+        }
+    }
+
+    /// Boolean mask over `n` candidates.
+    pub fn mask(&self, n: usize) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &i in &self.selected {
+            m[i] = true;
+        }
+        m
+    }
+}
+
+/// Algorithm 1: pick the feasible candidate maximizing `f(S ∪ {p})`.
+pub fn greedy_benefit(instance: &Instance) -> Selection {
+    greedy_by(instance, |gain, _cost| gain)
+}
+
+/// Algorithm 2: pick the feasible candidate maximizing
+/// `(f(S ∪ {p}) − f(S)) / cost(p)`.
+pub fn greedy_ratio(instance: &Instance) -> Selection {
+    greedy_by(instance, |gain, cost| {
+        if cost > 0.0 {
+            gain / cost
+        } else {
+            // Zero-cost candidates with positive gain are infinitely
+            // attractive; order among them by raw gain.
+            if gain > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        }
+    })
+}
+
+/// Shared greedy skeleton parameterized by the scoring rule.
+fn greedy_by(instance: &Instance, score: impl Fn(f64, f64) -> f64) -> Selection {
+    let n = instance.len();
+    let mut mask = vec![false; n];
+    let mut selected = Vec::new();
+    let mut current_cost = 0.0;
+    let mut current_obj = 0.0;
+
+    loop {
+        let mut best: Option<(usize, f64, f64)> = None; // (idx, score, gain)
+        for i in 0..n {
+            if mask[i] {
+                continue;
+            }
+            let c = instance.candidates[i].cost;
+            if current_cost + c > instance.budget + 1e-9 {
+                continue;
+            }
+            mask[i] = true;
+            let obj = instance.objective(&mask);
+            mask[i] = false;
+            let gain = obj - current_obj;
+            let s = score(gain, c);
+            let better = match best {
+                None => true,
+                // Deterministic tie-break on index keeps runs reproducible.
+                Some((_, bs, _)) => s > bs + 1e-15,
+            };
+            if better {
+                best = Some((i, s, gain));
+            }
+        }
+        match best {
+            // Stop when nothing feasible improves the objective. The
+            // paper's loop adds any feasible predicate; skipping
+            // zero-gain picks changes nothing about f(S) but keeps the
+            // client from burning budget on useless work.
+            Some((i, _, gain)) if gain > 1e-15 => {
+                mask[i] = true;
+                selected.push(i);
+                current_cost += instance.candidates[i].cost;
+                current_obj += gain;
+            }
+            _ => break,
+        }
+    }
+
+    Selection {
+        selected,
+        objective: current_obj,
+        cost: current_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{Candidate, QueryRef};
+    use ciao_predicate::{Clause, SimplePredicate};
+
+    fn clause(tag: u32) -> Clause {
+        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+    }
+
+    /// Builds an instance where each candidate i belongs to query i
+    /// only (no sharing), with the given (sel, cost) pairs.
+    fn disjoint_instance(specs: &[(f64, f64)], budget: f64) -> Instance {
+        let candidates = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(selectivity, cost))| Candidate {
+                clause: clause(i as u32),
+                selectivity,
+                cost,
+            })
+            .collect::<Vec<_>>();
+        let queries = (0..specs.len())
+            .map(|i| QueryRef {
+                name: format!("q{i}"),
+                freq: 1.0,
+                candidates: vec![i],
+            })
+            .collect();
+        Instance {
+            candidates,
+            queries,
+            budget,
+        }
+    }
+
+    #[test]
+    fn naive_greedy_prefers_raw_gain() {
+        // Candidate 0: huge gain, huge cost. Candidate 1+2: smaller
+        // gains, tiny costs. Budget fits either 0 alone or 1 and 2.
+        let inst = disjoint_instance(&[(0.1, 10.0), (0.5, 1.0), (0.5, 1.0)], 10.0);
+        let naive = greedy_benefit(&inst);
+        assert_eq!(naive.selected, vec![0]);
+        assert!((naive.objective - 0.9).abs() < 1e-12);
+        // Ratio greedy goes for the cheap pair: 0.5 + 0.5 = 1.0 > 0.9.
+        let ratio = greedy_ratio(&inst);
+        assert_eq!(ratio.selected.len(), 2);
+        assert!((ratio.objective - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_greedy_can_lose_to_naive() {
+        // Classic counterexample: one expensive candidate with most of
+        // the value vs a cheap one with a better ratio that blocks it.
+        let inst = disjoint_instance(&[(0.01, 10.0), (0.2, 1.0)], 10.0);
+        // ratio(0) = 0.99/10 ≈ 0.099; ratio(1) = 0.8/1 = 0.8. Ratio
+        // greedy takes 1 first, then cannot afford 0 (cost 10 > 9 left).
+        let ratio = greedy_ratio(&inst);
+        assert_eq!(ratio.selected, vec![1]);
+        let naive = greedy_benefit(&inst);
+        assert_eq!(naive.selected, vec![0]);
+        assert!(naive.objective > ratio.objective);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let inst = disjoint_instance(&[(0.5, 3.0), (0.5, 3.0), (0.5, 3.0)], 7.0);
+        for sel in [greedy_benefit(&inst), greedy_ratio(&inst)] {
+            assert!(sel.cost <= 7.0 + 1e-9);
+            assert_eq!(sel.selected.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let inst = disjoint_instance(&[(0.5, 1.0)], 0.0);
+        assert_eq!(greedy_benefit(&inst).selected.len(), 0);
+        assert_eq!(greedy_ratio(&inst).selected.len(), 0);
+    }
+
+    #[test]
+    fn zero_cost_candidates_always_taken() {
+        let inst = disjoint_instance(&[(0.5, 0.0), (0.9, 0.0)], 0.0);
+        let sel = greedy_ratio(&inst);
+        assert_eq!(sel.selected.len(), 2);
+        assert!((sel.objective - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_candidates_skipped() {
+        // Selectivity 1.0 means the clause filters nothing: gain 0.
+        let inst = disjoint_instance(&[(1.0, 1.0), (0.5, 1.0)], 10.0);
+        let sel = greedy_benefit(&inst);
+        assert_eq!(sel.selected, vec![1]);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = disjoint_instance(&[], 5.0);
+        assert_eq!(greedy_benefit(&inst), Selection::empty());
+    }
+
+    #[test]
+    fn shared_clause_diminishing_returns() {
+        // One query with two candidates: selecting the second has a
+        // smaller marginal gain (submodularity in action).
+        let candidates = vec![
+            Candidate { clause: clause(0), selectivity: 0.5, cost: 1.0 },
+            Candidate { clause: clause(1), selectivity: 0.5, cost: 1.0 },
+        ];
+        let queries = vec![QueryRef { name: "q".into(), freq: 1.0, candidates: vec![0, 1] }];
+        let inst = Instance { candidates, queries, budget: 10.0 };
+        let sel = greedy_benefit(&inst);
+        // First pick gains 0.5; second gains only 0.25.
+        assert_eq!(sel.selected.len(), 2);
+        assert!((sel.objective - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_mask() {
+        let sel = Selection { selected: vec![2, 0], objective: 0.0, cost: 0.0 };
+        assert_eq!(sel.mask(4), vec![true, false, true, false]);
+    }
+}

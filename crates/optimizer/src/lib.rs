@@ -1,0 +1,42 @@
+//! CIAO's predicate-selection optimizer (paper §V).
+//!
+//! Given a workload of queries whose `WHERE` clauses are conjunctions
+//! of disjunctive clauses, choose the subset `S` of (pushable) clauses
+//! to evaluate on clients, maximizing the expected filtering benefit
+//!
+//! ```text
+//! f(S) = Σ_q freq(q) · (1 − Π_{p ∈ P_q ∩ S} sel(p))
+//! ```
+//!
+//! subject to the knapsack budget `Σ_{p∈S} cost(p) ≤ B`.
+//!
+//! `f` is monotone submodular (proved in §V-B; property-tested here in
+//! `tests/submodularity.rs`), so the classic budgeted-max-coverage
+//! recipe applies: run the plain greedy (Algorithm 1) and the
+//! benefit-cost-ratio greedy (Algorithm 2), return the better of the
+//! two — guaranteed within `½(1 − 1/e) ≈ 0.316` of optimal
+//! (Khuller–Moss–Naor).
+//!
+//! The per-predicate costs come from the calibrated linear cost model
+//! of §V-D ([`CostModel`]), fit with ordinary least squares
+//! ([`regression`]).
+
+#![warn(missing_docs)]
+
+pub mod cost_model;
+pub mod exhaustive;
+pub mod greedy;
+pub mod multi_client;
+pub mod objective;
+pub mod partial_enum;
+pub mod regression;
+pub mod solver;
+
+pub use cost_model::{CalibrationSample, CostModel};
+pub use exhaustive::solve_exhaustive;
+pub use greedy::{greedy_benefit, greedy_ratio, Selection};
+pub use multi_client::{allocate_budgets, ClientSpec, MultiClientPlan};
+pub use objective::{Candidate, Instance, InstanceBuilder, QueryRef};
+pub use partial_enum::solve_partial_enum;
+pub use regression::{ols_fit, r_squared, OlsFit, RegressionError};
+pub use solver::{solve, SolveReport};

@@ -1,0 +1,216 @@
+//! Multi-client budget allocation.
+//!
+//! The paper's abstract promises that CIAO "will address the trade-off
+//! between client cost and server savings by setting different budgets
+//! for different clients". This module implements that extension: given
+//! a fleet of heterogeneous clients (each with a speed factor and a
+//! share of the incoming data) and one **global** budget pool, allocate
+//! per-client predicate sets.
+//!
+//! The objective is `Σ_c share(c) · f(S_c)` — each client's selection
+//! only filters the records that client produces. A predicate costs
+//! `speed(c) · cost(p)` on client `c` (slow edge devices pay more for
+//! the same search). This remains monotone submodular over the ground
+//! set `clients × candidates`, so the same greedy-pair recipe applies;
+//! we expose the ratio greedy, which dominates in practice for the
+//! water-filling shape of this problem, plus the plain variant for
+//! ablation.
+
+use crate::objective::Instance;
+
+/// One client's hardware/share description.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Display name.
+    pub name: String,
+    /// Cost multiplier relative to the calibration platform (2.0 =
+    /// twice as slow).
+    pub speed_factor: f64,
+    /// Fraction of incoming records produced by this client (weights
+    /// its filtering benefit). Need not sum to 1 across clients.
+    pub data_share: f64,
+}
+
+impl ClientSpec {
+    /// Creates a spec, validating ranges.
+    pub fn new(name: impl Into<String>, speed_factor: f64, data_share: f64) -> ClientSpec {
+        assert!(speed_factor > 0.0 && speed_factor.is_finite(), "speed factor must be positive");
+        assert!(data_share >= 0.0 && data_share.is_finite(), "data share must be non-negative");
+        ClientSpec {
+            name: name.into(),
+            speed_factor,
+            data_share,
+        }
+    }
+}
+
+/// The allocation outcome.
+#[derive(Debug, Clone)]
+pub struct MultiClientPlan {
+    /// Per-client selected candidate indices (into the instance's
+    /// candidate list), parallel to the input client slice.
+    pub selections: Vec<Vec<usize>>,
+    /// Per-client spent budget (µs/record on that client's hardware).
+    pub spent: Vec<f64>,
+    /// Weighted objective achieved.
+    pub objective: f64,
+}
+
+impl MultiClientPlan {
+    /// Total budget consumed across clients.
+    pub fn total_spent(&self) -> f64 {
+        self.spent.iter().sum()
+    }
+}
+
+/// Greedily allocates a global budget across clients by benefit-cost
+/// ratio over (client, candidate) pairs.
+///
+/// `instance.budget` is interpreted as the **global** pool; a pick of
+/// candidate `p` on client `c` consumes `speed(c) · cost(p)` from it.
+pub fn allocate_budgets(instance: &Instance, clients: &[ClientSpec]) -> MultiClientPlan {
+    let n = instance.len();
+    let m = clients.len();
+    let mut masks: Vec<Vec<bool>> = vec![vec![false; n]; m];
+    let mut objs: Vec<f64> = vec![0.0; m];
+    let mut spent = vec![0.0f64; m];
+    let mut pool = instance.budget;
+    let mut total_obj = 0.0;
+
+    loop {
+        let mut best: Option<(usize, usize, f64, f64, f64)> = None; // (c, p, ratio, gain, cost)
+        for (c, client) in clients.iter().enumerate() {
+            for p in 0..n {
+                if masks[c][p] {
+                    continue;
+                }
+                let cost = instance.candidates[p].cost * client.speed_factor;
+                if cost > pool + 1e-9 {
+                    continue;
+                }
+                masks[c][p] = true;
+                let obj = instance.objective(&masks[c]);
+                masks[c][p] = false;
+                let gain = client.data_share * (obj - objs[c]);
+                if gain <= 1e-15 {
+                    continue;
+                }
+                let ratio = if cost > 0.0 { gain / cost } else { f64::INFINITY };
+                if best.is_none_or(|(_, _, br, _, _)| ratio > br + 1e-15) {
+                    best = Some((c, p, ratio, gain, cost));
+                }
+            }
+        }
+        let Some((c, p, _, gain, cost)) = best else {
+            break;
+        };
+        masks[c][p] = true;
+        objs[c] += gain / clients[c].data_share.max(f64::MIN_POSITIVE);
+        spent[c] += cost;
+        pool -= cost;
+        total_obj += gain;
+    }
+
+    MultiClientPlan {
+        selections: masks
+            .iter()
+            .map(|mask| (0..n).filter(|&i| mask[i]).collect())
+            .collect(),
+        spent,
+        objective: total_obj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{Candidate, QueryRef};
+    use ciao_predicate::{Clause, SimplePredicate};
+
+    fn clause(tag: u32) -> Clause {
+        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+    }
+
+    fn instance(specs: &[(f64, f64)], budget: f64) -> Instance {
+        Instance {
+            candidates: specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(selectivity, cost))| Candidate {
+                    clause: clause(i as u32),
+                    selectivity,
+                    cost,
+                })
+                .collect(),
+            queries: (0..specs.len())
+                .map(|i| QueryRef { name: format!("q{i}"), freq: 1.0, candidates: vec![i] })
+                .collect(),
+            budget,
+        }
+    }
+
+    #[test]
+    fn fast_client_gets_work_first() {
+        let inst = instance(&[(0.2, 1.0)], 1.0);
+        let clients = vec![
+            ClientSpec::new("slow-edge", 4.0, 0.5),
+            ClientSpec::new("fast-edge", 1.0, 0.5),
+        ];
+        let plan = allocate_budgets(&inst, &clients);
+        // Pool of 1.0 affords the predicate only on the fast client.
+        assert!(plan.selections[0].is_empty());
+        assert_eq!(plan.selections[1], vec![0]);
+        assert!((plan.spent[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_share_client_prioritized() {
+        let inst = instance(&[(0.2, 1.0)], 1.0);
+        let clients = vec![
+            ClientSpec::new("minor", 1.0, 0.1),
+            ClientSpec::new("major", 1.0, 0.9),
+        ];
+        let plan = allocate_budgets(&inst, &clients);
+        assert!(plan.selections[0].is_empty());
+        assert_eq!(plan.selections[1], vec![0]);
+    }
+
+    #[test]
+    fn pool_spreads_across_clients() {
+        let inst = instance(&[(0.2, 1.0), (0.3, 1.0)], 4.0);
+        let clients = vec![
+            ClientSpec::new("a", 1.0, 0.5),
+            ClientSpec::new("b", 1.0, 0.5),
+        ];
+        let plan = allocate_budgets(&inst, &clients);
+        // Budget 4 affords both predicates on both clients.
+        assert_eq!(plan.selections[0].len(), 2);
+        assert_eq!(plan.selections[1].len(), 2);
+        assert!((plan.total_spent() - 4.0).abs() < 1e-12);
+        // Each client: share 0.5 × f = 0.5 × (0.8 + 0.7) = 0.75; total 1.5.
+        assert!((plan.objective - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_allocates_nothing() {
+        let inst = instance(&[(0.2, 1.0)], 0.0);
+        let clients = vec![ClientSpec::new("a", 1.0, 1.0)];
+        let plan = allocate_budgets(&inst, &clients);
+        assert!(plan.selections[0].is_empty());
+        assert_eq!(plan.objective, 0.0);
+    }
+
+    #[test]
+    fn no_clients() {
+        let inst = instance(&[(0.2, 1.0)], 5.0);
+        let plan = allocate_budgets(&inst, &[]);
+        assert!(plan.selections.is_empty());
+        assert_eq!(plan.objective, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_speed_rejected() {
+        ClientSpec::new("bad", 0.0, 1.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Problem instance and objective function.
+
+use ciao_predicate::{Clause, Query, SelectivityMap};
+
+/// One pushdown candidate: a pushable clause with its estimated
+/// selectivity and modeled client-side evaluation cost.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The clause itself.
+    pub clause: Clause,
+    /// Estimated fraction of records satisfying the clause, in `[0,1]`.
+    pub selectivity: f64,
+    /// Modeled cost of evaluating the clause on one record (µs).
+    pub cost: f64,
+}
+
+/// A query projected onto the candidate set: its frequency and the
+/// indices of its clauses that are candidates (`P_i`).
+#[derive(Debug, Clone)]
+pub struct QueryRef {
+    /// Query name (reporting only).
+    pub name: String,
+    /// Relative frequency `freq(q)`.
+    pub freq: f64,
+    /// Indices into [`Instance::candidates`].
+    pub candidates: Vec<usize>,
+}
+
+/// A fully specified selection problem.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Deduplicated candidate clauses.
+    pub candidates: Vec<Candidate>,
+    /// Queries with candidate references.
+    pub queries: Vec<QueryRef>,
+    /// Knapsack budget `B` (µs per record).
+    pub budget: f64,
+}
+
+impl Instance {
+    /// Evaluates `f(S)` for a selection given as a boolean mask over
+    /// candidates.
+    pub fn objective(&self, selected: &[bool]) -> f64 {
+        assert_eq!(selected.len(), self.candidates.len(), "mask length mismatch");
+        self.queries
+            .iter()
+            .map(|q| q.freq * self.query_benefit(q, selected))
+            .sum()
+    }
+
+    /// `f(q, S) = 1 − Π_{p ∈ P_q ∩ S} sel(p)`; 0 when no clause of `q`
+    /// is selected (empty product = 1).
+    pub fn query_benefit(&self, q: &QueryRef, selected: &[bool]) -> f64 {
+        let mut product = 1.0;
+        let mut any = false;
+        for &i in &q.candidates {
+            if selected[i] {
+                product *= self.candidates[i].selectivity;
+                any = true;
+            }
+        }
+        if any {
+            1.0 - product
+        } else {
+            0.0
+        }
+    }
+
+    /// Total modeled cost of a selection.
+    pub fn total_cost(&self, selected: &[bool]) -> f64 {
+        selected
+            .iter()
+            .zip(&self.candidates)
+            .filter_map(|(&s, c)| s.then_some(c.cost))
+            .sum()
+    }
+
+    /// True when the selection respects the budget.
+    pub fn is_feasible(&self, selected: &[bool]) -> bool {
+        self.total_cost(selected) <= self.budget + 1e-9
+    }
+
+    /// Upper bound on `f`: every query fully filtered.
+    pub fn objective_upper_bound(&self) -> f64 {
+        self.queries.iter().map(|q| q.freq).sum()
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Builds an [`Instance`] from a workload: dedups pushable clauses
+/// across queries, attaches selectivities and costs, drops
+/// non-candidates (paper §V-A).
+#[derive(Debug)]
+pub struct InstanceBuilder<'a> {
+    selectivities: &'a SelectivityMap,
+    budget: f64,
+}
+
+impl<'a> InstanceBuilder<'a> {
+    /// Creates a builder with the estimated selectivities and budget.
+    pub fn new(selectivities: &'a SelectivityMap, budget: f64) -> Self {
+        assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and non-negative");
+        InstanceBuilder {
+            selectivities,
+            budget,
+        }
+    }
+
+    /// Assembles the instance. `cost_of` maps each distinct pushable
+    /// clause to its modeled per-record cost (µs).
+    pub fn build(&self, queries: &[Query], mut cost_of: impl FnMut(&Clause) -> f64) -> Instance {
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut index: std::collections::HashMap<Clause, usize> = std::collections::HashMap::new();
+        let mut query_refs = Vec::with_capacity(queries.len());
+
+        for q in queries {
+            let mut cand_idxs = Vec::new();
+            for clause in q.pushable_clauses() {
+                let idx = *index.entry(clause.clone()).or_insert_with(|| {
+                    let cost = cost_of(clause);
+                    assert!(
+                        cost >= 0.0 && cost.is_finite(),
+                        "cost model produced invalid cost {cost} for {clause}"
+                    );
+                    candidates.push(Candidate {
+                        clause: clause.clone(),
+                        selectivity: self.selectivities.get(clause),
+                        cost,
+                    });
+                    candidates.len() - 1
+                });
+                if !cand_idxs.contains(&idx) {
+                    cand_idxs.push(idx);
+                }
+            }
+            query_refs.push(QueryRef {
+                name: q.name.clone(),
+                freq: q.freq,
+                candidates: cand_idxs,
+            });
+        }
+
+        Instance {
+            candidates,
+            queries: query_refs,
+            budget: self.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::{parse_query, SimplePredicate};
+
+    fn sels(entries: &[(&str, f64)]) -> SelectivityMap {
+        let mut m = SelectivityMap::with_default(1.0);
+        for (text, s) in entries {
+            m.insert(ciao_predicate::parse_clause(text).unwrap(), *s);
+        }
+        m
+    }
+
+    fn simple_instance() -> Instance {
+        // q0: a AND b ; q1: b AND c — b is shared.
+        let queries = vec![
+            parse_query("q0", r#"name = "a" AND stars = 1"#).unwrap(),
+            parse_query("q1", r#"stars = 1 AND city = "x""#).unwrap(),
+        ];
+        let m = sels(&[
+            (r#"name = "a""#, 0.5),
+            ("stars = 1", 0.2),
+            (r#"city = "x""#, 0.4),
+        ]);
+        InstanceBuilder::new(&m, 10.0).build(&queries, |_| 1.0)
+    }
+
+    #[test]
+    fn builder_dedups_shared_clauses() {
+        let inst = simple_instance();
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.queries.len(), 2);
+        // `stars = 1` appears in both queries but is one candidate.
+        let shared: Vec<_> = inst
+            .queries
+            .iter()
+            .map(|q| q.candidates.clone())
+            .collect();
+        let common: Vec<usize> = shared[0]
+            .iter()
+            .filter(|i| shared[1].contains(i))
+            .copied()
+            .collect();
+        assert_eq!(common.len(), 1);
+        assert!((inst.candidates[common[0]].selectivity - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_matches_hand_computation() {
+        let inst = simple_instance();
+        // Select only the shared clause (sel 0.2).
+        let shared = {
+            let q0 = &inst.queries[0].candidates;
+            let q1 = &inst.queries[1].candidates;
+            *q0.iter().find(|i| q1.contains(i)).unwrap()
+        };
+        let mut mask = vec![false; inst.len()];
+        mask[shared] = true;
+        // f = (1-0.2) + (1-0.2) = 1.6 with uniform freq 1.
+        assert!((inst.objective(&mask) - 1.6).abs() < 1e-12);
+        assert!((inst.total_cost(&mask) - 1.0).abs() < 1e-12);
+
+        // Select everything: q0: 1 - 0.5*0.2 = 0.9 ; q1: 1 - 0.2*0.4 = 0.92.
+        let all = vec![true; inst.len()];
+        assert!((inst.objective(&all) - (0.9 + 0.92)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_selection_is_zero() {
+        let inst = simple_instance();
+        assert_eq!(inst.objective(&vec![false; inst.len()]), 0.0);
+    }
+
+    #[test]
+    fn frequency_weights_scale_benefit() {
+        let mut queries = vec![parse_query("q0", "stars = 1").unwrap()];
+        queries[0].freq = 3.0;
+        let m = sels(&[("stars = 1", 0.25)]);
+        let inst = InstanceBuilder::new(&m, 5.0).build(&queries, |_| 1.0);
+        assert!((inst.objective(&[true]) - 3.0 * 0.75).abs() < 1e-12);
+        assert!((inst.objective_upper_bound() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_clauses_excluded() {
+        let queries = vec![parse_query("q0", r#"stars = 1 AND age < 30"#).unwrap()];
+        let m = sels(&[("stars = 1", 0.2)]);
+        let inst = InstanceBuilder::new(&m, 5.0).build(&queries, |_| 1.0);
+        // Only `stars = 1` is a candidate; the range clause is dropped.
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.queries[0].candidates.len(), 1);
+    }
+
+    #[test]
+    fn clause_with_unsupported_disjunct_excluded() {
+        use ciao_predicate::{Clause, Query};
+        let mixed = Clause::new(vec![
+            SimplePredicate::StrEq { key: "a".into(), value: "x".into() },
+            SimplePredicate::FloatEq { key: "b".into(), value: 2.4 },
+        ]);
+        let q = Query::new("q", vec![mixed]);
+        let m = SelectivityMap::with_default(1.0);
+        let inst = InstanceBuilder::new(&m, 5.0).build(&[q], |_| 1.0);
+        assert!(inst.is_empty());
+    }
+
+    #[test]
+    fn feasibility() {
+        let inst = simple_instance();
+        let all = vec![true; inst.len()];
+        assert!(inst.is_feasible(&all)); // 3 × 1.0 ≤ 10
+        let tight = Instance { budget: 2.5, ..inst };
+        assert!(!tight.is_feasible(&all));
+    }
+
+    #[test]
+    fn duplicate_clause_within_query_counted_once() {
+        // Same clause twice in one query must not square its selectivity.
+        let q = parse_query("q", r#"stars = 1 AND stars = 1"#).unwrap();
+        let m = sels(&[("stars = 1", 0.5)]);
+        let inst = InstanceBuilder::new(&m, 5.0).build(&[q], |_| 1.0);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.queries[0].candidates.len(), 1);
+        assert!((inst.objective(&[true]) - 0.5).abs() < 1e-12);
+    }
+}

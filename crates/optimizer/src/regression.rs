@@ -1,0 +1,256 @@
+//! Ordinary least squares, from scratch.
+//!
+//! The cost model of §V-D is linear in five features; the paper fits it
+//! with multivariate linear regression and reports R² per platform
+//! (Table IV). This module solves the normal equations `XᵀX β = Xᵀy`
+//! by Gaussian elimination with partial pivoting — more than adequate
+//! for 5-feature problems — and computes R².
+
+/// A fitted linear model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Coefficients, one per feature column.
+    pub beta: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl OlsFit {
+    /// Predicts `y` for one feature row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.beta.len(), "feature arity mismatch");
+        features
+            .iter()
+            .zip(&self.beta)
+            .map(|(x, b)| x * b)
+            .sum()
+    }
+}
+
+/// Why a fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer samples than features.
+    Underdetermined {
+        /// Sample count.
+        samples: usize,
+        /// Feature count.
+        features: usize,
+    },
+    /// Feature rows of inconsistent arity.
+    RaggedRows,
+    /// `XᵀX` is singular (collinear features).
+    Singular,
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::Underdetermined { samples, features } => write!(
+                f,
+                "underdetermined system: {samples} samples for {features} features"
+            ),
+            RegressionError::RaggedRows => write!(f, "feature rows have inconsistent lengths"),
+            RegressionError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// Fits `y ≈ X β` by OLS. `x` is row-major: one inner slice per sample.
+// Index-based loops mirror the textbook normal-equation formulation;
+// iterator adaptors obscure the symmetric-matrix structure here.
+#[allow(clippy::needless_range_loop)]
+pub fn ols_fit(x: &[Vec<f64>], y: &[f64]) -> Result<OlsFit, RegressionError> {
+    let n = x.len();
+    assert_eq!(n, y.len(), "feature/target length mismatch");
+    let Some(first) = x.first() else {
+        return Err(RegressionError::Underdetermined {
+            samples: 0,
+            features: 0,
+        });
+    };
+    let k = first.len();
+    if x.iter().any(|row| row.len() != k) {
+        return Err(RegressionError::RaggedRows);
+    }
+    if n < k {
+        return Err(RegressionError::Underdetermined {
+            samples: n,
+            features: k,
+        });
+    }
+
+    // Normal equations: A = XᵀX (k×k), b = Xᵀy (k).
+    let mut a = vec![vec![0.0f64; k]; k];
+    let mut b = vec![0.0f64; k];
+    for (row, &target) in x.iter().zip(y) {
+        for i in 0..k {
+            b[i] += row[i] * target;
+            for j in i..k {
+                a[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            a[i][j] = a[j][i];
+        }
+    }
+
+    let beta = solve_linear(a, b).ok_or(RegressionError::Singular)?;
+
+    // R² against the training data.
+    let fit = OlsFit {
+        r_squared: 0.0,
+        beta,
+    };
+    let predictions: Vec<f64> = x.iter().map(|row| fit.predict(row)).collect();
+    let r2 = r_squared(y, &predictions);
+    Ok(OlsFit { r_squared: r2, ..fit })
+}
+
+/// `R² = 1 − Σ(y−ŷ)² / Σ(y−ȳ)²`. Returns 1.0 when the targets are
+/// constant and perfectly predicted, 0.0 when constant but mispredicted.
+pub fn r_squared(y: &[f64], y_hat: &[f64]) -> f64 {
+    assert_eq!(y.len(), y_hat.len(), "length mismatch");
+    if y.is_empty() {
+        return 1.0;
+    }
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_res: f64 = y.iter().zip(y_hat).map(|(a, b)| (a - b).powi(2)).sum();
+    let ss_tot: f64 = y.iter().map(|a| (a - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)]
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot: largest absolute value in this column at/below `col`.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix entries")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row][j] -= factor * a[col][j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= a[i][j] * x[j];
+        }
+        x[i] = sum / a[i][i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_noiseless_data() {
+        // y = 2a + 3b + 1 (with an intercept column of ones).
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let a = i as f64;
+                let b = (i * i % 7) as f64;
+                vec![a, b, 1.0]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 3.0 * r[1] + 1.0).collect();
+        let fit = ols_fit(&x, &y).unwrap();
+        assert!((fit.beta[0] - 2.0).abs() < 1e-9);
+        assert!((fit.beta[1] - 3.0).abs() < 1e-9);
+        assert!((fit.beta[2] - 1.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_has_lower_r2() {
+        // Deterministic pseudo-noise.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 1.0]).collect();
+        let noise = |i: usize| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+        let y_clean: Vec<f64> = x.iter().map(|r| 0.5 * r[0] + 2.0).collect();
+        let y_noisy: Vec<f64> = y_clean
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 20.0 * noise(i))
+            .collect();
+        let clean = ols_fit(&x, &y_clean).unwrap();
+        let noisy = ols_fit(&x, &y_noisy).unwrap();
+        assert!(clean.r_squared > noisy.r_squared);
+        assert!(noisy.r_squared > 0.5, "slope still dominates the noise");
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let x = vec![vec![1.0, 2.0, 3.0]];
+        let y = vec![1.0];
+        assert_eq!(
+            ols_fit(&x, &y).unwrap_err(),
+            RegressionError::Underdetermined { samples: 1, features: 3 }
+        );
+        assert!(matches!(
+            ols_fit(&[], &[]).unwrap_err(),
+            RegressionError::Underdetermined { .. }
+        ));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let x = vec![vec![1.0, 2.0], vec![1.0]];
+        let y = vec![1.0, 2.0];
+        assert_eq!(ols_fit(&x, &y).unwrap_err(), RegressionError::RaggedRows);
+    }
+
+    #[test]
+    fn collinear_features_singular() {
+        // Second column is 2× the first.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(ols_fit(&x, &y).unwrap_err(), RegressionError::Singular);
+    }
+
+    #[test]
+    fn r_squared_edges() {
+        assert_eq!(r_squared(&[], &[]), 1.0);
+        assert_eq!(r_squared(&[3.0, 3.0], &[3.0, 3.0]), 1.0);
+        assert_eq!(r_squared(&[3.0, 3.0], &[1.0, 5.0]), 0.0);
+        // Predicting the mean gives exactly 0.
+        let y = [1.0, 2.0, 3.0];
+        let mean = [2.0, 2.0, 2.0];
+        assert!(r_squared(&y, &mean).abs() < 1e-12);
+        // Worse than the mean goes negative.
+        assert!(r_squared(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) < 0.0);
+    }
+
+    #[test]
+    fn predict_checks_arity() {
+        let fit = OlsFit { beta: vec![1.0, 2.0], r_squared: 1.0 };
+        assert_eq!(fit.predict(&[3.0, 4.0]), 11.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end cost-model calibration against the simulated hardware
+//! profiles — the Table IV pipeline in miniature.
+
+use ciao_client::HardwareProfile;
+use ciao_optimizer::{CalibrationSample, CostModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates calibration samples the way the paper does (§VII-F): 100
+/// random predicates evaluated over a sample, recording time and
+/// selectivity for each.
+fn calibrate(hw: &HardwareProfile, seed: u64) -> CostModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::new();
+    for _ in 0..100 {
+        let pattern_len = rng.gen_range(3.0..30.0f64);
+        let record_len = rng.gen_range(80.0..1500.0f64);
+        let selectivity = rng.gen_range(0.0..1.0f64);
+        // Average many per-record measurements, as a real harness would.
+        let reps = 50;
+        let measured: f64 = (0..reps)
+            .map(|_| hw.measure(pattern_len, record_len, selectivity, &mut rng))
+            .sum::<f64>()
+            / reps as f64;
+        samples.push(CalibrationSample {
+            pattern_len,
+            record_len,
+            selectivity,
+            measured_micros: measured,
+        });
+    }
+    CostModel::fit(&samples).expect("well-conditioned calibration")
+}
+
+#[test]
+fn bare_metal_fits_well() {
+    let model = calibrate(&HardwareProfile::local_server(), 11);
+    assert!(
+        model.r_squared > 0.80,
+        "local server R² = {} too low",
+        model.r_squared
+    );
+}
+
+#[test]
+fn cluster_fits_best() {
+    let pku = calibrate(&HardwareProfile::pku_weiming(), 13);
+    assert!(pku.r_squared > 0.93, "PKU R² = {}", pku.r_squared);
+}
+
+#[test]
+fn cloud_fits_worst() {
+    let local = calibrate(&HardwareProfile::local_server(), 17);
+    let cloud = calibrate(&HardwareProfile::alibaba_cloud(), 17);
+    let pku = calibrate(&HardwareProfile::pku_weiming(), 17);
+    // Table IV ordering: PKU (0.978) > local (0.897) > cloud (0.666).
+    assert!(pku.r_squared > local.r_squared, "pku {} vs local {}", pku.r_squared, local.r_squared);
+    assert!(local.r_squared > cloud.r_squared, "local {} vs cloud {}", local.r_squared, cloud.r_squared);
+}
+
+#[test]
+fn calibrated_model_predicts_truth() {
+    let hw = HardwareProfile::pku_weiming();
+    let model = calibrate(&hw, 23);
+    // Predictions should track the profile's ground-truth model.
+    for (lp, lt, sel) in [(5.0, 100.0, 0.1), (20.0, 800.0, 0.5), (10.0, 400.0, 0.9)] {
+        let truth = hw.true_cost(lp, lt, sel);
+        let pred = model.predict(lp, lt, sel);
+        assert!(
+            (pred - truth).abs() / truth < 0.25,
+            "prediction {pred} far from truth {truth} at ({lp},{lt},{sel})"
+        );
+    }
+}

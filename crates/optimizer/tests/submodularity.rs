@@ -1,0 +1,157 @@
+//! Property tests for the optimization core:
+//!
+//! 1. `f` is monotone and submodular on random instances (the paper's
+//!    §V-B proof, checked empirically):
+//!    `f(S) + f(T) ≥ f(S∪T) + f(S∩T)`.
+//! 2. The combined greedy stays within the Khuller–Moss–Naor
+//!    `½(1−1/e)` bound of the exhaustive optimum.
+//! 3. Greedy outputs are always budget-feasible.
+
+use ciao_optimizer::{solve, solve_exhaustive, solve_partial_enum, Candidate, Instance, QueryRef};
+use ciao_predicate::{Clause, SimplePredicate};
+use proptest::prelude::*;
+
+fn clause(tag: usize) -> Clause {
+    Clause::single(SimplePredicate::IntEq {
+        key: format!("k{tag}"),
+        value: tag as i64,
+    })
+}
+
+/// Random instance: up to 10 candidates, up to 6 queries, each query
+/// referencing a random non-empty candidate subset.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=10, 1usize..=6).prop_flat_map(|(n, m)| {
+        let candidates = prop::collection::vec(
+            (0.01f64..=1.0, 0.1f64..=5.0),
+            n,
+        );
+        let queries = prop::collection::vec(
+            (
+                prop::collection::vec(0..n, 1..=n.min(4)),
+                0.1f64..=2.0,
+            ),
+            m,
+        );
+        let budget = 0.0f64..=12.0;
+        (candidates, queries, budget).prop_map(move |(cands, qs, budget)| Instance {
+            candidates: cands
+                .into_iter()
+                .enumerate()
+                .map(|(i, (selectivity, cost))| Candidate {
+                    clause: clause(i),
+                    selectivity,
+                    cost,
+                })
+                .collect(),
+            queries: qs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (mut cand_idxs, freq))| {
+                    cand_idxs.sort_unstable();
+                    cand_idxs.dedup();
+                    QueryRef {
+                        name: format!("q{i}"),
+                        freq,
+                        candidates: cand_idxs,
+                    }
+                })
+                .collect(),
+            budget,
+        })
+    })
+}
+
+/// A random subset mask of size `n`, derived from a u64 seed.
+fn mask_from_bits(bits: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| bits >> (i % 64) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn objective_is_submodular(inst in arb_instance(), s_bits: u64, t_bits: u64) {
+        let n = inst.len();
+        let s = mask_from_bits(s_bits, n);
+        let t = mask_from_bits(t_bits, n);
+        let union: Vec<bool> = s.iter().zip(&t).map(|(a, b)| *a || *b).collect();
+        let inter: Vec<bool> = s.iter().zip(&t).map(|(a, b)| *a && *b).collect();
+        let lhs = inst.objective(&s) + inst.objective(&t);
+        let rhs = inst.objective(&union) + inst.objective(&inter);
+        prop_assert!(
+            lhs >= rhs - 1e-9,
+            "submodularity violated: f(S)+f(T)={lhs} < f(S∪T)+f(S∩T)={rhs}"
+        );
+    }
+
+    #[test]
+    fn objective_is_monotone(inst in arb_instance(), s_bits: u64, extra in 0usize..10) {
+        let n = inst.len();
+        let s = mask_from_bits(s_bits, n);
+        let mut bigger = s.clone();
+        bigger[extra % n] = true;
+        prop_assert!(inst.objective(&bigger) >= inst.objective(&s) - 1e-12);
+    }
+
+    #[test]
+    fn objective_bounded(inst in arb_instance(), s_bits: u64) {
+        let s = mask_from_bits(s_bits, inst.len());
+        let f = inst.objective(&s);
+        prop_assert!(f >= -1e-12);
+        prop_assert!(f <= inst.objective_upper_bound() + 1e-12);
+    }
+
+    #[test]
+    fn greedy_within_bound_of_optimal(inst in arb_instance()) {
+        let opt = solve_exhaustive(&inst);
+        let report = solve(&inst);
+        let bound = 0.5 * (1.0 - (-1.0f64).exp());
+        prop_assert!(
+            report.best().objective >= bound * opt.objective - 1e-9,
+            "greedy {} < {} × optimal {}",
+            report.best().objective,
+            bound,
+            opt.objective
+        );
+        // Greedy can never beat the optimum.
+        prop_assert!(report.best().objective <= opt.objective + 1e-9);
+    }
+
+    #[test]
+    fn partial_enum_dominates_greedy_and_respects_bound(inst in arb_instance()) {
+        let opt = solve_exhaustive(&inst);
+        let greedy = solve(&inst);
+        let pe = solve_partial_enum(&inst, 2);
+        prop_assert!(pe.objective >= greedy.best().objective - 1e-9,
+            "partial enum {} below greedy {}", pe.objective, greedy.best().objective);
+        prop_assert!(pe.objective <= opt.objective + 1e-9);
+        let bound = 1.0 - (-1.0f64).exp();
+        prop_assert!(pe.objective >= bound * opt.objective - 1e-9,
+            "partial enum {} below (1-1/e) × optimal {}", pe.objective, opt.objective);
+        prop_assert!(pe.cost <= inst.budget + 1e-9);
+    }
+
+    #[test]
+    fn greedy_selections_feasible(inst in arb_instance()) {
+        let report = solve(&inst);
+        for sel in [&report.benefit_greedy, &report.ratio_greedy] {
+            prop_assert!(sel.cost <= inst.budget + 1e-9);
+            let mask = sel.mask(inst.len());
+            prop_assert!(inst.is_feasible(&mask));
+            // Reported objective must match a recomputation.
+            prop_assert!((inst.objective(&mask) - sel.objective).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_selections(inst in arb_instance()) {
+        let report = solve(&inst);
+        for sel in [&report.benefit_greedy, &report.ratio_greedy] {
+            let mut seen = std::collections::HashSet::new();
+            for &i in &sel.selected {
+                prop_assert!(seen.insert(i), "candidate {i} selected twice");
+            }
+        }
+    }
+}

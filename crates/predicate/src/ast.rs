@@ -1,0 +1,399 @@
+//! Predicate and query AST.
+
+use serde::{Deserialize, Serialize};
+
+/// One simple (non-disjunctive) predicate over a single JSON key.
+///
+/// The first five variants are the client-supported forms of paper
+/// Table I. The remaining variants exist so workloads can contain
+/// realistic predicates that CIAO must *refuse* to push down (range and
+/// float-equality matching on raw text would allow false negatives,
+/// §IV-B) — they are still evaluated exactly on the server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SimplePredicate {
+    /// `key = "value"` — exact string equality.
+    StrEq {
+        /// JSON object key.
+        key: String,
+        /// Expected string value.
+        value: String,
+    },
+    /// `key LIKE "%needle%"` — substring containment.
+    StrContains {
+        /// JSON object key.
+        key: String,
+        /// Substring to find.
+        needle: String,
+    },
+    /// `key != NULL` — key present with a non-null value.
+    NotNull {
+        /// JSON object key.
+        key: String,
+    },
+    /// `key = 10` — integer equality (textual on the client).
+    IntEq {
+        /// JSON object key.
+        key: String,
+        /// Expected integer.
+        value: i64,
+    },
+    /// `key = true` — boolean equality.
+    BoolEq {
+        /// JSON object key.
+        key: String,
+        /// Expected boolean.
+        value: bool,
+    },
+    /// `key < v` — **not pushable** (raw text can't order numbers
+    /// without risking false negatives).
+    IntLt {
+        /// JSON object key.
+        key: String,
+        /// Exclusive upper bound.
+        value: i64,
+    },
+    /// `key > v` — not pushable.
+    IntGt {
+        /// JSON object key.
+        key: String,
+        /// Exclusive lower bound.
+        value: i64,
+    },
+    /// `key = 2.4` — not pushable: `2.4` vs `24e-1` would false-negative
+    /// under textual matching (paper §IV-B).
+    FloatEq {
+        /// JSON object key.
+        key: String,
+        /// Expected float.
+        value: f64,
+    },
+}
+
+impl SimplePredicate {
+    /// Whether the client can evaluate this predicate with substring
+    /// search without risking false negatives (paper Table I).
+    pub fn is_pushable(&self) -> bool {
+        matches!(
+            self,
+            SimplePredicate::StrEq { .. }
+                | SimplePredicate::StrContains { .. }
+                | SimplePredicate::NotNull { .. }
+                | SimplePredicate::IntEq { .. }
+                | SimplePredicate::BoolEq { .. }
+        )
+    }
+
+    /// The key this predicate constrains.
+    pub fn key(&self) -> &str {
+        match self {
+            SimplePredicate::StrEq { key, .. }
+            | SimplePredicate::StrContains { key, .. }
+            | SimplePredicate::NotNull { key }
+            | SimplePredicate::IntEq { key, .. }
+            | SimplePredicate::BoolEq { key, .. }
+            | SimplePredicate::IntLt { key, .. }
+            | SimplePredicate::IntGt { key, .. }
+            | SimplePredicate::FloatEq { key, .. } => key,
+        }
+    }
+}
+
+impl std::fmt::Display for SimplePredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplePredicate::StrEq { key, value } => write!(f, "{key} = \"{value}\""),
+            SimplePredicate::StrContains { key, needle } => {
+                write!(f, "{key} LIKE \"%{needle}%\"")
+            }
+            SimplePredicate::NotNull { key } => write!(f, "{key} != NULL"),
+            SimplePredicate::IntEq { key, value } => write!(f, "{key} = {value}"),
+            SimplePredicate::BoolEq { key, value } => write!(f, "{key} = {value}"),
+            SimplePredicate::IntLt { key, value } => write!(f, "{key} < {value}"),
+            SimplePredicate::IntGt { key, value } => write!(f, "{key} > {value}"),
+            SimplePredicate::FloatEq { key, value } => write!(f, "{key} = {value}"),
+        }
+    }
+}
+
+impl PartialEq for SimplePredicate {
+    fn eq(&self, other: &Self) -> bool {
+        use SimplePredicate::*;
+        match (self, other) {
+            (StrEq { key: k1, value: v1 }, StrEq { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
+            (StrContains { key: k1, needle: n1 }, StrContains { key: k2, needle: n2 }) => {
+                k1 == k2 && n1 == n2
+            }
+            (NotNull { key: k1 }, NotNull { key: k2 }) => k1 == k2,
+            (IntEq { key: k1, value: v1 }, IntEq { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
+            (BoolEq { key: k1, value: v1 }, BoolEq { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
+            (IntLt { key: k1, value: v1 }, IntLt { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
+            (IntGt { key: k1, value: v1 }, IntGt { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
+            (FloatEq { key: k1, value: v1 }, FloatEq { key: k2, value: v2 }) => {
+                // Bit equality so Eq/Hash stay coherent (NaN never occurs
+                // in parsed JSON).
+                k1 == k2 && v1.to_bits() == v2.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SimplePredicate {}
+
+impl std::hash::Hash for SimplePredicate {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use SimplePredicate::*;
+        std::mem::discriminant(self).hash(state);
+        match self {
+            StrEq { key, value } => {
+                key.hash(state);
+                value.hash(state);
+            }
+            StrContains { key, needle } => {
+                key.hash(state);
+                needle.hash(state);
+            }
+            NotNull { key } => key.hash(state),
+            IntEq { key, value } | IntLt { key, value } | IntGt { key, value } => {
+                key.hash(state);
+                value.hash(state);
+            }
+            BoolEq { key, value } => {
+                key.hash(state);
+                value.hash(state);
+            }
+            FloatEq { key, value } => {
+                key.hash(state);
+                value.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+/// A disjunction of simple predicates — CIAO's atomic pushdown unit.
+///
+/// `name IN ("Bob","John")` is `Clause(vec![StrEq(name,Bob),
+/// StrEq(name,John)])`. An empty clause is disallowed by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Clause {
+    disjuncts: Vec<SimplePredicate>,
+}
+
+impl Clause {
+    /// Builds a clause. Panics on an empty disjunction (a vacuously
+    /// false clause is never what a workload means).
+    pub fn new(disjuncts: Vec<SimplePredicate>) -> Clause {
+        assert!(!disjuncts.is_empty(), "clause must have at least one disjunct");
+        Clause { disjuncts }
+    }
+
+    /// Single-predicate convenience constructor.
+    pub fn single(p: SimplePredicate) -> Clause {
+        Clause { disjuncts: vec![p] }
+    }
+
+    /// The disjuncts, in declaration order.
+    pub fn disjuncts(&self) -> &[SimplePredicate] {
+        &self.disjuncts
+    }
+
+    /// A clause is pushable only when *every* disjunct is (paper §V-A:
+    /// a clause with any unsupported disjunct is not a candidate).
+    pub fn is_pushable(&self) -> bool {
+        self.disjuncts.iter().all(SimplePredicate::is_pushable)
+    }
+
+    /// Number of disjuncts.
+    pub fn arity(&self) -> usize {
+        self.disjuncts.len()
+    }
+}
+
+impl std::fmt::Display for Clause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.disjuncts.len() == 1 {
+            write!(f, "{}", self.disjuncts[0])
+        } else {
+            write!(f, "(")?;
+            for (i, d) in self.disjuncts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " OR ")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+/// A workload query: `SELECT COUNT(*) FROM t WHERE c1 AND c2 AND …`
+/// plus a relative frequency weight (paper §V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Identifier used in reports (`q0`, `q1`, …).
+    pub name: String,
+    /// The conjunctive clauses.
+    pub clauses: Vec<Clause>,
+    /// Relative execution frequency `freq(q)`; the paper's experiments
+    /// use uniform frequencies.
+    pub freq: f64,
+}
+
+impl Query {
+    /// Builds a query with frequency 1.
+    pub fn new(name: impl Into<String>, clauses: Vec<Clause>) -> Query {
+        Query {
+            name: name.into(),
+            clauses,
+            freq: 1.0,
+        }
+    }
+
+    /// Sets the relative frequency.
+    pub fn with_freq(mut self, freq: f64) -> Query {
+        assert!(freq >= 0.0 && freq.is_finite(), "frequency must be non-negative");
+        self.freq = freq;
+        self
+    }
+
+    /// The pushable clauses of this query (candidate set `P_i`).
+    pub fn pushable_clauses(&self) -> impl Iterator<Item = &Clause> + '_ {
+        self.clauses.iter().filter(|c| c.is_pushable())
+    }
+
+    /// Total number of simple predicates, for Table III's `#Predicates`.
+    pub fn simple_predicate_count(&self) -> usize {
+        self.clauses.iter().map(Clause::arity).sum()
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SELECT COUNT(*) WHERE ")?;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p_streq() -> SimplePredicate {
+        SimplePredicate::StrEq {
+            key: "name".into(),
+            value: "Bob".into(),
+        }
+    }
+
+    #[test]
+    fn pushability() {
+        assert!(p_streq().is_pushable());
+        assert!(SimplePredicate::StrContains { key: "t".into(), needle: "x".into() }.is_pushable());
+        assert!(SimplePredicate::NotNull { key: "email".into() }.is_pushable());
+        assert!(SimplePredicate::IntEq { key: "age".into(), value: 10 }.is_pushable());
+        assert!(SimplePredicate::BoolEq { key: "a".into(), value: true }.is_pushable());
+        assert!(!SimplePredicate::IntLt { key: "age".into(), value: 10 }.is_pushable());
+        assert!(!SimplePredicate::IntGt { key: "age".into(), value: 10 }.is_pushable());
+        assert!(!SimplePredicate::FloatEq { key: "s".into(), value: 2.4 }.is_pushable());
+    }
+
+    #[test]
+    fn clause_pushable_iff_all_disjuncts_are() {
+        let good = Clause::new(vec![p_streq(), SimplePredicate::IntEq { key: "age".into(), value: 20 }]);
+        assert!(good.is_pushable());
+        let mixed = Clause::new(vec![p_streq(), SimplePredicate::IntLt { key: "age".into(), value: 20 }]);
+        assert!(!mixed.is_pushable());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disjunct")]
+    fn empty_clause_rejected() {
+        Clause::new(vec![]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(p_streq().to_string(), "name = \"Bob\"");
+        assert_eq!(
+            SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() }
+                .to_string(),
+            "text LIKE \"%delicious%\""
+        );
+        assert_eq!(
+            SimplePredicate::NotNull { key: "email".into() }.to_string(),
+            "email != NULL"
+        );
+        let c = Clause::new(vec![
+            p_streq(),
+            SimplePredicate::StrEq { key: "name".into(), value: "John".into() },
+        ]);
+        assert_eq!(c.to_string(), "(name = \"Bob\" OR name = \"John\")");
+        let q = Query::new("q0", vec![c, Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 20 })]);
+        assert_eq!(
+            q.to_string(),
+            "SELECT COUNT(*) WHERE (name = \"Bob\" OR name = \"John\") AND age = 20"
+        );
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let a = Clause::single(p_streq());
+        let b = Clause::single(p_streq());
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+
+        let f1 = SimplePredicate::FloatEq { key: "x".into(), value: 2.4 };
+        let f2 = SimplePredicate::FloatEq { key: "x".into(), value: 2.4 };
+        let f3 = SimplePredicate::FloatEq { key: "x".into(), value: 2.5 };
+        assert_eq!(f1, f2);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn query_helpers() {
+        let q = Query::new(
+            "q",
+            vec![
+                Clause::single(p_streq()),
+                Clause::single(SimplePredicate::IntLt { key: "age".into(), value: 30 }),
+            ],
+        )
+        .with_freq(0.5);
+        assert_eq!(q.freq, 0.5);
+        assert_eq!(q.pushable_clauses().count(), 1);
+        assert_eq!(q.simple_predicate_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_freq_rejected() {
+        Query::new("q", vec![Clause::single(p_streq())]).with_freq(-1.0);
+    }
+
+    #[test]
+    fn key_accessor_covers_all_variants() {
+        let preds = [
+            p_streq(),
+            SimplePredicate::StrContains { key: "k".into(), needle: "n".into() },
+            SimplePredicate::NotNull { key: "k".into() },
+            SimplePredicate::IntEq { key: "k".into(), value: 1 },
+            SimplePredicate::BoolEq { key: "k".into(), value: false },
+            SimplePredicate::IntLt { key: "k".into(), value: 1 },
+            SimplePredicate::IntGt { key: "k".into(), value: 1 },
+            SimplePredicate::FloatEq { key: "k".into(), value: 1.5 },
+        ];
+        assert_eq!(preds[0].key(), "name");
+        for p in &preds[1..] {
+            assert_eq!(p.key(), "k");
+        }
+    }
+}

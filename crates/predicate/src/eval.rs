@@ -1,0 +1,180 @@
+//! Exact (typed) predicate evaluation on parsed records.
+//!
+//! This is the server-side ground truth. Because client-side raw
+//! matching admits false positives, every tuple surviving data skipping
+//! is re-checked with these functions before it reaches a query result
+//! (paper §IV-B). The invariant tying the two worlds together — raw
+//! matching never returns `false` when typed evaluation returns `true`
+//! — is property-tested in `ciao-client`.
+
+use crate::ast::{Clause, Query, SimplePredicate};
+use ciao_json::JsonValue;
+
+/// Evaluates one simple predicate against a parsed record.
+///
+/// Missing keys make every predicate false (SQL-ish semantics: a
+/// comparison with an absent value cannot be satisfied). Type
+/// mismatches are false, not errors — records in CIAO's target
+/// workloads are heterogeneous machine logs.
+pub fn eval_simple(p: &SimplePredicate, record: &JsonValue) -> bool {
+    match p {
+        SimplePredicate::StrEq { key, value } => record
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .is_some_and(|s| s == value),
+        SimplePredicate::StrContains { key, needle } => record
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .is_some_and(|s| s.contains(needle.as_str())),
+        SimplePredicate::NotNull { key } => record.get(key).is_some_and(|v| !v.is_null()),
+        SimplePredicate::IntEq { key, value } => record
+            .get(key)
+            .and_then(JsonValue::as_i64)
+            .is_some_and(|i| i == *value),
+        SimplePredicate::BoolEq { key, value } => record
+            .get(key)
+            .and_then(JsonValue::as_bool)
+            .is_some_and(|b| b == *value),
+        SimplePredicate::IntLt { key, value } => record
+            .get(key)
+            .and_then(JsonValue::as_i64)
+            .is_some_and(|i| i < *value),
+        SimplePredicate::IntGt { key, value } => record
+            .get(key)
+            .and_then(JsonValue::as_i64)
+            .is_some_and(|i| i > *value),
+        SimplePredicate::FloatEq { key, value } => record
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .is_some_and(|f| f == *value),
+    }
+}
+
+/// Evaluates a clause (disjunction): true when any disjunct holds.
+pub fn eval_clause(c: &Clause, record: &JsonValue) -> bool {
+    c.disjuncts().iter().any(|p| eval_simple(p, record))
+}
+
+/// Evaluates a query's full conjunction: true when every clause holds.
+pub fn eval_query(q: &Query, record: &JsonValue) -> bool {
+    q.clauses.iter().all(|c| eval_clause(c, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_json::parse;
+
+    fn record() -> JsonValue {
+        parse(
+            r#"{"name":"Bob","age":22,"score":4.5,"active":true,
+                "email":null,"text":"absolutely delicious food"}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn str_eq() {
+        let r = record();
+        assert!(eval_simple(&SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() }, &r));
+        assert!(!eval_simple(&SimplePredicate::StrEq { key: "name".into(), value: "Bo".into() }, &r));
+        assert!(!eval_simple(&SimplePredicate::StrEq { key: "missing".into(), value: "Bob".into() }, &r));
+        // Type mismatch: age is a number, not the string "22".
+        assert!(!eval_simple(&SimplePredicate::StrEq { key: "age".into(), value: "22".into() }, &r));
+    }
+
+    #[test]
+    fn str_contains() {
+        let r = record();
+        assert!(eval_simple(
+            &SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() },
+            &r
+        ));
+        assert!(!eval_simple(
+            &SimplePredicate::StrContains { key: "text".into(), needle: "horrible".into() },
+            &r
+        ));
+        // Empty needle matches any present string.
+        assert!(eval_simple(
+            &SimplePredicate::StrContains { key: "text".into(), needle: "".into() },
+            &r
+        ));
+    }
+
+    #[test]
+    fn not_null_semantics() {
+        let r = record();
+        assert!(eval_simple(&SimplePredicate::NotNull { key: "name".into() }, &r));
+        // Present but null fails.
+        assert!(!eval_simple(&SimplePredicate::NotNull { key: "email".into() }, &r));
+        // Absent fails.
+        assert!(!eval_simple(&SimplePredicate::NotNull { key: "phone".into() }, &r));
+    }
+
+    #[test]
+    fn int_and_bool_eq() {
+        let r = record();
+        assert!(eval_simple(&SimplePredicate::IntEq { key: "age".into(), value: 22 }, &r));
+        assert!(!eval_simple(&SimplePredicate::IntEq { key: "age".into(), value: 23 }, &r));
+        // Float-valued field does not satisfy integer equality.
+        assert!(!eval_simple(&SimplePredicate::IntEq { key: "score".into(), value: 4 }, &r));
+        assert!(eval_simple(&SimplePredicate::BoolEq { key: "active".into(), value: true }, &r));
+        assert!(!eval_simple(&SimplePredicate::BoolEq { key: "active".into(), value: false }, &r));
+    }
+
+    #[test]
+    fn ranges_and_float() {
+        let r = record();
+        assert!(eval_simple(&SimplePredicate::IntLt { key: "age".into(), value: 30 }, &r));
+        assert!(!eval_simple(&SimplePredicate::IntLt { key: "age".into(), value: 22 }, &r));
+        assert!(eval_simple(&SimplePredicate::IntGt { key: "age".into(), value: 21 }, &r));
+        assert!(eval_simple(&SimplePredicate::FloatEq { key: "score".into(), value: 4.5 }, &r));
+        // Integer field satisfies float equality via numeric view.
+        assert!(eval_simple(&SimplePredicate::FloatEq { key: "age".into(), value: 22.0 }, &r));
+    }
+
+    #[test]
+    fn clause_disjunction() {
+        let r = record();
+        let c = Clause::new(vec![
+            SimplePredicate::StrEq { key: "name".into(), value: "Alice".into() },
+            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
+        ]);
+        assert!(eval_clause(&c, &r));
+        let miss = Clause::new(vec![
+            SimplePredicate::StrEq { key: "name".into(), value: "Alice".into() },
+            SimplePredicate::StrEq { key: "name".into(), value: "Carol".into() },
+        ]);
+        assert!(!eval_clause(&miss, &r));
+    }
+
+    #[test]
+    fn query_conjunction() {
+        let r = record();
+        let hit = Query::new(
+            "q",
+            vec![
+                Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() }),
+                Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 22 }),
+            ],
+        );
+        assert!(eval_query(&hit, &r));
+        let miss = Query::new(
+            "q",
+            vec![
+                Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() }),
+                Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 99 }),
+            ],
+        );
+        assert!(!eval_query(&miss, &r));
+        // Empty conjunction is vacuously true.
+        assert!(eval_query(&Query::new("q", vec![]), &r));
+    }
+
+    #[test]
+    fn non_object_records() {
+        let arr = parse("[1,2,3]").unwrap();
+        assert!(!eval_simple(&SimplePredicate::NotNull { key: "a".into() }, &arr));
+        assert!(!eval_simple(&SimplePredicate::StrEq { key: "a".into(), value: "x".into() }, &arr));
+    }
+}

@@ -1,0 +1,33 @@
+//! Predicate model for CIAO.
+//!
+//! A query's `WHERE` clause is a **conjunction of disjunctive clauses**
+//! (paper §V-A): `name IN ("Bob","John") AND age = 20` has two clauses,
+//! the first a two-way disjunction. The clause is CIAO's atomic unit of
+//! pushdown — pushing only `name = "Bob"` could wrongly discard records
+//! matching `name = "John"`.
+//!
+//! This crate owns:
+//!
+//! * the AST ([`SimplePredicate`], [`Clause`], [`Query`]),
+//! * compilation of supported predicates into **pattern strings**
+//!   (paper Table I) that clients evaluate with pure substring search
+//!   ([`Pattern`], [`compile_simple`], [`compile_clause`]),
+//! * exact **typed evaluation** against parsed records ([`eval`]) —
+//!   the ground truth used by the server to re-verify client bits
+//!   (client matching may produce false positives, never negatives),
+//! * a small SQL-ish text [`parser`] for examples and tests, and
+//! * [`selectivity`] estimation from sampled records.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod pattern;
+pub mod selectivity;
+
+pub use ast::{Clause, Query, SimplePredicate};
+pub use eval::{eval_clause, eval_query, eval_simple};
+pub use parser::{parse_clause, parse_query, parse_where, PredicateParseError};
+pub use pattern::{compile_clause, compile_simple, ClausePattern, Pattern};
+pub use selectivity::{estimate_clause_selectivity, SelectivityEstimator, SelectivityMap};

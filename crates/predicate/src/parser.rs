@@ -1,0 +1,497 @@
+//! A small SQL-ish parser for predicate text.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! where   := clause ( AND clause )*
+//! clause  := '(' simple ( OR simple )* ')'
+//!          | key IN '(' literal ( ',' literal )* ')'
+//!          | simple
+//! simple  := key '=' literal
+//!          | key LIKE string          -- string must be "%needle%"
+//!          | key '!=' NULL | key IS NOT NULL
+//!          | key '<' int | key '>' int
+//! literal := string | int | float | true | false
+//! ```
+//!
+//! This exists for ergonomic examples and tests
+//! (`parse_where(r#"name = "Bob" AND age = 20"#)`), not as a general
+//! SQL front end.
+
+use crate::ast::{Clause, Query, SimplePredicate};
+
+/// Parse failure with byte offset into the predicate text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateParseError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PredicateParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "predicate parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PredicateParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Eq,
+    Neq,
+    Lt,
+    Gt,
+    LParen,
+    RParen,
+    Comma,
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, message: impl Into<String>) -> PredicateParseError {
+        PredicateParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Token)>, PredicateParseError> {
+        let mut out = Vec::new();
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let b = bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'(' => {
+                    out.push((start, Token::LParen));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((start, Token::RParen));
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((start, Token::Comma));
+                    self.pos += 1;
+                }
+                b'=' => {
+                    out.push((start, Token::Eq));
+                    self.pos += 1;
+                }
+                b'<' => {
+                    out.push((start, Token::Lt));
+                    self.pos += 1;
+                }
+                b'>' => {
+                    out.push((start, Token::Gt));
+                    self.pos += 1;
+                }
+                b'!' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        out.push((start, Token::Neq));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.err("expected `!=`"));
+                    }
+                }
+                b'"' | b'\'' => {
+                    let quote = b;
+                    self.pos += 1;
+                    let content_start = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos == bytes.len() {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                    out.push((
+                        start,
+                        Token::Str(self.input[content_start..self.pos].to_owned()),
+                    ));
+                    self.pos += 1;
+                }
+                b'-' | b'0'..=b'9' => {
+                    let num_start = self.pos;
+                    self.pos += 1;
+                    while self.pos < bytes.len()
+                        && matches!(bytes[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                    {
+                        // Stop `-` from being consumed as part of a second number.
+                        if matches!(bytes[self.pos], b'+' | b'-')
+                            && !matches!(bytes[self.pos - 1], b'e' | b'E')
+                        {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let text = &self.input[num_start..self.pos];
+                    if let Ok(i) = text.parse::<i64>() {
+                        out.push((num_start, Token::Int(i)));
+                    } else if let Ok(f) = text.parse::<f64>() {
+                        out.push((num_start, Token::Float(f)));
+                    } else {
+                        return Err(PredicateParseError {
+                            offset: num_start,
+                            message: format!("malformed number `{text}`"),
+                        });
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    while self.pos < bytes.len()
+                        && (bytes[self.pos].is_ascii_alphanumeric()
+                            || matches!(bytes[self.pos], b'_' | b'.'))
+                    {
+                        self.pos += 1;
+                    }
+                    out.push((start, Token::Ident(self.input[start..self.pos].to_owned())));
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character `{}`", other as char)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct TokenStream {
+    tokens: Vec<(usize, Token)>,
+    idx: usize,
+    input_len: usize,
+}
+
+impl TokenStream {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.idx)
+            .map_or(self.input_len, |(o, _)| *o)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> PredicateParseError {
+        PredicateParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_ident_kw(&mut self, kw: &str) -> Result<(), PredicateParseError> {
+        match self.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => Err(self.err(format!("expected keyword `{kw}`"))),
+        }
+    }
+
+    fn peek_is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Parses a full `WHERE` body into its conjunctive clauses.
+pub fn parse_where(input: &str) -> Result<Vec<Clause>, PredicateParseError> {
+    let tokens = Lexer { input, pos: 0 }.tokens()?;
+    let mut ts = TokenStream {
+        tokens,
+        idx: 0,
+        input_len: input.len(),
+    };
+    let mut clauses = vec![parse_clause_inner(&mut ts)?];
+    while ts.peek_is_kw("and") {
+        ts.next();
+        clauses.push(parse_clause_inner(&mut ts)?);
+    }
+    if ts.peek().is_some() {
+        return Err(ts.err("trailing input after predicates"));
+    }
+    Ok(clauses)
+}
+
+/// Parses a single clause, e.g. `(name = "a" OR name = "b")`.
+pub fn parse_clause(input: &str) -> Result<Clause, PredicateParseError> {
+    let clauses = parse_where(input)?;
+    if clauses.len() != 1 {
+        return Err(PredicateParseError {
+            offset: 0,
+            message: format!("expected one clause, found {}", clauses.len()),
+        });
+    }
+    Ok(clauses.into_iter().next().expect("checked length"))
+}
+
+/// Parses a named query from a `WHERE` body with frequency 1.
+pub fn parse_query(name: &str, where_body: &str) -> Result<Query, PredicateParseError> {
+    Ok(Query::new(name, parse_where(where_body)?))
+}
+
+fn parse_clause_inner(ts: &mut TokenStream) -> Result<Clause, PredicateParseError> {
+    if ts.peek() == Some(&Token::LParen) {
+        ts.next();
+        let mut disjuncts = vec![parse_simple(ts)?];
+        while ts.peek_is_kw("or") {
+            ts.next();
+            disjuncts.push(parse_simple(ts)?);
+        }
+        match ts.next() {
+            Some(Token::RParen) => Ok(Clause::new(disjuncts)),
+            _ => Err(ts.err("expected `)` to close disjunction")),
+        }
+    } else {
+        // Could be `key IN (...)` which desugars to a disjunction.
+        parse_simple_or_in(ts)
+    }
+}
+
+fn parse_simple_or_in(ts: &mut TokenStream) -> Result<Clause, PredicateParseError> {
+    // Look ahead: key IN '(' ... ')'
+    let save = ts.idx;
+    if let Some(Token::Ident(key)) = ts.next() {
+        if ts.peek_is_kw("in") {
+            ts.next();
+            if ts.next() != Some(Token::LParen) {
+                return Err(ts.err("expected `(` after IN"));
+            }
+            let mut disjuncts = Vec::new();
+            loop {
+                let p = match ts.next() {
+                    Some(Token::Str(s)) => SimplePredicate::StrEq {
+                        key: key.clone(),
+                        value: s,
+                    },
+                    Some(Token::Int(i)) => SimplePredicate::IntEq {
+                        key: key.clone(),
+                        value: i,
+                    },
+                    _ => return Err(ts.err("expected string or integer literal in IN list")),
+                };
+                disjuncts.push(p);
+                match ts.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    _ => return Err(ts.err("expected `,` or `)` in IN list")),
+                }
+            }
+            return Ok(Clause::new(disjuncts));
+        }
+    }
+    ts.idx = save;
+    Ok(Clause::single(parse_simple(ts)?))
+}
+
+fn parse_simple(ts: &mut TokenStream) -> Result<SimplePredicate, PredicateParseError> {
+    let key = match ts.next() {
+        Some(Token::Ident(k)) => k,
+        _ => return Err(ts.err("expected a key identifier")),
+    };
+    match ts.next() {
+        Some(Token::Eq) => match ts.next() {
+            Some(Token::Str(s)) => Ok(SimplePredicate::StrEq { key, value: s }),
+            Some(Token::Int(i)) => Ok(SimplePredicate::IntEq { key, value: i }),
+            Some(Token::Float(x)) => Ok(SimplePredicate::FloatEq { key, value: x }),
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("true") => {
+                Ok(SimplePredicate::BoolEq { key, value: true })
+            }
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("false") => {
+                Ok(SimplePredicate::BoolEq { key, value: false })
+            }
+            _ => Err(ts.err("expected literal after `=`")),
+        },
+        Some(Token::Neq) => match ts.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("null") => {
+                Ok(SimplePredicate::NotNull { key })
+            }
+            _ => Err(ts.err("only `!= NULL` is supported after `!=`")),
+        },
+        Some(Token::Lt) => match ts.next() {
+            Some(Token::Int(i)) => Ok(SimplePredicate::IntLt { key, value: i }),
+            _ => Err(ts.err("expected integer after `<`")),
+        },
+        Some(Token::Gt) => match ts.next() {
+            Some(Token::Int(i)) => Ok(SimplePredicate::IntGt { key, value: i }),
+            _ => Err(ts.err("expected integer after `>`")),
+        },
+        Some(Token::Ident(w)) if w.eq_ignore_ascii_case("like") => match ts.next() {
+            Some(Token::Str(s)) => {
+                let needle = s
+                    .strip_prefix('%')
+                    .and_then(|s| s.strip_suffix('%'))
+                    .ok_or_else(|| ts.err("LIKE pattern must be \"%needle%\""))?;
+                if needle.contains('%') || needle.is_empty() {
+                    return Err(ts.err("LIKE pattern must be \"%needle%\" with a non-empty needle"));
+                }
+                Ok(SimplePredicate::StrContains {
+                    key,
+                    needle: needle.to_owned(),
+                })
+            }
+            _ => Err(ts.err("expected string pattern after LIKE")),
+        },
+        Some(Token::Ident(w)) if w.eq_ignore_ascii_case("is") => {
+            ts.expect_ident_kw("not")?;
+            ts.expect_ident_kw("null")?;
+            Ok(SimplePredicate::NotNull { key })
+        }
+        _ => Err(ts.err("expected an operator (=, !=, <, >, LIKE, IS NOT NULL, IN)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_forms() {
+        assert_eq!(
+            parse_clause(r#"name = "Bob""#).unwrap(),
+            Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() })
+        );
+        assert_eq!(
+            parse_clause("age = 10").unwrap(),
+            Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 10 })
+        );
+        assert_eq!(
+            parse_clause("score = 2.5").unwrap(),
+            Clause::single(SimplePredicate::FloatEq { key: "score".into(), value: 2.5 })
+        );
+        assert_eq!(
+            parse_clause("isActive = true").unwrap(),
+            Clause::single(SimplePredicate::BoolEq { key: "isActive".into(), value: true })
+        );
+        assert_eq!(
+            parse_clause("email != NULL").unwrap(),
+            Clause::single(SimplePredicate::NotNull { key: "email".into() })
+        );
+        assert_eq!(
+            parse_clause("email IS NOT NULL").unwrap(),
+            Clause::single(SimplePredicate::NotNull { key: "email".into() })
+        );
+        assert_eq!(
+            parse_clause(r#"text LIKE "%delicious%""#).unwrap(),
+            Clause::single(SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "delicious".into()
+            })
+        );
+        assert_eq!(
+            parse_clause("age < 30").unwrap(),
+            Clause::single(SimplePredicate::IntLt { key: "age".into(), value: 30 })
+        );
+        assert_eq!(
+            parse_clause("age > -5").unwrap(),
+            Clause::single(SimplePredicate::IntGt { key: "age".into(), value: -5 })
+        );
+    }
+
+    #[test]
+    fn in_list_desugars_to_disjunction() {
+        let c = parse_clause(r#"name IN ("Bob", "John")"#).unwrap();
+        assert_eq!(c.arity(), 2);
+        assert_eq!(
+            c.disjuncts()[1],
+            SimplePredicate::StrEq { key: "name".into(), value: "John".into() }
+        );
+        let ints = parse_clause("stars IN (4, 5)").unwrap();
+        assert_eq!(
+            ints.disjuncts()[0],
+            SimplePredicate::IntEq { key: "stars".into(), value: 4 }
+        );
+    }
+
+    #[test]
+    fn parenthesized_or() {
+        let c = parse_clause(r#"(name = "Bob" OR age = 20)"#).unwrap();
+        assert_eq!(c.arity(), 2);
+    }
+
+    #[test]
+    fn conjunction() {
+        let clauses =
+            parse_where(r#"name IN ("Bob","John") AND age = 20 AND text LIKE "%x%""#).unwrap();
+        assert_eq!(clauses.len(), 3);
+        assert_eq!(clauses[0].arity(), 2);
+    }
+
+    #[test]
+    fn full_query() {
+        let q = parse_query("q7", r#"level = "Error" AND info LIKE "%disk%""#).unwrap();
+        assert_eq!(q.name, "q7");
+        assert_eq!(q.clauses.len(), 2);
+        assert_eq!(q.freq, 1.0);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_where(r#"a = 1 and b = 2"#).is_ok());
+        assert!(parse_clause(r#"t like "%x%""#).is_ok());
+        assert!(parse_clause(r#"k in (1,2)"#).is_ok());
+    }
+
+    #[test]
+    fn single_quotes_accepted() {
+        let c = parse_clause("name = 'Bob'").unwrap();
+        assert_eq!(
+            c,
+            Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() })
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse_where("name = ").unwrap_err();
+        assert!(err.message.contains("literal"));
+        let err = parse_where(r#"name ~ "Bob""#).unwrap_err();
+        assert!(err.offset > 0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "= 1",
+            "a =",
+            "a != 5",
+            "a LIKE \"no-wildcards\"",
+            "a LIKE \"%%\"",
+            "a LIKE \"%x%y%\"",
+            "a IN ()",
+            "a IN (true)",
+            "(a = 1",
+            "a = 1 AND",
+            "a = 1 extra",
+            "a < 1.5",
+            "a IS NULL",
+            "\"unterminated",
+        ] {
+            assert!(parse_where(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn dotted_keys() {
+        let c = parse_clause(r#"address.city = "Chicago""#).unwrap();
+        assert_eq!(c.disjuncts()[0].key(), "address.city");
+    }
+}

@@ -1,0 +1,217 @@
+//! Compilation of supported predicates into pattern strings (Table I).
+//!
+//! | Predicate            | Example                     | Pattern string(s)    |
+//! |----------------------|-----------------------------|----------------------|
+//! | Exact string match   | `name = "Bob"`              | `"Bob"` (quoted)     |
+//! | Substring match      | `text LIKE "%delicious%"`   | `delicious`          |
+//! | Key-presence match   | `email != NULL`             | `"email"` (quoted)   |
+//! | Key-value match      | `age = 10`                  | `"age"` then `10`    |
+//!
+//! A [`Pattern`] is what ships to the client. `Find` is a single
+//! substring search over the raw record. `KeyThenValue` first locates
+//! the quoted key, then scans forward for the value text, stopping at
+//! the next key-value delimiter (`,`) — exactly the two-phase search
+//! described in §IV-B. Both are conservative: they may return false
+//! positives (pattern appears somewhere unrelated) but never false
+//! negatives.
+
+use crate::ast::{Clause, SimplePredicate};
+use ciao_json::escape;
+use serde::{Deserialize, Serialize};
+
+/// A compiled raw-text matching program for one simple predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Match when `needle` occurs anywhere in the raw record.
+    Find {
+        /// Bytes to search for (includes JSON quotes where Table I says
+        /// so).
+        needle: String,
+    },
+    /// Match when `key` occurs, and `value` occurs between the key and
+    /// the next `,` (or end of record).
+    KeyThenValue {
+        /// Quoted key to locate first, e.g. `"age"`.
+        key: String,
+        /// Value text to find in the window after the key, e.g. `10`.
+        value: String,
+    },
+}
+
+impl Pattern {
+    /// Total pattern length in bytes — the `len(p)` input of the cost
+    /// model (paper §V-D).
+    pub fn pattern_len(&self) -> usize {
+        match self {
+            Pattern::Find { needle } => needle.len(),
+            Pattern::KeyThenValue { key, value } => key.len() + value.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pattern::Find { needle } => write!(f, "find({needle:?})"),
+            Pattern::KeyThenValue { key, value } => write!(f, "kv({key:?}, {value:?})"),
+        }
+    }
+}
+
+/// Compiles one simple predicate to its pattern, or `None` when the
+/// predicate is not client-supported.
+///
+/// Pattern text is built from the **JSON-escaped** form of keys and
+/// values: the client matches against serialized records, where a
+/// value like `a"b` appears as `a\"b`. Because JSON escaping maps each
+/// character independently, `value contains needle` implies
+/// `escape(value) contains escape(needle)` — so escaping preserves the
+/// no-false-negative guarantee.
+pub fn compile_simple(p: &SimplePredicate) -> Option<Pattern> {
+    match p {
+        SimplePredicate::StrEq { value, .. } => Some(Pattern::Find {
+            // The paper's exact match searches the *quoted operand*; the
+            // key is deliberately not part of the pattern (false
+            // positives accepted, §IV-B).
+            needle: format!("\"{}\"", escape(value)),
+        }),
+        SimplePredicate::StrContains { needle, .. } => Some(Pattern::Find {
+            needle: escape(needle),
+        }),
+        SimplePredicate::NotNull { key } => Some(Pattern::Find {
+            needle: format!("\"{}\"", escape(key)),
+        }),
+        SimplePredicate::IntEq { key, value } => Some(Pattern::KeyThenValue {
+            key: format!("\"{}\"", escape(key)),
+            value: value.to_string(),
+        }),
+        SimplePredicate::BoolEq { key, value } => Some(Pattern::KeyThenValue {
+            key: format!("\"{}\"", escape(key)),
+            value: value.to_string(),
+        }),
+        SimplePredicate::IntLt { .. }
+        | SimplePredicate::IntGt { .. }
+        | SimplePredicate::FloatEq { .. } => None,
+    }
+}
+
+/// A compiled clause: the record matches when **any** of the patterns
+/// matches (the clause is a disjunction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClausePattern {
+    /// One pattern per disjunct.
+    pub patterns: Vec<Pattern>,
+}
+
+impl ClausePattern {
+    /// Summed pattern length — the clause-level `len(p)` for costing.
+    /// A disjunction's cost is the sum of its disjunct costs (§V-D).
+    pub fn pattern_len(&self) -> usize {
+        self.patterns.iter().map(Pattern::pattern_len).sum()
+    }
+}
+
+/// Compiles a clause; `None` when any disjunct is unsupported (such a
+/// clause cannot be a pushdown candidate, §V-A).
+pub fn compile_clause(c: &Clause) -> Option<ClausePattern> {
+    let patterns: Option<Vec<Pattern>> = c.disjuncts().iter().map(compile_simple).collect();
+    patterns.map(|patterns| ClausePattern { patterns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_exact_match() {
+        let p = SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() };
+        assert_eq!(
+            compile_simple(&p),
+            Some(Pattern::Find { needle: "\"Bob\"".into() })
+        );
+    }
+
+    #[test]
+    fn table1_substring_match() {
+        let p = SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() };
+        assert_eq!(
+            compile_simple(&p),
+            Some(Pattern::Find { needle: "delicious".into() })
+        );
+    }
+
+    #[test]
+    fn table1_key_presence() {
+        let p = SimplePredicate::NotNull { key: "email".into() };
+        assert_eq!(
+            compile_simple(&p),
+            Some(Pattern::Find { needle: "\"email\"".into() })
+        );
+    }
+
+    #[test]
+    fn table1_key_value() {
+        let p = SimplePredicate::IntEq { key: "age".into(), value: 10 };
+        assert_eq!(
+            compile_simple(&p),
+            Some(Pattern::KeyThenValue { key: "\"age\"".into(), value: "10".into() })
+        );
+        let b = SimplePredicate::BoolEq { key: "isActive".into(), value: true };
+        assert_eq!(
+            compile_simple(&b),
+            Some(Pattern::KeyThenValue { key: "\"isActive\"".into(), value: "true".into() })
+        );
+    }
+
+    #[test]
+    fn unsupported_predicates_do_not_compile() {
+        assert_eq!(compile_simple(&SimplePredicate::IntLt { key: "a".into(), value: 1 }), None);
+        assert_eq!(compile_simple(&SimplePredicate::IntGt { key: "a".into(), value: 1 }), None);
+        assert_eq!(compile_simple(&SimplePredicate::FloatEq { key: "a".into(), value: 2.4 }), None);
+    }
+
+    #[test]
+    fn clause_compilation_is_all_or_nothing() {
+        let ok = Clause::new(vec![
+            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
+            SimplePredicate::StrEq { key: "name".into(), value: "John".into() },
+        ]);
+        let cp = compile_clause(&ok).unwrap();
+        assert_eq!(cp.patterns.len(), 2);
+        assert_eq!(cp.pattern_len(), 5 + 6); // "Bob" + "John" with quotes
+
+        let mixed = Clause::new(vec![
+            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
+            SimplePredicate::IntLt { key: "age".into(), value: 20 },
+        ]);
+        assert_eq!(compile_clause(&mixed), None);
+    }
+
+    #[test]
+    fn escapable_characters_compiled_escaped() {
+        let p = SimplePredicate::StrEq { key: "k".into(), value: "a\"b\\c".into() };
+        assert_eq!(
+            compile_simple(&p),
+            Some(Pattern::Find { needle: "\"a\\\"b\\\\c\"".into() })
+        );
+        let c = SimplePredicate::StrContains { key: "k".into(), needle: "x\ny".into() };
+        assert_eq!(
+            compile_simple(&c),
+            Some(Pattern::Find { needle: "x\\ny".into() })
+        );
+    }
+
+    #[test]
+    fn pattern_len() {
+        let p = Pattern::Find { needle: "abc".into() };
+        assert_eq!(p.pattern_len(), 3);
+        let kv = Pattern::KeyThenValue { key: "\"age\"".into(), value: "10".into() };
+        assert_eq!(kv.pattern_len(), 7);
+    }
+
+    #[test]
+    fn display() {
+        let p = Pattern::Find { needle: "x".into() };
+        assert_eq!(p.to_string(), "find(\"x\")");
+    }
+}

@@ -1,0 +1,193 @@
+//! Selectivity estimation from sampled records.
+//!
+//! The optimizer's objective `f(S) = Σ_q freq(q)·(1 − Π sel(p))` needs
+//! per-clause selectivities. The paper estimates them "by evaluating
+//! \[predicates\] on sampled datasets" (§VII-C); this module does exactly
+//! that: evaluate each clause with exact typed semantics over a sample
+//! and take the hit fraction, with Laplace smoothing so that a clause
+//! that misses the whole sample is not treated as impossibly selective.
+
+use crate::ast::Clause;
+use crate::eval::eval_clause;
+use ciao_json::JsonValue;
+use std::collections::HashMap;
+
+/// A map from clause to estimated selectivity in `(0, 1]`.
+#[derive(Debug, Clone)]
+pub struct SelectivityMap {
+    map: HashMap<Clause, f64>,
+    /// Returned for clauses never estimated; deliberately pessimistic
+    /// (a predicate we know nothing about filters nothing).
+    default: f64,
+}
+
+impl SelectivityMap {
+    /// Creates an empty map with the given default selectivity.
+    pub fn with_default(default: f64) -> SelectivityMap {
+        assert!((0.0..=1.0).contains(&default), "selectivity must be in [0,1]");
+        SelectivityMap {
+            map: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Records a selectivity for a clause.
+    pub fn insert(&mut self, clause: Clause, sel: f64) {
+        assert!(
+            (0.0..=1.0).contains(&sel) && sel.is_finite(),
+            "selectivity {sel} out of range for {clause}"
+        );
+        self.map.insert(clause, sel);
+    }
+
+    /// Looks up a clause, falling back to the default.
+    pub fn get(&self, clause: &Clause) -> f64 {
+        self.map.get(clause).copied().unwrap_or(self.default)
+    }
+
+    /// True when the clause has an explicit estimate.
+    pub fn contains(&self, clause: &Clause) -> bool {
+        self.map.contains_key(clause)
+    }
+
+    /// Number of explicit estimates.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no explicit estimates exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(clause, selectivity)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Clause, f64)> {
+        self.map.iter().map(|(c, s)| (c, *s))
+    }
+}
+
+/// Estimates the selectivity of one clause over a sample using exact
+/// evaluation, with add-one (Laplace) smoothing:
+/// `(hits + 1) / (n + 2)`. Returns the smoothed prior `0.5` on an
+/// empty sample.
+pub fn estimate_clause_selectivity(clause: &Clause, sample: &[JsonValue]) -> f64 {
+    let n = sample.len();
+    let hits = sample.iter().filter(|r| eval_clause(clause, r)).count();
+    (hits + 1) as f64 / (n + 2) as f64
+}
+
+/// Builds selectivity estimates for many clauses over one sample pass.
+#[derive(Debug)]
+pub struct SelectivityEstimator<'a> {
+    sample: &'a [JsonValue],
+}
+
+impl<'a> SelectivityEstimator<'a> {
+    /// Wraps a sample of parsed records.
+    pub fn new(sample: &'a [JsonValue]) -> Self {
+        SelectivityEstimator { sample }
+    }
+
+    /// Sample size.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Estimates every clause into a [`SelectivityMap`]. Duplicate
+    /// clauses are estimated once.
+    pub fn estimate_all<'c>(
+        &self,
+        clauses: impl IntoIterator<Item = &'c Clause>,
+    ) -> SelectivityMap {
+        let mut map = SelectivityMap::with_default(1.0);
+        for clause in clauses {
+            if !map.contains(clause) {
+                map.insert(clause.clone(), estimate_clause_selectivity(clause, self.sample));
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SimplePredicate;
+    use ciao_json::parse;
+
+    fn sample() -> Vec<JsonValue> {
+        (0..100)
+            .map(|i| {
+                parse(&format!(
+                    r#"{{"stars":{},"name":"user{}"}}"#,
+                    i % 5 + 1,
+                    i
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn stars_eq(v: i64) -> Clause {
+        Clause::single(SimplePredicate::IntEq { key: "stars".into(), value: v })
+    }
+
+    #[test]
+    fn estimates_hit_fraction() {
+        let s = sample();
+        // 20 of 100 records have stars = 3; smoothed (20+1)/102.
+        let sel = estimate_clause_selectivity(&stars_eq(3), &s);
+        assert!((sel - 21.0 / 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_hits_smoothed_above_zero() {
+        let s = sample();
+        let sel = estimate_clause_selectivity(&stars_eq(99), &s);
+        assert!(sel > 0.0);
+        assert!(sel < 0.02);
+    }
+
+    #[test]
+    fn all_hits_smoothed_below_one() {
+        let s = sample();
+        let c = Clause::single(SimplePredicate::NotNull { key: "stars".into() });
+        let sel = estimate_clause_selectivity(&c, &s);
+        assert!(sel < 1.0);
+        assert!(sel > 0.98);
+    }
+
+    #[test]
+    fn empty_sample_gives_prior() {
+        let sel = estimate_clause_selectivity(&stars_eq(1), &[]);
+        assert_eq!(sel, 0.5);
+    }
+
+    #[test]
+    fn estimator_dedups() {
+        let s = sample();
+        let clauses = vec![stars_eq(1), stars_eq(2), stars_eq(1)];
+        let map = SelectivityEstimator::new(&s).estimate_all(&clauses);
+        assert_eq!(map.len(), 2);
+        assert!(map.contains(&stars_eq(1)));
+        assert!(map.contains(&stars_eq(2)));
+        // Unknown clause falls back to default 1.0 (filters nothing).
+        assert_eq!(map.get(&stars_eq(5)), 1.0);
+    }
+
+    #[test]
+    fn map_validation() {
+        let mut map = SelectivityMap::with_default(1.0);
+        map.insert(stars_eq(1), 0.25);
+        assert_eq!(map.get(&stars_eq(1)), 0.25);
+        assert_eq!(map.iter().count(), 1);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_selectivity() {
+        let mut map = SelectivityMap::with_default(1.0);
+        map.insert(stars_eq(1), 1.5);
+    }
+}

@@ -1,0 +1,70 @@
+//! Parser ↔ printer round-trip: `parse(display(x)) == x` for every
+//! representable predicate (the `Display` impls are the canonical SQL
+//! form used in reports and plans, so they must stay parseable).
+
+use ciao_predicate::{parse_clause, parse_where, Clause, Query, SimplePredicate};
+use proptest::prelude::*;
+
+fn arb_simple() -> impl Strategy<Value = SimplePredicate> {
+    let key = "[a-z][a-z_]{0,8}";
+    prop_oneof![
+        (key, "[a-zA-Z0-9 _\\.\\-]{0,12}").prop_map(|(key, value)| SimplePredicate::StrEq {
+            key,
+            value
+        }),
+        (key, "[a-zA-Z0-9_\\-]{1,10}").prop_map(|(key, needle)| {
+            SimplePredicate::StrContains { key, needle }
+        }),
+        key.prop_map(|key| SimplePredicate::NotNull { key }),
+        (key, -1000i64..1000).prop_map(|(key, value)| SimplePredicate::IntEq { key, value }),
+        (key, any::<bool>()).prop_map(|(key, value)| SimplePredicate::BoolEq { key, value }),
+        (key, -1000i64..1000).prop_map(|(key, value)| SimplePredicate::IntLt { key, value }),
+        (key, -1000i64..1000).prop_map(|(key, value)| SimplePredicate::IntGt { key, value }),
+    ]
+}
+
+fn arb_clause() -> impl Strategy<Value = Clause> {
+    prop::collection::vec(arb_simple(), 1..4).prop_map(Clause::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simple_predicate_roundtrips(p in arb_simple()) {
+        let text = p.to_string();
+        let back = parse_clause(&text)
+            .unwrap_or_else(|e| panic!("display output {text:?} failed to parse: {e}"));
+        prop_assert_eq!(back, Clause::single(p));
+    }
+
+    #[test]
+    fn clause_roundtrips(c in arb_clause()) {
+        let text = c.to_string();
+        let back = parse_clause(&text)
+            .unwrap_or_else(|e| panic!("display output {text:?} failed to parse: {e}"));
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn conjunction_roundtrips(clauses in prop::collection::vec(arb_clause(), 1..5)) {
+        let q = Query::new("q", clauses.clone());
+        // Strip the "SELECT COUNT(*) WHERE " prefix from Display.
+        let text = q.to_string();
+        let body = text.strip_prefix("SELECT COUNT(*) WHERE ").unwrap();
+        let back = parse_where(body)
+            .unwrap_or_else(|e| panic!("query body {body:?} failed to parse: {e}"));
+        prop_assert_eq!(back, clauses);
+    }
+}
+
+#[test]
+fn float_eq_displays_parseably_for_fractional_values() {
+    // FloatEq's Display uses Rust float formatting; fractional values
+    // round-trip, integral ones parse back as IntEq (documented
+    // asymmetry — FloatEq on an integral literal is not constructible
+    // from SQL text either).
+    let p = SimplePredicate::FloatEq { key: "score".into(), value: 2.5 };
+    let back = parse_clause(&p.to_string()).unwrap();
+    assert_eq!(back, Clause::single(p));
+}

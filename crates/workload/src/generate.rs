@@ -1,0 +1,276 @@
+//! Workload generation (paper §VII-C, Table III).
+//!
+//! Every predicate in the pool gets a selection probability; a query
+//! includes predicate `i` independently with probability `p_i`. All
+//! workloads share the same **expected** number of predicates per
+//! query; the *distribution* of the `p_i` sets overlap and skewness:
+//!
+//! * `Uniform` — every predicate equally likely (workload C);
+//! * `Zipf { exponent }` — rank-`i` predicate weighted `1/(i+1)^s`.
+//!
+//! Note on parameters: numpy's Zipf parameterization (used by the
+//! paper, where *smaller* parameter = more skew) differs from ours,
+//! where a **larger exponent is more skewed**. Presets A/B map to
+//! exponents 2.0/1.2 to reproduce Table III's "A is most skewed"
+//! ordering.
+
+use crate::pool::PredicatePool;
+use ciao_datagen::Dataset;
+use ciao_predicate::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How selection probabilities are distributed over the pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Equal probability for every pool predicate.
+    Uniform,
+    /// Zipfian probabilities by pool rank; larger exponent = fewer
+    /// distinct predicates dominate = more overlap across queries.
+    Zipf {
+        /// The Zipf exponent `s` (> 0).
+        exponent: f64,
+    },
+}
+
+impl WorkloadKind {
+    /// Display label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadKind::Uniform => "Uniform".into(),
+            WorkloadKind::Zipf { exponent } => format!("Zipfian(s={exponent})"),
+        }
+    }
+}
+
+/// A complete workload specification.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Target dataset.
+    pub dataset: Dataset,
+    /// Draw distribution.
+    pub kind: WorkloadKind,
+    /// Number of queries (paper end-to-end runs use 200).
+    pub queries: usize,
+    /// Expected predicates per query (paper default 3).
+    pub expected_predicates: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Paper workload A: highly skewed, high overlap (the "easy" case).
+    pub fn workload_a(dataset: Dataset, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            dataset,
+            kind: WorkloadKind::Zipf { exponent: 2.0 },
+            queries: 200,
+            expected_predicates: 3.0,
+            seed,
+        }
+    }
+
+    /// Paper workload B: moderately skewed.
+    pub fn workload_b(dataset: Dataset, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            dataset,
+            kind: WorkloadKind::Zipf { exponent: 1.2 },
+            queries: 200,
+            expected_predicates: 3.0,
+            seed,
+        }
+    }
+
+    /// Paper workload C: uniform, low overlap (the "challenging" case).
+    pub fn workload_c(dataset: Dataset, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            dataset,
+            kind: WorkloadKind::Uniform,
+            queries: 200,
+            expected_predicates: 3.0,
+            seed,
+        }
+    }
+
+    /// All three presets with their paper labels.
+    pub fn presets(dataset: Dataset, seed: u64) -> [(char, WorkloadConfig); 3] {
+        [
+            ('A', Self::workload_a(dataset, seed)),
+            ('B', Self::workload_b(dataset, seed)),
+            ('C', Self::workload_c(dataset, seed)),
+        ]
+    }
+
+    /// Per-predicate selection probabilities over a pool of `n`,
+    /// scaled so the expected per-query predicate count is
+    /// `expected_predicates`.
+    fn probabilities(&self, n: usize) -> Vec<f64> {
+        let weights: Vec<f64> = match self.kind {
+            WorkloadKind::Uniform => vec![1.0; n],
+            WorkloadKind::Zipf { exponent } => {
+                (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect()
+            }
+        };
+        let total: f64 = weights.iter().sum();
+        weights
+            .into_iter()
+            .map(|w| (w / total * self.expected_predicates).min(1.0))
+            .collect()
+    }
+
+    /// Generates the workload from a pool. Queries are named
+    /// `q0..qN-1` with uniform frequency (as in the paper's runs).
+    /// Every query gets at least one predicate.
+    pub fn generate(&self, pool: &PredicatePool) -> Vec<Query> {
+        assert_eq!(pool.dataset, self.dataset, "pool/config dataset mismatch");
+        assert!(!pool.is_empty(), "cannot draw from an empty pool");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x574b4c44); // "WKLD"
+        let probs = self.probabilities(pool.len());
+        // Shuffle ranks so Zipf head predicates aren't always the first
+        // template's values.
+        let mut rank_of: Vec<usize> = (0..pool.len()).collect();
+        for i in (1..rank_of.len()).rev() {
+            rank_of.swap(i, rng.gen_range(0..=i));
+        }
+
+        (0..self.queries)
+            .map(|qi| {
+                let mut clauses = Vec::new();
+                for (idx, clause) in pool.clauses.iter().enumerate() {
+                    if rng.gen_bool(probs[rank_of[idx]]) {
+                        clauses.push(clause.clone());
+                    }
+                }
+                if clauses.is_empty() {
+                    // Force one draw, weighted like the distribution.
+                    let pick = weighted_pick(&mut rng, &probs);
+                    let idx = rank_of.iter().position(|&r| r == pick).expect("permutation");
+                    clauses.push(pool.clauses[idx].clone());
+                }
+                Query::new(format!("q{qi}"), clauses)
+            })
+            .collect()
+    }
+}
+
+fn weighted_pick(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if t < *w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::build_pool;
+    use crate::skewness::{predicate_counts, skewness_factor};
+
+    #[test]
+    fn expected_predicate_count_respected() {
+        let pool = build_pool(Dataset::WinLog);
+        for kind in [WorkloadKind::Uniform, WorkloadKind::Zipf { exponent: 1.5 }] {
+            let cfg = WorkloadConfig {
+                dataset: Dataset::WinLog,
+                kind,
+                queries: 400,
+                expected_predicates: 3.0,
+                seed: 5,
+            };
+            let queries = cfg.generate(&pool);
+            let total: usize = queries.iter().map(|q| q.clauses.len()).sum();
+            let mean = total as f64 / queries.len() as f64;
+            assert!(
+                (mean - 3.0).abs() < 0.4,
+                "{:?}: mean predicates {mean}",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn every_query_has_a_predicate() {
+        let pool = build_pool(Dataset::Ycsb);
+        let cfg = WorkloadConfig {
+            dataset: Dataset::Ycsb,
+            kind: WorkloadKind::Zipf { exponent: 3.0 },
+            queries: 300,
+            expected_predicates: 1.0,
+            seed: 9,
+        };
+        for q in cfg.generate(&pool) {
+            assert!(!q.clauses.is_empty());
+        }
+    }
+
+    #[test]
+    fn zipf_more_skewed_than_uniform() {
+        let pool = build_pool(Dataset::WinLog);
+        let skew_of = |cfg: &WorkloadConfig| {
+            let queries = cfg.generate(&pool);
+            skewness_factor(&predicate_counts(&queries))
+        };
+        let a = skew_of(&WorkloadConfig::workload_a(Dataset::WinLog, 1));
+        let b = skew_of(&WorkloadConfig::workload_b(Dataset::WinLog, 1));
+        let c = skew_of(&WorkloadConfig::workload_c(Dataset::WinLog, 1));
+        // The skewness *factor* is not monotone in the Zipf exponent
+        // (probability capping at 1.0 bimodalizes the counts at extreme
+        // skew), but both Zipf workloads must out-skew uniform.
+        assert!(a > c, "A ({a}) should be more skewed than C ({c})");
+        assert!(b > c, "B ({b}) should be more skewed than C ({c})");
+
+        // Concentration, the operative property for CIAO, *is*
+        // monotone: A reuses fewer distinct predicates than B than C.
+        let distinct = |cfg: &WorkloadConfig| {
+            predicate_counts(&cfg.generate(&pool)).len()
+        };
+        let da = distinct(&WorkloadConfig::workload_a(Dataset::WinLog, 1));
+        let db = distinct(&WorkloadConfig::workload_b(Dataset::WinLog, 1));
+        let dc = distinct(&WorkloadConfig::workload_c(Dataset::WinLog, 1));
+        assert!(da < db && db < dc, "concentration ordering violated: {da}, {db}, {dc}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_fewer_predicates() {
+        let pool = build_pool(Dataset::Yelp);
+        let distinct = |cfg: &WorkloadConfig| {
+            predicate_counts(&cfg.generate(&pool)).len()
+        };
+        let a = distinct(&WorkloadConfig::workload_a(Dataset::Yelp, 2));
+        let c = distinct(&WorkloadConfig::workload_c(Dataset::Yelp, 2));
+        assert!(
+            a < c / 2,
+            "skewed workload should reuse far fewer distinct predicates: {a} vs {c}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pool = build_pool(Dataset::Yelp);
+        let cfg = WorkloadConfig::workload_b(Dataset::Yelp, 77);
+        let q1 = cfg.generate(&pool);
+        let q2 = cfg.generate(&pool);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset mismatch")]
+    fn dataset_mismatch_rejected() {
+        let pool = build_pool(Dataset::Yelp);
+        WorkloadConfig::workload_a(Dataset::Ycsb, 0).generate(&pool);
+    }
+
+    #[test]
+    fn preset_labels() {
+        let presets = WorkloadConfig::presets(Dataset::WinLog, 0);
+        assert_eq!(presets[0].0, 'A');
+        assert_eq!(presets[2].1.kind, WorkloadKind::Uniform);
+        assert_eq!(WorkloadKind::Uniform.label(), "Uniform");
+        assert!(WorkloadKind::Zipf { exponent: 2.0 }.label().contains("2"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Query-workload generation (paper §VII-C).
+//!
+//! All experiment queries share one template —
+//! `SELECT COUNT(*) FROM <dataset> WHERE <conjunctive predicates>` —
+//! and differ only in how their predicates are drawn from a
+//! dataset-specific **predicate pool** built from the templates of
+//! paper Table II. Draw distributions (uniform vs Zipfian) control
+//! predicate overlap and skewness; Table III's workloads A/B/C are
+//! concrete presets.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod pool;
+pub mod skewness;
+pub mod templates;
+
+pub use generate::{WorkloadConfig, WorkloadKind};
+pub use pool::{build_pool, PredicatePool};
+pub use skewness::{predicate_counts, skewness_factor};
+pub use templates::{template_summaries, TemplateSummary};

@@ -1,0 +1,194 @@
+//! Concrete predicate pools instantiating the Table II templates.
+
+use ciao_datagen::{winlog, ycsb, yelp, Dataset};
+use ciao_predicate::{Clause, SimplePredicate};
+
+/// A dataset's pool of candidate clauses (all single-disjunct; the
+/// workload generator builds IN-lists on top when asked to).
+#[derive(Debug, Clone)]
+pub struct PredicatePool {
+    /// The dataset the pool targets.
+    pub dataset: Dataset,
+    /// Candidate clauses, ordered template by template.
+    pub clauses: Vec<Clause>,
+}
+
+impl PredicatePool {
+    /// Number of candidate predicates.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True when empty (never the case for the three datasets).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+fn str_eq(key: &str, value: impl Into<String>) -> Clause {
+    Clause::single(SimplePredicate::StrEq {
+        key: key.into(),
+        value: value.into(),
+    })
+}
+
+fn int_eq(key: &str, value: i64) -> Clause {
+    Clause::single(SimplePredicate::IntEq {
+        key: key.into(),
+        value,
+    })
+}
+
+fn contains(key: &str, needle: impl Into<String>) -> Clause {
+    Clause::single(SimplePredicate::StrContains {
+        key: key.into(),
+        needle: needle.into(),
+    })
+}
+
+fn bool_eq(key: &str, value: bool) -> Clause {
+    Clause::single(SimplePredicate::BoolEq {
+        key: key.into(),
+        value,
+    })
+}
+
+/// Builds the full predicate pool for a dataset (paper Table II).
+pub fn build_pool(dataset: Dataset) -> PredicatePool {
+    let mut clauses = Vec::new();
+    match dataset {
+        Dataset::Yelp => {
+            for key in ["useful", "cool", "funny"] {
+                for v in 0..100 {
+                    clauses.push(int_eq(key, v));
+                }
+            }
+            for v in 1..=5 {
+                clauses.push(int_eq("stars", v));
+            }
+            for user in yelp::POPULAR_USERS {
+                clauses.push(str_eq("user_id", user));
+            }
+            for kw in ciao_datagen::text::YELP_KEYWORDS {
+                clauses.push(contains("text", *kw));
+            }
+            for year in 2004..2018 {
+                clauses.push(contains("date", year.to_string()));
+            }
+            for month in 1..=12 {
+                clauses.push(contains("date", format!("-{month:02}-")));
+            }
+        }
+        Dataset::WinLog => {
+            for kw in ciao_datagen::text::keyword_pool(200) {
+                clauses.push(contains("info", kw));
+            }
+            for month in 1..=12 {
+                clauses.push(contains("time", format!("-{month:02}-")));
+            }
+            for day in 1..=30 {
+                clauses.push(contains("time", format!("-{day:02} ")));
+            }
+            for hour in 0..24 {
+                clauses.push(contains("time", format!(" {hour:02}:")));
+            }
+            for minute in 0..60 {
+                clauses.push(contains("time", format!(":{minute:02}:")));
+            }
+            for second in 0..60 {
+                clauses.push(contains("time", format!(":{second:02},")));
+            }
+        }
+        Dataset::Ycsb => {
+            clauses.push(bool_eq("isActive", true));
+            clauses.push(bool_eq("isActive", false));
+            for v in 0..100 {
+                clauses.push(int_eq("linear_score", v));
+            }
+            for v in 0..100 {
+                clauses.push(int_eq("weighted_score", v));
+            }
+            for c in ycsb::PHONE_COUNTRIES {
+                clauses.push(str_eq("phone_country", c));
+            }
+            for g in ycsb::AGE_GROUPS {
+                clauses.push(str_eq("age_group", g));
+            }
+            for v in 0..100 {
+                clauses.push(int_eq("age_by_group", v));
+            }
+            for d in ycsb::URL_DOMAINS {
+                clauses.push(contains("url", format!(".{d}/")));
+            }
+            for s in ycsb::URL_SITES {
+                clauses.push(contains("url", format!("//{s}.")));
+            }
+            for e in ycsb::EMAIL_DOMAINS {
+                clauses.push(contains("email", e));
+            }
+        }
+    }
+    // The level predicates used by the §VII-E selectivity
+    // micro-benchmarks ride along for WinLog.
+    if dataset == Dataset::WinLog {
+        for (level, _) in winlog::LEVELS {
+            clauses.push(str_eq("level", level));
+        }
+    }
+    PredicatePool { dataset, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::pool_size;
+
+    #[test]
+    fn pool_sizes_match_table2() {
+        assert_eq!(build_pool(Dataset::Yelp).len(), pool_size(Dataset::Yelp));
+        // +4 level predicates for the micro-benchmarks.
+        assert_eq!(build_pool(Dataset::WinLog).len(), pool_size(Dataset::WinLog) + 4);
+        assert_eq!(build_pool(Dataset::Ycsb).len(), pool_size(Dataset::Ycsb));
+    }
+
+    #[test]
+    fn pools_are_duplicate_free() {
+        for ds in Dataset::all() {
+            let pool = build_pool(ds);
+            let set: std::collections::HashSet<_> = pool.clauses.iter().collect();
+            assert_eq!(set.len(), pool.len(), "{ds} pool has duplicates");
+        }
+    }
+
+    #[test]
+    fn all_pool_predicates_are_pushable() {
+        // Table II only contains client-supported predicate forms.
+        for ds in Dataset::all() {
+            for c in &build_pool(ds).clauses {
+                assert!(c.is_pushable(), "{c} not pushable");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_predicates_hit_generated_data() {
+        // Sanity: a healthy fraction of pool predicates match at least
+        // one record in a generated sample, i.e. templates and
+        // generators agree on value domains.
+        for ds in Dataset::all() {
+            let records = ds.generate(99, 500);
+            let pool = build_pool(ds);
+            let matching = pool
+                .clauses
+                .iter()
+                .filter(|c| records.iter().any(|r| ciao_predicate::eval_clause(c, r)))
+                .count();
+            let frac = matching as f64 / pool.len() as f64;
+            assert!(
+                frac > 0.5,
+                "{ds}: only {matching}/{} pool predicates match any record",
+                pool.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's skewness factor (§VII-E-3):
+//!
+//! ```text
+//!           Σ_{i=1..N} (X_i − X̄)³
+//! skew = ─────────────────────────
+//!              (N − 1) · σ³
+//! ```
+//!
+//! where `X_i` is the number of queries containing distinct predicate
+//! `i`, `X̄` its mean, and `σ` the (population) standard deviation.
+
+use ciao_predicate::{Clause, Query};
+use std::collections::HashMap;
+
+/// Counts, for every distinct clause, how many queries include it.
+pub fn predicate_counts(queries: &[Query]) -> HashMap<Clause, usize> {
+    let mut counts: HashMap<Clause, usize> = HashMap::new();
+    for q in queries {
+        // A clause appearing twice in one query still counts once.
+        let mut seen: Vec<&Clause> = Vec::new();
+        for c in &q.clauses {
+            if !seen.contains(&c) {
+                seen.push(c);
+                *counts.entry(c.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// The skewness factor over the occurrence counts. Returns 0 for
+/// degenerate inputs (fewer than 2 distinct predicates, or zero
+/// variance).
+pub fn skewness_factor(counts: &HashMap<Clause, usize>) -> f64 {
+    let n = counts.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = counts.values().map(|&c| c as f64).collect();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let variance = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let sigma = variance.sqrt();
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let third: f64 = xs.iter().map(|x| (x - mean).powi(3)).sum();
+    third / ((n as f64 - 1.0) * sigma.powi(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_predicate::parse_query;
+
+    fn queries(specs: &[&str]) -> Vec<Query> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| parse_query(&format!("q{i}"), s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn counts_distinct_per_query() {
+        let qs = queries(&[
+            "a = 1 AND b = 2",
+            "a = 1",
+            "a = 1 AND a = 1", // duplicate within one query counts once
+        ]);
+        let counts = predicate_counts(&qs);
+        assert_eq!(counts.len(), 2);
+        let a = ciao_predicate::parse_clause("a = 1").unwrap();
+        let b = ciao_predicate::parse_clause("b = 2").unwrap();
+        assert_eq!(counts[&a], 3);
+        assert_eq!(counts[&b], 1);
+    }
+
+    #[test]
+    fn uniform_counts_have_zero_skew() {
+        let qs = queries(&["a = 1 AND b = 2", "a = 1 AND b = 2"]);
+        let counts = predicate_counts(&qs);
+        assert_eq!(skewness_factor(&counts), 0.0); // zero variance
+    }
+
+    #[test]
+    fn right_skewed_counts_are_positive() {
+        // One predicate in nearly every query, many singletons — the
+        // "head-heavy" shape workload A produces.
+        let qs = queries(&[
+            "hot = 1 AND c1 = 1",
+            "hot = 1 AND c2 = 1",
+            "hot = 1 AND c3 = 1",
+            "hot = 1 AND c4 = 1",
+            "hot = 1 AND c5 = 1",
+        ]);
+        let skew = skewness_factor(&predicate_counts(&qs));
+        assert!(skew > 1.0, "expected strong positive skew, got {skew}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(skewness_factor(&HashMap::new()), 0.0);
+        let one = predicate_counts(&queries(&["a = 1"]));
+        assert_eq!(skewness_factor(&one), 0.0);
+    }
+}

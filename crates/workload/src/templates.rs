@@ -1,0 +1,82 @@
+//! Predicate templates per dataset (paper Table II).
+
+use ciao_datagen::Dataset;
+
+/// One row of Table II: a predicate template and its candidate count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateSummary {
+    /// Template text, as printed in the paper.
+    pub template: &'static str,
+    /// Number of candidate values for the template.
+    pub candidates: usize,
+}
+
+/// The Table II rows for a dataset. The candidate counts are the
+/// ground truth `pool.rs` is tested against.
+pub fn template_summaries(dataset: Dataset) -> Vec<TemplateSummary> {
+    let rows: &[(&'static str, usize)] = match dataset {
+        Dataset::Yelp => &[
+            ("useful = <int>", 100),
+            ("cool = <int>", 100),
+            ("funny = <int>", 100),
+            ("stars = <int>", 5),
+            ("user_id = <string>", 5),
+            ("text LIKE <string>", 5),
+            ("date LIKE \"%20[0-1][0-9]%\" (year)", 14),
+            ("date LIKE \"%-[0-1][0-9]-%\" (month)", 12),
+        ],
+        Dataset::WinLog => &[
+            ("info LIKE <string>", 200),
+            ("time LIKE \"%-[0-1][0-9]-%\" (month)", 12),
+            ("time LIKE \"%-[0-3][0-9] %\" (day)", 30),
+            ("time LIKE \"%[0-2][0-9]:%\" (hour)", 24),
+            ("time LIKE \"%:[0-5][0-9]:%\" (minute)", 60),
+            ("time LIKE \"%:[0-5][0-9],%\" (second)", 60),
+        ],
+        Dataset::Ycsb => &[
+            ("isActive = <boolean>", 2),
+            ("linear_score = <int>", 100),
+            ("weighted_score = <int>", 100),
+            ("phone_country = <string>", 3),
+            ("age_group = <string>", 4),
+            ("age_by_group = <int>", 100),
+            ("url_domain LIKE <string>", 12),
+            ("url_site LIKE <string>", 14),
+            ("email LIKE <string>", 2),
+        ],
+    };
+    rows.iter()
+        .map(|&(template, candidates)| TemplateSummary {
+            template,
+            candidates,
+        })
+        .collect()
+}
+
+/// Total pool size for a dataset.
+pub fn pool_size(dataset: Dataset) -> usize {
+    template_summaries(dataset)
+        .iter()
+        .map(|t| t.candidates)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_match_paper() {
+        assert_eq!(template_summaries(Dataset::Yelp).len(), 8);
+        assert_eq!(template_summaries(Dataset::WinLog).len(), 6);
+        assert_eq!(template_summaries(Dataset::Ycsb).len(), 9);
+    }
+
+    #[test]
+    fn pool_sizes() {
+        assert_eq!(pool_size(Dataset::Yelp), 341);
+        // Paper prints 31 days; our simplified calendar has 30.
+        assert_eq!(pool_size(Dataset::WinLog), 386);
+        assert_eq!(pool_size(Dataset::Ycsb), 337);
+    }
+}

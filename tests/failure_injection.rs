@@ -1,0 +1,126 @@
+//! Failure injection across the stack: malformed records, budget
+//! exhaustion, schema-violating values, desynchronized bitvectors.
+//! CIAO's contract under failure is "never lose a record, never return
+//! a wrong count" — degradation is allowed, silence is not.
+
+use ciao::{AdmissionPolicy, CiaoConfig, Loader, Pipeline, PushdownPlan, Server};
+use ciao_client::{Budget, BudgetedPrefilter, ClientStats, Prefilter};
+use ciao_columnar::Schema;
+use ciao_json::RecordChunk;
+use ciao_optimizer::CostModel;
+use ciao_predicate::{compile_clause, parse_clause, parse_query};
+use std::sync::Arc;
+
+fn dirty_ndjson(n: usize) -> String {
+    (0..n)
+        .map(|i| match i % 10 {
+            // A malformed line every 10 records.
+            3 => "{\"stars\": oops not json\n".to_owned(),
+            // A schema-violating value (string in an int field).
+            7 => format!("{{\"stars\":\"five\",\"name\":\"u{i}\"}}\n"),
+            _ => format!("{{\"stars\":{},\"name\":\"u{}\"}}\n", i % 5 + 1, i),
+        })
+        .collect()
+}
+
+#[test]
+fn malformed_records_survive_end_to_end() {
+    let data = dirty_ndjson(500);
+    let queries = vec![
+        parse_query("q0", "stars = 5").unwrap(),
+        parse_query("q1", r#"name = "u7""#).unwrap(), // i=7 is the bad-stars record
+    ];
+    let report = Pipeline::new(CiaoConfig::default().with_budget_micros(5.0))
+        .run(&data, &queries)
+        .expect("pipeline survives dirty input");
+
+    // Ground truth over the 500 lines: malformed lines match nothing;
+    // stars = 5 ⇔ i % 5 == 4 and i % 10 ∉ {3, 7}.
+    let expected_stars5 = (0..500)
+        .filter(|i| i % 5 == 4 && i % 10 != 3 && i % 10 != 7)
+        .count();
+    assert_eq!(report.query_results[0].count, expected_stars5);
+    // u7's stars field is the string "five": stored as NULL in the int
+    // column, but the name predicate still finds the record.
+    assert_eq!(report.query_results[1].count, 1);
+    // Nothing was dropped.
+    assert_eq!(report.records, 500);
+    assert_eq!(report.load.total(), 500);
+    assert!(report.load.coercion_failures > 0);
+}
+
+#[test]
+fn budget_degradation_preserves_answers() {
+    // A zero runtime budget forces the client to degrade every chunk
+    // to all-ones bits. More records get loaded (no filtering power),
+    // but every count must stay exact.
+    let raw: Vec<String> = (0..400)
+        .map(|i| format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i))
+        .collect();
+    let chunk = RecordChunk::from_records(&raw).unwrap();
+    let sample: Vec<_> = raw.iter().map(|r| ciao_json::parse(r).unwrap()).collect();
+    let queries = vec![parse_query("q", "stars = 5").unwrap()];
+    let plan = PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 10.0)
+        .unwrap();
+    assert!(!plan.is_empty());
+    let schema = Arc::new(Schema::infer(&sample).unwrap());
+    let mut server = Server::new(plan, schema, 64);
+
+    let budgeted = BudgetedPrefilter::new(server.plan().prefilter(), Budget::per_record_micros(0.0))
+        .with_check_interval(1)
+        .with_slack(1.0);
+    let mut stats = ClientStats::default();
+    for sub in chunk.split(64) {
+        let filter = budgeted.run_chunk(&sub, &mut stats);
+        server.ingest(&sub, &filter);
+    }
+    server.finalize();
+    assert!(stats.degraded_chunks > 0, "degradation should have triggered");
+
+    let out = server.execute(&queries[0]);
+    assert_eq!(out.count, 80, "degraded bits must not change the answer");
+}
+
+#[test]
+fn loader_rejects_desynchronized_bitvectors() {
+    let schema = Arc::new(
+        Schema::infer(&[ciao_json::parse(r#"{"a":1}"#).unwrap()]).unwrap(),
+    );
+    let pattern = compile_clause(&parse_clause("a = 1").unwrap()).unwrap();
+    let pf = Prefilter::new([(0, pattern)]);
+    let short = RecordChunk::from_records(&[r#"{"a":1}"#]).unwrap();
+    let long = RecordChunk::from_records(&[r#"{"a":1}"#, r#"{"a":2}"#]).unwrap();
+    let filter = pf.run_chunk(&short);
+    let mut loader = Loader::new(schema, &[0], AdmissionPolicy::from_coverage(&[vec![0]]), 16);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        loader.load_chunk(&long, &filter);
+    }));
+    assert!(result.is_err(), "framing desync must fail loudly");
+}
+
+#[test]
+fn all_garbage_chunk_is_fully_parked() {
+    let schema = Arc::new(
+        Schema::infer(&[ciao_json::parse(r#"{"a":1}"#).unwrap()]).unwrap(),
+    );
+    let chunk = RecordChunk::from_records(&["garbage", "also garbage {"]).unwrap();
+    let filter = Prefilter::new([]).run_chunk(&chunk);
+    let mut loader = Loader::new(schema, &[], AdmissionPolicy::LoadAll, 16);
+    loader.load_chunk(&chunk, &filter);
+    let (table, parked, stats) = loader.finish();
+    assert_eq!(table.row_count(), 0);
+    assert_eq!(parked.len(), 2);
+    assert_eq!(stats.parse_errors, 2);
+}
+
+#[test]
+fn queries_over_empty_server_return_zero() {
+    let queries = vec![parse_query("q", "stars = 5").unwrap()];
+    let sample = vec![ciao_json::parse(r#"{"stars":1}"#).unwrap()];
+    let plan = PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 1.0)
+        .unwrap();
+    let schema = Arc::new(Schema::infer(&sample).unwrap());
+    let mut server = Server::new(plan, schema, 16);
+    server.finalize();
+    assert_eq!(server.execute(&queries[0]).count, 0);
+}

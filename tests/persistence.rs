@@ -1,0 +1,92 @@
+//! Persistence: the partially loaded columnar state (including its
+//! bitvector metadata) must survive a serialize/deserialize cycle with
+//! identical query results — the "Parquet file on disk" path.
+
+use ciao::{CiaoConfig, PushdownPlan, Server};
+use ciao_columnar::{read_table, write_table, Schema};
+use ciao_datagen::Dataset;
+use ciao_engine::Executor;
+use ciao_json::RecordChunk;
+use ciao_predicate::parse_query;
+use ciao_workload::{build_pool, WorkloadConfig};
+use std::sync::Arc;
+
+#[test]
+fn loaded_state_roundtrips_through_bytes() {
+    let ndjson = Dataset::Yelp.generate_ndjson(31, 2_000);
+    let all = RecordChunk::from_ndjson(&ndjson);
+    let sample: Vec<_> = all
+        .iter()
+        .take(500)
+        .filter_map(|r| ciao_json::parse(r).ok())
+        .collect();
+    let pool = build_pool(Dataset::Yelp);
+    let mut cfg = WorkloadConfig::workload_a(Dataset::Yelp, 17);
+    cfg.queries = 10;
+    let queries = cfg.generate(&pool);
+
+    let config = CiaoConfig::default();
+    let plan = PushdownPlan::build(&queries, &sample, &config.cost_model, 20.0).unwrap();
+    let schema = Arc::new(Schema::infer(&sample).unwrap());
+    let mut server = Server::new(plan, schema, config.block_size);
+    let prefilter = server.plan().prefilter();
+    for chunk in all.split(config.chunk_size) {
+        let filter = prefilter.run_chunk(&chunk);
+        server.ingest(&chunk, &filter);
+    }
+    server.finalize();
+
+    // Serialize the columnar side, read it back, and re-attach an
+    // executor with the same registry.
+    let bytes = write_table(server.table());
+    let reloaded = read_table(&bytes).expect("roundtrip");
+    assert_eq!(reloaded.row_count(), server.table().row_count());
+
+    let executor = Executor::new(
+        server
+            .plan()
+            .predicates
+            .iter()
+            .map(|p| (p.clause.clone(), p.id)),
+    );
+    let parked: Vec<String> = server.parked().to_vec();
+    for q in &queries {
+        let live = server.execute(q);
+        let disk = executor.execute_count(&reloaded, &parked, q);
+        assert_eq!(live.count, disk.count, "query {} diverged after reload", q.name);
+        assert_eq!(
+            live.metrics.used_skipping, disk.metrics.used_skipping,
+            "skipping decision diverged after reload"
+        );
+    }
+}
+
+#[test]
+fn plan_roundtrips_through_serde() {
+    // The pushdown plan is what a real deployment persists/ships; it
+    // must survive serde and rebuild an identical prefilter.
+    let sample = Dataset::WinLog.generate(5, 300);
+    let queries = vec![
+        parse_query("q0", r#"level = "Error""#).unwrap(),
+        parse_query("q1", r#"level = "Error" AND service = "CBS""#).unwrap(),
+    ];
+    let plan = PushdownPlan::build(
+        &queries,
+        &sample,
+        &ciao_optimizer::CostModel::default_uncalibrated(),
+        5.0,
+    )
+    .unwrap();
+    assert!(!plan.is_empty());
+
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: PushdownPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), plan.len());
+    assert_eq!(back.query_coverage, plan.query_coverage);
+
+    // Both prefilters produce identical bitvectors.
+    let chunk = RecordChunk::from_ndjson(&Dataset::WinLog.generate_ndjson(6, 500));
+    let a = plan.prefilter().run_chunk(&chunk);
+    let b = back.prefilter().run_chunk(&chunk);
+    assert_eq!(a.bitvecs, b.bitvecs);
+}
