@@ -50,7 +50,11 @@ fn env() -> Env {
 fn bench_admission_policies(c: &mut Criterion) {
     let env = env();
     let prefilter = env.plan.prefilter();
-    let filters: Vec<_> = env.chunks.iter().map(|ch| prefilter.run_chunk(ch)).collect();
+    let filters: Vec<_> = env
+        .chunks
+        .iter()
+        .map(|ch| prefilter.run_chunk(ch))
+        .collect();
 
     let mut group = c.benchmark_group("ablation_admission");
     group.sample_size(20);
@@ -106,7 +110,13 @@ fn bench_zone_maps(c: &mut Criterion) {
         b.iter(|| scan_count(black_box(&table), &query, &ScanOptions::full()))
     });
     group.bench_function("scan_zone_mapped", |b| {
-        b.iter(|| scan_count(black_box(&table), &query, &ScanOptions::full().with_zone_maps()))
+        b.iter(|| {
+            scan_count(
+                black_box(&table),
+                &query,
+                &ScanOptions::full().with_zone_maps(),
+            )
+        })
     });
     group.finish();
 }
@@ -117,12 +127,15 @@ fn bench_parallel_prefilter(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Elements(RECORDS as u64));
     for workers in [1usize, 2, 4, 8] {
-        let par = ParallelPrefilter::new(Prefilter::new(
-            env.plan
-                .predicates
-                .iter()
-                .map(|p| (p.id, p.pattern.clone())),
-        ), workers);
+        let par = ParallelPrefilter::new(
+            Prefilter::new(
+                env.plan
+                    .predicates
+                    .iter()
+                    .map(|p| (p.id, p.pattern.clone())),
+            ),
+            workers,
+        );
         group.bench_with_input(BenchmarkId::from_parameter(workers), &par, |b, par| {
             b.iter(|| {
                 let mut stats = ClientStats::default();

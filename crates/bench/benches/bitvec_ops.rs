@@ -34,16 +34,12 @@ fn bench_bitvec(c: &mut Criterion) {
         let vecs: Vec<BitVec> = (0..n)
             .map(|k| BitVec::from_fn(BITS, |i| (i + k) % (5 + k) != 0))
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("intersect_all", n),
-            &vecs,
-            |b, vecs| {
-                b.iter(|| {
-                    let refs: Vec<&BitVec> = vecs.iter().collect();
-                    BitVec::intersect_all(&refs)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("intersect_all", n), &vecs, |b, vecs| {
+            b.iter(|| {
+                let refs: Vec<&BitVec> = vecs.iter().collect();
+                BitVec::intersect_all(&refs)
+            })
+        });
     }
     group.finish();
 }

@@ -30,7 +30,11 @@ fn bench_end_to_end(c: &mut Criterion) {
                         .with_budget_micros(budget)
                         .with_sample_size(1000),
                 );
-                b.iter(|| pipeline.run(black_box(&data), black_box(&queries)).expect("run"))
+                b.iter(|| {
+                    pipeline
+                        .run(black_box(&data), black_box(&queries))
+                        .expect("run")
+                })
             },
         );
     }

@@ -3,8 +3,8 @@
 //! exhaustive oracle (small n), plus greedy scaling with pool size.
 
 use ciao_optimizer::{
-    greedy_benefit, greedy_ratio, solve, solve_exhaustive, solve_partial_enum, Candidate,
-    Instance, QueryRef,
+    greedy_benefit, greedy_ratio, solve, solve_exhaustive, solve_partial_enum, Candidate, Instance,
+    QueryRef,
 };
 use ciao_predicate::{Clause, SimplePredicate};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -34,8 +34,7 @@ fn bench_parse_vs_match(c: &mut Criterion) {
             },
         );
 
-        let clause =
-            compile_clause(&parse_clause(r#"anyfield LIKE "%kw007%""#).unwrap()).unwrap();
+        let clause = compile_clause(&parse_clause(r#"anyfield LIKE "%kw007%""#).unwrap()).unwrap();
         let compiled = CompiledClause::new(&clause);
         group.bench_with_input(
             BenchmarkId::new("raw_match", ds.name()),

@@ -18,8 +18,8 @@ fn bench_search(c: &mut Criterion) {
     let total_bytes: usize = records.iter().map(String::len).sum();
 
     let cases = [
-        ("hit_short", "\"level\""),   // key present in every record
-        ("hit_rare", "kw000"),        // common keyword
+        ("hit_short", "\"level\""), // key present in every record
+        ("hit_rare", "kw000"),      // common keyword
         ("miss_short", "\"zzz\""),
         ("miss_long", "this needle never appears anywhere"),
     ];

@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table and figure of the CIAO paper.
 //!
 //! ```text
-//! cargo run --release -p ciao-bench --bin repro -- all
-//! cargo run --release -p ciao-bench --bin repro -- fig3 fig6 table4
-//! CIAO_SCALE_RECORDS=100000 cargo run --release -p ciao-bench --bin repro -- fig5
+//! cargo run --release -p ciao_bench --bin repro -- all
+//! cargo run --release -p ciao_bench --bin repro -- fig3 fig6 table4
+//! CIAO_SCALE_RECORDS=100000 cargo run --release -p ciao_bench --bin repro -- fig5
 //! ```
 //!
 //! Absolute times will not match the paper (our substrate is a
@@ -20,8 +20,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "fig11", "fig12", "table4", "headline", "ablation",
+            "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "table4", "headline", "ablation",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -115,7 +115,12 @@ fn print_end_to_end(
     let rows = cache
         .entry(key)
         .or_insert_with(|| end_to_end::run(dataset, scale));
-    println!("## {} — end-to-end vs budget, {} ({} records)\n", fig.to_uppercase(), dataset, scale.records);
+    println!(
+        "## {} — end-to-end vs budget, {} ({} records)\n",
+        fig.to_uppercase(),
+        dataset,
+        scale.records
+    );
     let mut t = TextTable::new(&[
         "Workload",
         "Budget(µs)",
@@ -165,7 +170,13 @@ fn micro_env(scale: ExperimentScale, slot: &mut Option<micro::MicroEnv>) -> &mic
 
 fn print_micro_loading(title: &str, note: &str, rows: &[micro::MicroOutcome]) {
     println!("## {title}\n");
-    let mut t = TextTable::new(&["Config", "Loading(s)", "LoadRatio", "Covered queries", "Skew factor"]);
+    let mut t = TextTable::new(&[
+        "Config",
+        "Loading(s)",
+        "LoadRatio",
+        "Covered queries",
+        "Skew factor",
+    ]);
     for r in rows {
         t.row(&[
             r.label.clone(),
@@ -199,7 +210,10 @@ fn print_selectivity(fig: &str, scale: ExperimentScale, slot: &mut Option<micro:
             &rows,
         );
     } else {
-        print_micro_queries("Fig 8 — per-query time vs predicate selectivity (WinLog)", &rows);
+        print_micro_queries(
+            "Fig 8 — per-query time vs predicate selectivity (WinLog)",
+            &rows,
+        );
     }
 }
 
@@ -212,7 +226,10 @@ fn print_overlap(fig: &str, scale: ExperimentScale, slot: &mut Option<micro::Mic
             &rows,
         );
     } else {
-        print_micro_queries("Fig 10 — per-query time vs predicate overlap (WinLog)", &rows);
+        print_micro_queries(
+            "Fig 10 — per-query time vs predicate overlap (WinLog)",
+            &rows,
+        );
     }
 }
 
@@ -225,7 +242,10 @@ fn print_skewness(fig: &str, scale: ExperimentScale, slot: &mut Option<micro::Mi
             &rows,
         );
     } else {
-        print_micro_queries("Fig 12 — per-query time vs predicate skewness (WinLog)", &rows);
+        print_micro_queries(
+            "Fig 12 — per-query time vs predicate skewness (WinLog)",
+            &rows,
+        );
     }
 }
 
@@ -280,7 +300,9 @@ fn print_headline(
         ("yelp", Dataset::Yelp),
         ("ycsb", Dataset::Ycsb),
     ] {
-        let rows = cache.entry(key).or_insert_with(|| end_to_end::run(ds, scale));
+        let rows = cache
+            .entry(key)
+            .or_insert_with(|| end_to_end::run(ds, scale));
         let h = end_to_end::headline(rows);
         t.row(&[
             ds.to_string(),

@@ -3,12 +3,11 @@
 //! max-of-both, and partial enumeration, against the exhaustive
 //! optimum on real workload instances at varied budgets.
 
+use ciao_datagen::Dataset;
 use ciao_optimizer::{
-    greedy_benefit, greedy_ratio, solve_exhaustive, solve_partial_enum, CostModel,
-    InstanceBuilder,
+    greedy_benefit, greedy_ratio, solve_exhaustive, solve_partial_enum, CostModel, InstanceBuilder,
 };
 use ciao_predicate::{compile_clause, Query, SelectivityEstimator};
-use ciao_datagen::Dataset;
 use ciao_workload::{build_pool, WorkloadConfig};
 
 /// One ablation row: objectives at one budget.
@@ -59,8 +58,7 @@ pub fn run(queries_count: usize, budgets: &[f64], seed: u64) -> Vec<AblationRow>
             let alg1 = greedy_benefit(&instance).objective;
             let alg2 = greedy_ratio(&instance).objective;
             let partial = solve_partial_enum(&instance, 2).objective;
-            let optimal = (instance.len() <= 20)
-                .then(|| solve_exhaustive(&instance).objective);
+            let optimal = (instance.len() <= 20).then(|| solve_exhaustive(&instance).objective);
             AblationRow {
                 budget,
                 candidates: instance.len(),

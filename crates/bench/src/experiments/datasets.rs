@@ -88,7 +88,14 @@ mod tests {
 
     #[test]
     fn ndjson_materializes() {
-        let text = ndjson(Dataset::WinLog, ExperimentScale { records: 10, queries: 1, sample: 5 });
+        let text = ndjson(
+            Dataset::WinLog,
+            ExperimentScale {
+                records: 10,
+                queries: 1,
+                sample: 5,
+            },
+        );
         assert_eq!(text.lines().count(), 10);
     }
 }

@@ -140,7 +140,11 @@ mod tests {
         // Headline speedups are positive and loading speedup > 1 for
         // this workload.
         let h = headline(&rows);
-        assert!(h.loading_speedup > 1.0, "loading speedup {}", h.loading_speedup);
+        assert!(
+            h.loading_speedup > 1.0,
+            "loading speedup {}",
+            h.loading_speedup
+        );
         assert!(h.query_speedup > 1.0, "query speedup {}", h.query_speedup);
     }
 }

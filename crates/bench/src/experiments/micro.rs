@@ -261,7 +261,12 @@ mod tests {
         // engages everywhere.
         for r in &rows {
             assert_eq!(r.covered_queries, 5, "{}", r.label);
-            assert!(r.loading_ratio < 1.0, "{}: ratio {}", r.label, r.loading_ratio);
+            assert!(
+                r.loading_ratio < 1.0,
+                "{}: ratio {}",
+                r.label,
+                r.loading_ratio
+            );
         }
         // Lower selectivity → lower loading ratio (paper Fig. 7).
         assert!(
@@ -282,7 +287,11 @@ mod tests {
         // everything → drastic drop (paper Fig. 9).
         assert!((rows[0].loading_ratio - 1.0).abs() < 1e-9, "Lol loads all");
         assert!((rows[1].loading_ratio - 1.0).abs() < 1e-9, "Mol loads all");
-        assert!(rows[2].loading_ratio < 0.5, "Hol ratio {}", rows[2].loading_ratio);
+        assert!(
+            rows[2].loading_ratio < 0.5,
+            "Hol ratio {}",
+            rows[2].loading_ratio
+        );
         // Coverage counts mirror the paper's narrative.
         assert_eq!(rows[0].covered_queries, 2);
         assert_eq!(rows[1].covered_queries, 3);
@@ -298,10 +307,18 @@ mod tests {
         assert_eq!(rows[2].covered_queries, 5);
         // Lsk's counts are perfectly uniform → factor exactly 0.
         assert_eq!(rows[0].skew_factor, 0.0);
-        assert!(rows[2].skew_factor > 1.0, "Hsk factor {}", rows[2].skew_factor);
+        assert!(
+            rows[2].skew_factor > 1.0,
+            "Hsk factor {}",
+            rows[2].skew_factor
+        );
         // Only Hsk partially loads (paper Fig. 11).
         assert!((rows[0].loading_ratio - 1.0).abs() < 1e-9);
         assert!((rows[1].loading_ratio - 1.0).abs() < 1e-9);
-        assert!(rows[2].loading_ratio < 1.0, "Hsk ratio {}", rows[2].loading_ratio);
+        assert!(
+            rows[2].loading_ratio < 1.0,
+            "Hsk ratio {}",
+            rows[2].loading_ratio
+        );
     }
 }

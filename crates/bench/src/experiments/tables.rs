@@ -21,19 +21,30 @@ pub fn table1() -> Vec<Table1Row> {
     let examples: [(&'static str, SimplePredicate); 4] = [
         (
             "Exact String Match",
-            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into(),
+            },
         ),
         (
             "Substring Match",
-            SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() },
+            SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "delicious".into(),
+            },
         ),
         (
             "Key-Presence Match",
-            SimplePredicate::NotNull { key: "email".into() },
+            SimplePredicate::NotNull {
+                key: "email".into(),
+            },
         ),
         (
             "Key-Value Match",
-            SimplePredicate::IntEq { key: "age".into(), value: 10 },
+            SimplePredicate::IntEq {
+                key: "age".into(),
+                value: 10,
+            },
         ),
     ];
     examples
@@ -145,7 +156,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         for r in &rows {
             // 200 queries at ~3 predicates each.
-            assert!(r.total_predicates > 300 && r.total_predicates < 1000, "{r:?}");
+            assert!(
+                r.total_predicates > 300 && r.total_predicates < 1000,
+                "{r:?}"
+            );
             assert!(r.min_predicates >= 1);
             assert!(r.max_predicates <= 15);
         }

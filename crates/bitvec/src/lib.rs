@@ -135,14 +135,22 @@ impl BitVec {
     /// Returns bit `i`, panicking when out of range.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         unsafe { self.get_unchecked(i) }
     }
 
     /// Sets bit `i` to `value`. Panics when out of range.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let w = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         if value {
@@ -249,7 +257,11 @@ impl BitVec {
     /// Panics when `i > len` (note: `i == len` is allowed and counts all
     /// set bits).
     pub fn rank(&self, i: usize) -> usize {
-        assert!(i <= self.len, "rank index {i} out of range (len {})", self.len);
+        assert!(
+            i <= self.len,
+            "rank index {i} out of range (len {})",
+            self.len
+        );
         let full_words = i / WORD_BITS;
         let mut count: usize = self.words[..full_words]
             .iter()

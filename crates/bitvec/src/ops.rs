@@ -142,7 +142,6 @@ impl BitVec {
             self.len, other.len
         );
     }
-
 }
 
 impl std::ops::BitAnd for &BitVec {

@@ -50,7 +50,7 @@ mod tests {
     #[test]
     fn serde_rejects_inconsistent_words() {
         let json = "[100, [1, 2]]"; // needs 2 words for 100 bits: ok count but dirty tail
-        // 100 bits -> words_for = 2, rem = 36; word[1] = 2 has bit 1 set -> bit 65 < 100, fine.
+                                    // 100 bits -> words_for = 2, rem = 36; word[1] = 2 has bit 1 set -> bit 65 < 100, fine.
         let ok: Result<BitVec, _> = serde_json::from_str(json);
         assert!(ok.is_ok());
 

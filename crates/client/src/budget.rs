@@ -172,7 +172,10 @@ mod tests {
     fn budget_constructors() {
         let b = Budget::per_record_micros(1.0);
         assert_eq!(b.chunk_allowance(1000), Duration::from_millis(1));
-        assert_eq!(Budget::unlimited().chunk_allowance(1_000_000), Duration::MAX);
+        assert_eq!(
+            Budget::unlimited().chunk_allowance(1_000_000),
+            Duration::MAX
+        );
     }
 
     #[test]
@@ -187,7 +190,8 @@ mod tests {
         let pf = Prefilter::new([(0, pattern("stars = 5"))]);
         let plain = pf.run_chunk(&chunk);
         let mut stats = ClientStats::default();
-        let budgeted = BudgetedPrefilter::new(pf, Budget::unlimited()).run_chunk(&chunk, &mut stats);
+        let budgeted =
+            BudgetedPrefilter::new(pf, Budget::unlimited()).run_chunk(&chunk, &mut stats);
         assert_eq!(plain.bitvecs, budgeted.bitvecs);
         assert_eq!(stats.degraded_chunks, 0);
     }

@@ -51,15 +51,18 @@ impl HardwareProfile {
         }
     }
 
-    /// "Alibaba Cloud" ECS: virtualized, heavy noise and stalls.
+    /// "Alibaba Cloud" ECS: virtualized, heavy noise and stalls. The
+    /// noise parameters are tuned well apart from the bare-metal
+    /// profiles so the paper's R² ordering (≈0.67 here vs ≈0.90 local)
+    /// is a property of the simulation, not of one lucky RNG stream.
     pub fn alibaba_cloud() -> HardwareProfile {
         HardwareProfile {
             name: "Alibaba Cloud".into(),
             k: [0.005, 0.0014, 0.0025, 0.0011],
             c: 0.08,
-            noise_frac: 0.155,
-            stall_prob: 0.014,
-            stall_scale: 2.5,
+            noise_frac: 0.32,
+            stall_prob: 0.05,
+            stall_scale: 4.0,
         }
     }
 
@@ -96,13 +99,7 @@ impl HardwareProfile {
 
     /// One noisy measurement of the average per-record cost for a
     /// predicate, as the calibration harness would observe it.
-    pub fn measure(
-        &self,
-        pattern_len: f64,
-        record_len: f64,
-        sel: f64,
-        rng: &mut impl Rng,
-    ) -> f64 {
+    pub fn measure(&self, pattern_len: f64, record_len: f64, sel: f64, rng: &mut impl Rng) -> f64 {
         let base = self.true_cost(pattern_len, record_len, sel);
         // Box–Muller Gaussian from two uniforms; avoids needing
         // rand_distr while keeping measurements reproducible per seed.
@@ -128,9 +125,7 @@ mod tests {
         let hw = HardwareProfile::local_server();
         let sel = 0.25;
         let (lp, lt) = (10.0, 200.0);
-        let expected = sel * (0.004 * lp + 0.0011 * lt)
-            + 0.75 * (0.002 * lp + 0.0009 * lt)
-            + 0.05;
+        let expected = sel * (0.004 * lp + 0.0011 * lt) + 0.75 * (0.002 * lp + 0.0009 * lt) + 0.05;
         assert!((hw.true_cost(lp, lt, sel) - expected).abs() < 1e-12);
     }
 
@@ -157,7 +152,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let spread = |hw: &HardwareProfile, rng: &mut StdRng| {
             let truth = hw.true_cost(10.0, 250.0, 0.2);
-            let xs: Vec<f64> = (0..1000).map(|_| hw.measure(10.0, 250.0, 0.2, rng)).collect();
+            let xs: Vec<f64> = (0..1000)
+                .map(|_| hw.measure(10.0, 250.0, 0.2, rng))
+                .collect();
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
             var.sqrt() / truth
@@ -165,8 +162,14 @@ mod tests {
         let local = spread(&HardwareProfile::local_server(), &mut rng);
         let cloud = spread(&HardwareProfile::alibaba_cloud(), &mut rng);
         let pku = spread(&HardwareProfile::pku_weiming(), &mut rng);
-        assert!(cloud > local, "cloud {cloud} should be noisier than local {local}");
-        assert!(local > pku, "local {local} should be noisier than pku {pku}");
+        assert!(
+            cloud > local,
+            "cloud {cloud} should be noisier than local {local}"
+        );
+        assert!(
+            local > pku,
+            "local {local} should be noisier than pku {pku}"
+        );
     }
 
     #[test]

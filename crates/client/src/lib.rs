@@ -37,8 +37,8 @@ pub mod search;
 pub mod stats;
 
 pub use budget::{Budget, BudgetedPrefilter};
-pub use parallel::ParallelPrefilter;
 pub use hardware::HardwareProfile;
+pub use parallel::ParallelPrefilter;
 pub use prefilter::{ChunkFilterResult, CompiledPredicate, Prefilter};
 pub use raw_eval::{match_clause, match_pattern, CompiledClause};
 pub use search::Finder;

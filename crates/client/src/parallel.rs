@@ -62,14 +62,14 @@ impl ParallelPrefilter {
         // Static round-robin-free partition: contiguous slices keep
         // result stitching trivial and cache-friendly.
         let per_worker = chunks.len().div_ceil(self.workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (in_slice, out_slice) in chunks
                 .chunks(per_worker)
                 .zip(results.chunks_mut(per_worker))
             {
                 let prefilter = &self.prefilter;
                 let shared = &shared_stats;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = ClientStats::default();
                     for (chunk, slot) in in_slice.iter().zip(out_slice.iter_mut()) {
                         *slot = Some(prefilter.run_chunk_with_stats(chunk, &mut local));
@@ -77,8 +77,7 @@ impl ParallelPrefilter {
                     shared.lock().merge(&local);
                 });
             }
-        })
-        .expect("prefilter worker panicked");
+        });
         stats.merge(&shared_stats.into_inner());
         results
             .into_iter()
@@ -112,8 +111,14 @@ mod tests {
 
     fn prefilter() -> Prefilter {
         Prefilter::new([
-            (0, compile_clause(&parse_clause("stars = 5").unwrap()).unwrap()),
-            (1, compile_clause(&parse_clause(r#"name LIKE "%u3-%""#).unwrap()).unwrap()),
+            (
+                0,
+                compile_clause(&parse_clause("stars = 5").unwrap()).unwrap(),
+            ),
+            (
+                1,
+                compile_clause(&parse_clause(r#"name LIKE "%u3-%""#).unwrap()).unwrap(),
+            ),
         ])
     }
 

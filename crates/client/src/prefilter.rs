@@ -118,11 +118,7 @@ impl Prefilter {
     ) -> ChunkFilterResult {
         let start = Instant::now();
         let n = chunk.len();
-        let mut bitvecs: Vec<BitVec> = self
-            .predicates
-            .iter()
-            .map(|_| BitVec::zeros(n))
-            .collect();
+        let mut bitvecs: Vec<BitVec> = self.predicates.iter().map(|_| BitVec::zeros(n)).collect();
         for (r, record) in chunk.iter().enumerate() {
             let bytes = record.as_bytes();
             for (p, pred) in self.predicates.iter().enumerate() {
@@ -166,10 +162,7 @@ mod tests {
 
     #[test]
     fn produces_one_bitvec_per_predicate() {
-        let pf = Prefilter::new([
-            (7, pattern(r#"name = "Bob""#)),
-            (9, pattern("stars = 5")),
-        ]);
+        let pf = Prefilter::new([(7, pattern(r#"name = "Bob""#)), (9, pattern("stars = 5"))]);
         let res = pf.run_chunk(&chunk());
         assert_eq!(res.predicate_ids, vec![7, 9]);
         assert_eq!(res.records, 4);
@@ -188,10 +181,7 @@ mod tests {
 
     #[test]
     fn admission_mask_is_union() {
-        let pf = Prefilter::new([
-            (0, pattern(r#"name = "Bob""#)),
-            (1, pattern("stars = 1")),
-        ]);
+        let pf = Prefilter::new([(0, pattern(r#"name = "Bob""#)), (1, pattern("stars = 1"))]);
         let res = pf.run_chunk(&chunk());
         let mask = res.admission_mask().unwrap();
         assert_eq!(mask.ones_positions(), vec![0, 3]);

@@ -49,9 +49,7 @@ impl CompiledPattern {
                 let mut pos = 0;
                 while let Some(at) = key.find_from(record, pos) {
                     let wstart = at + key.len();
-                    let wend = delim
-                        .find_from(record, wstart)
-                        .unwrap_or(record.len());
+                    let wend = delim.find_from(record, wstart).unwrap_or(record.len());
                     if value.find_from(&record[..wend], wstart).is_some() {
                         return true;
                     }
@@ -123,7 +121,10 @@ mod tests {
 
     #[test]
     fn exact_match_quoted_operand() {
-        let p = pat(&SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() });
+        let p = pat(&SimplePredicate::StrEq {
+            key: "name".into(),
+            value: "Bob".into(),
+        });
         assert!(match_pattern(r#"{"name":"Bob","age":22}"#, &p));
         assert!(!match_pattern(r#"{"name":"Alice","age":22}"#, &p));
         // False positive by design: "Bob" under a different key still hits.
@@ -134,7 +135,10 @@ mod tests {
 
     #[test]
     fn substring_match() {
-        let p = pat(&SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() });
+        let p = pat(&SimplePredicate::StrContains {
+            key: "text".into(),
+            needle: "delicious".into(),
+        });
         assert!(match_pattern(r#"{"text":"so delicious!"}"#, &p));
         assert!(!match_pattern(r#"{"text":"awful"}"#, &p));
         // False positive: needle in another field is still a hit.
@@ -143,7 +147,9 @@ mod tests {
 
     #[test]
     fn key_presence() {
-        let p = pat(&SimplePredicate::NotNull { key: "email".into() });
+        let p = pat(&SimplePredicate::NotNull {
+            key: "email".into(),
+        });
         assert!(match_pattern(r#"{"email":"x@y.z"}"#, &p));
         assert!(!match_pattern(r#"{"phone":"123"}"#, &p));
         // False positive: key present but null still matches raw.
@@ -152,7 +158,10 @@ mod tests {
 
     #[test]
     fn key_value_two_phase() {
-        let p = pat(&SimplePredicate::IntEq { key: "age".into(), value: 10 });
+        let p = pat(&SimplePredicate::IntEq {
+            key: "age".into(),
+            value: 10,
+        });
         assert!(match_pattern(r#"{"age":10,"x":1}"#, &p));
         assert!(match_pattern(r#"{"x":1,"age":10}"#, &p)); // value at end, no trailing comma
         assert!(!match_pattern(r#"{"age":11,"x":10}"#, &p)); // 10 after the comma
@@ -163,7 +172,10 @@ mod tests {
     fn key_value_false_positive_on_prefix_digits() {
         // "age":100 contains the digits "10" in the window — a false
         // positive the server must re-verify away.
-        let p = pat(&SimplePredicate::IntEq { key: "age".into(), value: 10 });
+        let p = pat(&SimplePredicate::IntEq {
+            key: "age".into(),
+            value: 10,
+        });
         assert!(match_pattern(r#"{"age":100}"#, &p));
     }
 
@@ -174,13 +186,19 @@ mod tests {
         // comes later. First-occurrence-only matching would produce a
         // false negative — the failure mode CIAO forbids.
         let rec = r#"{"person":{"age":99},"age":10}"#;
-        let p = pat(&SimplePredicate::IntEq { key: "age".into(), value: 10 });
+        let p = pat(&SimplePredicate::IntEq {
+            key: "age".into(),
+            value: 10,
+        });
         assert!(match_pattern(rec, &p));
     }
 
     #[test]
     fn bool_key_value() {
-        let p = pat(&SimplePredicate::BoolEq { key: "isActive".into(), value: true });
+        let p = pat(&SimplePredicate::BoolEq {
+            key: "isActive".into(),
+            value: true,
+        });
         assert!(match_pattern(r#"{"isActive":true}"#, &p));
         assert!(!match_pattern(r#"{"isActive":false}"#, &p));
     }
@@ -188,8 +206,14 @@ mod tests {
     #[test]
     fn clause_disjunction() {
         let clause = Clause::new(vec![
-            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
-            SimplePredicate::StrEq { key: "name".into(), value: "John".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into(),
+            },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "John".into(),
+            },
         ]);
         let cp = compile_clause(&clause).unwrap();
         assert!(match_clause(r#"{"name":"John"}"#, &cp));
@@ -202,7 +226,10 @@ mod tests {
 
     #[test]
     fn compiled_reuse_matches_one_shot() {
-        let p = pat(&SimplePredicate::IntEq { key: "stars".into(), value: 5 });
+        let p = pat(&SimplePredicate::IntEq {
+            key: "stars".into(),
+            value: 5,
+        });
         let compiled = CompiledPattern::new(&p);
         for rec in [
             r#"{"stars":5}"#,
@@ -210,7 +237,11 @@ mod tests {
             r#"{"stars":50}"#,
             r#"{"rating":5}"#,
         ] {
-            assert_eq!(compiled.is_match(rec.as_bytes()), match_pattern(rec, &p), "{rec}");
+            assert_eq!(
+                compiled.is_match(rec.as_bytes()),
+                match_pattern(rec, &p),
+                "{rec}"
+            );
         }
     }
 }

@@ -187,8 +187,14 @@ mod tests {
     #[test]
     fn matches_std_behaviour_on_corpus() {
         let hays = [
-            "", "a", "abc", "the quick brown fox", "aaaaaaaaab",
-            r#"{"name":"Bob","age":22}"#, "ababababab", "xyzxyzxyz",
+            "",
+            "a",
+            "abc",
+            "the quick brown fox",
+            "aaaaaaaaab",
+            r#"{"name":"Bob","age":22}"#,
+            "ababababab",
+            "xyzxyzxyz",
         ];
         let needles = ["", "a", "ab", "Bob", "\"age\"", "xyz", "b\"", "zz", "fox"];
         for h in &hays {

@@ -140,34 +140,54 @@ fn corpus_no_false_negatives() {
     let cases: Vec<(&str, SimplePredicate)> = vec![
         (
             r#"{"name":"Bob"}"#,
-            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into(),
+            },
         ),
         (
             r#"{"person":{"age":99},"age":10}"#,
-            SimplePredicate::IntEq { key: "age".into(), value: 10 },
+            SimplePredicate::IntEq {
+                key: "age".into(),
+                value: 10,
+            },
         ),
         (
             r#"{"a":1,"flag":true}"#,
-            SimplePredicate::BoolEq { key: "flag".into(), value: true },
+            SimplePredicate::BoolEq {
+                key: "flag".into(),
+                value: true,
+            },
         ),
         (
             r#"{"text":"pretty delicious pie"}"#,
-            SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() },
+            SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "delicious".into(),
+            },
         ),
         (
             r#"{"email":"a@b.c"}"#,
-            SimplePredicate::NotNull { key: "email".into() },
+            SimplePredicate::NotNull {
+                key: "email".into(),
+            },
         ),
         // Value is the final member: the key-value window runs to EOR.
         (
             r#"{"x":"y","stars":5}"#,
-            SimplePredicate::IntEq { key: "stars".into(), value: 5 },
+            SimplePredicate::IntEq {
+                key: "stars".into(),
+                value: 5,
+            },
         ),
     ];
     for (text, pred) in cases {
         let record = ciao_json::parse(text).unwrap();
         let clause = Clause::single(pred.clone());
-        assert!(eval_clause(&clause, &record), "case should match typed: {pred} on {text}");
+        assert!(
+            eval_clause(&clause, &record),
+            "case should match typed: {pred} on {text}"
+        );
         let pattern = compile_clause(&clause).unwrap();
         assert!(
             CompiledClause::new(&pattern).is_match(text.as_bytes()),

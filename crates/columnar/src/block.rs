@@ -28,7 +28,12 @@ impl Block {
                 "column `{}` type mismatch",
                 field.name
             );
-            assert_eq!(col.len(), metadata.row_count, "column `{}` row count", field.name);
+            assert_eq!(
+                col.len(),
+                metadata.row_count,
+                "column `{}` row count",
+                field.name
+            );
         }
         Block {
             schema,
@@ -114,7 +119,10 @@ impl BlockBuilder {
         BlockBuilder {
             schema,
             builders,
-            bits: predicate_ids.iter().map(|&id| (id, BitVec::new())).collect(),
+            bits: predicate_ids
+                .iter()
+                .map(|&id| (id, BitVec::new()))
+                .collect(),
             rows: 0,
         }
     }
@@ -147,12 +155,19 @@ impl BlockBuilder {
 
     /// Total coercion failures across columns (values stored as NULL).
     pub fn coercion_failures(&self) -> usize {
-        self.builders.iter().map(ColumnBuilder::coercion_failures).sum()
+        self.builders
+            .iter()
+            .map(ColumnBuilder::coercion_failures)
+            .sum()
     }
 
     /// Finalizes the block, computing per-column stats.
     pub fn finish(self) -> Block {
-        let columns: Vec<Column> = self.builders.into_iter().map(ColumnBuilder::finish).collect();
+        let columns: Vec<Column> = self
+            .builders
+            .into_iter()
+            .map(ColumnBuilder::finish)
+            .collect();
         let stats = columns.iter().map(compute_stats).collect();
         let metadata = BlockMetadata::new(self.rows, stats, self.bits);
         Block {
@@ -200,9 +215,18 @@ mod tests {
 
     fn sample_block() -> Block {
         let mut b = BlockBuilder::new(schema(), &[1, 2]);
-        b.push_record(&parse(r#"{"name":"Bob","stars":5,"active":true}"#).unwrap(), &bits(true, false));
-        b.push_record(&parse(r#"{"name":"Alice","stars":2}"#).unwrap(), &bits(false, true));
-        b.push_record(&parse(r#"{"stars":4,"active":false}"#).unwrap(), &bits(true, true));
+        b.push_record(
+            &parse(r#"{"name":"Bob","stars":5,"active":true}"#).unwrap(),
+            &bits(true, false),
+        );
+        b.push_record(
+            &parse(r#"{"name":"Alice","stars":2}"#).unwrap(),
+            &bits(false, true),
+        );
+        b.push_record(
+            &parse(r#"{"stars":4,"active":false}"#).unwrap(),
+            &bits(true, true),
+        );
         b.finish()
     }
 
@@ -222,8 +246,14 @@ mod tests {
     #[test]
     fn metadata_bitvectors() {
         let block = sample_block();
-        assert_eq!(block.metadata().bitvec(1).unwrap().ones_positions(), vec![0, 2]);
-        assert_eq!(block.metadata().bitvec(2).unwrap().ones_positions(), vec![1, 2]);
+        assert_eq!(
+            block.metadata().bitvec(1).unwrap().ones_positions(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            block.metadata().bitvec(2).unwrap().ones_positions(),
+            vec![1, 2]
+        );
         let mask = block.metadata().skip_mask(&[1, 2]).unwrap();
         assert_eq!(mask.ones_positions(), vec![2]);
     }

@@ -131,7 +131,11 @@ impl Column {
 
     /// Reads one cell.
     pub fn cell(&self, row: usize) -> Cell<'_> {
-        assert!(row < self.len(), "row {row} out of range (len {})", self.len());
+        assert!(
+            row < self.len(),
+            "row {row} out of range (len {})",
+            self.len()
+        );
         if !self.valid.bit(row) {
             return Cell::Null;
         }

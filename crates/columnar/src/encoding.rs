@@ -37,7 +37,10 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "encoded column truncated"),
             DecodeError::BadDictionaryCode { code, dict_len } => {
-                write!(f, "dictionary code {code} out of range (dict has {dict_len})")
+                write!(
+                    f,
+                    "dictionary code {code} out of range (dict has {dict_len})"
+                )
             }
             DecodeError::UnknownEncoding(t) => write!(f, "unknown encoding tag {t}"),
             DecodeError::BadUtf8 => write!(f, "encoded string is not valid UTF-8"),
@@ -294,9 +297,7 @@ mod tests {
 
     #[test]
     fn string_dict_roundtrip() {
-        let values: Vec<String> = (0..300)
-            .map(|i| format!("level-{}", i % 4))
-            .collect();
+        let values: Vec<String> = (0..300).map(|i| format!("level-{}", i % 4)).collect();
         let mut buf = BytesMut::new();
         encode_strings(&values, &mut buf);
         assert_eq!(buf[0], STR_DICT);

@@ -23,8 +23,8 @@ use crate::encoding::{
 use crate::metadata::{BlockMetadata, ColumnStats};
 use crate::schema::{DataType, Field, Schema, SchemaError};
 use crate::table::Table;
-use ciao_bitvec::{BitVec, WireError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ciao_bitvec::{BitVec, WireError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

@@ -105,7 +105,10 @@ mod tests {
         assert_eq!(m.bitvec(1).unwrap().ones_positions(), vec![0, 2]);
         assert!(m.bitvec(9).is_none());
         assert_eq!(m.bitvector_count(), 2);
-        assert_eq!(m.bitvectors().map(|(id, _)| id).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            m.bitvectors().map(|(id, _)| id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]

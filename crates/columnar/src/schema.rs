@@ -29,7 +29,11 @@ impl DataType {
         match value {
             JsonValue::Null => None,
             JsonValue::Bool(_) => Some(DataType::Bool),
-            JsonValue::Number(n) => Some(if n.is_int() { DataType::Int } else { DataType::Float }),
+            JsonValue::Number(n) => Some(if n.is_int() {
+                DataType::Int
+            } else {
+                DataType::Float
+            }),
             JsonValue::String(_) => Some(DataType::Str),
             JsonValue::Array(_) | JsonValue::Object(_) => Some(DataType::Json),
         }
@@ -124,7 +128,11 @@ impl std::fmt::Display for SchemaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SchemaError::DuplicateField(name) => write!(f, "duplicate field `{name}`"),
-            SchemaError::TypeConflict { field, first, second } => {
+            SchemaError::TypeConflict {
+                field,
+                first,
+                second,
+            } => {
                 write!(f, "field `{field}` seen as both {first} and {second}")
             }
             SchemaError::NoRecords => write!(f, "cannot infer a schema from zero records"),
@@ -271,7 +279,13 @@ mod tests {
 
     #[test]
     fn tags_roundtrip() {
-        for t in [DataType::Str, DataType::Int, DataType::Float, DataType::Bool, DataType::Json] {
+        for t in [
+            DataType::Str,
+            DataType::Int,
+            DataType::Float,
+            DataType::Bool,
+            DataType::Json,
+        ] {
             assert_eq!(DataType::from_tag(t.tag()), Some(t));
         }
         assert_eq!(DataType::from_tag(99), None);
@@ -313,16 +327,20 @@ mod tests {
 
     #[test]
     fn infer_widens_int_to_float() {
-        let records: Vec<JsonValue> =
-            [r#"{"x":1}"#, r#"{"x":2.5}"#].iter().map(|s| parse(s).unwrap()).collect();
+        let records: Vec<JsonValue> = [r#"{"x":1}"#, r#"{"x":2.5}"#]
+            .iter()
+            .map(|s| parse(s).unwrap())
+            .collect();
         let schema = Schema::infer(&records).unwrap();
         assert_eq!(schema.field("x").unwrap().dtype, DataType::Float);
     }
 
     #[test]
     fn infer_conflict() {
-        let records: Vec<JsonValue> =
-            [r#"{"x":1}"#, r#"{"x":"s"}"#].iter().map(|s| parse(s).unwrap()).collect();
+        let records: Vec<JsonValue> = [r#"{"x":1}"#, r#"{"x":"s"}"#]
+            .iter()
+            .map(|s| parse(s).unwrap())
+            .collect();
         let err = Schema::infer(&records).unwrap_err();
         assert!(matches!(err, SchemaError::TypeConflict { .. }));
     }
@@ -342,7 +360,11 @@ mod tests {
             .map(|s| parse(s).unwrap())
             .collect();
         assert_eq!(
-            Schema::infer_lenient(&nums).unwrap().field("z").unwrap().dtype,
+            Schema::infer_lenient(&nums)
+                .unwrap()
+                .field("z")
+                .unwrap()
+                .dtype,
             DataType::Float
         );
     }

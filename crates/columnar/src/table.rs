@@ -266,9 +266,8 @@ mod tests {
     fn merge_rejects_schema_mismatch() {
         use crate::schema::{DataType, Field};
         let mut a = build(2, 4);
-        let other_schema = Arc::new(
-            Schema::new(vec![Field::new("different", DataType::Int)]).unwrap(),
-        );
+        let other_schema =
+            Arc::new(Schema::new(vec![Field::new("different", DataType::Int)]).unwrap());
         let b = TableBuilder::new(other_schema, &[]).finish();
         a.merge(b);
     }

@@ -81,7 +81,10 @@ pub fn replan_with_observations(
     // …then overwrite with live observations where we have them.
     if stats.records_processed > 0 {
         for p in &current.predicates {
-            selectivities.insert(p.clause.clone(), stats.observed_selectivity(p.id).clamp(0.0, 1.0));
+            selectivities.insert(
+                p.clause.clone(),
+                stats.observed_selectivity(p.id).clamp(0.0, 1.0),
+            );
         }
     }
 
@@ -166,8 +169,13 @@ mod tests {
     }
 
     fn plan(budget: f64) -> PushdownPlan {
-        PushdownPlan::build(&workload(), &sample(), &CostModel::default_uncalibrated(), budget)
-            .unwrap()
+        PushdownPlan::build(
+            &workload(),
+            &sample(),
+            &CostModel::default_uncalibrated(),
+            budget,
+        )
+        .unwrap()
     }
 
     /// Synthesizes client stats where predicate `id` matched `frac` of

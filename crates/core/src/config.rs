@@ -38,7 +38,10 @@ impl Default for CiaoConfig {
 impl CiaoConfig {
     /// Sets the per-record budget (µs).
     pub fn with_budget_micros(mut self, budget: f64) -> Self {
-        assert!(budget >= 0.0 && budget.is_finite(), "budget must be non-negative");
+        assert!(
+            budget >= 0.0 && budget.is_finite(),
+            "budget must be non-negative"
+        );
         self.budget_micros = budget;
         self
     }

@@ -62,12 +62,7 @@ pub fn promote_parked(
             Ok(value) => {
                 let bits: BTreeMap<u32, bool> = ids
                     .iter()
-                    .map(|&id| {
-                        (
-                            id,
-                            filter.bitvec_for(id).is_some_and(|bv| bv.bit(i)),
-                        )
-                    })
+                    .map(|&id| (id, filter.bitvec_for(id).is_some_and(|bv| bv.bit(i))))
                     .collect();
                 builder.push_record(&value, &bits);
                 stats.promoted += 1;
@@ -98,8 +93,7 @@ mod tests {
     fn setup() -> (PushdownPlan, Arc<Schema>, Vec<String>) {
         let sample: Vec<_> = (0..50)
             .map(|i| {
-                ciao_json::parse(&format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i))
-                    .unwrap()
+                ciao_json::parse(&format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i)).unwrap()
             })
             .collect();
         let queries = vec![parse_query("q", "stars = 5").unwrap()];

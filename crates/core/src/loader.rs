@@ -177,9 +177,7 @@ impl Loader {
                         .predicate_ids
                         .iter()
                         .map(|&id| {
-                            let bit = filter
-                                .bitvec_for(id)
-                                .is_some_and(|bv| bv.bit(i));
+                            let bit = filter.bitvec_for(id).is_some_and(|bv| bv.bit(i));
                             (id, bit)
                         })
                         .collect();
@@ -276,8 +274,7 @@ mod tests {
     fn malformed_admitted_record_is_parked_not_dropped() {
         // A pattern matching the malformed line: "not valid json {" —
         // search for "valid".
-        let pattern =
-            compile_clause(&parse_clause(r#"name LIKE "%valid%""#).unwrap()).unwrap();
+        let pattern = compile_clause(&parse_clause(r#"name LIKE "%valid%""#).unwrap()).unwrap();
         let pf = Prefilter::new([(0, pattern)]);
         let c = chunk();
         let filter = pf.run_chunk(&c);
@@ -340,7 +337,10 @@ mod tests {
             AdmissionPolicy::from_coverage(&[vec![0], vec![]]),
             AdmissionPolicy::LoadAll
         );
-        assert_eq!(AdmissionPolicy::from_coverage(&[]), AdmissionPolicy::LoadAll);
+        assert_eq!(
+            AdmissionPolicy::from_coverage(&[]),
+            AdmissionPolicy::LoadAll
+        );
     }
 
     #[test]
@@ -382,7 +382,9 @@ mod tests {
         let p1 = compile_clause(&parse_clause(r#"name = "hit""#).unwrap()).unwrap();
         let filter = Prefilter::new([(0, p0), (1, p1)]).run_chunk(&c);
 
-        let any = AdmissionPolicy::AnyPredicate.admission_mask(&filter).unwrap();
+        let any = AdmissionPolicy::AnyPredicate
+            .admission_mask(&filter)
+            .unwrap();
         assert_eq!(any.ones_positions(), vec![0, 1, 2]);
 
         let coverage = AdmissionPolicy::from_coverage(&[vec![0, 1]])

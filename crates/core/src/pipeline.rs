@@ -155,10 +155,8 @@ impl Pipeline {
         let chunks = all.split(self.config.chunk_size);
         let prefilter_start = Instant::now();
         let filters = if self.config.client_workers > 1 {
-            let parallel = ciao_client::ParallelPrefilter::new(
-                plan.prefilter(),
-                self.config.client_workers,
-            );
+            let parallel =
+                ciao_client::ParallelPrefilter::new(plan.prefilter(), self.config.client_workers);
             let mut stats = ciao_client::ClientStats::default();
             parallel.run_chunks(&chunks, &mut stats)
         } else {
@@ -218,7 +216,11 @@ mod tests {
                     "{{\"stars\":{},\"name\":\"u{}\",\"text\":\"{}\"}}\n",
                     i % 5 + 1,
                     i % 20,
-                    if i % 10 == 0 { "delicious stuff" } else { "plain stuff" }
+                    if i % 10 == 0 {
+                        "delicious stuff"
+                    } else {
+                        "plain stuff"
+                    }
                 )
             })
             .collect()

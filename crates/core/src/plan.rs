@@ -212,18 +212,13 @@ impl PushdownPlan {
 
     /// Builds the client-side prefilter for this plan.
     pub fn prefilter(&self) -> Prefilter {
-        Prefilter::new(
-            self.predicates
-                .iter()
-                .map(|p| (p.id, p.pattern.clone())),
-        )
+        Prefilter::new(self.predicates.iter().map(|p| (p.id, p.pattern.clone())))
     }
 }
 
 /// Computes per-query pushed-clause id sets.
 fn coverage_of(queries: &[Query], predicates: &[PushedPredicate]) -> Vec<Vec<u32>> {
-    let by_clause: HashMap<&Clause, u32> =
-        predicates.iter().map(|p| (&p.clause, p.id)).collect();
+    let by_clause: HashMap<&Clause, u32> = predicates.iter().map(|p| (&p.clause, p.id)).collect();
     queries
         .iter()
         .map(|q| {
@@ -321,8 +316,7 @@ mod tests {
         // With no sample, every clause gets the smoothing prior 0.5 —
         // planning proceeds on that guess rather than failing.
         let plan =
-            PushdownPlan::build(&workload(), &[], &CostModel::default_uncalibrated(), 5.0)
-                .unwrap();
+            PushdownPlan::build(&workload(), &[], &CostModel::default_uncalibrated(), 5.0).unwrap();
         assert_eq!(plan.mean_record_len, 256.0);
         for p in &plan.predicates {
             assert_eq!(p.selectivity, 0.5);

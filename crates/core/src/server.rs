@@ -31,11 +31,7 @@ pub struct Server {
 impl Server {
     /// Creates a server for a plan and a (pre-inferred) schema.
     pub fn new(plan: PushdownPlan, schema: Arc<Schema>, block_size: usize) -> Server {
-        let executor = Executor::new(
-            plan.predicates
-                .iter()
-                .map(|p| (p.clause.clone(), p.id)),
-        );
+        let executor = Executor::new(plan.predicates.iter().map(|p| (p.clause.clone(), p.id)));
         let policy = if plan.is_empty() {
             AdmissionPolicy::LoadAll
         } else {
@@ -94,7 +90,8 @@ impl Server {
             self.loader.is_none(),
             "finalize() the server before shared-access execution"
         );
-        self.executor.execute_count(&self.table, &self.parked, query)
+        self.executor
+            .execute_count(&self.table, &self.parked, query)
     }
 
     /// Load statistics (valid after finalize).
@@ -180,9 +177,13 @@ mod tests {
             .map(|r| ciao_json::parse(r).unwrap())
             .collect();
         let queries = vec![parse_query("q0", "stars = 5").unwrap()];
-        let plan =
-            PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), budget)
-                .unwrap();
+        let plan = PushdownPlan::build(
+            &queries,
+            &sample,
+            &CostModel::default_uncalibrated(),
+            budget,
+        )
+        .unwrap();
         let schema = Arc::new(Schema::infer(&sample).unwrap());
         let server = Server::new(plan, schema, 16);
         (server, chunk)

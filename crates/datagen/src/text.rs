@@ -5,10 +5,47 @@ use rand::Rng;
 
 /// Neutral filler words for review/message text.
 pub const FILLER: &[&str] = &[
-    "the", "a", "and", "with", "for", "this", "place", "was", "really", "very", "quite", "just",
-    "had", "got", "our", "their", "service", "time", "staff", "menu", "order", "table", "night",
-    "day", "visit", "experience", "price", "portion", "flavor", "dish", "drink", "coffee",
-    "burger", "pizza", "salad", "again", "definitely", "maybe", "also", "then", "still",
+    "the",
+    "a",
+    "and",
+    "with",
+    "for",
+    "this",
+    "place",
+    "was",
+    "really",
+    "very",
+    "quite",
+    "just",
+    "had",
+    "got",
+    "our",
+    "their",
+    "service",
+    "time",
+    "staff",
+    "menu",
+    "order",
+    "table",
+    "night",
+    "day",
+    "visit",
+    "experience",
+    "price",
+    "portion",
+    "flavor",
+    "dish",
+    "drink",
+    "coffee",
+    "burger",
+    "pizza",
+    "salad",
+    "again",
+    "definitely",
+    "maybe",
+    "also",
+    "then",
+    "still",
 ];
 
 /// Sentiment keywords used by the Yelp `text LIKE <string>` templates
@@ -129,7 +166,11 @@ mod tests {
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[10] && counts[10] > counts[50], "{:?}", &counts[..12]);
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[50],
+            "{:?}",
+            &counts[..12]
+        );
         // Every sample in range.
         assert_eq!(counts.iter().sum::<usize>(), 20_000);
     }

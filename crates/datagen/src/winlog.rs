@@ -23,7 +23,14 @@ pub const LEVELS: [(&str, f64); 4] = [
 
 /// Windows services that emit log lines.
 pub const SERVICES: [&str; 8] = [
-    "CBS", "CSI", "WuaEng", "DnsClient", "Kernel-Power", "Defrag", "SideBySide", "WinLogon",
+    "CBS",
+    "CSI",
+    "WuaEng",
+    "DnsClient",
+    "Kernel-Power",
+    "Defrag",
+    "SideBySide",
+    "WinLogon",
 ];
 
 /// Deterministic Windows-log generator.
@@ -54,7 +61,7 @@ impl WinLogGenerator {
         let rng = &mut self.rng;
         // Advance 0–10 seconds per line; 226 days ≈ 19.5M seconds of
         // span at realistic volumes.
-        self.clock += rng.gen_range(0..=10);
+        self.clock += rng.gen_range(0..=10u64);
         let time = format_time(self.clock);
 
         let weights: Vec<f64> = LEVELS.iter().map(|(_, w)| *w).collect();
@@ -135,9 +142,21 @@ mod tests {
                 .count() as f64
                 / recs.len() as f64
         };
-        assert!((frac("Warning") - 0.35).abs() < 0.03, "Warning {}", frac("Warning"));
-        assert!((frac("Error") - 0.15).abs() < 0.02, "Error {}", frac("Error"));
-        assert!((frac("Critical") - 0.01).abs() < 0.006, "Critical {}", frac("Critical"));
+        assert!(
+            (frac("Warning") - 0.35).abs() < 0.03,
+            "Warning {}",
+            frac("Warning")
+        );
+        assert!(
+            (frac("Error") - 0.15).abs() < 0.02,
+            "Error {}",
+            frac("Error")
+        );
+        assert!(
+            (frac("Critical") - 0.01).abs() < 0.006,
+            "Critical {}",
+            frac("Critical")
+        );
     }
 
     #[test]
@@ -161,7 +180,12 @@ mod tests {
                 .count()
         };
         // Head keyword far more common than a tail keyword.
-        assert!(count("kw000") > 10 * count("kw150").max(1), "head {} tail {}", count("kw000"), count("kw150"));
+        assert!(
+            count("kw000") > 10 * count("kw150").max(1),
+            "head {} tail {}",
+            count("kw000"),
+            count("kw150")
+        );
     }
 
     #[test]

@@ -29,8 +29,20 @@ pub const URL_DOMAINS: [&str; 12] = [
 
 /// URL sites (14 candidates).
 pub const URL_SITES: [&str; 14] = [
-    "alphamart", "bitforge", "cloudnest", "dataharbor", "echolab", "fluxcart", "gridpoint",
-    "hyperloop", "ironclad", "jetstream", "kiteworks", "lumenfield", "moonbase", "novatrade",
+    "alphamart",
+    "bitforge",
+    "cloudnest",
+    "dataharbor",
+    "echolab",
+    "fluxcart",
+    "gridpoint",
+    "hyperloop",
+    "ironclad",
+    "jetstream",
+    "kiteworks",
+    "lumenfield",
+    "moonbase",
+    "novatrade",
 ];
 
 /// Email domains (2 candidates).
@@ -43,7 +55,14 @@ const FIRST_NAMES: [&str; 12] = [
 
 /// City pool for nested addresses.
 const CITIES: [&str; 8] = [
-    "Chicago", "Austin", "Seattle", "Denver", "Boston", "Miami", "Portland", "Nashville",
+    "Chicago",
+    "Austin",
+    "Seattle",
+    "Denver",
+    "Boston",
+    "Miami",
+    "Portland",
+    "Nashville",
 ];
 
 /// Deterministic YCSB customer generator.
@@ -83,7 +102,10 @@ impl YcsbGenerator {
         let children: Vec<JsonValue> = (0..rng.gen_range(0..4))
             .map(|i| {
                 JsonValue::object([
-                    ("name", JsonValue::from(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())])),
+                    (
+                        "name",
+                        JsonValue::from(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())]),
+                    ),
                     ("age", JsonValue::from(rng.gen_range(0i64..18))),
                     ("idx", JsonValue::from(i as i64)),
                 ])
@@ -94,9 +116,15 @@ impl YcsbGenerator {
             .collect();
 
         JsonValue::object([
-            ("customer_id", JsonValue::from(format!("c-{:08}", self.serial))),
+            (
+                "customer_id",
+                JsonValue::from(format!("c-{:08}", self.serial)),
+            ),
             ("first_name", JsonValue::from(first)),
-            ("last_name", JsonValue::from(format!("L{}", rng.gen_range(0..500)))),
+            (
+                "last_name",
+                JsonValue::from(format!("L{}", rng.gen_range(0..500))),
+            ),
             ("isActive", JsonValue::from(rng.gen_bool(0.7))),
             ("linear_score", JsonValue::from(rng.gen_range(0i64..100))),
             (
@@ -107,31 +135,61 @@ impl YcsbGenerator {
                     (u * u * 100.0) as i64
                 }),
             ),
-            ("phone_country", JsonValue::from(PHONE_COUNTRIES[rng.gen_range(0..3)])),
-            ("phone", JsonValue::from(format!("{:010}", rng.gen_range(0u64..10_000_000_000)))),
+            (
+                "phone_country",
+                JsonValue::from(PHONE_COUNTRIES[rng.gen_range(0..3usize)]),
+            ),
+            (
+                "phone",
+                JsonValue::from(format!("{:010}", rng.gen_range(0u64..10_000_000_000))),
+            ),
             ("age_group", JsonValue::from(age_group)),
             ("age_by_group", JsonValue::from(age)),
-            ("url", JsonValue::from(format!("https://{site}.{domain}/u/{}", self.serial))),
+            (
+                "url",
+                JsonValue::from(format!("https://{site}.{domain}/u/{}", self.serial)),
+            ),
             ("url_site", JsonValue::from(site)),
             ("url_domain", JsonValue::from(domain)),
-            ("email", JsonValue::from(format!("{email_user}{email_domain}"))),
+            (
+                "email",
+                JsonValue::from(format!("{email_user}{email_domain}")),
+            ),
             (
                 "address",
                 JsonValue::object([
-                    ("street", JsonValue::from(format!("{} Main St", rng.gen_range(1..2000)))),
-                    ("city", JsonValue::from(CITIES[rng.gen_range(0..CITIES.len())])),
-                    ("zip", JsonValue::from(format!("{:05}", rng.gen_range(10000..99999)))),
+                    (
+                        "street",
+                        JsonValue::from(format!("{} Main St", rng.gen_range(1..2000))),
+                    ),
+                    (
+                        "city",
+                        JsonValue::from(CITIES[rng.gen_range(0..CITIES.len())]),
+                    ),
+                    (
+                        "zip",
+                        JsonValue::from(format!("{:05}", rng.gen_range(10000..99999))),
+                    ),
                 ]),
             ),
             ("children", JsonValue::Array(children)),
             ("visited_places", JsonValue::Array(visited)),
             ("balance", JsonValue::from(rng.gen_range(0.0..10_000.0))),
-            ("loyalty_points", JsonValue::from(rng.gen_range(0i64..50_000))),
+            (
+                "loyalty_points",
+                JsonValue::from(rng.gen_range(0i64..50_000)),
+            ),
             ("signup_year", JsonValue::from(rng.gen_range(2010i64..2021))),
             ("newsletter", JsonValue::from(rng.gen_bool(0.4))),
             ("premium", JsonValue::from(rng.gen_bool(0.12))),
-            ("device", JsonValue::from(["ios", "android", "web"][rng.gen_range(0..3)])),
-            ("locale", JsonValue::from(["en-US", "en-GB", "zh-CN", "es-MX"][rng.gen_range(0..4)])),
+            (
+                "device",
+                JsonValue::from(["ios", "android", "web"][rng.gen_range(0..3usize)]),
+            ),
+            (
+                "locale",
+                JsonValue::from(["en-US", "en-GB", "zh-CN", "es-MX"][rng.gen_range(0..4usize)]),
+            ),
             ("notes", JsonValue::Null),
         ])
     }
@@ -160,8 +218,7 @@ mod tests {
     #[test]
     fn table2_domains_respected() {
         for r in sample(500) {
-            assert!(PHONE_COUNTRIES
-                .contains(&r.get("phone_country").unwrap().as_str().unwrap()));
+            assert!(PHONE_COUNTRIES.contains(&r.get("phone_country").unwrap().as_str().unwrap()));
             assert!(AGE_GROUPS.contains(&r.get("age_group").unwrap().as_str().unwrap()));
             assert!(URL_DOMAINS.contains(&r.get("url_domain").unwrap().as_str().unwrap()));
             assert!(URL_SITES.contains(&r.get("url_site").unwrap().as_str().unwrap()));
@@ -212,6 +269,9 @@ mod tests {
             .iter()
             .filter(|r| r.get("weighted_score").unwrap().as_i64().unwrap() < 25)
             .count();
-        assert!(low > recs.len() / 2, "quadratic skew missing: {low}");
+        // Quadratic skew puts ~50% of scores below 25 (uniform would put
+        // ~25%); test the midpoint so the assertion is not a coin flip
+        // on the exact expected value.
+        assert!(low > recs.len() * 2 / 5, "quadratic skew missing: {low}");
     }
 }

@@ -20,7 +20,11 @@ use rand::{Rng, SeedableRng};
 
 /// Popular user ids targeted by the `user_id = <string>` template.
 pub const POPULAR_USERS: [&str; 5] = [
-    "u-kx1aF2YNtW", "u-qQ9rT7LbsM", "u-Zw3pC5VhdR", "u-Jf8nS2KmxA", "u-Ty6vB9GceL",
+    "u-kx1aF2YNtW",
+    "u-qQ9rT7LbsM",
+    "u-Zw3pC5VhdR",
+    "u-Jf8nS2KmxA",
+    "u-Ty6vB9GceL",
 ];
 
 /// Deterministic Yelp review generator.
@@ -73,7 +77,10 @@ impl YelpGenerator {
         let date = format!("{year}-{month:02}-{day:02}");
 
         JsonValue::object([
-            ("review_id", JsonValue::from(format!("r-{:08}", self.serial))),
+            (
+                "review_id",
+                JsonValue::from(format!("r-{:08}", self.serial)),
+            ),
             ("user_id", JsonValue::from(user_id)),
             (
                 "business_id",
@@ -107,8 +114,15 @@ mod tests {
         let recs = sample(100);
         for r in &recs {
             for key in [
-                "review_id", "user_id", "business_id", "stars", "useful", "funny", "cool",
-                "text", "date",
+                "review_id",
+                "user_id",
+                "business_id",
+                "stars",
+                "useful",
+                "funny",
+                "cool",
+                "text",
+                "date",
             ] {
                 assert!(r.has_key(key), "missing {key}");
             }
@@ -128,9 +142,7 @@ mod tests {
         let recs = sample(2000);
         let popular = recs
             .iter()
-            .filter(|r| {
-                POPULAR_USERS.contains(&r.get("user_id").unwrap().as_str().unwrap())
-            })
+            .filter(|r| POPULAR_USERS.contains(&r.get("user_id").unwrap().as_str().unwrap()))
             .count();
         let frac = popular as f64 / recs.len() as f64;
         assert!((0.15..0.25).contains(&frac), "popular fraction {frac}");

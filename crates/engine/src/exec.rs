@@ -72,8 +72,7 @@ impl Executor {
 
         // Zone maps are always sound, so both paths enable them.
         if pushed_ids.is_empty() {
-            metrics.table_scan =
-                scan_count(table, query, &ScanOptions::full().with_zone_maps());
+            metrics.table_scan = scan_count(table, query, &ScanOptions::full().with_zone_maps());
             metrics.raw_scan = scan_raw_records(parked, query);
             metrics.scanned_parked = true;
             metrics.used_skipping = false;
@@ -212,7 +211,12 @@ mod tests {
         // For any query, CIAO's answer must equal a naive scan over all
         // 50 original records.
         let e = env();
-        for text in ["stars = 5", "stars = 2", r#"name = "u7""#, "stars = 5 AND stars = 5"] {
+        for text in [
+            "stars = 5",
+            "stars = 2",
+            r#"name = "u7""#,
+            "stars = 5 AND stars = 5",
+        ] {
             let q = parse_query("q", text).unwrap();
             let truth = (0..50)
                 .filter(|i| {
@@ -251,7 +255,11 @@ mod tests {
             let q = parse_query("q", text).unwrap();
             let count = e.exec.execute_count(&e.table, &e.parked, &q);
             let (records, metrics) = e.exec.execute_select(&e.table, &e.parked, &q);
-            assert_eq!(records.len(), count.count, "select/count diverged on {text}");
+            assert_eq!(
+                records.len(),
+                count.count,
+                "select/count diverged on {text}"
+            );
             assert_eq!(metrics.total_matched(), count.count);
             // Every returned record genuinely satisfies the query.
             for r in &records {

@@ -28,9 +28,9 @@ pub mod select;
 pub mod zone;
 
 pub use exec::{Executor, QueryOutcome};
-pub use select::{select_from_raw, select_from_table, SelectResult};
-pub use zone::block_can_match;
 pub use metrics::{QueryMetrics, ScanMetrics};
 pub use raw_scan::scan_raw_records;
 pub use row_eval::{eval_clause_on_block, eval_query_on_block, eval_simple_on_block};
 pub use scan::{scan_count, ScanOptions};
+pub use select::{select_from_raw, select_from_table, SelectResult};
+pub use zone::block_can_match;

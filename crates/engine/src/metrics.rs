@@ -102,8 +102,14 @@ mod tests {
     #[test]
     fn query_totals() {
         let m = QueryMetrics {
-            table_scan: ScanMetrics { rows_matched: 3, ..Default::default() },
-            raw_scan: ScanMetrics { rows_matched: 2, ..Default::default() },
+            table_scan: ScanMetrics {
+                rows_matched: 3,
+                ..Default::default()
+            },
+            raw_scan: ScanMetrics {
+                rows_matched: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert_eq!(m.total_matched(), 5);

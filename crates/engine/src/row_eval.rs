@@ -27,20 +27,22 @@ pub fn eval_simple_on_block(p: &SimplePredicate, block: &Block, row: usize) -> b
         SimplePredicate::IntGt { key, value } => {
             block.cell(row, key).as_i64().is_some_and(|i| i > *value)
         }
-        SimplePredicate::FloatEq { key, value } => {
-            block.cell(row, key).as_f64() == Some(*value)
-        }
+        SimplePredicate::FloatEq { key, value } => block.cell(row, key).as_f64() == Some(*value),
     }
 }
 
 /// Evaluates a disjunctive clause against one row.
 pub fn eval_clause_on_block(c: &Clause, block: &Block, row: usize) -> bool {
-    c.disjuncts().iter().any(|p| eval_simple_on_block(p, block, row))
+    c.disjuncts()
+        .iter()
+        .any(|p| eval_simple_on_block(p, block, row))
 }
 
 /// Evaluates a query's full conjunction against one row.
 pub fn eval_query_on_block(q: &Query, block: &Block, row: usize) -> bool {
-    q.clauses.iter().all(|c| eval_clause_on_block(c, block, row))
+    q.clauses
+        .iter()
+        .all(|c| eval_clause_on_block(c, block, row))
 }
 
 #[cfg(test)]
@@ -80,16 +82,45 @@ mod tests {
         let table = block();
         let b = &table.blocks()[0];
         let preds = [
-            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
-            SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() },
-            SimplePredicate::NotNull { key: "score".into() },
-            SimplePredicate::IntEq { key: "stars".into(), value: 5 },
-            SimplePredicate::BoolEq { key: "active".into(), value: true },
-            SimplePredicate::IntLt { key: "stars".into(), value: 4 },
-            SimplePredicate::IntGt { key: "stars".into(), value: 4 },
-            SimplePredicate::FloatEq { key: "score".into(), value: 4.5 },
-            SimplePredicate::FloatEq { key: "stars".into(), value: 5.0 },
-            SimplePredicate::StrEq { key: "missing".into(), value: "x".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into(),
+            },
+            SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "delicious".into(),
+            },
+            SimplePredicate::NotNull {
+                key: "score".into(),
+            },
+            SimplePredicate::IntEq {
+                key: "stars".into(),
+                value: 5,
+            },
+            SimplePredicate::BoolEq {
+                key: "active".into(),
+                value: true,
+            },
+            SimplePredicate::IntLt {
+                key: "stars".into(),
+                value: 4,
+            },
+            SimplePredicate::IntGt {
+                key: "stars".into(),
+                value: 4,
+            },
+            SimplePredicate::FloatEq {
+                key: "score".into(),
+                value: 4.5,
+            },
+            SimplePredicate::FloatEq {
+                key: "stars".into(),
+                value: 5.0,
+            },
+            SimplePredicate::StrEq {
+                key: "missing".into(),
+                value: "x".into(),
+            },
         ];
         for (row, rec) in recs.iter().enumerate() {
             for p in &preds {

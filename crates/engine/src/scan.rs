@@ -97,14 +97,7 @@ mod tests {
     /// positives); predicate id 2 ⇔ always-on noise bits.
     fn table() -> ciao_columnar::Table {
         let recs: Vec<_> = (0..100)
-            .map(|i| {
-                parse(&format!(
-                    r#"{{"name":"u{}","stars":{}}}"#,
-                    i,
-                    i % 5 + 1
-                ))
-                .unwrap()
-            })
+            .map(|i| parse(&format!(r#"{{"name":"u{}","stars":{}}}"#, i, i % 5 + 1)).unwrap())
             .collect();
         let schema = Arc::new(Schema::infer(&recs).unwrap());
         let mut tb = TableBuilder::with_block_size(schema, &[1, 2], 16);

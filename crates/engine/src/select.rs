@@ -94,14 +94,7 @@ mod tests {
 
     fn table() -> Table {
         let recs: Vec<JsonValue> = (0..40)
-            .map(|i| {
-                parse(&format!(
-                    r#"{{"stars":{},"name":"u{}"}}"#,
-                    i % 5 + 1,
-                    i
-                ))
-                .unwrap()
-            })
+            .map(|i| parse(&format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i)).unwrap())
             .collect();
         let schema = Arc::new(Schema::infer(&recs).unwrap());
         let mut tb = TableBuilder::with_block_size(schema, &[1], 8);

@@ -26,7 +26,10 @@ use ciao_predicate::{Clause, Query, SimplePredicate};
 
 /// True when the block might contain a row satisfying the query.
 pub fn block_can_match(query: &Query, block: &Block) -> bool {
-    !query.clauses.iter().any(|c| clause_false_for_block(c, block))
+    !query
+        .clauses
+        .iter()
+        .any(|c| clause_false_for_block(c, block))
 }
 
 /// True when no row of the block can satisfy the clause.
@@ -129,7 +132,10 @@ mod tests {
         assert!(can_match("stars = 7"));
         assert!(!can_match("stars = 2"));
         assert!(!can_match("stars = 8"));
-        assert!(can_match("stars = 4"), "inside range: must scan even if absent");
+        assert!(
+            can_match("stars = 4"),
+            "inside range: must scan even if absent"
+        );
     }
 
     #[test]
@@ -145,7 +151,7 @@ mod tests {
         assert!(!can_match("absent_col = 5"));
         assert!(!can_match("absent_col != NULL"));
         assert!(can_match("email != NULL")); // one non-null email
-        // Int predicate over a string column can never hold.
+                                             // Int predicate over a string column can never hold.
         assert!(!can_match("name = 5"));
     }
 

@@ -16,11 +16,7 @@ use std::sync::Arc;
 
 /// Records over a small value domain so predicates hit often.
 fn arb_records() -> impl Strategy<Value = Vec<JsonValue>> {
-    prop::collection::vec(
-        (0i64..8, 0i64..4, prop::option::of(0i64..3)),
-        1..120,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((0i64..8, 0i64..4, prop::option::of(0i64..3)), 1..120).prop_map(|rows| {
         rows.into_iter()
             .map(|(stars, kind, opt)| {
                 let mut pairs = vec![

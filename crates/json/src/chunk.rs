@@ -323,12 +323,7 @@ mod tests {
     fn chunk_reader_matches_from_ndjson() {
         let text = "{\"a\":1}\r\n\n{\"b\":2}\n   \n{\"c\":3}";
         let streamed: Vec<String> = ChunkReader::new(std::io::Cursor::new(text), 2)
-            .flat_map(|c| {
-                c.unwrap()
-                    .iter()
-                    .map(str::to_owned)
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|c| c.unwrap().iter().map(str::to_owned).collect::<Vec<_>>())
             .collect();
         let batch: Vec<String> = RecordChunk::from_ndjson(text)
             .iter()

@@ -146,19 +146,51 @@ mod tests {
 
     #[test]
     fn unescape_errors() {
-        assert_eq!(unescape("bad\\").unwrap_err(), UnescapeError::TrailingBackslash);
-        assert_eq!(unescape("\\q").unwrap_err(), UnescapeError::InvalidEscape('q'));
-        assert_eq!(unescape("\\u12").unwrap_err(), UnescapeError::InvalidUnicodeEscape);
-        assert_eq!(unescape("\\uZZZZ").unwrap_err(), UnescapeError::InvalidUnicodeEscape);
-        assert_eq!(unescape("\\ud800x").unwrap_err(), UnescapeError::LoneSurrogate);
-        assert_eq!(unescape("\\udc00").unwrap_err(), UnescapeError::LoneSurrogate);
-        assert_eq!(unescape("\\ud83d\\u0041").unwrap_err(), UnescapeError::LoneSurrogate);
+        assert_eq!(
+            unescape("bad\\").unwrap_err(),
+            UnescapeError::TrailingBackslash
+        );
+        assert_eq!(
+            unescape("\\q").unwrap_err(),
+            UnescapeError::InvalidEscape('q')
+        );
+        assert_eq!(
+            unescape("\\u12").unwrap_err(),
+            UnescapeError::InvalidUnicodeEscape
+        );
+        assert_eq!(
+            unescape("\\uZZZZ").unwrap_err(),
+            UnescapeError::InvalidUnicodeEscape
+        );
+        assert_eq!(
+            unescape("\\ud800x").unwrap_err(),
+            UnescapeError::LoneSurrogate
+        );
+        assert_eq!(
+            unescape("\\udc00").unwrap_err(),
+            UnescapeError::LoneSurrogate
+        );
+        assert_eq!(
+            unescape("\\ud83d\\u0041").unwrap_err(),
+            UnescapeError::LoneSurrogate
+        );
     }
 
     #[test]
     fn roundtrip() {
-        for s in ["", "plain", "with \"quotes\"", "tab\there", "emoji 😀", "\x07bell"] {
-            assert_eq!(unescape(&escape(s)).unwrap(), s, "roundtrip failed for {s:?}");
+        for s in [
+            "",
+            "plain",
+            "with \"quotes\"",
+            "tab\there",
+            "emoji 😀",
+            "\x07bell",
+        ] {
+            assert_eq!(
+                unescape(&escape(s)).unwrap(),
+                s,
+                "roundtrip failed for {s:?}"
+            );
         }
     }
 }

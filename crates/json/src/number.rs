@@ -52,7 +52,10 @@ impl JsonNumber {
 /// — both for compactness and because very long decimal expansions
 /// tickle rounding bugs in fast float parsers downstream.
 pub(crate) fn format_float(f: f64) -> String {
-    debug_assert!(f.is_finite(), "non-finite floats are unrepresentable in JSON");
+    debug_assert!(
+        f.is_finite(),
+        "non-finite floats are unrepresentable in JSON"
+    );
     let a = f.abs();
     if a != 0.0 && !(1e-5..1e17).contains(&a) {
         return format!("{f:e}");
@@ -121,7 +124,10 @@ mod tests {
     fn scientific_preserved_by_format() {
         let tiny = JsonNumber::Float(1e-300);
         let s = tiny.to_json_string();
-        assert!(s.contains('e'), "extreme magnitude should use scientific: {s}");
+        assert!(
+            s.contains('e'),
+            "extreme magnitude should use scientific: {s}"
+        );
         let reparsed: f64 = s.parse().unwrap();
         assert_eq!(reparsed, 1e-300);
     }

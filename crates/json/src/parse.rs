@@ -41,7 +41,9 @@ pub enum ParseErrorKind {
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.kind {
-            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input at byte {}", self.offset),
+            ParseErrorKind::UnexpectedEof => {
+                write!(f, "unexpected end of input at byte {}", self.offset)
+            }
             ParseErrorKind::UnexpectedByte(b) => write!(
                 f,
                 "unexpected byte {:?} at offset {}",
@@ -49,9 +51,13 @@ impl std::fmt::Display for ParseError {
                 self.offset
             ),
             ParseErrorKind::BadNumber => write!(f, "malformed number at offset {}", self.offset),
-            ParseErrorKind::BadString(msg) => write!(f, "malformed string at offset {}: {msg}", self.offset),
+            ParseErrorKind::BadString(msg) => {
+                write!(f, "malformed string at offset {}: {msg}", self.offset)
+            }
             ParseErrorKind::TooDeep => write!(f, "nesting too deep at offset {}", self.offset),
-            ParseErrorKind::TrailingData => write!(f, "trailing data after value at offset {}", self.offset),
+            ParseErrorKind::TrailingData => {
+                write!(f, "trailing data after value at offset {}", self.offset)
+            }
         }
     }
 }
@@ -355,9 +361,28 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "nul", "tru", "{", "[", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a:1}",
-            "01", "1.", ".5", "1e", "+1", "--1", "\"unterminated", "[1]]", "{} x",
-            "\"bad \\q escape\"", "nan", "Infinity",
+            "",
+            "nul",
+            "tru",
+            "{",
+            "[",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "--1",
+            "\"unterminated",
+            "[1]]",
+            "{} x",
+            "\"bad \\q escape\"",
+            "nan",
+            "Infinity",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -113,7 +113,10 @@ mod tests {
         let v = JsonValue::object([
             ("name", JsonValue::from("Bob")),
             ("age", JsonValue::from(22)),
-            ("xs", JsonValue::array([JsonValue::from(1), JsonValue::Null])),
+            (
+                "xs",
+                JsonValue::array([JsonValue::from(1), JsonValue::Null]),
+            ),
         ]);
         assert_eq!(to_string(&v), r#"{"name":"Bob","age":22,"xs":[1,null]}"#);
     }

@@ -216,9 +216,15 @@ mod tests {
         assert_eq!(v.get("active").unwrap().as_bool(), Some(true));
         assert!(v.get("email").unwrap().is_null());
         assert!(v.get("missing").is_none());
-        assert_eq!(v.get_path("address.city").unwrap().as_str(), Some("Chicago"));
+        assert_eq!(
+            v.get_path("address.city").unwrap().as_str(),
+            Some("Chicago")
+        );
         assert!(v.get_path("address.zip").is_none());
-        assert_eq!(v.get("tags").unwrap().get_index(1).unwrap().as_str(), Some("b"));
+        assert_eq!(
+            v.get("tags").unwrap().get_index(1).unwrap().as_str(),
+            Some("b")
+        );
         assert!(v.get("tags").unwrap().get_index(2).is_none());
     }
 

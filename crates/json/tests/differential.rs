@@ -21,9 +21,7 @@ fn arb_json() -> impl Strategy<Value = JsonValue> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
             prop::collection::vec(("[a-z]{1,8}", inner), 0..6)
-                .prop_map(|pairs| JsonValue::Object(
-                    pairs.into_iter().collect()
-                )),
+                .prop_map(|pairs| JsonValue::Object(pairs.into_iter().collect())),
         ]
     })
 }

@@ -63,6 +63,9 @@ fn boundary_values_roundtrip() {
     ] {
         let s = to_string(&JsonValue::from(f));
         let back = parse(&s).unwrap().as_f64().unwrap();
-        assert!(back == f || (f == 0.0 && back == 0.0), "{f:e} via {s} gave {back:e}");
+        assert!(
+            back == f || (f == 0.0 && back == 0.0),
+            "{f:e} via {s} gave {back:e}"
+        );
     }
 }

@@ -10,7 +10,10 @@ use crate::objective::Instance;
 /// a test oracle, not a production path.
 pub fn solve_exhaustive(instance: &Instance) -> Selection {
     let n = instance.len();
-    assert!(n <= 25, "exhaustive solver is for small instances (n = {n})");
+    assert!(
+        n <= 25,
+        "exhaustive solver is for small instances (n = {n})"
+    );
     let mut best = Selection::empty();
     let mut mask = vec![false; n];
     for bits in 0u64..(1u64 << n) {
@@ -41,7 +44,10 @@ mod tests {
     use ciao_predicate::{Clause, SimplePredicate};
 
     fn clause(tag: u32) -> Clause {
-        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+        Clause::single(SimplePredicate::IntEq {
+            key: format!("k{tag}"),
+            value: tag as i64,
+        })
     }
 
     fn instance(specs: &[(f64, f64)], budget: f64) -> Instance {
@@ -56,7 +62,11 @@ mod tests {
                 })
                 .collect(),
             queries: (0..specs.len())
-                .map(|i| QueryRef { name: format!("q{i}"), freq: 1.0, candidates: vec![i] })
+                .map(|i| QueryRef {
+                    name: format!("q{i}"),
+                    freq: 1.0,
+                    candidates: vec![i],
+                })
                 .collect(),
             budget,
         }

@@ -123,7 +123,10 @@ mod tests {
     use ciao_predicate::{Clause, SimplePredicate};
 
     fn clause(tag: u32) -> Clause {
-        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+        Clause::single(SimplePredicate::IntEq {
+            key: format!("k{tag}"),
+            value: tag as i64,
+        })
     }
 
     /// Builds an instance where each candidate i belongs to query i
@@ -223,11 +226,27 @@ mod tests {
         // One query with two candidates: selecting the second has a
         // smaller marginal gain (submodularity in action).
         let candidates = vec![
-            Candidate { clause: clause(0), selectivity: 0.5, cost: 1.0 },
-            Candidate { clause: clause(1), selectivity: 0.5, cost: 1.0 },
+            Candidate {
+                clause: clause(0),
+                selectivity: 0.5,
+                cost: 1.0,
+            },
+            Candidate {
+                clause: clause(1),
+                selectivity: 0.5,
+                cost: 1.0,
+            },
         ];
-        let queries = vec![QueryRef { name: "q".into(), freq: 1.0, candidates: vec![0, 1] }];
-        let inst = Instance { candidates, queries, budget: 10.0 };
+        let queries = vec![QueryRef {
+            name: "q".into(),
+            freq: 1.0,
+            candidates: vec![0, 1],
+        }];
+        let inst = Instance {
+            candidates,
+            queries,
+            budget: 10.0,
+        };
         let sel = greedy_benefit(&inst);
         // First pick gains 0.5; second gains only 0.25.
         assert_eq!(sel.selected.len(), 2);
@@ -236,7 +255,11 @@ mod tests {
 
     #[test]
     fn selection_mask() {
-        let sel = Selection { selected: vec![2, 0], objective: 0.0, cost: 0.0 };
+        let sel = Selection {
+            selected: vec![2, 0],
+            objective: 0.0,
+            cost: 0.0,
+        };
         assert_eq!(sel.mask(4), vec![true, false, true, false]);
     }
 }

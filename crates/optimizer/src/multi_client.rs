@@ -34,8 +34,14 @@ pub struct ClientSpec {
 impl ClientSpec {
     /// Creates a spec, validating ranges.
     pub fn new(name: impl Into<String>, speed_factor: f64, data_share: f64) -> ClientSpec {
-        assert!(speed_factor > 0.0 && speed_factor.is_finite(), "speed factor must be positive");
-        assert!(data_share >= 0.0 && data_share.is_finite(), "data share must be non-negative");
+        assert!(
+            speed_factor > 0.0 && speed_factor.is_finite(),
+            "speed factor must be positive"
+        );
+        assert!(
+            data_share >= 0.0 && data_share.is_finite(),
+            "data share must be non-negative"
+        );
         ClientSpec {
             name: name.into(),
             speed_factor,
@@ -95,7 +101,11 @@ pub fn allocate_budgets(instance: &Instance, clients: &[ClientSpec]) -> MultiCli
                 if gain <= 1e-15 {
                     continue;
                 }
-                let ratio = if cost > 0.0 { gain / cost } else { f64::INFINITY };
+                let ratio = if cost > 0.0 {
+                    gain / cost
+                } else {
+                    f64::INFINITY
+                };
                 if best.is_none_or(|(_, _, br, _, _)| ratio > br + 1e-15) {
                     best = Some((c, p, ratio, gain, cost));
                 }
@@ -128,7 +138,10 @@ mod tests {
     use ciao_predicate::{Clause, SimplePredicate};
 
     fn clause(tag: u32) -> Clause {
-        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+        Clause::single(SimplePredicate::IntEq {
+            key: format!("k{tag}"),
+            value: tag as i64,
+        })
     }
 
     fn instance(specs: &[(f64, f64)], budget: f64) -> Instance {
@@ -143,7 +156,11 @@ mod tests {
                 })
                 .collect(),
             queries: (0..specs.len())
-                .map(|i| QueryRef { name: format!("q{i}"), freq: 1.0, candidates: vec![i] })
+                .map(|i| QueryRef {
+                    name: format!("q{i}"),
+                    freq: 1.0,
+                    candidates: vec![i],
+                })
                 .collect(),
             budget,
         }

@@ -41,7 +41,11 @@ impl Instance {
     /// Evaluates `f(S)` for a selection given as a boolean mask over
     /// candidates.
     pub fn objective(&self, selected: &[bool]) -> f64 {
-        assert_eq!(selected.len(), self.candidates.len(), "mask length mismatch");
+        assert_eq!(
+            selected.len(),
+            self.candidates.len(),
+            "mask length mismatch"
+        );
         self.queries
             .iter()
             .map(|q| q.freq * self.query_benefit(q, selected))
@@ -108,7 +112,10 @@ pub struct InstanceBuilder<'a> {
 impl<'a> InstanceBuilder<'a> {
     /// Creates a builder with the estimated selectivities and budget.
     pub fn new(selectivities: &'a SelectivityMap, budget: f64) -> Self {
-        assert!(budget >= 0.0 && budget.is_finite(), "budget must be finite and non-negative");
+        assert!(
+            budget >= 0.0 && budget.is_finite(),
+            "budget must be finite and non-negative"
+        );
         InstanceBuilder {
             selectivities,
             budget,
@@ -190,11 +197,7 @@ mod tests {
         assert_eq!(inst.len(), 3);
         assert_eq!(inst.queries.len(), 2);
         // `stars = 1` appears in both queries but is one candidate.
-        let shared: Vec<_> = inst
-            .queries
-            .iter()
-            .map(|q| q.candidates.clone())
-            .collect();
+        let shared: Vec<_> = inst.queries.iter().map(|q| q.candidates.clone()).collect();
         let common: Vec<usize> = shared[0]
             .iter()
             .filter(|i| shared[1].contains(i))
@@ -254,8 +257,14 @@ mod tests {
     fn clause_with_unsupported_disjunct_excluded() {
         use ciao_predicate::{Clause, Query};
         let mixed = Clause::new(vec![
-            SimplePredicate::StrEq { key: "a".into(), value: "x".into() },
-            SimplePredicate::FloatEq { key: "b".into(), value: 2.4 },
+            SimplePredicate::StrEq {
+                key: "a".into(),
+                value: "x".into(),
+            },
+            SimplePredicate::FloatEq {
+                key: "b".into(),
+                value: 2.4,
+            },
         ]);
         let q = Query::new("q", vec![mixed]);
         let m = SelectivityMap::with_default(1.0);
@@ -268,7 +277,10 @@ mod tests {
         let inst = simple_instance();
         let all = vec![true; inst.len()];
         assert!(inst.is_feasible(&all)); // 3 × 1.0 ≤ 10
-        let tight = Instance { budget: 2.5, ..inst };
+        let tight = Instance {
+            budget: 2.5,
+            ..inst
+        };
         assert!(!tight.is_feasible(&all));
     }
 

@@ -112,7 +112,10 @@ mod tests {
     use ciao_predicate::{Clause, SimplePredicate};
 
     fn clause(tag: u32) -> Clause {
-        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+        Clause::single(SimplePredicate::IntEq {
+            key: format!("k{tag}"),
+            value: tag as i64,
+        })
     }
 
     fn instance(specs: &[(f64, f64)], budget: f64) -> Instance {
@@ -127,7 +130,11 @@ mod tests {
                 })
                 .collect(),
             queries: (0..specs.len())
-                .map(|i| QueryRef { name: format!("q{i}"), freq: 1.0, candidates: vec![i] })
+                .map(|i| QueryRef {
+                    name: format!("q{i}"),
+                    freq: 1.0,
+                    candidates: vec![i],
+                })
                 .collect(),
             budget,
         }
@@ -140,10 +147,7 @@ mod tests {
         // (ratio .3) whose cost then blocks the {Y, Z} pair. Optimal is
         // {Y, Z} = 1.0 at cost 10. Partial enumeration recovers it from
         // the {Y, Z} seed.
-        let inst = instance(
-            &[(0.1, 10.0), (0.5, 5.0), (0.5, 5.0), (0.7, 1.0)],
-            10.0,
-        );
+        let inst = instance(&[(0.1, 10.0), (0.5, 5.0), (0.5, 5.0), (0.7, 1.0)], 10.0);
         let greedy = solve(&inst);
         let opt = solve_exhaustive(&inst);
         assert!(

@@ -19,11 +19,7 @@ impl OlsFit {
     /// Predicts `y` for one feature row.
     pub fn predict(&self, features: &[f64]) -> f64 {
         assert_eq!(features.len(), self.beta.len(), "feature arity mismatch");
-        features
-            .iter()
-            .zip(&self.beta)
-            .map(|(x, b)| x * b)
-            .sum()
+        features.iter().zip(&self.beta).map(|(x, b)| x * b).sum()
     }
 }
 
@@ -108,7 +104,10 @@ pub fn ols_fit(x: &[Vec<f64>], y: &[f64]) -> Result<OlsFit, RegressionError> {
     };
     let predictions: Vec<f64> = x.iter().map(|row| fit.predict(row)).collect();
     let r2 = r_squared(y, &predictions);
-    Ok(OlsFit { r_squared: r2, ..fit })
+    Ok(OlsFit {
+        r_squared: r2,
+        ..fit
+    })
 }
 
 /// `R² = 1 − Σ(y−ŷ)² / Σ(y−ȳ)²`. Returns 1.0 when the targets are
@@ -212,7 +211,10 @@ mod tests {
         let y = vec![1.0];
         assert_eq!(
             ols_fit(&x, &y).unwrap_err(),
-            RegressionError::Underdetermined { samples: 1, features: 3 }
+            RegressionError::Underdetermined {
+                samples: 1,
+                features: 3
+            }
         );
         assert!(matches!(
             ols_fit(&[], &[]).unwrap_err(),
@@ -250,7 +252,10 @@ mod tests {
 
     #[test]
     fn predict_checks_arity() {
-        let fit = OlsFit { beta: vec![1.0, 2.0], r_squared: 1.0 };
+        let fit = OlsFit {
+            beta: vec![1.0, 2.0],
+            r_squared: 1.0,
+        };
         assert_eq!(fit.predict(&[3.0, 4.0]), 11.0);
     }
 }

@@ -55,7 +55,10 @@ mod tests {
     use ciao_predicate::{Clause, SimplePredicate};
 
     fn clause(tag: u32) -> Clause {
-        Clause::single(SimplePredicate::IntEq { key: format!("k{tag}"), value: tag as i64 })
+        Clause::single(SimplePredicate::IntEq {
+            key: format!("k{tag}"),
+            value: tag as i64,
+        })
     }
 
     fn instance(specs: &[(f64, f64)], budget: f64) -> Instance {
@@ -70,7 +73,11 @@ mod tests {
                 })
                 .collect(),
             queries: (0..specs.len())
-                .map(|i| QueryRef { name: format!("q{i}"), freq: 1.0, candidates: vec![i] })
+                .map(|i| QueryRef {
+                    name: format!("q{i}"),
+                    freq: 1.0,
+                    candidates: vec![i],
+                })
                 .collect(),
             budget,
         }
@@ -97,7 +104,11 @@ mod tests {
         let report = solve(&inst);
         assert!(
             report.best().objective
-                >= report.benefit_greedy.objective.max(report.ratio_greedy.objective) - 1e-12
+                >= report
+                    .benefit_greedy
+                    .objective
+                    .max(report.ratio_greedy.objective)
+                    - 1e-12
         );
     }
 

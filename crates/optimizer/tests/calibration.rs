@@ -54,8 +54,18 @@ fn cloud_fits_worst() {
     let cloud = calibrate(&HardwareProfile::alibaba_cloud(), 17);
     let pku = calibrate(&HardwareProfile::pku_weiming(), 17);
     // Table IV ordering: PKU (0.978) > local (0.897) > cloud (0.666).
-    assert!(pku.r_squared > local.r_squared, "pku {} vs local {}", pku.r_squared, local.r_squared);
-    assert!(local.r_squared > cloud.r_squared, "local {} vs cloud {}", local.r_squared, cloud.r_squared);
+    assert!(
+        pku.r_squared > local.r_squared,
+        "pku {} vs local {}",
+        pku.r_squared,
+        local.r_squared
+    );
+    assert!(
+        local.r_squared > cloud.r_squared,
+        "local {} vs cloud {}",
+        local.r_squared,
+        cloud.r_squared
+    );
 }
 
 #[test]

@@ -22,17 +22,9 @@ fn clause(tag: usize) -> Clause {
 /// referencing a random non-empty candidate subset.
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (2usize..=10, 1usize..=6).prop_flat_map(|(n, m)| {
-        let candidates = prop::collection::vec(
-            (0.01f64..=1.0, 0.1f64..=5.0),
-            n,
-        );
-        let queries = prop::collection::vec(
-            (
-                prop::collection::vec(0..n, 1..=n.min(4)),
-                0.1f64..=2.0,
-            ),
-            m,
-        );
+        let candidates = prop::collection::vec((0.01f64..=1.0, 0.1f64..=5.0), n);
+        let queries =
+            prop::collection::vec((prop::collection::vec(0..n, 1..=n.min(4)), 0.1f64..=2.0), m);
         let budget = 0.0f64..=12.0;
         (candidates, queries, budget).prop_map(move |(cands, qs, budget)| Instance {
             candidates: cands

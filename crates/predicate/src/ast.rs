@@ -120,9 +120,16 @@ impl PartialEq for SimplePredicate {
         use SimplePredicate::*;
         match (self, other) {
             (StrEq { key: k1, value: v1 }, StrEq { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
-            (StrContains { key: k1, needle: n1 }, StrContains { key: k2, needle: n2 }) => {
-                k1 == k2 && n1 == n2
-            }
+            (
+                StrContains {
+                    key: k1,
+                    needle: n1,
+                },
+                StrContains {
+                    key: k2,
+                    needle: n2,
+                },
+            ) => k1 == k2 && n1 == n2,
             (NotNull { key: k1 }, NotNull { key: k2 }) => k1 == k2,
             (IntEq { key: k1, value: v1 }, IntEq { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
             (BoolEq { key: k1, value: v1 }, BoolEq { key: k2, value: v2 }) => k1 == k2 && v1 == v2,
@@ -183,7 +190,10 @@ impl Clause {
     /// Builds a clause. Panics on an empty disjunction (a vacuously
     /// false clause is never what a workload means).
     pub fn new(disjuncts: Vec<SimplePredicate>) -> Clause {
-        assert!(!disjuncts.is_empty(), "clause must have at least one disjunct");
+        assert!(
+            !disjuncts.is_empty(),
+            "clause must have at least one disjunct"
+        );
         Clause { disjuncts }
     }
 
@@ -251,7 +261,10 @@ impl Query {
 
     /// Sets the relative frequency.
     pub fn with_freq(mut self, freq: f64) -> Query {
-        assert!(freq >= 0.0 && freq.is_finite(), "frequency must be non-negative");
+        assert!(
+            freq >= 0.0 && freq.is_finite(),
+            "frequency must be non-negative"
+        );
         self.freq = freq;
         self
     }
@@ -294,20 +307,59 @@ mod tests {
     #[test]
     fn pushability() {
         assert!(p_streq().is_pushable());
-        assert!(SimplePredicate::StrContains { key: "t".into(), needle: "x".into() }.is_pushable());
-        assert!(SimplePredicate::NotNull { key: "email".into() }.is_pushable());
-        assert!(SimplePredicate::IntEq { key: "age".into(), value: 10 }.is_pushable());
-        assert!(SimplePredicate::BoolEq { key: "a".into(), value: true }.is_pushable());
-        assert!(!SimplePredicate::IntLt { key: "age".into(), value: 10 }.is_pushable());
-        assert!(!SimplePredicate::IntGt { key: "age".into(), value: 10 }.is_pushable());
-        assert!(!SimplePredicate::FloatEq { key: "s".into(), value: 2.4 }.is_pushable());
+        assert!(SimplePredicate::StrContains {
+            key: "t".into(),
+            needle: "x".into()
+        }
+        .is_pushable());
+        assert!(SimplePredicate::NotNull {
+            key: "email".into()
+        }
+        .is_pushable());
+        assert!(SimplePredicate::IntEq {
+            key: "age".into(),
+            value: 10
+        }
+        .is_pushable());
+        assert!(SimplePredicate::BoolEq {
+            key: "a".into(),
+            value: true
+        }
+        .is_pushable());
+        assert!(!SimplePredicate::IntLt {
+            key: "age".into(),
+            value: 10
+        }
+        .is_pushable());
+        assert!(!SimplePredicate::IntGt {
+            key: "age".into(),
+            value: 10
+        }
+        .is_pushable());
+        assert!(!SimplePredicate::FloatEq {
+            key: "s".into(),
+            value: 2.4
+        }
+        .is_pushable());
     }
 
     #[test]
     fn clause_pushable_iff_all_disjuncts_are() {
-        let good = Clause::new(vec![p_streq(), SimplePredicate::IntEq { key: "age".into(), value: 20 }]);
+        let good = Clause::new(vec![
+            p_streq(),
+            SimplePredicate::IntEq {
+                key: "age".into(),
+                value: 20,
+            },
+        ]);
         assert!(good.is_pushable());
-        let mixed = Clause::new(vec![p_streq(), SimplePredicate::IntLt { key: "age".into(), value: 20 }]);
+        let mixed = Clause::new(vec![
+            p_streq(),
+            SimplePredicate::IntLt {
+                key: "age".into(),
+                value: 20,
+            },
+        ]);
         assert!(!mixed.is_pushable());
     }
 
@@ -321,20 +373,38 @@ mod tests {
     fn display_forms() {
         assert_eq!(p_streq().to_string(), "name = \"Bob\"");
         assert_eq!(
-            SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() }
-                .to_string(),
+            SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "delicious".into()
+            }
+            .to_string(),
             "text LIKE \"%delicious%\""
         );
         assert_eq!(
-            SimplePredicate::NotNull { key: "email".into() }.to_string(),
+            SimplePredicate::NotNull {
+                key: "email".into()
+            }
+            .to_string(),
             "email != NULL"
         );
         let c = Clause::new(vec![
             p_streq(),
-            SimplePredicate::StrEq { key: "name".into(), value: "John".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "John".into(),
+            },
         ]);
         assert_eq!(c.to_string(), "(name = \"Bob\" OR name = \"John\")");
-        let q = Query::new("q0", vec![c, Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 20 })]);
+        let q = Query::new(
+            "q0",
+            vec![
+                c,
+                Clause::single(SimplePredicate::IntEq {
+                    key: "age".into(),
+                    value: 20,
+                }),
+            ],
+        );
         assert_eq!(
             q.to_string(),
             "SELECT COUNT(*) WHERE (name = \"Bob\" OR name = \"John\") AND age = 20"
@@ -351,9 +421,18 @@ mod tests {
         set.insert(a);
         assert!(set.contains(&b));
 
-        let f1 = SimplePredicate::FloatEq { key: "x".into(), value: 2.4 };
-        let f2 = SimplePredicate::FloatEq { key: "x".into(), value: 2.4 };
-        let f3 = SimplePredicate::FloatEq { key: "x".into(), value: 2.5 };
+        let f1 = SimplePredicate::FloatEq {
+            key: "x".into(),
+            value: 2.4,
+        };
+        let f2 = SimplePredicate::FloatEq {
+            key: "x".into(),
+            value: 2.4,
+        };
+        let f3 = SimplePredicate::FloatEq {
+            key: "x".into(),
+            value: 2.5,
+        };
         assert_eq!(f1, f2);
         assert_ne!(f1, f3);
     }
@@ -364,7 +443,10 @@ mod tests {
             "q",
             vec![
                 Clause::single(p_streq()),
-                Clause::single(SimplePredicate::IntLt { key: "age".into(), value: 30 }),
+                Clause::single(SimplePredicate::IntLt {
+                    key: "age".into(),
+                    value: 30,
+                }),
             ],
         )
         .with_freq(0.5);
@@ -383,13 +465,31 @@ mod tests {
     fn key_accessor_covers_all_variants() {
         let preds = [
             p_streq(),
-            SimplePredicate::StrContains { key: "k".into(), needle: "n".into() },
+            SimplePredicate::StrContains {
+                key: "k".into(),
+                needle: "n".into(),
+            },
             SimplePredicate::NotNull { key: "k".into() },
-            SimplePredicate::IntEq { key: "k".into(), value: 1 },
-            SimplePredicate::BoolEq { key: "k".into(), value: false },
-            SimplePredicate::IntLt { key: "k".into(), value: 1 },
-            SimplePredicate::IntGt { key: "k".into(), value: 1 },
-            SimplePredicate::FloatEq { key: "k".into(), value: 1.5 },
+            SimplePredicate::IntEq {
+                key: "k".into(),
+                value: 1,
+            },
+            SimplePredicate::BoolEq {
+                key: "k".into(),
+                value: false,
+            },
+            SimplePredicate::IntLt {
+                key: "k".into(),
+                value: 1,
+            },
+            SimplePredicate::IntGt {
+                key: "k".into(),
+                value: 1,
+            },
+            SimplePredicate::FloatEq {
+                key: "k".into(),
+                value: 1.5,
+            },
         ];
         assert_eq!(preds[0].key(), "name");
         for p in &preds[1..] {

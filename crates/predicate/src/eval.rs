@@ -76,27 +76,60 @@ mod tests {
     #[test]
     fn str_eq() {
         let r = record();
-        assert!(eval_simple(&SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() }, &r));
-        assert!(!eval_simple(&SimplePredicate::StrEq { key: "name".into(), value: "Bo".into() }, &r));
-        assert!(!eval_simple(&SimplePredicate::StrEq { key: "missing".into(), value: "Bob".into() }, &r));
+        assert!(eval_simple(
+            &SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into()
+            },
+            &r
+        ));
+        assert!(!eval_simple(
+            &SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bo".into()
+            },
+            &r
+        ));
+        assert!(!eval_simple(
+            &SimplePredicate::StrEq {
+                key: "missing".into(),
+                value: "Bob".into()
+            },
+            &r
+        ));
         // Type mismatch: age is a number, not the string "22".
-        assert!(!eval_simple(&SimplePredicate::StrEq { key: "age".into(), value: "22".into() }, &r));
+        assert!(!eval_simple(
+            &SimplePredicate::StrEq {
+                key: "age".into(),
+                value: "22".into()
+            },
+            &r
+        ));
     }
 
     #[test]
     fn str_contains() {
         let r = record();
         assert!(eval_simple(
-            &SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() },
+            &SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "delicious".into()
+            },
             &r
         ));
         assert!(!eval_simple(
-            &SimplePredicate::StrContains { key: "text".into(), needle: "horrible".into() },
+            &SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "horrible".into()
+            },
             &r
         ));
         // Empty needle matches any present string.
         assert!(eval_simple(
-            &SimplePredicate::StrContains { key: "text".into(), needle: "".into() },
+            &SimplePredicate::StrContains {
+                key: "text".into(),
+                needle: "".into()
+            },
             &r
         ));
     }
@@ -104,46 +137,131 @@ mod tests {
     #[test]
     fn not_null_semantics() {
         let r = record();
-        assert!(eval_simple(&SimplePredicate::NotNull { key: "name".into() }, &r));
+        assert!(eval_simple(
+            &SimplePredicate::NotNull { key: "name".into() },
+            &r
+        ));
         // Present but null fails.
-        assert!(!eval_simple(&SimplePredicate::NotNull { key: "email".into() }, &r));
+        assert!(!eval_simple(
+            &SimplePredicate::NotNull {
+                key: "email".into()
+            },
+            &r
+        ));
         // Absent fails.
-        assert!(!eval_simple(&SimplePredicate::NotNull { key: "phone".into() }, &r));
+        assert!(!eval_simple(
+            &SimplePredicate::NotNull {
+                key: "phone".into()
+            },
+            &r
+        ));
     }
 
     #[test]
     fn int_and_bool_eq() {
         let r = record();
-        assert!(eval_simple(&SimplePredicate::IntEq { key: "age".into(), value: 22 }, &r));
-        assert!(!eval_simple(&SimplePredicate::IntEq { key: "age".into(), value: 23 }, &r));
+        assert!(eval_simple(
+            &SimplePredicate::IntEq {
+                key: "age".into(),
+                value: 22
+            },
+            &r
+        ));
+        assert!(!eval_simple(
+            &SimplePredicate::IntEq {
+                key: "age".into(),
+                value: 23
+            },
+            &r
+        ));
         // Float-valued field does not satisfy integer equality.
-        assert!(!eval_simple(&SimplePredicate::IntEq { key: "score".into(), value: 4 }, &r));
-        assert!(eval_simple(&SimplePredicate::BoolEq { key: "active".into(), value: true }, &r));
-        assert!(!eval_simple(&SimplePredicate::BoolEq { key: "active".into(), value: false }, &r));
+        assert!(!eval_simple(
+            &SimplePredicate::IntEq {
+                key: "score".into(),
+                value: 4
+            },
+            &r
+        ));
+        assert!(eval_simple(
+            &SimplePredicate::BoolEq {
+                key: "active".into(),
+                value: true
+            },
+            &r
+        ));
+        assert!(!eval_simple(
+            &SimplePredicate::BoolEq {
+                key: "active".into(),
+                value: false
+            },
+            &r
+        ));
     }
 
     #[test]
     fn ranges_and_float() {
         let r = record();
-        assert!(eval_simple(&SimplePredicate::IntLt { key: "age".into(), value: 30 }, &r));
-        assert!(!eval_simple(&SimplePredicate::IntLt { key: "age".into(), value: 22 }, &r));
-        assert!(eval_simple(&SimplePredicate::IntGt { key: "age".into(), value: 21 }, &r));
-        assert!(eval_simple(&SimplePredicate::FloatEq { key: "score".into(), value: 4.5 }, &r));
+        assert!(eval_simple(
+            &SimplePredicate::IntLt {
+                key: "age".into(),
+                value: 30
+            },
+            &r
+        ));
+        assert!(!eval_simple(
+            &SimplePredicate::IntLt {
+                key: "age".into(),
+                value: 22
+            },
+            &r
+        ));
+        assert!(eval_simple(
+            &SimplePredicate::IntGt {
+                key: "age".into(),
+                value: 21
+            },
+            &r
+        ));
+        assert!(eval_simple(
+            &SimplePredicate::FloatEq {
+                key: "score".into(),
+                value: 4.5
+            },
+            &r
+        ));
         // Integer field satisfies float equality via numeric view.
-        assert!(eval_simple(&SimplePredicate::FloatEq { key: "age".into(), value: 22.0 }, &r));
+        assert!(eval_simple(
+            &SimplePredicate::FloatEq {
+                key: "age".into(),
+                value: 22.0
+            },
+            &r
+        ));
     }
 
     #[test]
     fn clause_disjunction() {
         let r = record();
         let c = Clause::new(vec![
-            SimplePredicate::StrEq { key: "name".into(), value: "Alice".into() },
-            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Alice".into(),
+            },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into(),
+            },
         ]);
         assert!(eval_clause(&c, &r));
         let miss = Clause::new(vec![
-            SimplePredicate::StrEq { key: "name".into(), value: "Alice".into() },
-            SimplePredicate::StrEq { key: "name".into(), value: "Carol".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Alice".into(),
+            },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Carol".into(),
+            },
         ]);
         assert!(!eval_clause(&miss, &r));
     }
@@ -154,16 +272,28 @@ mod tests {
         let hit = Query::new(
             "q",
             vec![
-                Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() }),
-                Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 22 }),
+                Clause::single(SimplePredicate::StrEq {
+                    key: "name".into(),
+                    value: "Bob".into(),
+                }),
+                Clause::single(SimplePredicate::IntEq {
+                    key: "age".into(),
+                    value: 22,
+                }),
             ],
         );
         assert!(eval_query(&hit, &r));
         let miss = Query::new(
             "q",
             vec![
-                Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() }),
-                Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 99 }),
+                Clause::single(SimplePredicate::StrEq {
+                    key: "name".into(),
+                    value: "Bob".into(),
+                }),
+                Clause::single(SimplePredicate::IntEq {
+                    key: "age".into(),
+                    value: 99,
+                }),
             ],
         );
         assert!(!eval_query(&miss, &r));
@@ -174,7 +304,16 @@ mod tests {
     #[test]
     fn non_object_records() {
         let arr = parse("[1,2,3]").unwrap();
-        assert!(!eval_simple(&SimplePredicate::NotNull { key: "a".into() }, &arr));
-        assert!(!eval_simple(&SimplePredicate::StrEq { key: "a".into(), value: "x".into() }, &arr));
+        assert!(!eval_simple(
+            &SimplePredicate::NotNull { key: "a".into() },
+            &arr
+        ));
+        assert!(!eval_simple(
+            &SimplePredicate::StrEq {
+                key: "a".into(),
+                value: "x".into()
+            },
+            &arr
+        ));
     }
 }

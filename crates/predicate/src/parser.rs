@@ -31,7 +31,11 @@ pub struct PredicateParseError {
 
 impl std::fmt::Display for PredicateParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "predicate parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "predicate parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -127,7 +131,10 @@ impl<'a> Lexer<'a> {
                     let num_start = self.pos;
                     self.pos += 1;
                     while self.pos < bytes.len()
-                        && matches!(bytes[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                        && matches!(
+                            bytes[self.pos],
+                            b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+                        )
                     {
                         // Stop `-` from being consumed as part of a second number.
                         if matches!(bytes[self.pos], b'+' | b'-')
@@ -366,27 +373,43 @@ mod tests {
     fn simple_forms() {
         assert_eq!(
             parse_clause(r#"name = "Bob""#).unwrap(),
-            Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() })
+            Clause::single(SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into()
+            })
         );
         assert_eq!(
             parse_clause("age = 10").unwrap(),
-            Clause::single(SimplePredicate::IntEq { key: "age".into(), value: 10 })
+            Clause::single(SimplePredicate::IntEq {
+                key: "age".into(),
+                value: 10
+            })
         );
         assert_eq!(
             parse_clause("score = 2.5").unwrap(),
-            Clause::single(SimplePredicate::FloatEq { key: "score".into(), value: 2.5 })
+            Clause::single(SimplePredicate::FloatEq {
+                key: "score".into(),
+                value: 2.5
+            })
         );
         assert_eq!(
             parse_clause("isActive = true").unwrap(),
-            Clause::single(SimplePredicate::BoolEq { key: "isActive".into(), value: true })
+            Clause::single(SimplePredicate::BoolEq {
+                key: "isActive".into(),
+                value: true
+            })
         );
         assert_eq!(
             parse_clause("email != NULL").unwrap(),
-            Clause::single(SimplePredicate::NotNull { key: "email".into() })
+            Clause::single(SimplePredicate::NotNull {
+                key: "email".into()
+            })
         );
         assert_eq!(
             parse_clause("email IS NOT NULL").unwrap(),
-            Clause::single(SimplePredicate::NotNull { key: "email".into() })
+            Clause::single(SimplePredicate::NotNull {
+                key: "email".into()
+            })
         );
         assert_eq!(
             parse_clause(r#"text LIKE "%delicious%""#).unwrap(),
@@ -397,11 +420,17 @@ mod tests {
         );
         assert_eq!(
             parse_clause("age < 30").unwrap(),
-            Clause::single(SimplePredicate::IntLt { key: "age".into(), value: 30 })
+            Clause::single(SimplePredicate::IntLt {
+                key: "age".into(),
+                value: 30
+            })
         );
         assert_eq!(
             parse_clause("age > -5").unwrap(),
-            Clause::single(SimplePredicate::IntGt { key: "age".into(), value: -5 })
+            Clause::single(SimplePredicate::IntGt {
+                key: "age".into(),
+                value: -5
+            })
         );
     }
 
@@ -411,12 +440,18 @@ mod tests {
         assert_eq!(c.arity(), 2);
         assert_eq!(
             c.disjuncts()[1],
-            SimplePredicate::StrEq { key: "name".into(), value: "John".into() }
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "John".into()
+            }
         );
         let ints = parse_clause("stars IN (4, 5)").unwrap();
         assert_eq!(
             ints.disjuncts()[0],
-            SimplePredicate::IntEq { key: "stars".into(), value: 4 }
+            SimplePredicate::IntEq {
+                key: "stars".into(),
+                value: 4
+            }
         );
     }
 
@@ -454,7 +489,10 @@ mod tests {
         let c = parse_clause("name = 'Bob'").unwrap();
         assert_eq!(
             c,
-            Clause::single(SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() })
+            Clause::single(SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into()
+            })
         );
     }
 

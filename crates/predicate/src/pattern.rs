@@ -124,88 +124,159 @@ mod tests {
 
     #[test]
     fn table1_exact_match() {
-        let p = SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() };
+        let p = SimplePredicate::StrEq {
+            key: "name".into(),
+            value: "Bob".into(),
+        };
         assert_eq!(
             compile_simple(&p),
-            Some(Pattern::Find { needle: "\"Bob\"".into() })
+            Some(Pattern::Find {
+                needle: "\"Bob\"".into()
+            })
         );
     }
 
     #[test]
     fn table1_substring_match() {
-        let p = SimplePredicate::StrContains { key: "text".into(), needle: "delicious".into() };
+        let p = SimplePredicate::StrContains {
+            key: "text".into(),
+            needle: "delicious".into(),
+        };
         assert_eq!(
             compile_simple(&p),
-            Some(Pattern::Find { needle: "delicious".into() })
+            Some(Pattern::Find {
+                needle: "delicious".into()
+            })
         );
     }
 
     #[test]
     fn table1_key_presence() {
-        let p = SimplePredicate::NotNull { key: "email".into() };
+        let p = SimplePredicate::NotNull {
+            key: "email".into(),
+        };
         assert_eq!(
             compile_simple(&p),
-            Some(Pattern::Find { needle: "\"email\"".into() })
+            Some(Pattern::Find {
+                needle: "\"email\"".into()
+            })
         );
     }
 
     #[test]
     fn table1_key_value() {
-        let p = SimplePredicate::IntEq { key: "age".into(), value: 10 };
+        let p = SimplePredicate::IntEq {
+            key: "age".into(),
+            value: 10,
+        };
         assert_eq!(
             compile_simple(&p),
-            Some(Pattern::KeyThenValue { key: "\"age\"".into(), value: "10".into() })
+            Some(Pattern::KeyThenValue {
+                key: "\"age\"".into(),
+                value: "10".into()
+            })
         );
-        let b = SimplePredicate::BoolEq { key: "isActive".into(), value: true };
+        let b = SimplePredicate::BoolEq {
+            key: "isActive".into(),
+            value: true,
+        };
         assert_eq!(
             compile_simple(&b),
-            Some(Pattern::KeyThenValue { key: "\"isActive\"".into(), value: "true".into() })
+            Some(Pattern::KeyThenValue {
+                key: "\"isActive\"".into(),
+                value: "true".into()
+            })
         );
     }
 
     #[test]
     fn unsupported_predicates_do_not_compile() {
-        assert_eq!(compile_simple(&SimplePredicate::IntLt { key: "a".into(), value: 1 }), None);
-        assert_eq!(compile_simple(&SimplePredicate::IntGt { key: "a".into(), value: 1 }), None);
-        assert_eq!(compile_simple(&SimplePredicate::FloatEq { key: "a".into(), value: 2.4 }), None);
+        assert_eq!(
+            compile_simple(&SimplePredicate::IntLt {
+                key: "a".into(),
+                value: 1
+            }),
+            None
+        );
+        assert_eq!(
+            compile_simple(&SimplePredicate::IntGt {
+                key: "a".into(),
+                value: 1
+            }),
+            None
+        );
+        assert_eq!(
+            compile_simple(&SimplePredicate::FloatEq {
+                key: "a".into(),
+                value: 2.4
+            }),
+            None
+        );
     }
 
     #[test]
     fn clause_compilation_is_all_or_nothing() {
         let ok = Clause::new(vec![
-            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
-            SimplePredicate::StrEq { key: "name".into(), value: "John".into() },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into(),
+            },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "John".into(),
+            },
         ]);
         let cp = compile_clause(&ok).unwrap();
         assert_eq!(cp.patterns.len(), 2);
         assert_eq!(cp.pattern_len(), 5 + 6); // "Bob" + "John" with quotes
 
         let mixed = Clause::new(vec![
-            SimplePredicate::StrEq { key: "name".into(), value: "Bob".into() },
-            SimplePredicate::IntLt { key: "age".into(), value: 20 },
+            SimplePredicate::StrEq {
+                key: "name".into(),
+                value: "Bob".into(),
+            },
+            SimplePredicate::IntLt {
+                key: "age".into(),
+                value: 20,
+            },
         ]);
         assert_eq!(compile_clause(&mixed), None);
     }
 
     #[test]
     fn escapable_characters_compiled_escaped() {
-        let p = SimplePredicate::StrEq { key: "k".into(), value: "a\"b\\c".into() };
+        let p = SimplePredicate::StrEq {
+            key: "k".into(),
+            value: "a\"b\\c".into(),
+        };
         assert_eq!(
             compile_simple(&p),
-            Some(Pattern::Find { needle: "\"a\\\"b\\\\c\"".into() })
+            Some(Pattern::Find {
+                needle: "\"a\\\"b\\\\c\"".into()
+            })
         );
-        let c = SimplePredicate::StrContains { key: "k".into(), needle: "x\ny".into() };
+        let c = SimplePredicate::StrContains {
+            key: "k".into(),
+            needle: "x\ny".into(),
+        };
         assert_eq!(
             compile_simple(&c),
-            Some(Pattern::Find { needle: "x\\ny".into() })
+            Some(Pattern::Find {
+                needle: "x\\ny".into()
+            })
         );
     }
 
     #[test]
     fn pattern_len() {
-        let p = Pattern::Find { needle: "abc".into() };
+        let p = Pattern::Find {
+            needle: "abc".into(),
+        };
         assert_eq!(p.pattern_len(), 3);
-        let kv = Pattern::KeyThenValue { key: "\"age\"".into(), value: "10".into() };
+        let kv = Pattern::KeyThenValue {
+            key: "\"age\"".into(),
+            value: "10".into(),
+        };
         assert_eq!(kv.pattern_len(), 7);
     }
 

@@ -24,7 +24,10 @@ pub struct SelectivityMap {
 impl SelectivityMap {
     /// Creates an empty map with the given default selectivity.
     pub fn with_default(default: f64) -> SelectivityMap {
-        assert!((0.0..=1.0).contains(&default), "selectivity must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&default),
+            "selectivity must be in [0,1]"
+        );
         SelectivityMap {
             map: HashMap::new(),
             default,
@@ -102,7 +105,10 @@ impl<'a> SelectivityEstimator<'a> {
         let mut map = SelectivityMap::with_default(1.0);
         for clause in clauses {
             if !map.contains(clause) {
-                map.insert(clause.clone(), estimate_clause_selectivity(clause, self.sample));
+                map.insert(
+                    clause.clone(),
+                    estimate_clause_selectivity(clause, self.sample),
+                );
             }
         }
         map
@@ -117,19 +123,15 @@ mod tests {
 
     fn sample() -> Vec<JsonValue> {
         (0..100)
-            .map(|i| {
-                parse(&format!(
-                    r#"{{"stars":{},"name":"user{}"}}"#,
-                    i % 5 + 1,
-                    i
-                ))
-                .unwrap()
-            })
+            .map(|i| parse(&format!(r#"{{"stars":{},"name":"user{}"}}"#, i % 5 + 1, i)).unwrap())
             .collect()
     }
 
     fn stars_eq(v: i64) -> Clause {
-        Clause::single(SimplePredicate::IntEq { key: "stars".into(), value: v })
+        Clause::single(SimplePredicate::IntEq {
+            key: "stars".into(),
+            value: v,
+        })
     }
 
     #[test]
@@ -151,7 +153,9 @@ mod tests {
     #[test]
     fn all_hits_smoothed_below_one() {
         let s = sample();
-        let c = Clause::single(SimplePredicate::NotNull { key: "stars".into() });
+        let c = Clause::single(SimplePredicate::NotNull {
+            key: "stars".into(),
+        });
         let sel = estimate_clause_selectivity(&c, &s);
         assert!(sel < 1.0);
         assert!(sel > 0.98);

@@ -8,13 +8,10 @@ use proptest::prelude::*;
 fn arb_simple() -> impl Strategy<Value = SimplePredicate> {
     let key = "[a-z][a-z_]{0,8}";
     prop_oneof![
-        (key, "[a-zA-Z0-9 _\\.\\-]{0,12}").prop_map(|(key, value)| SimplePredicate::StrEq {
-            key,
-            value
-        }),
-        (key, "[a-zA-Z0-9_\\-]{1,10}").prop_map(|(key, needle)| {
-            SimplePredicate::StrContains { key, needle }
-        }),
+        (key, "[a-zA-Z0-9 _\\.\\-]{0,12}")
+            .prop_map(|(key, value)| SimplePredicate::StrEq { key, value }),
+        (key, "[a-zA-Z0-9_\\-]{1,10}")
+            .prop_map(|(key, needle)| { SimplePredicate::StrContains { key, needle } }),
         key.prop_map(|key| SimplePredicate::NotNull { key }),
         (key, -1000i64..1000).prop_map(|(key, value)| SimplePredicate::IntEq { key, value }),
         (key, any::<bool>()).prop_map(|(key, value)| SimplePredicate::BoolEq { key, value }),
@@ -64,7 +61,10 @@ fn float_eq_displays_parseably_for_fractional_values() {
     // round-trip, integral ones parse back as IntEq (documented
     // asymmetry — FloatEq on an integral literal is not constructible
     // from SQL text either).
-    let p = SimplePredicate::FloatEq { key: "score".into(), value: 2.5 };
+    let p = SimplePredicate::FloatEq {
+        key: "score".into(),
+        value: 2.5,
+    };
     let back = parse_clause(&p.to_string()).unwrap();
     assert_eq!(back, Clause::single(p));
 }

@@ -107,9 +107,9 @@ impl WorkloadConfig {
     fn probabilities(&self, n: usize) -> Vec<f64> {
         let weights: Vec<f64> = match self.kind {
             WorkloadKind::Uniform => vec![1.0; n],
-            WorkloadKind::Zipf { exponent } => {
-                (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect()
-            }
+            WorkloadKind::Zipf { exponent } => (0..n)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+                .collect(),
         };
         let total: f64 = weights.iter().sum();
         weights
@@ -144,7 +144,10 @@ impl WorkloadConfig {
                 if clauses.is_empty() {
                     // Force one draw, weighted like the distribution.
                     let pick = weighted_pick(&mut rng, &probs);
-                    let idx = rank_of.iter().position(|&r| r == pick).expect("permutation");
+                    let idx = rank_of
+                        .iter()
+                        .position(|&r| r == pick)
+                        .expect("permutation");
                     clauses.push(pool.clauses[idx].clone());
                 }
                 Query::new(format!("q{qi}"), clauses)
@@ -226,21 +229,20 @@ mod tests {
 
         // Concentration, the operative property for CIAO, *is*
         // monotone: A reuses fewer distinct predicates than B than C.
-        let distinct = |cfg: &WorkloadConfig| {
-            predicate_counts(&cfg.generate(&pool)).len()
-        };
+        let distinct = |cfg: &WorkloadConfig| predicate_counts(&cfg.generate(&pool)).len();
         let da = distinct(&WorkloadConfig::workload_a(Dataset::WinLog, 1));
         let db = distinct(&WorkloadConfig::workload_b(Dataset::WinLog, 1));
         let dc = distinct(&WorkloadConfig::workload_c(Dataset::WinLog, 1));
-        assert!(da < db && db < dc, "concentration ordering violated: {da}, {db}, {dc}");
+        assert!(
+            da < db && db < dc,
+            "concentration ordering violated: {da}, {db}, {dc}"
+        );
     }
 
     #[test]
     fn zipf_concentrates_on_fewer_predicates() {
         let pool = build_pool(Dataset::Yelp);
-        let distinct = |cfg: &WorkloadConfig| {
-            predicate_counts(&cfg.generate(&pool)).len()
-        };
+        let distinct = |cfg: &WorkloadConfig| predicate_counts(&cfg.generate(&pool)).len();
         let a = distinct(&WorkloadConfig::workload_a(Dataset::Yelp, 2));
         let c = distinct(&WorkloadConfig::workload_c(Dataset::Yelp, 2));
         assert!(

@@ -147,7 +147,10 @@ mod tests {
     fn pool_sizes_match_table2() {
         assert_eq!(build_pool(Dataset::Yelp).len(), pool_size(Dataset::Yelp));
         // +4 level predicates for the micro-benchmarks.
-        assert_eq!(build_pool(Dataset::WinLog).len(), pool_size(Dataset::WinLog) + 4);
+        assert_eq!(
+            build_pool(Dataset::WinLog).len(),
+            pool_size(Dataset::WinLog) + 4
+        );
         assert_eq!(build_pool(Dataset::Ycsb).len(), pool_size(Dataset::Ycsb));
     }
 

@@ -21,7 +21,11 @@ use std::sync::Arc;
 fn record(i: usize, error_rate_pct: usize) -> String {
     format!(
         r#"{{"level":"{}","service":"svc{}","code":{}}}"#,
-        if i % 100 < error_rate_pct { "Error" } else { "Info" },
+        if i % 100 < error_rate_pct {
+            "Error"
+        } else {
+            "Info"
+        },
         i % 6,
         i % 17,
     )
@@ -42,7 +46,10 @@ fn main() {
         .expect("plan");
     println!("== initial plan (budget {:.2} µs) ==", config.budget_micros);
     for p in &plan.predicates {
-        println!("  #{} {}  (planned sel {:.3}, cost {:.3} µs)", p.id, p.clause, p.selectivity, p.cost);
+        println!(
+            "  #{} {}  (planned sel {:.3}, cost {:.3} µs)",
+            p.id, p.clause, p.selectivity, p.cost
+        );
     }
 
     // Today's stream: an outage pushes the error rate to 60%.
@@ -69,7 +76,9 @@ fn main() {
     for e in &report {
         println!(
             "  predicate #{}: planned sel {:.3}, observed {:.3} (drift {:.3})",
-            e.id, e.planned, e.observed,
+            e.id,
+            e.planned,
+            e.observed,
             e.drift()
         );
     }
@@ -86,7 +95,10 @@ fn main() {
         .expect("replan");
         println!("\n== replanned (drift > {threshold}) ==");
         for p in &new_plan.predicates {
-            println!("  #{} {}  (sel {:.3}, cost {:.3} µs)", p.id, p.clause, p.selectivity, p.cost);
+            println!(
+                "  #{} {}  (sel {:.3}, cost {:.3} µs)",
+                p.id, p.clause, p.selectivity, p.cost
+            );
         }
         println!("(the next ingestion epoch would push this set instead)");
     }

@@ -60,7 +60,10 @@ fn main() {
         cost_model.clause_cost(&compile_clause(c).unwrap(), mean_len, sels.get(c))
     });
     let allocation = allocate_budgets(&instance, &fleet);
-    println!("global budget pool: 6.0 µs/record, spent {:.2}", allocation.total_spent());
+    println!(
+        "global budget pool: 6.0 µs/record, spent {:.2}",
+        allocation.total_spent()
+    );
     for (spec, (selected, spent)) in fleet
         .iter()
         .zip(allocation.selections.iter().zip(&allocation.spent))

@@ -19,7 +19,11 @@ fn main() {
 
     println!("== CIAO log analytics (Windows System Log) ==");
     let ndjson = Dataset::WinLog.generate_ndjson(42, RECORDS);
-    println!("dataset: {} records, {:.1} MB raw", RECORDS, ndjson.len() as f64 / 1e6);
+    println!(
+        "dataset: {} records, {:.1} MB raw",
+        RECORDS,
+        ndjson.len() as f64 / 1e6
+    );
 
     let pool = build_pool(Dataset::WinLog);
     println!("predicate pool: {} candidates (paper Table II)", pool.len());
@@ -50,8 +54,10 @@ fn main() {
             report.queries_with_skipping(),
             queries.len(),
         );
-        println!("  prefilter {p:.3}s | load {l:.3}s | query {q:.3}s | total {:.3}s",
-            report.timings.total().as_secs_f64());
+        println!(
+            "  prefilter {p:.3}s | load {l:.3}s | query {q:.3}s | total {:.3}s",
+            report.timings.total().as_secs_f64()
+        );
     }
 
     println!(

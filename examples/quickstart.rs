@@ -36,7 +36,9 @@ fn main() {
 
     // 3. Run the whole system with a 1 µs/record client budget.
     let config = CiaoConfig::default().with_budget_micros(1.0);
-    let report = Pipeline::new(config).run(&ndjson, &queries).expect("pipeline");
+    let report = Pipeline::new(config)
+        .run(&ndjson, &queries)
+        .expect("pipeline");
 
     // 4. Inspect the outcome.
     println!("== CIAO quickstart ==");

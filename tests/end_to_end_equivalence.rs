@@ -101,6 +101,10 @@ fn budget_sweep_is_answer_invariant() {
 
     let baseline = counts_at(0.0);
     for budget in [1.0, 25.0, 75.0, 125.0] {
-        assert_eq!(counts_at(budget), baseline, "budget {budget} changed answers");
+        assert_eq!(
+            counts_at(budget),
+            baseline,
+            "budget {budget} changed answers"
+        );
     }
 }

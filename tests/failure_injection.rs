@@ -60,22 +60,26 @@ fn budget_degradation_preserves_answers() {
     let chunk = RecordChunk::from_records(&raw).unwrap();
     let sample: Vec<_> = raw.iter().map(|r| ciao_json::parse(r).unwrap()).collect();
     let queries = vec![parse_query("q", "stars = 5").unwrap()];
-    let plan = PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 10.0)
-        .unwrap();
+    let plan =
+        PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 10.0).unwrap();
     assert!(!plan.is_empty());
     let schema = Arc::new(Schema::infer(&sample).unwrap());
     let mut server = Server::new(plan, schema, 64);
 
-    let budgeted = BudgetedPrefilter::new(server.plan().prefilter(), Budget::per_record_micros(0.0))
-        .with_check_interval(1)
-        .with_slack(1.0);
+    let budgeted =
+        BudgetedPrefilter::new(server.plan().prefilter(), Budget::per_record_micros(0.0))
+            .with_check_interval(1)
+            .with_slack(1.0);
     let mut stats = ClientStats::default();
     for sub in chunk.split(64) {
         let filter = budgeted.run_chunk(&sub, &mut stats);
         server.ingest(&sub, &filter);
     }
     server.finalize();
-    assert!(stats.degraded_chunks > 0, "degradation should have triggered");
+    assert!(
+        stats.degraded_chunks > 0,
+        "degradation should have triggered"
+    );
 
     let out = server.execute(&queries[0]);
     assert_eq!(out.count, 80, "degraded bits must not change the answer");
@@ -83,9 +87,7 @@ fn budget_degradation_preserves_answers() {
 
 #[test]
 fn loader_rejects_desynchronized_bitvectors() {
-    let schema = Arc::new(
-        Schema::infer(&[ciao_json::parse(r#"{"a":1}"#).unwrap()]).unwrap(),
-    );
+    let schema = Arc::new(Schema::infer(&[ciao_json::parse(r#"{"a":1}"#).unwrap()]).unwrap());
     let pattern = compile_clause(&parse_clause("a = 1").unwrap()).unwrap();
     let pf = Prefilter::new([(0, pattern)]);
     let short = RecordChunk::from_records(&[r#"{"a":1}"#]).unwrap();
@@ -100,9 +102,7 @@ fn loader_rejects_desynchronized_bitvectors() {
 
 #[test]
 fn all_garbage_chunk_is_fully_parked() {
-    let schema = Arc::new(
-        Schema::infer(&[ciao_json::parse(r#"{"a":1}"#).unwrap()]).unwrap(),
-    );
+    let schema = Arc::new(Schema::infer(&[ciao_json::parse(r#"{"a":1}"#).unwrap()]).unwrap());
     let chunk = RecordChunk::from_records(&["garbage", "also garbage {"]).unwrap();
     let filter = Prefilter::new([]).run_chunk(&chunk);
     let mut loader = Loader::new(schema, &[], AdmissionPolicy::LoadAll, 16);
@@ -117,8 +117,8 @@ fn all_garbage_chunk_is_fully_parked() {
 fn queries_over_empty_server_return_zero() {
     let queries = vec![parse_query("q", "stars = 5").unwrap()];
     let sample = vec![ciao_json::parse(r#"{"stars":1}"#).unwrap()];
-    let plan = PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 1.0)
-        .unwrap();
+    let plan =
+        PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 1.0).unwrap();
     let schema = Arc::new(Schema::infer(&sample).unwrap());
     let mut server = Server::new(plan, schema, 16);
     server.finalize();

@@ -53,7 +53,11 @@ fn loaded_state_roundtrips_through_bytes() {
     for q in &queries {
         let live = server.execute(q);
         let disk = executor.execute_count(&reloaded, &parked, q);
-        assert_eq!(live.count, disk.count, "query {} diverged after reload", q.name);
+        assert_eq!(
+            live.count, disk.count,
+            "query {} diverged after reload",
+            q.name
+        );
         assert_eq!(
             live.metrics.used_skipping, disk.metrics.used_skipping,
             "skipping decision diverged after reload"

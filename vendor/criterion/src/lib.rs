@@ -1,0 +1,316 @@
+//! Vendored subset of `criterion`: enough to compile and *run* the
+//! workspace's benches with real wall-clock measurements.
+//!
+//! Statistics are deliberately simple — per benchmark it reports the
+//! median of `sample_size` samples (each averaging over an adaptive
+//! iteration count) plus min/max, with optional throughput scaling. No
+//! HTML reports, no outlier classification, no comparison to saved
+//! baselines; downstream tooling records the printed numbers instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies a CLI-style substring filter (first non-flag argument),
+    /// mirroring how `cargo bench -- <filter>` works with real criterion.
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        self.run_one(&id.full_name(), None, sample_size, measurement_time, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<&Throughput>,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            measurement_time,
+        };
+        f(&mut bencher);
+        report(name, &bencher.samples, throughput);
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling
+    /// elements/sec or bytes/sec reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the per-benchmark time budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.full_name());
+        let throughput = self.throughput.clone();
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self.criterion.measurement_time;
+        self.criterion
+            .run_one(&name, throughput.as_ref(), sample_size, measurement_time, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter value only (the group name carries the function).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Logical items per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples within the
+    /// measurement budget. The routine's output is passed through
+    /// [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit one sample slot?
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:8.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:8.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{s:8.2} s ")
+    }
+}
+
+fn report(name: &str, samples: &[f64], throughput: Option<&Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" {:12.0} elem/s", *n as f64 / median),
+        Some(Throughput::Bytes(n)) => {
+            format!(" {:9.1} MiB/s", *n as f64 / median / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} median {}  [{} .. {}]{rate}",
+        format_seconds(median),
+        format_seconds(min),
+        format_seconds(max)
+    );
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_smoke() {
+        let mut c = Criterion::default().sample_size(3);
+        c.measurement_time = Duration::from_millis(5);
+        c.bench_function("smoke/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,177 @@
+//! Vendored subset of `proptest`: random property testing without
+//! shrinking.
+//!
+//! What is reproduced: the `Strategy` trait with `prop_map` /
+//! `prop_flat_map` / `prop_recursive` / `boxed`, range and regex-lite
+//! string-literal strategies, tuples, `prop::collection::vec`,
+//! `prop::option::of`, `prop::sample::select`, `prop::num::f64::NORMAL`,
+//! `any::<T>()`, and the `proptest!` / `prop_assert*` / `prop_assume!` /
+//! `prop_oneof!` macros.
+//!
+//! What is not: shrinking (a failing case panics with the message from
+//! the failed assertion), persistence files, and fork/timeout runners.
+//! Runs are fully deterministic per binary (fixed seed, overridable via
+//! `PROPTEST_SEED`), which suits CI better than hunting a lost seed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every test file uses.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module-style access (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports the standard parameter forms: `pattern in strategy` and
+/// `name: Type` (shorthand for `any::<Type>()`), plus an optional
+/// leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run! { $cfg; $body; (); (); $($params)* }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    // All parameters munched: run the cases.
+    ($cfg:expr; $body:block; ($($pats:pat_param,)*); ($($strats:expr,)*);) => {
+        let __strategy = ($($strats,)*);
+        $crate::test_runner::run_cases(
+            $cfg,
+            &__strategy,
+            |($($pats,)*)| { $body ::core::result::Result::Ok(()) },
+        );
+    };
+    // `pattern in strategy` (last / with tail).
+    ($cfg:expr; $body:block; ($($pats:pat_param,)*); ($($strats:expr,)*); $pat:pat_param in $strat:expr) => {
+        $crate::__proptest_run! { $cfg; $body; ($($pats,)* $pat,); ($($strats,)* $strat,); }
+    };
+    ($cfg:expr; $body:block; ($($pats:pat_param,)*); ($($strats:expr,)*); $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_run! { $cfg; $body; ($($pats,)* $pat,); ($($strats,)* $strat,); $($rest)* }
+    };
+    // `name: Type` shorthand for any::<Type>() (last / with tail).
+    ($cfg:expr; $body:block; ($($pats:pat_param,)*); ($($strats:expr,)*); $name:ident : $ty:ty) => {
+        $crate::__proptest_run! {
+            $cfg; $body; ($($pats,)* $name,); ($($strats,)* $crate::arbitrary::any::<$ty>(),);
+        }
+    };
+    ($cfg:expr; $body:block; ($($pats:pat_param,)*); ($($strats:expr,)*); $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_run! {
+            $cfg; $body; ($($pats,)* $name,); ($($strats,)* $crate::arbitrary::any::<$ty>(),); $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// aborting the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __left,
+            __right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

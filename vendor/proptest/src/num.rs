@@ -1,0 +1,34 @@
+//! Numeric sub-strategies (`prop::num::f64::NORMAL`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    // Inside `mod f64` the module shadows the primitive in type paths.
+    use core::primitive::f64 as float;
+
+    /// Uniformly random *normal* floats: finite, non-NaN, and not
+    /// subnormal — every exponent and sign equally likely, so both
+    /// tiny (1e-300) and huge (1e300) magnitudes appear.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NormalStrategy;
+
+    /// The canonical instance.
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    impl Strategy for NormalStrategy {
+        type Value = float;
+        fn generate(&self, rng: &mut TestRng) -> float {
+            loop {
+                let bits = rng.gen::<u64>();
+                let exponent = (bits >> 52) & 0x7FF;
+                // Exponent 0 is zero/subnormal, 0x7FF is inf/NaN.
+                if exponent != 0 && exponent != 0x7FF {
+                    return float::from_bits(bits);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `prop::sample::select` — uniform choice from a fixed pool.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniformly selects one of `values` (cloned) per case.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "cannot select from an empty pool");
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.gen_range(0..self.values.len())].clone()
+    }
+}

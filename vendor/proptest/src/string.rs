@@ -1,0 +1,182 @@
+//! Regex-lite string generation for `&str` strategies.
+//!
+//! Supports the subset the workspace's tests use: a sequence of atoms,
+//! each a character class `[...]` (with ranges, escapes, and literal
+//! unicode) or a literal character, optionally followed by `{n}` or
+//! `{m,n}`. Anything fancier panics with a clear message rather than
+//! generating wrong data.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                vec![unescape(c)]
+            }
+            c @ ('*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$') => {
+                panic!("regex feature `{c}` not supported in vendored proptest: {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        panic!("negated classes not supported in vendored proptest: {pattern:?}");
+    }
+    loop {
+        let c = *chars
+            .get(i)
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => return (set, i + 1),
+            '\\' => {
+                i += 1;
+                let e = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                set.push(unescape(e));
+                i += 1;
+            }
+            lo => {
+                // Range `lo-hi` unless the `-` is trailing.
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&h| h != ']') {
+                    let hi = chars[i + 2];
+                    assert!(
+                        (lo as u32) <= (hi as u32),
+                        "inverted range {lo}-{hi} in pattern {pattern:?}"
+                    );
+                    for cp in (lo as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(cp) {
+                            set.push(ch);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    set.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|off| i + off)
+        .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+    let body: String = chars[i + 1..close].iter().collect();
+    let parse_num = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in pattern {pattern:?}"))
+    };
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (parse_num(lo), parse_num(hi)),
+        None => {
+            let n = parse_num(&body);
+            (n, n)
+        }
+    };
+    assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+    (min, max, close + 1)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        // `\-`, `\\`, `\.`, `\"`, `\[`, … — the character itself.
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_pattern;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_and_quantifier() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z][a-z_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let allowed: Vec<char> = {
+            let mut v: Vec<char> = ('a'..='z').collect();
+            v.extend(['-', '"', '\\', '\n', '\t', '😀', 'é']);
+            v
+        };
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z\\-\"\\\\\n\t😀é]{0,20}", &mut rng);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_sizes() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(generate_pattern("[01]{4}", &mut rng).len(), 4);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Case execution: config, RNG, and the run loop behind `proptest!`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Matches real proptest's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// `prop_assume!` filtered the input; draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A filtered case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+const DEFAULT_SEED: u64 = 0xC1A0_5EED_0000_0001;
+
+fn seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// Runs `config.cases` successful cases of `test` over `strategy`.
+///
+/// Panics (failing the enclosing `#[test]`) on the first violated
+/// assertion; there is no shrinking, so the panic message carries the
+/// assertion text and the case number under the active seed.
+pub fn run_cases<S, F>(config: ProptestConfig, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = seed();
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases) * 16 + 1024;
+    while passed < config.cases {
+        match test(strategy.generate(&mut rng)) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest: too many rejected cases ({rejected}) — \
+                         prop_assume! filters out almost every input"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest: property failed on case {} (seed {seed:#x}): {msg}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}

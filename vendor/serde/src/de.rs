@@ -1,0 +1,180 @@
+//! Deserialization half: `Deserialize`/`Deserializer` plus impls for
+//! the std types the workspace deserializes.
+
+use crate::node::{from_node, Node};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+/// Errors a deserializer can produce on malformed input.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from any printable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format source. In this subset a format parses its whole
+/// input into one [`Node`] tree up front.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error: Error;
+
+    /// Parses the input into a tree.
+    fn read_node(self) -> Result<Node, Self::Error>;
+}
+
+/// A value constructible from a deserializer.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn mismatch<E: Error>(expected: &str, got: &Node) -> E {
+    E::custom(format_args!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let node = deserializer.read_node()?;
+                let v: i128 = match node {
+                    Node::Int(i) => i as i128,
+                    Node::UInt(u) => u as i128,
+                    // Accept integral floats (JSON formats may widen).
+                    Node::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => f as i128,
+                    other => return Err(mismatch(stringify!($t), &other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| D::Error::custom(format_args!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Float(f) => Ok(f),
+            Node::Int(i) => Ok(i as f64),
+            Node::UInt(u) => Ok(u as f64),
+            other => Err(mismatch("float", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Bool(b) => Ok(b),
+            other => Err(mismatch("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Str(s) => Ok(s),
+            other => Err(mismatch("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Null => Ok(()),
+            other => Err(mismatch("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Null => Ok(None),
+            node => from_node(&node).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Seq(items) => items
+                .iter()
+                .map(|n| from_node(n).map_err(D::Error::custom))
+                .collect(),
+            other => Err(mismatch("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            D::Error::custom(format_args!("expected array of length {N}, found {len}"))
+        })
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal: $($name:ident . $idx:tt),+))*) => {$(
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<Der: Deserializer<'de>>(deserializer: Der) -> Result<Self, Der::Error> {
+                match deserializer.read_node()? {
+                    Node::Seq(items) if items.len() == $len => Ok((
+                        $(from_node::<$name>(&items[$idx]).map_err(Der::Error::custom)?,)+
+                    )),
+                    Node::Seq(items) => Err(Der::Error::custom(format_args!(
+                        "expected tuple of length {}, found sequence of {}", $len, items.len()
+                    ))),
+                    other => Err(mismatch("sequence", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (1: A.0)
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+    (5: A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), from_node(v).map_err(D::Error::custom)?)))
+                .collect(),
+            other => Err(mismatch("map", &other)),
+        }
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.read_node()? {
+            Node::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), from_node(v).map_err(D::Error::custom)?)))
+                .collect(),
+            other => Err(mismatch("map", &other)),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Vendored subset of `serde`.
+//!
+//! The real serde streams through a visitor API; this subset routes
+//! everything through one owned tree type, [`Node`] — a `Serialize`
+//! impl builds a `Node`, a `Deserialize` impl consumes one, and a data
+//! format (here: our vendored `serde_json`) converts `Node` to and from
+//! text. That collapses serde's dozens of trait methods into one per
+//! direction while keeping the public trait *signatures* the repo's
+//! manual impls were written against (`S: Serializer` with `Ok`/`Error`
+//! associated types, `D::Error: de::Error` with `custom`, …).
+
+mod node;
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use node::{from_node, to_node, DeError, Node, NodeDeserializer};
+pub use ser::{Serialize, Serializer};
+// The derive macros live in their own proc-macro crate, re-exported so
+// `use serde::{Serialize, Deserialize}` pulls in trait + derive, as
+// with real serde's `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,113 @@
+//! The owned data-model tree every value passes through.
+
+use std::fmt;
+
+/// A serialized value, independent of any text format.
+///
+/// Maps are ordered pair lists (not hash maps) so struct-field order is
+/// preserved and duplicate handling is the format's choice.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// Unit / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (tuples, vectors, slices, arrays).
+    Seq(Vec<Node>),
+    /// A keyed map (structs, hash maps).
+    Map(Vec<(String, Node)>),
+}
+
+impl Node {
+    /// The map pairs, when this node is a map.
+    pub fn as_map(&self) -> Option<&[(String, Node)]> {
+        match self {
+            Node::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The sequence items, when this node is a sequence.
+    pub fn as_seq(&self) -> Option<&[Node]> {
+        match self {
+            Node::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Node::Null => "null",
+            Node::Bool(_) => "bool",
+            Node::Int(_) => "int",
+            Node::UInt(_) => "uint",
+            Node::Float(_) => "float",
+            Node::Str(_) => "string",
+            Node::Seq(_) => "sequence",
+            Node::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Node`] does not match the requested type.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl crate::de::Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+/// Serializer whose output *is* the node — used to lower any
+/// `Serialize` value into the tree.
+pub struct NodeSerializer;
+
+impl crate::ser::Serializer for NodeSerializer {
+    type Ok = Node;
+    type Error = DeError; // never produced
+
+    fn serialize_node(self, node: Node) -> Result<Node, DeError> {
+        Ok(node)
+    }
+}
+
+/// Lowers any serializable value to its [`Node`] tree.
+pub fn to_node<T: crate::ser::Serialize + ?Sized>(value: &T) -> Node {
+    value
+        .serialize(NodeSerializer)
+        .expect("NodeSerializer is infallible")
+}
+
+/// Deserializer that replays an owned [`Node`] tree.
+pub struct NodeDeserializer(pub Node);
+
+impl<'de> crate::de::Deserializer<'de> for NodeDeserializer {
+    type Error = DeError;
+
+    fn read_node(self) -> Result<Node, DeError> {
+        Ok(self.0)
+    }
+}
+
+/// Rebuilds a deserializable value from a [`Node`] tree.
+pub fn from_node<T: for<'a> crate::de::Deserialize<'a>>(node: &Node) -> Result<T, DeError> {
+    T::deserialize(NodeDeserializer(node.clone()))
+}

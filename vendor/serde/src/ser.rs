@@ -1,0 +1,157 @@
+//! Serialization half: the `Serialize`/`Serializer` traits and impls
+//! for the std types the workspace serializes.
+
+use crate::node::{to_node, Node};
+use std::collections::{BTreeMap, HashMap};
+
+/// A value that can lower itself into a serializer.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format sink. In this subset a format receives the whole
+/// value as one [`Node`] tree.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error;
+
+    /// Consumes the finished tree.
+    fn serialize_node(self, node: Node) -> Result<Self::Ok, Self::Error>;
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_node(Node::Int(*self as i64))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as u64;
+                let node = match i64::try_from(v) {
+                    Ok(i) => Node::Int(i),
+                    Err(_) => Node::UInt(v),
+                };
+                serializer.serialize_node(node)
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u64, usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Str(self.clone()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Null)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_node(Node::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Seq(self.iter().map(to_node).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_node(Node::Seq(vec![$(to_node(&self.$idx)),+]))
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_node(Node::Map(
+            self.iter().map(|(k, v)| (k.clone(), to_node(v))).collect(),
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort for deterministic output (HashMap iteration order varies).
+        let mut pairs: Vec<(String, Node)> =
+            self.iter().map(|(k, v)| (k.clone(), to_node(v))).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_node(Node::Map(pairs))
+    }
+}

@@ -1,0 +1,427 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! serde subset. Written directly against `proc_macro` token trees
+//! (`syn`/`quote` are not vendored): the input item is parsed into
+//! field/variant names, and the generated impl routes through
+//! `serde::Node` — structs become maps, enums are externally tagged
+//! like real serde (`{"Variant": {...}}`, unit variants as `"Variant"`).
+//!
+//! Supported shapes: structs with named fields, unit structs, and enums
+//! whose variants are unit, tuple, or struct-like. Generics and
+//! `#[serde(...)]` attributes are not supported and produce a compile
+//! error rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    data: Data,
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading `#[...]` attributes.
+fn skip_attributes(iter: &mut TokenIter) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            if g.delimiter() == Delimiter::Bracket {
+                iter.next();
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `name: Type` fields from the inside of a brace group,
+/// returning field names in declaration order. Commas inside angle
+/// brackets (`HashMap<String, u64>`) are tracked so they do not split
+/// fields; bracketed types (`[f64; 4]`) arrive as atomic groups.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple variant from its paren group contents.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter: TokenIter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde subset derive does not support generics on `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                data: Data::Struct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                data: Data::UnitStruct,
+            }),
+            _ => Err(format!(
+                "serde subset derive supports only named-field structs (`{name}`)"
+            )),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                data: Data::Enum(parse_variants(g.stream())?),
+            }),
+            _ => Err(format!("expected enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}` items")),
+    }
+}
+
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+/// Expression extracting field `f` from `__pairs` (a `&[(String, Node)]`).
+fn field_from_map(container: &str, field: &str) -> String {
+    format!(
+        "{{ let __v = __pairs.iter().find(|(__k, _)| __k == {field:?}).map(|(_, __v)| __v)\
+           .ok_or_else(|| {DE_ERR}(\"missing field `{field}` in `{container}`\"))?;\
+           ::serde::from_node(__v).map_err({DE_ERR})? }}"
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::UnitStruct => "serializer.serialize_node(::serde::Node::Null)".to_string(),
+        Data::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::to_node(&self.{f})),"))
+                .collect();
+            format!("serializer.serialize_node(::serde::Node::Map(vec![{pairs}]))")
+        }
+        Data::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serializer.serialize_node(\
+                             ::serde::Node::Str({vname:?}.to_string())),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let bind = binders.join(", ");
+                            let content = if *n == 1 {
+                                "::serde::to_node(__f0)".to_string()
+                            } else {
+                                let items: String = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::to_node({b}),"))
+                                    .collect();
+                                format!("::serde::Node::Seq(vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({bind}) => serializer.serialize_node(\
+                                 ::serde::Node::Map(vec![({vname:?}.to_string(), {content})])),"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let bind = fields.join(", ");
+                            let pairs: String = fields
+                                .iter()
+                                .map(|f| format!("({f:?}.to_string(), ::serde::to_node({f})),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bind} }} => serializer.serialize_node(\
+                                 ::serde::Node::Map(vec![({vname:?}.to_string(), \
+                                 ::serde::Node::Map(vec![{pairs}]))])),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
+             -> ::core::result::Result<S::Ok, S::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::UnitStruct => format!(
+            "match deserializer.read_node()? {{\
+               ::serde::Node::Null => ::core::result::Result::Ok({name}),\
+               __other => ::core::result::Result::Err({DE_ERR}(\
+                 format!(\"expected null for unit struct `{name}`, found {{}}\", __other.kind()))),\
+             }}"
+        ),
+        Data::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: {},", field_from_map(name, f)))
+                .collect();
+            format!(
+                "let __node = deserializer.read_node()?;\
+                 let __pairs = __node.as_map().ok_or_else(|| {DE_ERR}(\
+                   format!(\"expected map for struct `{name}`, found {{}}\", __node.kind())))?;\
+                 ::core::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Data::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::core::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => format!(
+                            "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::from_node(__content).map_err({DE_ERR})?)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::from_node(&__seq[{i}]).map_err({DE_ERR})?,")
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\
+                                   let __seq = __content.as_seq().ok_or_else(|| {DE_ERR}(\
+                                     \"expected sequence for variant `{vname}`\"))?;\
+                                   if __seq.len() != {n} {{ return ::core::result::Result::Err(\
+                                     {DE_ERR}(\"wrong tuple arity for variant `{vname}`\")); }}\
+                                   ::core::result::Result::Ok({name}::{vname}({items}))\
+                                 }}"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: {},", field_from_map(vname, f)))
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\
+                                   let __pairs = __content.as_map().ok_or_else(|| {DE_ERR}(\
+                                     \"expected map for variant `{vname}`\"))?;\
+                                   ::core::result::Result::Ok({name}::{vname} {{ {inits} }})\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match deserializer.read_node()? {{\
+                   ::serde::Node::Str(__s) => match __s.as_str() {{\
+                     {unit_arms}\
+                     __other => ::core::result::Result::Err({DE_ERR}(\
+                       format!(\"unknown unit variant `{{__other}}` for enum `{name}`\"))),\
+                   }},\
+                   ::serde::Node::Map(__pairs) if __pairs.len() == 1 => {{\
+                     let (__tag, __content) = &__pairs[0];\
+                     match __tag.as_str() {{\
+                       {tagged_arms}\
+                       __other => ::core::result::Result::Err({DE_ERR}(\
+                         format!(\"unknown variant `{{__other}}` for enum `{name}`\"))),\
+                     }}\
+                   }},\
+                   __other => ::core::result::Result::Err({DE_ERR}(\
+                     format!(\"expected variant for enum `{name}`, found {{}}\", __other.kind()))),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\
+             -> ::core::result::Result<Self, D::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` via the `Node` data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` via the `Node` data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}

@@ -1,0 +1,297 @@
+//! Vendored subset of `serde_json`: `Value`, `from_str`, `to_string`.
+//!
+//! This crate is used as a *reference oracle* in the workspace's
+//! differential tests, so the parser is strict RFC 8259: no trailing
+//! garbage, no leading zeros, no control characters in strings, paired
+//! surrogate escapes only. Number representation follows real
+//! serde_json: integers that fit `u64`/`i64` stay integers (`-0`
+//! becomes the float `-0.0` so it round-trips), everything else is
+//! `f64`.
+
+mod parse;
+mod write;
+
+pub use parse::parse_node;
+
+use serde::{de, Deserialize, Deserializer, Node, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Map type used for objects. Ordered by key, duplicate keys keep the
+/// last value — both matching real serde_json's default.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The object map, when this value is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view, when this value is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Float view of any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+/// A JSON number: integer when it fits, float otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(N);
+
+impl Number {
+    pub(crate) fn pos(v: u64) -> Number {
+        Number(N::PosInt(v))
+    }
+
+    pub(crate) fn neg(v: i64) -> Number {
+        Number(N::NegInt(v))
+    }
+
+    /// Builds a float number; `None` for non-finite input (mirroring
+    /// real serde_json's `Number::from_f64`).
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number(N::Float(v)))
+    }
+
+    /// Signed-integer view; `None` for floats and out-of-range values.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    /// Unsigned-integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            N::NegInt(v) => u64::try_from(v).ok(),
+            N::Float(_) => None,
+        }
+    }
+
+    /// Lossy float view (always `Some` — every stored number has one;
+    /// the `Option` matches real serde_json's signature).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(v) => v,
+        })
+    }
+
+    /// Whether the number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.0, other.0) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            (N::Float(a), N::Float(b)) => a == b,
+            (N::PosInt(a), N::NegInt(b)) | (N::NegInt(b), N::PosInt(a)) => {
+                i64::try_from(a) == Ok(b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            N::Float(v) => f.write_str(&crate::write::format_f64(v)),
+        }
+    }
+}
+
+/// Errors from parsing or serializing JSON.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Convenience alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn node_to_value(node: Node) -> Value {
+    match node {
+        Node::Null => Value::Null,
+        Node::Bool(b) => Value::Bool(b),
+        Node::Int(i) => Value::Number(if i < 0 {
+            Number::neg(i)
+        } else {
+            Number::pos(i as u64)
+        }),
+        Node::UInt(u) => Value::Number(Number::pos(u)),
+        Node::Float(f) => Value::Number(Number(N::Float(f))),
+        Node::Str(s) => Value::String(s),
+        Node::Seq(items) => Value::Array(items.into_iter().map(node_to_value).collect()),
+        Node::Map(pairs) => Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k, node_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn value_to_node(value: &Value) -> Node {
+    match value {
+        Value::Null => Node::Null,
+        Value::Bool(b) => Node::Bool(*b),
+        Value::Number(n) => match n.0 {
+            N::PosInt(v) => match i64::try_from(v) {
+                Ok(i) => Node::Int(i),
+                Err(_) => Node::UInt(v),
+            },
+            N::NegInt(v) => Node::Int(v),
+            N::Float(v) => Node::Float(v),
+        },
+        Value::String(s) => Node::Str(s.clone()),
+        Value::Array(items) => Node::Seq(items.iter().map(value_to_node).collect()),
+        Value::Object(map) => Node::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_node(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_node(value_to_node(self))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        Ok(node_to_value(deserializer.read_node()?))
+    }
+}
+
+/// The text-input deserializer handed to `Deserialize` impls.
+struct JsonDeserializer<'a> {
+    text: &'a str,
+}
+
+impl<'de> Deserializer<'de> for JsonDeserializer<'_> {
+    type Error = Error;
+
+    fn read_node(self) -> Result<Node> {
+        parse::parse_node(self.text)
+    }
+}
+
+/// Parses a JSON document into any deserializable type.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T> {
+    T::deserialize(JsonDeserializer { text })
+}
+
+/// Serializes any serializable value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::write_node(&serde::to_node(value)))
+}

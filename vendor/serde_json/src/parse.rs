@@ -1,0 +1,391 @@
+//! Strict RFC 8259 parser producing a `serde::Node` tree.
+
+use crate::{Error, Result};
+use serde::Node;
+
+/// Parses one complete JSON document (no trailing garbage).
+pub fn parse_node(text: &str) -> Result<Node> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let node = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(node)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, node: Node) -> Result<Node> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(node)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Node> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Node::Null),
+            Some(b't') => self.literal("true", Node::Bool(true)),
+            Some(b'f') => self.literal("false", Node::Bool(false)),
+            Some(b'"') => self.string().map(Node::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Node> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Node::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Node::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Node> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Node::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Node::Map(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => c - b'0',
+                Some(c @ b'a'..=b'f') => c - b'a' + 10,
+                Some(c @ b'A'..=b'F') => c - b'A' + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v << 4 | u16::from(d);
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain UTF-8.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, so slices on char runs are valid UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input was valid UTF-8"),
+                );
+            }
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{8}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{c}');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = match hi {
+                                0xD800..=0xDBFF => {
+                                    // High surrogate: require a paired low one.
+                                    if self.peek() == Some(b'\\') {
+                                        self.pos += 1;
+                                        if self.peek() != Some(b'u') {
+                                            return Err(self.err("unpaired surrogate"));
+                                        }
+                                        self.pos += 1;
+                                        let lo = self.hex4()?;
+                                        if !(0xDC00..=0xDFFF).contains(&lo) {
+                                            return Err(self.err("unpaired surrogate"));
+                                        }
+                                        let c = 0x10000
+                                            + ((u32::from(hi) - 0xD800) << 10)
+                                            + (u32::from(lo) - 0xDC00);
+                                        char::from_u32(c)
+                                            .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                    } else {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                }
+                                0xDC00..=0xDFFF => return Err(self.err("unexpected low surrogate")),
+                                _ => char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                // Unescaped control character.
+                Some(_) => return Err(self.err("control character in string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Node> {
+        let start = self.pos;
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            let digits = &text[usize::from(neg)..];
+            if neg {
+                // `-0` becomes the float -0.0 so it round-trips, exactly
+                // like real serde_json.
+                if digits == "0" {
+                    return Ok(Node::Float(-0.0));
+                }
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Node::Int(v));
+                }
+            } else if let Ok(v) = digits.parse::<u64>() {
+                return Ok(match i64::try_from(v) {
+                    Ok(i) => Node::Int(i),
+                    Err(_) => Node::UInt(v),
+                });
+            }
+        }
+        // Floats, and integers too large for u64/i64.
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err("number out of representable range"))?;
+        if v.is_finite() {
+            Ok(Node::Float(v))
+        } else {
+            Err(self.err("number out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_node;
+    use serde::Node;
+
+    #[test]
+    fn strictness() {
+        for bad in [
+            "",
+            "01",
+            "+1",
+            ".5",
+            "5.",
+            "1e",
+            "1e+",
+            "{",
+            "[",
+            "\"abc",
+            "[1,]",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "1 2",
+            "[1] x",
+            "\"\\x\"",
+            "\"\\ud800\"",
+            "\"a\nb\"",
+            "--1",
+            "-",
+        ] {
+            assert!(parse_node(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_node("0").unwrap(), Node::Int(0));
+        assert_eq!(parse_node("-7").unwrap(), Node::Int(-7));
+        assert_eq!(
+            parse_node("18446744073709551615").unwrap(),
+            Node::UInt(u64::MAX)
+        );
+        assert_eq!(parse_node("1e300").unwrap(), Node::Float(1e300));
+        assert_eq!(parse_node("1E+2").unwrap(), Node::Float(100.0));
+        assert_eq!(parse_node("0.001").unwrap(), Node::Float(0.001));
+        // -0 is a float so the sign survives, like real serde_json.
+        match parse_node("-0").unwrap() {
+            Node::Float(f) => assert!(f == 0.0 && f.is_sign_negative()),
+            other => panic!("-0 parsed as {other:?}"),
+        }
+        // Bignum integers widen to float.
+        assert_eq!(
+            parse_node("123456789012345678901234567890").unwrap(),
+            Node::Float(1.2345678901234568e29)
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            parse_node(r#""\\\"\/\b\f\n\r\t""#).unwrap(),
+            Node::Str("\\\"/\u{8}\u{c}\n\r\t".to_string())
+        );
+        assert_eq!(
+            parse_node(r#""\ud83d\ude00é""#).unwrap(),
+            Node::Str("😀é".to_string())
+        );
+        assert_eq!(parse_node("\"😀\"").unwrap(), Node::Str("😀".to_string()));
+    }
+
+    #[test]
+    fn containers() {
+        let doc = r#"{"a":[1,true,null],"a":2}"#;
+        match parse_node(doc).unwrap() {
+            Node::Map(pairs) => assert_eq!(pairs.len(), 2, "parser keeps every pair"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

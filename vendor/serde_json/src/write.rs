@@ -1,0 +1,116 @@
+//! Compact JSON writer over a `serde::Node` tree.
+
+use serde::Node;
+use std::fmt::Write;
+
+/// Formats a float the way real serde_json (via ryu) presents it:
+/// shortest round-trip decimal, with a `.0` suffix when the shortest
+/// form would read as an integer. Non-finite values render as `null`,
+/// matching serde_json's writer.
+pub fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let mut s = format!("{v}");
+    if !s.contains(['.', 'e', 'E']) {
+        s.push_str(".0");
+    }
+    s
+}
+
+pub fn write_node(node: &Node) -> String {
+    let mut out = String::new();
+    write_into(&mut out, node);
+    out
+}
+
+fn write_into(out: &mut String, node: &Node) {
+    match node {
+        Node::Null => out.push_str("null"),
+        Node::Bool(true) => out.push_str("true"),
+        Node::Bool(false) => out.push_str("false"),
+        Node::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Node::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Node::Float(f) => out.push_str(&format_f64(*f)),
+        Node::Str(s) => write_escaped(out, s),
+        Node::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(out, item);
+            }
+            out.push(']');
+        }
+        Node::Map(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_into(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_node;
+
+    #[test]
+    fn floats_match_serde_json_style() {
+        assert_eq!(format_f64(1.0), "1.0");
+        assert_eq!(format_f64(0.001), "0.001");
+        assert_eq!(format_f64(-2.5), "-2.5");
+        assert_eq!(format_f64(1e300), format!("{}.0", 1e300));
+        assert_eq!(format_f64(1e300).parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        for doc in [
+            r#"{"a":[[],{},[{}]],"b":"A😀","c":0.001}"#,
+            "[true,false,null]",
+            r#""\\\"/\b\f\n\r\t""#,
+            "[0,-7,1.5]",
+        ] {
+            let node = parse_node(doc).unwrap();
+            let text = write_node(&node);
+            assert_eq!(
+                parse_node(&text).unwrap(),
+                node,
+                "unstable roundtrip: {doc}"
+            );
+        }
+    }
+}
