@@ -1,0 +1,51 @@
+//! Sharded-service ingest benchmark: the same prefiltered chunk
+//! stream pushed through 1/2/4/8 shards (workers = shards), versus the
+//! single-threaded `Server` baseline. Measures the server side only —
+//! client prefiltering is pre-paid when the environment is built.
+
+use ciao_bench::experiments::service::ServiceEnv;
+use ciao_bench::ExperimentScale;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_service_ingest(c: &mut Criterion) {
+    let scale = ExperimentScale::tiny();
+    let env = ServiceEnv::new(scale);
+
+    let mut group = c.benchmark_group("service_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(env.records() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("ycsb", format!("shards_{shards}")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let service = env.run_service_ingest(black_box(shards));
+                    black_box(service.metrics().rows());
+                    service.shutdown()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baseline_server(c: &mut Criterion) {
+    let scale = ExperimentScale::tiny();
+    let env = ServiceEnv::new(scale);
+
+    let mut group = c.benchmark_group("service_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(env.records() as u64));
+    group.bench_function("ycsb/single_thread_server", |b| {
+        b.iter(|| {
+            let mut server = env.baseline_server();
+            server.finalize();
+            black_box(server.table().row_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_ingest, bench_baseline_server);
+criterion_main!(benches);

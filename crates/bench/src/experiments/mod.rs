@@ -5,5 +5,6 @@ pub mod datasets;
 pub mod end_to_end;
 pub mod fig6;
 pub mod micro;
+pub mod service;
 pub mod table4;
 pub mod tables;

@@ -1,0 +1,187 @@
+//! Beyond the paper: throughput scaling of the sharded service.
+//!
+//! The paper's server loop is single-threaded; `ciao_service` shards
+//! it. This experiment measures ingest throughput and query latency at
+//! 1/2/4/8 shards against the one-`Server` baseline on the same
+//! prefiltered chunk stream, and checks that every configuration
+//! returns the baseline's counts. Client prefiltering is done **before
+//! the clock starts** — the paper already measures that stage; here we
+//! isolate what sharding buys the server side.
+
+use super::datasets::ExperimentScale;
+use ciao::{PushdownPlan, Server};
+use ciao_client::ChunkFilterResult;
+use ciao_columnar::Schema;
+use ciao_datagen::Dataset;
+use ciao_json::RecordChunk;
+use ciao_predicate::{parse_query, Query};
+use ciao_service::{Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Human label ("server (single thread)" or "service ×N").
+    pub label: String,
+    /// Shard count (1 for the baseline server).
+    pub shards: usize,
+    /// Wall-clock seconds to ingest every chunk.
+    pub ingest_s: f64,
+    /// Records ingested per second.
+    pub records_per_s: f64,
+    /// Ingest speedup over the baseline row.
+    pub speedup: f64,
+    /// Mean per-query latency (ms) over the workload.
+    pub query_ms: f64,
+    /// Whether every query count matched the baseline.
+    pub counts_ok: bool,
+}
+
+/// The environment both sides share: plan, schema, prefiltered chunks.
+pub struct ServiceEnv {
+    plan: PushdownPlan,
+    schema: Arc<Schema>,
+    chunks: Vec<(RecordChunk, ChunkFilterResult)>,
+    queries: Vec<Query>,
+    records: usize,
+}
+
+impl ServiceEnv {
+    /// Builds the YCSB environment at the given scale.
+    pub fn new(scale: ExperimentScale) -> ServiceEnv {
+        let records = Dataset::Ycsb.generate(11, scale.sample);
+        let ndjson = Dataset::Ycsb.generate_ndjson(12, scale.records);
+        let queries = vec![
+            parse_query("q0", "isActive = true").unwrap(),
+            parse_query("q1", r#"age_group = "senior" AND isActive = true"#).unwrap(),
+            parse_query("q2", r#"phone_country = "+44""#).unwrap(),
+            parse_query("q3", "linear_score = 42").unwrap(),
+        ];
+        let plan = PushdownPlan::build(
+            &queries,
+            &records,
+            &ciao_optimizer::CostModel::default_uncalibrated(),
+            30.0,
+        )
+        .unwrap();
+        let schema = Arc::new(Schema::infer(&records).unwrap());
+        let prefilter = plan.prefilter();
+        let chunks: Vec<_> = RecordChunk::from_ndjson(&ndjson)
+            .split(1024)
+            .into_iter()
+            .map(|c| {
+                let f = prefilter.run_chunk(&c);
+                (c, f)
+            })
+            .collect();
+        ServiceEnv {
+            plan,
+            schema,
+            chunks,
+            queries,
+            records: scale.records,
+        }
+    }
+
+    /// Total records in the chunk stream.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Ingests the whole stream into a fresh single-threaded `Server`
+    /// (not yet finalized) — the baseline both the sweep and the
+    /// Criterion benches compare against.
+    pub fn baseline_server(&self) -> Server {
+        let mut server = Server::new(self.plan.clone(), Arc::clone(&self.schema), 1024);
+        for (chunk, filter) in &self.chunks {
+            server.ingest(chunk, filter);
+        }
+        server
+    }
+
+    /// Ingests the whole stream into a fresh sharded service and
+    /// drains it (the Criterion benches iterate exactly this).
+    pub fn run_service_ingest(&self, shards: usize) -> Service {
+        let service = Service::start(
+            self.plan.clone(),
+            Arc::clone(&self.schema),
+            ServiceConfig::default()
+                .with_shards(shards)
+                .with_workers(shards)
+                .with_queue_capacity(64),
+        );
+        for (chunk, filter) in &self.chunks {
+            assert!(service
+                .enqueue_wait(chunk.clone(), filter.clone())
+                .is_enqueued());
+        }
+        service.drain();
+        service
+    }
+}
+
+/// Runs the sweep: baseline server, then 1/2/4/8-shard services.
+pub fn run(scale: ExperimentScale, shard_counts: &[usize]) -> Vec<ServiceRow> {
+    let env = ServiceEnv::new(scale);
+    let mut rows = Vec::new();
+
+    // Baseline: the paper's single-threaded server loop.
+    let start = Instant::now();
+    let mut server = env.baseline_server();
+    server.finalize();
+    let baseline_ingest = start.elapsed().as_secs_f64();
+
+    let qstart = Instant::now();
+    let truth: Vec<usize> = env
+        .queries
+        .iter()
+        .map(|q| server.execute(q).count)
+        .collect();
+    let baseline_query_ms = qstart.elapsed().as_secs_f64() * 1e3 / env.queries.len() as f64;
+
+    rows.push(ServiceRow {
+        label: "server (single thread)".into(),
+        shards: 1,
+        ingest_s: baseline_ingest,
+        records_per_s: env.records as f64 / baseline_ingest,
+        speedup: 1.0,
+        query_ms: baseline_query_ms,
+        counts_ok: true,
+    });
+
+    for &shards in shard_counts {
+        let start = Instant::now();
+        let service = env.run_service_ingest(shards);
+        let ingest_s = start.elapsed().as_secs_f64();
+
+        let qstart = Instant::now();
+        let counts: Vec<usize> = env.queries.iter().map(|q| service.query(q).count).collect();
+        let query_ms = qstart.elapsed().as_secs_f64() * 1e3 / env.queries.len() as f64;
+        service.shutdown();
+
+        rows.push(ServiceRow {
+            label: format!("service ×{shards}"),
+            shards,
+            ingest_s,
+            records_per_s: env.records as f64 / ingest_s,
+            speedup: baseline_ingest / ingest_s,
+            query_ms,
+            counts_ok: counts == truth,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_baseline_counts() {
+        let rows = run(ExperimentScale::tiny(), &[1, 2]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.counts_ok), "{rows:?}");
+        assert!(rows.iter().all(|r| r.records_per_s > 0.0));
+    }
+}

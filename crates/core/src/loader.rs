@@ -104,6 +104,17 @@ pub struct LoadStats {
 }
 
 impl LoadStats {
+    /// Merges another loader's counters into this one — used when one
+    /// server seals successive loading epochs, and when a sharded
+    /// service reports fleet-wide loading statistics. Folding from
+    /// [`LoadStats::default`] is the identity.
+    pub fn merge(&mut self, other: &LoadStats) {
+        self.loaded_records += other.loaded_records;
+        self.parked_records += other.parked_records;
+        self.parse_errors += other.parse_errors;
+        self.coercion_failures += other.coercion_failures;
+    }
+
     /// Total records seen.
     pub fn total(&self) -> usize {
         self.loaded_records + self.parked_records
@@ -327,6 +338,28 @@ mod tests {
     #[test]
     fn empty_stats() {
         assert_eq!(LoadStats::default().loading_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = LoadStats {
+            loaded_records: 3,
+            parked_records: 1,
+            parse_errors: 1,
+            coercion_failures: 0,
+        };
+        let b = LoadStats {
+            loaded_records: 2,
+            parked_records: 4,
+            parse_errors: 0,
+            coercion_failures: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.loaded_records, 5);
+        assert_eq!(a.parked_records, 5);
+        assert_eq!(a.parse_errors, 1);
+        assert_eq!(a.coercion_failures, 2);
+        assert_eq!(a.total(), 10);
     }
 
     #[test]

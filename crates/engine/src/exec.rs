@@ -9,12 +9,23 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 /// The result of one `COUNT(*)` execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryOutcome {
     /// The count.
     pub count: usize,
     /// Detailed counters and timing.
     pub metrics: QueryMetrics,
+}
+
+impl QueryOutcome {
+    /// Merges a per-shard outcome into this one: counts add, metrics
+    /// merge per [`QueryMetrics::merge`]. A multi-shard service folds
+    /// shard outcomes into [`QueryOutcome::default`] to answer as if
+    /// one server held all the data.
+    pub fn merge(&mut self, other: &QueryOutcome) {
+        self.count += other.count;
+        self.metrics.merge(&other.metrics);
+    }
 }
 
 /// Executes count queries against a (columnar table, parked raw
@@ -246,6 +257,29 @@ mod tests {
         let e = env();
         let q = parse_query("q", "stars = 5 AND stars = 5").unwrap();
         assert_eq!(e.exec.pushed_ids_for(&q), vec![1]);
+    }
+
+    #[test]
+    fn sharded_outcomes_merge_to_the_unsharded_answer() {
+        // Split the environment's 50 records across two "shards" and
+        // check that merged per-shard outcomes equal the one-server run.
+        let e = env();
+        let q = parse_query("q", "stars = 3").unwrap();
+        let whole = e.exec.execute_count(&e.table, &e.parked, &q);
+
+        let (left, right) = e.parked.split_at(e.parked.len() / 2);
+        let mut merged = QueryOutcome::default();
+        merged.merge(&e.exec.execute_count(&e.table, left, &q));
+        merged.merge(
+            &e.exec
+                .execute_count(&ciao_columnar::Table::default(), right, &q),
+        );
+        assert_eq!(merged.count, whole.count);
+        assert_eq!(
+            merged.metrics.raw_scan.records_parsed,
+            whole.metrics.raw_scan.records_parsed
+        );
+        assert!(merged.metrics.scanned_parked);
     }
 
     #[test]

@@ -62,6 +62,20 @@ impl QueryMetrics {
     pub fn total_matched(&self) -> usize {
         self.table_scan.rows_matched + self.raw_scan.rows_matched
     }
+
+    /// Merges another execution's accounting into this one, as used
+    /// when one logical query fans out across shards: counters add,
+    /// the boolean flags OR (any shard that skipped / scanned parked
+    /// sets the merged flag), and `elapsed` takes the max — the
+    /// wall-clock of a parallel fan-out is its slowest shard. Folding
+    /// from [`QueryMetrics::default`] is the identity.
+    pub fn merge(&mut self, other: &QueryMetrics) {
+        self.table_scan.merge(&other.table_scan);
+        self.raw_scan.merge(&other.raw_scan);
+        self.used_skipping |= other.used_skipping;
+        self.scanned_parked |= other.scanned_parked;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +111,34 @@ mod tests {
     #[test]
     fn empty_ratio() {
         assert_eq!(ScanMetrics::default().skip_ratio(), 0.0);
+    }
+
+    #[test]
+    fn query_metrics_merge_is_fold_friendly() {
+        let shard = QueryMetrics {
+            table_scan: ScanMetrics {
+                rows_matched: 3,
+                rows_scanned: 7,
+                ..Default::default()
+            },
+            raw_scan: ScanMetrics {
+                rows_matched: 2,
+                records_parsed: 9,
+                ..Default::default()
+            },
+            used_skipping: true,
+            scanned_parked: true,
+            elapsed: Duration::from_millis(5),
+        };
+        let mut merged = QueryMetrics::default();
+        merged.merge(&shard);
+        merged.merge(&shard);
+        assert_eq!(merged.total_matched(), 10);
+        assert_eq!(merged.raw_scan.records_parsed, 18);
+        assert!(merged.used_skipping);
+        assert!(merged.scanned_parked);
+        // Parallel fan-out: wall-clock is the slowest shard, not the sum.
+        assert_eq!(merged.elapsed, Duration::from_millis(5));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! # `ciao_service` — sharded concurrent ingest/query service
+//!
+//! The CIAO paper evaluates a single-threaded server loop: clients
+//! prefilter in parallel, but ingest is exclusive, queries block
+//! ingest, and rows parked by partial loading stay raw JSON until an
+//! uncovered query happens to pay their parse cost. This crate turns
+//! the one-shot [`ciao::Server`] into a long-running service:
+//!
+//! * **Sharding** — N [`Shard`]s, each an independently locked
+//!   partial-loading state (columnar table + parked store) sharing one
+//!   [`ciao::PushdownPlan`]. Ingest into one shard never blocks
+//!   queries on another.
+//! * **Bounded ingest with backpressure** — producers enqueue
+//!   prefiltered chunks into a bounded queue and observe
+//!   [`EnqueueResult::QueueFull`] when the service falls behind;
+//!   worker threads drain jobs into shards. Chunk → shard routing is
+//!   decided at enqueue time ([`Routing`]), so results never depend on
+//!   worker scheduling.
+//! * **Fan-out queries** — [`Service::query`] executes on every shard
+//!   in parallel and merges the per-shard
+//!   [`QueryOutcome`](ciao_engine::QueryOutcome)s (counts add, scan
+//!   counters add, `elapsed` takes the slowest shard), answering
+//!   exactly as one server holding all the data would.
+//! * **Background compaction** — tick-driven promotion of parked raw
+//!   rows into columnar blocks ([`Service::compact`]), generalizing
+//!   the per-query JIT promotion in `ciao::jit` into an ingest-side
+//!   subsystem with its own [`CompactionStats`] and a query-heat
+//!   policy ([`CompactionPolicy`]).
+//! * **Observability and lifecycle** — [`Service::metrics`] snapshots
+//!   queue depth, per-shard row counts, parked ratio, and compaction
+//!   counters; [`Service::shutdown`] drains the queue and joins every
+//!   worker.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ciao::PushdownPlan;
+//! use ciao_columnar::Schema;
+//! use ciao_json::RecordChunk;
+//! use ciao_optimizer::CostModel;
+//! use ciao_predicate::parse_query;
+//! use ciao_service::{Service, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! // Plan once (normally from a workload + sample)...
+//! let raw: Vec<String> = (0..400)
+//!     .map(|i| format!("{{\"stars\":{},\"id\":{}}}", i % 5 + 1, i))
+//!     .collect();
+//! let sample: Vec<_> = raw.iter().take(100).map(|r| ciao_json::parse(r).unwrap()).collect();
+//! let queries = vec![parse_query("hot", "stars = 5").unwrap()];
+//! let plan = PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 10.0)
+//!     .unwrap();
+//! let schema = Arc::new(Schema::infer(&sample).unwrap());
+//!
+//! // ...start a 2-shard service and stream chunks in.
+//! let service = Service::start(plan, schema, ServiceConfig::default().with_shards(2));
+//! for chunk in RecordChunk::from_records(&raw).unwrap().split(64) {
+//!     assert!(service.enqueue_raw(chunk).is_enqueued());
+//! }
+//!
+//! // Queries fan out and merge; compaction ticks drain the parked store.
+//! assert_eq!(service.query(&queries[0]).count, 80);
+//! while service.compact().promoted > 0 {}
+//! let metrics = service.shutdown();
+//! assert_eq!(metrics.load().total(), 400);
+//! assert_eq!(metrics.parked(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compactor;
+pub mod config;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+pub mod shard;
+
+pub use compactor::{CompactionPolicy, CompactionStats};
+pub use config::{Routing, ServiceConfig};
+pub use metrics::ServiceMetrics;
+pub use queue::{EnqueueResult, IngestQueue};
+pub use service::Service;
+pub use shard::{Shard, ShardSnapshot};

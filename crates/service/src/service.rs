@@ -1,0 +1,447 @@
+//! The service: shards + queue + workers under one handle.
+
+use crate::compactor::CompactionStats;
+use crate::config::{fnv1a, Routing, ServiceConfig};
+use crate::metrics::ServiceMetrics;
+use crate::queue::{EnqueueResult, IngestJob, IngestQueue};
+use crate::shard::Shard;
+use ciao::PushdownPlan;
+use ciao_client::{ChunkFilterResult, Prefilter};
+use ciao_columnar::Schema;
+use ciao_engine::QueryOutcome;
+use ciao_json::RecordChunk;
+use ciao_predicate::Query;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared between the service handle and its worker threads.
+#[derive(Debug)]
+struct Inner {
+    queue: IngestQueue,
+    shards: Vec<Mutex<Shard>>,
+    routing: Routing,
+    rejected: AtomicU64,
+    ingested_chunks: AtomicU64,
+    ingested_records: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl Inner {
+    fn route(&self, seq_hint: u64, chunk: &RecordChunk) -> usize {
+        match self.routing {
+            Routing::RoundRobin => (seq_hint % self.shards.len() as u64) as usize,
+            Routing::Hash => {
+                let mut h = fnv1a(chunk.record(0).as_bytes());
+                // Mix the record count so single-record chunks of the
+                // same payload still spread.
+                h ^= chunk.len() as u64;
+                (h % self.shards.len() as u64) as usize
+            }
+        }
+    }
+
+    fn ingest(&self, job: IngestJob) {
+        let records = job.chunk.len() as u64;
+        self.shards[job.shard]
+            .lock()
+            .ingest(&job.chunk, &job.filter);
+        self.ingested_chunks.fetch_add(1, Ordering::Relaxed);
+        self.ingested_records.fetch_add(records, Ordering::Relaxed);
+        self.queue.complete();
+    }
+}
+
+/// A long-running, sharded CIAO service.
+///
+/// Wraps N [`Shard`]s (each an independently locked partial-loading
+/// state sharing one [`PushdownPlan`]) behind a bounded ingest queue.
+/// Producers [`Service::enqueue`] prefiltered chunks and observe
+/// [`EnqueueResult::QueueFull`] backpressure; worker threads drain the
+/// queue into shards; [`Service::query`] fans out across shards and
+/// merges per-shard [`QueryOutcome`]s into one answer — identical to a
+/// single [`ciao::Server`] over the same records. Tick
+/// [`Service::compact`] from any maintenance cadence to promote parked
+/// raw rows into columnar blocks in the background.
+#[derive(Debug)]
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    prefilter: Prefilter,
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// Starts a service: builds the shards and spawns the configured
+    /// worker threads.
+    pub fn start(plan: PushdownPlan, schema: Arc<Schema>, config: ServiceConfig) -> Service {
+        let prefilter = plan.prefilter();
+        let plan = Arc::new(plan);
+        let shards = (0..config.shards)
+            .map(|_| {
+                Mutex::new(Shard::new(
+                    Arc::clone(&plan),
+                    Arc::clone(&schema),
+                    config.block_size,
+                ))
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            queue: IngestQueue::new(config.queue_capacity),
+            shards,
+            routing: config.routing,
+            rejected: AtomicU64::new(0),
+            ingested_chunks: AtomicU64::new(0),
+            ingested_records: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    while let Some(job) = inner.queue.pop_wait() {
+                        inner.ingest(job);
+                    }
+                })
+            })
+            .collect();
+        Service {
+            inner,
+            workers,
+            prefilter,
+            config,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The plan's client-side prefilter, for producers that filter
+    /// their own chunks before [`Service::enqueue`].
+    pub fn prefilter(&self) -> Prefilter {
+        self.prefilter.clone()
+    }
+
+    /// A chunk and its filter result must agree on the record count;
+    /// panicking here (the producer's thread, where the framing bug
+    /// lives) beats wedging an ingest worker on the loader's own
+    /// assert and hanging every future [`Service::drain`].
+    fn check_framing(chunk: &RecordChunk, filter: &ChunkFilterResult) {
+        assert_eq!(
+            chunk.len(),
+            filter.records,
+            "chunk has {} records but filter result covers {}",
+            chunk.len(),
+            filter.records
+        );
+    }
+
+    /// Non-blocking enqueue of a prefiltered chunk. Routes to a shard
+    /// deterministically, then either queues the job or reports
+    /// [`EnqueueResult::QueueFull`] backpressure. Empty chunks are
+    /// accepted and dropped (seq still advances).
+    ///
+    /// Panics when `filter` does not cover exactly `chunk`'s records.
+    pub fn enqueue(&self, chunk: RecordChunk, filter: ChunkFilterResult) -> EnqueueResult {
+        Self::check_framing(&chunk, &filter);
+        if chunk.is_empty() {
+            return EnqueueResult::Enqueued {
+                seq: self.inner.queue.accepted(),
+                shard: 0,
+            };
+        }
+        let shard = self.inner.route(self.inner.queue.accepted(), &chunk);
+        let result = self.inner.queue.push(shard, chunk, filter);
+        if !result.is_enqueued() {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Blocking enqueue: waits for queue capacity instead of reporting
+    /// `QueueFull` (which it returns only if the service shuts down
+    /// while waiting).
+    ///
+    /// Panics when `filter` does not cover exactly `chunk`'s records.
+    pub fn enqueue_wait(&self, chunk: RecordChunk, filter: ChunkFilterResult) -> EnqueueResult {
+        Self::check_framing(&chunk, &filter);
+        if chunk.is_empty() {
+            return EnqueueResult::Enqueued {
+                seq: self.inner.queue.accepted(),
+                shard: 0,
+            };
+        }
+        let shard = self.inner.route(self.inner.queue.accepted(), &chunk);
+        self.inner.queue.push_wait(shard, chunk, filter)
+    }
+
+    /// Convenience: prefilter a raw chunk with the plan's own patterns
+    /// and enqueue it (the "thin client" path; real edge clients run
+    /// the prefilter themselves and call [`Service::enqueue`]).
+    pub fn enqueue_raw(&self, chunk: RecordChunk) -> EnqueueResult {
+        let filter = self.prefilter.run_chunk(&chunk);
+        self.enqueue(chunk, filter)
+    }
+
+    /// Blocks until every queued chunk has been ingested. With
+    /// `workers == 0` the calling thread drains the queue itself —
+    /// the deterministic mode tests use.
+    pub fn drain(&self) {
+        if self.workers.is_empty() {
+            while let Some(job) = self.inner.queue.try_pop() {
+                self.inner.ingest(job);
+            }
+        }
+        self.inner.queue.wait_idle();
+    }
+
+    /// Executes a `COUNT(*)` query: drains the queue (a query answers
+    /// over everything accepted before it), fans out across shards,
+    /// and merges the per-shard outcomes. Counts add; `elapsed` is the
+    /// slowest shard (the fan-out runs shards in parallel).
+    pub fn query(&self, query: &Query) -> QueryOutcome {
+        self.drain();
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(self.inner.shards.len());
+        if self.inner.shards.len() == 1 {
+            outcomes.push(self.inner.shards[0].lock().execute(query));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .inner
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || shard.lock().execute(query)))
+                    .collect();
+                outcomes.extend(handles.into_iter().map(|h| h.join().expect("shard query")));
+            });
+        }
+        // Merge in shard order so the metrics breakdown is
+        // deterministic (counts are order-independent anyway).
+        let mut merged = QueryOutcome::default();
+        for outcome in &outcomes {
+            merged.merge(outcome);
+        }
+        merged
+    }
+
+    /// One background-maintenance tick: runs the configured compaction
+    /// policy over every shard and returns the tick's fleet-wide delta.
+    /// Call it from any cadence — a dedicated thread, an idle hook, or
+    /// a test loop; ticks are cheap no-ops when nothing is eligible.
+    pub fn compact(&self) -> CompactionStats {
+        let mut delta = CompactionStats::default();
+        for shard in &self.inner.shards {
+            delta.merge(&shard.lock().compact(&self.config.compaction));
+        }
+        delta
+    }
+
+    /// A point-in-time observability snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            queue_depth: self.inner.queue.depth(),
+            queue_capacity: self.inner.queue.capacity(),
+            accepted_chunks: self.inner.queue.accepted(),
+            rejected_chunks: self.inner.rejected.load(Ordering::Relaxed),
+            ingested_chunks: self.inner.ingested_chunks.load(Ordering::Relaxed),
+            ingested_records: self.inner.ingested_records.load(Ordering::Relaxed),
+            queries: self.inner.queries.load(Ordering::Relaxed),
+            shards: self
+                .inner
+                .shards
+                .iter()
+                .map(|s| s.lock().snapshot())
+                .collect(),
+        }
+    }
+
+    /// Graceful shutdown: drain the queue, close it, join every
+    /// worker, and return the final metrics snapshot.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.drain();
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("ingest worker panicked");
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for Service {
+    /// Dropping without [`Service::shutdown`] still joins workers
+    /// (pending queued chunks are ingested first — close() lets the
+    /// backlog drain before workers exit).
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_optimizer::CostModel;
+    use ciao_predicate::parse_query;
+
+    fn plan_and_schema(budget: f64) -> (PushdownPlan, Arc<Schema>, RecordChunk) {
+        let raw: Vec<String> = (0..400)
+            .map(|i| format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i))
+            .collect();
+        let sample: Vec<_> = raw
+            .iter()
+            .take(100)
+            .map(|r| ciao_json::parse(r).unwrap())
+            .collect();
+        let queries = vec![parse_query("q0", "stars = 5").unwrap()];
+        let plan = PushdownPlan::build(
+            &queries,
+            &sample,
+            &CostModel::default_uncalibrated(),
+            budget,
+        )
+        .unwrap();
+        let schema = Arc::new(Schema::infer(&sample).unwrap());
+        let all = RecordChunk::from_records(&raw).unwrap();
+        (plan, schema, all)
+    }
+
+    #[test]
+    fn ingest_query_roundtrip_with_workers() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default().with_shards(3).with_workers(3),
+        );
+        for chunk in all.split(64) {
+            assert!(service.enqueue_raw(chunk).is_enqueued());
+        }
+        let out = service.query(&parse_query("q", "stars = 5").unwrap());
+        assert_eq!(out.count, 80);
+        assert!(out.metrics.used_skipping);
+        let m = service.shutdown();
+        assert_eq!(m.ingested_records, 400);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.load().total(), 400);
+    }
+
+    #[test]
+    fn inline_drain_mode_and_backpressure() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_shards(2)
+                .with_workers(0)
+                .with_queue_capacity(2),
+        );
+        let chunks = all.split(100);
+        assert_eq!(chunks.len(), 4);
+        assert!(service.enqueue_raw(chunks[0].clone()).is_enqueued());
+        assert!(service.enqueue_raw(chunks[1].clone()).is_enqueued());
+        assert_eq!(
+            service.enqueue_raw(chunks[2].clone()),
+            EnqueueResult::QueueFull { capacity: 2 }
+        );
+        assert_eq!(service.metrics().rejected_chunks, 1);
+        service.drain();
+        assert!(service.enqueue_raw(chunks[2].clone()).is_enqueued());
+        assert!(service.enqueue_raw(chunks[3].clone()).is_enqueued());
+        let out = service.query(&parse_query("q", "stars = 2").unwrap());
+        assert_eq!(out.count, 80);
+        let m = service.shutdown();
+        assert_eq!(m.rejected_chunks, 1);
+        assert_eq!(m.ingested_chunks, 4);
+    }
+
+    #[test]
+    fn round_robin_routing_spreads_chunks() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default().with_shards(4).with_workers(0),
+        );
+        for chunk in all.split(50) {
+            let _ = service.enqueue_raw(chunk);
+        }
+        service.drain();
+        let m = service.metrics();
+        for s in &m.shards {
+            assert_eq!(s.load.total(), 100, "8 chunks over 4 shards, 2 each");
+        }
+        drop(service);
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let route = |svc: &Service| -> Vec<usize> {
+            all.split(32)
+                .into_iter()
+                .map(|c| svc.inner.route(0, &c))
+                .collect()
+        };
+        let cfg = ServiceConfig::default()
+            .with_shards(4)
+            .with_workers(0)
+            .with_routing(Routing::Hash);
+        let a = Service::start(plan.clone(), Arc::clone(&schema), cfg.clone());
+        let b = Service::start(plan, schema, cfg);
+        assert_eq!(route(&a), route(&b));
+        assert!(route(&a).iter().any(|&s| s != route(&a)[0]), "spreads");
+    }
+
+    #[test]
+    fn compaction_tick_reduces_parked() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default().with_shards(2).with_workers(2),
+        );
+        let pf = service.prefilter();
+        for chunk in all.split(64) {
+            let filter = pf.run_chunk(&chunk);
+            assert!(service.enqueue_wait(chunk, filter).is_enqueued());
+        }
+        service.drain();
+        let before = service.metrics();
+        assert!(before.parked() > 0);
+        let delta = service.compact();
+        assert!(delta.promoted > 0);
+        let after = service.metrics();
+        assert!(after.parked_ratio() < before.parked_ratio());
+        service.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "filter result covers")]
+    fn desynced_filter_rejected_at_enqueue() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(plan, schema, ServiceConfig::default().with_workers(0));
+        let chunks = all.split(100);
+        // Filter computed over the wrong chunk: must panic in the
+        // producer, never inside a worker.
+        let filter = service.prefilter().run_chunk(&chunks[0]);
+        let _ = service.enqueue(all, filter);
+    }
+
+    #[test]
+    fn empty_chunk_is_accepted_and_dropped() {
+        let (plan, schema, _) = plan_and_schema(10.0);
+        let service = Service::start(plan, schema, ServiceConfig::default().with_workers(0));
+        let empty = RecordChunk::from_ndjson("");
+        assert!(service.enqueue_raw(empty).is_enqueued());
+        service.drain();
+        assert_eq!(service.metrics().ingested_chunks, 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Per-shard state: an epochal partial-loading store.
+//!
+//! [`ciao::Server`] is one-shot — ingest, finalize once, then query.
+//! A long-running shard instead seals **epochs**: ingest streams into
+//! the active [`Loader`]; the first query (or compaction tick) after
+//! an ingest burst seals that epoch, merging its columnar fragment,
+//! parked rows, and [`LoadStats`] into the shard's cumulative state,
+//! and the next ingest opens a fresh epoch. Queries therefore always
+//! see every record ingested before them, and ingest never has to wait
+//! for a "finalized" lifecycle.
+
+use crate::compactor::{CompactionPolicy, CompactionStats};
+use ciao::{jit, LoadStats, Loader, PushdownPlan};
+use ciao_client::ChunkFilterResult;
+use ciao_columnar::{Schema, Table};
+use ciao_engine::{Executor, QueryOutcome};
+use ciao_json::RecordChunk;
+use ciao_predicate::Query;
+use std::sync::Arc;
+
+/// A point-in-time view of one shard, reported by
+/// [`crate::Service::metrics`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSnapshot {
+    /// Rows currently in columnar blocks (sealed epochs + the active
+    /// epoch's loaded rows).
+    pub rows: usize,
+    /// Rows currently parked as raw JSON (sealed + active epoch).
+    pub parked: usize,
+    /// Cumulative loading counters across every epoch. Unlike
+    /// `parked`, `load.parked_records` counts parking *events* and
+    /// never decreases when compaction drains the store.
+    pub load: LoadStats,
+    /// Cumulative compaction counters.
+    pub compaction: CompactionStats,
+    /// Uncovered-query executions that scanned this shard's parked
+    /// store since its last compaction (the compactor's heat signal).
+    pub heat: usize,
+}
+
+impl ShardSnapshot {
+    /// Fraction of this shard's live rows still parked as raw JSON.
+    pub fn parked_ratio(&self) -> f64 {
+        let total = self.rows + self.parked;
+        if total == 0 {
+            0.0
+        } else {
+            self.parked as f64 / total as f64
+        }
+    }
+}
+
+/// One shard: a plan-sharing, independently lockable loading state.
+#[derive(Debug)]
+pub struct Shard {
+    plan: Arc<PushdownPlan>,
+    schema: Arc<Schema>,
+    block_size: usize,
+    /// The active ingest epoch (`None` between a seal and the next
+    /// ingest).
+    loader: Option<Loader>,
+    table: Table,
+    parked: Vec<String>,
+    stats: LoadStats,
+    executor: Executor,
+    compaction: CompactionStats,
+    heat: usize,
+}
+
+impl Shard {
+    /// Creates an empty shard sharing the service-wide plan.
+    pub fn new(plan: Arc<PushdownPlan>, schema: Arc<Schema>, block_size: usize) -> Shard {
+        let executor = Executor::new(plan.predicates.iter().map(|p| (p.clause.clone(), p.id)));
+        Shard {
+            plan,
+            schema,
+            block_size,
+            loader: None,
+            table: Table::default(),
+            parked: Vec::new(),
+            stats: LoadStats::default(),
+            executor,
+            compaction: CompactionStats::default(),
+            heat: 0,
+        }
+    }
+
+    fn open_epoch(&mut self) -> &mut Loader {
+        let plan = &self.plan;
+        let schema = &self.schema;
+        let block_size = self.block_size;
+        self.loader.get_or_insert_with(|| {
+            let policy = if plan.is_empty() {
+                ciao::AdmissionPolicy::LoadAll
+            } else {
+                ciao::AdmissionPolicy::from_coverage(&plan.query_coverage)
+            };
+            Loader::new(Arc::clone(schema), &plan.ids(), policy, block_size)
+        })
+    }
+
+    /// Ingests one chunk with its client filter result into the active
+    /// epoch (opening one if needed).
+    pub fn ingest(&mut self, chunk: &RecordChunk, filter: &ChunkFilterResult) {
+        self.open_epoch().load_chunk(chunk, filter);
+    }
+
+    /// Seals the active epoch into the cumulative state. Idempotent;
+    /// cheap when no epoch is open.
+    pub fn seal_epoch(&mut self) {
+        if let Some(loader) = self.loader.take() {
+            let (fragment, parked, stats) = loader.finish();
+            self.table.merge(fragment);
+            self.parked.extend(parked);
+            self.stats.merge(&stats);
+        }
+    }
+
+    /// Executes a `COUNT(*)` query over everything ingested so far
+    /// (seals the active epoch first).
+    pub fn execute(&mut self, query: &Query) -> QueryOutcome {
+        self.seal_epoch();
+        let out = self
+            .executor
+            .execute_count(&self.table, &self.parked, query);
+        if out.metrics.scanned_parked && !self.parked.is_empty() {
+            self.heat += 1;
+        }
+        out
+    }
+
+    /// One compaction pass: promote up to `policy.batch` parked rows
+    /// (oldest first) into new columnar blocks. Returns this tick's
+    /// delta (also folded into the cumulative counters).
+    pub fn compact(&mut self, policy: &CompactionPolicy) -> CompactionStats {
+        self.seal_epoch();
+        let mut delta = CompactionStats::default();
+        if !policy.eligible(self.parked.len(), self.heat) {
+            delta.idle_ticks = 1;
+            self.compaction.merge(&delta);
+            return delta;
+        }
+        let take = policy.batch.min(self.parked.len());
+        let batch: Vec<String> = self.parked.drain(..take).collect();
+        let (fragment, survivors, stats) =
+            jit::promote_parked(&self.plan, Arc::clone(&self.schema), batch, self.block_size);
+        self.table.merge(fragment);
+        // Survivors (still-unparseable rows) rotate to the back so the
+        // next tick's window advances past them.
+        self.parked.extend(survivors);
+        if stats.promoted > 0 {
+            delta.ticks = 1;
+        } else {
+            delta.idle_ticks = 1;
+        }
+        delta.promoted = stats.promoted;
+        delta.unparseable = stats.still_parked;
+        self.heat = 0;
+        self.compaction.merge(&delta);
+        delta
+    }
+
+    /// A point-in-time view, including the active (unsealed) epoch.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        let epoch = self.loader.as_ref().map(Loader::stats).unwrap_or_default();
+        let mut load = self.stats;
+        load.merge(&epoch);
+        ShardSnapshot {
+            rows: self.table.row_count() + epoch.loaded_records,
+            parked: self.parked.len() + epoch.parked_records,
+            load,
+            compaction: self.compaction,
+            heat: self.heat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_optimizer::CostModel;
+    use ciao_predicate::parse_query;
+
+    fn fixture() -> (Shard, Vec<RecordChunk>) {
+        let raw: Vec<String> = (0..120)
+            .map(|i| format!(r#"{{"stars":{},"name":"u{}"}}"#, i % 5 + 1, i))
+            .collect();
+        let sample: Vec<_> = raw
+            .iter()
+            .take(60)
+            .map(|r| ciao_json::parse(r).unwrap())
+            .collect();
+        let queries = vec![parse_query("q0", "stars = 5").unwrap()];
+        let plan = PushdownPlan::build(&queries, &sample, &CostModel::default_uncalibrated(), 10.0)
+            .unwrap();
+        let schema = Arc::new(Schema::infer(&sample).unwrap());
+        let shard = Shard::new(Arc::new(plan), schema, 16);
+        let chunks = RecordChunk::from_records(&raw).unwrap().split(40);
+        (shard, chunks)
+    }
+
+    fn filters(shard: &Shard, chunks: &[RecordChunk]) -> Vec<ChunkFilterResult> {
+        let pf = shard.plan.prefilter();
+        chunks.iter().map(|c| pf.run_chunk(c)).collect()
+    }
+
+    #[test]
+    fn ingest_query_ingest_query_interleaves() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        let q = parse_query("q", "stars = 5").unwrap();
+
+        shard.ingest(&chunks[0], &fs[0]);
+        assert_eq!(shard.execute(&q).count, 8); // 40 records, 1/5 stars=5
+                                                // A second epoch after a query — the one-shot Server panics here.
+        shard.ingest(&chunks[1], &fs[1]);
+        shard.ingest(&chunks[2], &fs[2]);
+        assert_eq!(shard.execute(&q).count, 24);
+        assert_eq!(shard.snapshot().load.total(), 120);
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_lazy() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        shard.seal_epoch(); // no epoch open: no-op
+        shard.ingest(&chunks[0], &fs[0]);
+        shard.seal_epoch();
+        let rows = shard.snapshot().rows;
+        shard.seal_epoch();
+        assert_eq!(shard.snapshot().rows, rows);
+    }
+
+    #[test]
+    fn snapshot_sees_active_epoch() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        shard.ingest(&chunks[0], &fs[0]);
+        let snap = shard.snapshot();
+        assert_eq!(snap.rows + snap.parked, 40);
+        assert!(snap.parked_ratio() > 0.0);
+    }
+
+    #[test]
+    fn compaction_drains_parked_in_batches() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        for (c, f) in chunks.iter().zip(&fs) {
+            shard.ingest(c, f);
+        }
+        let q5 = parse_query("q", "stars = 5").unwrap();
+        let q2 = parse_query("q", "stars = 2").unwrap();
+        let before5 = shard.execute(&q5).count;
+        let before2 = shard.execute(&q2).count;
+        let parked0 = shard.snapshot().parked;
+        assert!(parked0 > 0);
+
+        let policy = CompactionPolicy::default().with_batch(32);
+        let mut ratios = vec![shard.snapshot().parked_ratio()];
+        while shard.snapshot().parked > 0 {
+            let delta = shard.compact(&policy);
+            assert!(delta.promoted > 0);
+            ratios.push(shard.snapshot().parked_ratio());
+        }
+        // Strictly decreasing parked ratio, identical answers.
+        assert!(ratios.windows(2).all(|w| w[1] < w[0]), "{ratios:?}");
+        assert_eq!(shard.execute(&q5).count, before5);
+        assert_eq!(shard.execute(&q2).count, before2);
+        assert_eq!(shard.snapshot().compaction.promoted, parked0);
+        // Everything now columnar: uncovered queries parse nothing.
+        assert_eq!(shard.execute(&q2).metrics.raw_scan.records_parsed, 0);
+    }
+
+    #[test]
+    fn heat_accumulates_on_parked_scans_and_resets_on_compaction() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        shard.ingest(&chunks[0], &fs[0]);
+        let covered = parse_query("q", "stars = 5").unwrap();
+        let uncovered = parse_query("q", "stars = 2").unwrap();
+        shard.execute(&covered);
+        assert_eq!(shard.snapshot().heat, 0, "covered queries add no heat");
+        shard.execute(&uncovered);
+        shard.execute(&uncovered);
+        assert_eq!(shard.snapshot().heat, 2);
+
+        // A heat-gated policy ignores a cold shard...
+        let gated = CompactionPolicy::default().with_min_heat(3);
+        assert_eq!(shard.compact(&gated).promoted, 0);
+        shard.execute(&uncovered);
+        // ...and fires once the threshold is reached, resetting heat.
+        assert!(shard.compact(&gated).promoted > 0);
+        assert_eq!(shard.snapshot().heat, 0);
+    }
+
+    #[test]
+    fn unparseable_rows_rotate_not_wedge() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        shard.ingest(&chunks[0], &fs[0]);
+        shard.seal_epoch();
+        // Plant garbage at the *front* of the parked store.
+        shard.parked.insert(0, "not json {".to_owned());
+        let live = shard.parked.len() - 1;
+        let policy = CompactionPolicy::default().with_batch(8);
+        for _ in 0..20 {
+            if shard.snapshot().parked <= 1 {
+                break;
+            }
+            shard.compact(&policy);
+        }
+        let snap = shard.snapshot();
+        assert_eq!(snap.parked, 1, "only the garbage row survives");
+        assert_eq!(snap.compaction.promoted, live);
+        assert!(snap.compaction.unparseable >= 1);
+    }
+}

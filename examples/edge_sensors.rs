@@ -1,10 +1,10 @@
-//! Edge sensors: heterogeneous clients with runtime budget enforcement.
+//! Edge sensors: a heterogeneous client fleet feeding a sharded service.
 //!
 //! Run with: `cargo run --release --example edge_sensors`
 //!
 //! The YCSB-customers scenario from the paper's intro: a fleet of edge
 //! devices of different speeds ships JSON to one server. This example
-//! exercises two CIAO features beyond the basic pipeline:
+//! exercises three CIAO features beyond the basic pipeline:
 //!
 //! 1. **Multi-client budget allocation** (the abstract's "different
 //!    budgets for different clients"): a global budget pool is split
@@ -13,20 +13,27 @@
 //!    a [`ciao_client::BudgetedPrefilter`] so a stalled device degrades
 //!    to all-ones bits (correct, just less useful) instead of falling
 //!    behind.
+//! 3. **A sharded concurrent service**: the devices run as real
+//!    threads, pushing prefiltered chunks into a bounded-queue
+//!    [`ciao_service::Service`] (blocking on backpressure), while
+//!    worker threads drain into shards and background compaction ticks
+//!    promote parked raw rows into columnar blocks.
 
-use ciao::{PushdownPlan, Server};
+use ciao::PushdownPlan;
 use ciao_client::{Budget, BudgetedPrefilter, ClientStats};
 use ciao_columnar::Schema;
 use ciao_datagen::Dataset;
 use ciao_json::RecordChunk;
 use ciao_optimizer::{allocate_budgets, ClientSpec, InstanceBuilder};
 use ciao_predicate::{compile_clause, parse_query, SelectivityEstimator};
+use ciao_service::{CompactionPolicy, Service, ServiceConfig};
 use std::sync::Arc;
 
 fn main() {
     const RECORDS_PER_CLIENT: usize = 5_000;
+    const SHARDS: usize = 4;
 
-    println!("== CIAO edge sensors (YCSB customers) ==");
+    println!("== CIAO edge sensors (YCSB customers → sharded service) ==");
 
     // The fleet: a beefy gateway and two slow sensors.
     let fleet = [
@@ -81,41 +88,122 @@ fn main() {
         }
     }
 
-    // Run the gateway's share end to end with hard budget enforcement.
+    // Start the sharded service: SHARDS shards, SHARDS ingest workers,
+    // a bounded queue so slow draining pushes back on producers, and a
+    // compaction policy that promotes parked rows that queries keep
+    // scanning.
     let plan = PushdownPlan::build(&queries, &sample, &cost_model, 6.0).expect("plan");
     let schema = Arc::new(Schema::infer(&sample).expect("schema"));
-    let mut server = Server::new(plan, schema, 1024);
-
-    let mut stats = ClientStats::default();
-    let budgeted = BudgetedPrefilter::new(
-        server.plan().prefilter(),
-        Budget::per_record_micros(25.0), // generous: no degradation expected
+    let service = Service::start(
+        plan,
+        schema,
+        ServiceConfig::default()
+            .with_shards(SHARDS)
+            .with_workers(SHARDS)
+            .with_queue_capacity(16)
+            .with_block_size(1024)
+            .with_compaction(CompactionPolicy::default().with_batch(2048)),
     );
-    let ndjson = Dataset::Ycsb.generate_ndjson(2, RECORDS_PER_CLIENT);
-    for chunk in RecordChunk::from_ndjson(&ndjson).split(1024) {
-        let filter = budgeted.run_chunk(&chunk, &mut stats);
-        server.ingest(&chunk, &filter);
+
+    // Each fleet member runs as a real producer thread with hard
+    // budget enforcement, blocking on backpressure when the service
+    // falls behind.
+    let per_client_stats: Vec<ClientStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = fleet
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut stats = ClientStats::default();
+                    let budgeted = BudgetedPrefilter::new(
+                        service.prefilter(),
+                        Budget::per_record_micros(25.0), // generous: no degradation expected
+                    );
+                    let ndjson = Dataset::Ycsb.generate_ndjson(2 + i as u64, RECORDS_PER_CLIENT);
+                    for chunk in RecordChunk::from_ndjson(&ndjson).split(1024) {
+                        let filter = budgeted.run_chunk(&chunk, &mut stats);
+                        assert!(
+                            service.enqueue_wait(chunk, filter).is_enqueued(),
+                            "{}: service shut down mid-stream",
+                            spec.name
+                        );
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    service.drain();
+
+    for (spec, stats) in fleet.iter().zip(&per_client_stats) {
+        println!(
+            "{:<9} shipped {} records in {} chunks ({} degraded), measured {:.2} µs/record",
+            spec.name,
+            stats.records_processed,
+            stats.chunks,
+            stats.degraded_chunks,
+            stats.micros_per_record(),
+        );
     }
-    server.finalize();
 
+    let before = service.metrics();
     println!(
-        "\ngateway shipped {} records in {} chunks ({} degraded), measured {:.2} µs/record",
-        stats.records_processed,
-        stats.chunks,
-        stats.degraded_chunks,
-        stats.micros_per_record(),
+        "\nservice: {} shards, {} rows columnar / {} parked (parked ratio {:.1}%)",
+        before.shards.len(),
+        before.rows(),
+        before.parked(),
+        100.0 * before.parked_ratio(),
     );
-    println!(
-        "server: loaded {} / parked {} (loading ratio {:.1}%)",
-        server.load_stats().loaded_records,
-        server.load_stats().parked_records,
-        100.0 * server.load_stats().loading_ratio(),
-    );
+    for (i, s) in before.shards.iter().enumerate() {
+        println!(
+            "  shard {i}: {} rows, {} parked, loading ratio {:.1}%",
+            s.rows,
+            s.parked,
+            100.0 * s.load.loading_ratio(),
+        );
+    }
+
     for q in &queries {
-        let out = server.execute(q);
+        let out = service.query(q);
         println!(
             "query {:<10} count = {:<5} (skipping: {}, parked scanned: {})",
             q.name, out.count, out.metrics.used_skipping, out.metrics.scanned_parked
         );
     }
+
+    // Background maintenance: tick compaction until the parked store
+    // is fully promoted, then show the queries again — same answers,
+    // no raw parsing left anywhere.
+    let mut ticks = 0;
+    while service.metrics().parked() > 0 {
+        service.compact();
+        ticks += 1;
+    }
+    let after = service.metrics();
+    println!(
+        "\ncompaction: {} ticks promoted {} rows ({} unparseable observations); parked ratio {:.1}% → {:.1}%",
+        ticks,
+        after.compaction().promoted,
+        after.compaction().unparseable,
+        100.0 * before.parked_ratio(),
+        100.0 * after.parked_ratio(),
+    );
+    for q in &queries {
+        let out = service.query(q);
+        println!(
+            "query {:<10} count = {:<5} (raw records parsed: {})",
+            q.name, out.count, out.metrics.raw_scan.records_parsed
+        );
+    }
+
+    let final_metrics = service.shutdown();
+    println!(
+        "\nshutdown: {} chunks / {} records ingested, {} queries served, queue rejected {}",
+        final_metrics.ingested_chunks,
+        final_metrics.ingested_records,
+        final_metrics.queries,
+        final_metrics.rejected_chunks,
+    );
 }
