@@ -2,10 +2,16 @@
 //! stream pushed through 1/2/4/8 shards (workers = shards), versus the
 //! single-threaded `Server` baseline. Measures the server side only —
 //! client prefiltering is pre-paid when the environment is built.
+//!
+//! The binary also measures the telemetry tax directly: identical
+//! ingest runs with instrumentation on and off, medians compared, and
+//! the overhead percentage appended to `BENCH_service.json` (see
+//! `ciao_bench::trajectory`). The acceptance budget is 5%.
 
 use ciao_bench::experiments::service::ServiceEnv;
-use ciao_bench::ExperimentScale;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ciao_bench::{trajectory, ExperimentScale};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
 fn bench_service_ingest(c: &mut Criterion) {
     let scale = ExperimentScale::tiny();
@@ -47,5 +53,83 @@ fn bench_baseline_server(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_service_ingest, bench_baseline_server);
-criterion_main!(benches);
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let scale = ExperimentScale::tiny();
+    let env = ServiceEnv::new(scale);
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(env.records() as u64));
+    for (name, telemetry) in [("instrumented", true), ("uninstrumented", false)] {
+        group.bench_function(format!("ycsb/2_shards_{name}"), |b| {
+            b.iter(|| {
+                let service = env.run_service_ingest_with(black_box(2), telemetry);
+                black_box(service.metrics().rows());
+                service.shutdown()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_service_ingest,
+    bench_baseline_server,
+    bench_telemetry_overhead
+);
+
+/// The vendored Criterion prints medians but does not expose them, so
+/// the trajectory measurement re-times both settings by hand. The
+/// instrumented and uninstrumented runs are **interleaved** so
+/// machine-load drift lands on both sides equally instead of biasing
+/// whichever block ran second; medians then shrug off the outliers.
+fn interleaved_medians(env: &ServiceEnv, iters: usize) -> (f64, f64) {
+    let time_one = |telemetry: bool| {
+        let start = Instant::now();
+        let service = env.run_service_ingest_with(2, telemetry);
+        black_box(service.metrics().rows());
+        service.shutdown();
+        start.elapsed().as_secs_f64()
+    };
+    time_one(true); // warm-up, discarded
+    let mut on_samples = Vec::with_capacity(iters);
+    let mut off_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        on_samples.push(time_one(true));
+        off_samples.push(time_one(false));
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    (median(&mut on_samples), median(&mut off_samples))
+}
+
+fn append_overhead_run() {
+    const ITERS: usize = 15;
+    let scale = ExperimentScale::tiny();
+    let env = ServiceEnv::new(scale);
+    let (on, off) = interleaved_medians(&env, ITERS);
+    let overhead_pct = (on - off) / off * 100.0;
+    println!(
+        "telemetry overhead: median ingest {on:.4}s instrumented vs {off:.4}s uninstrumented \
+         ({overhead_pct:+.2}%)"
+    );
+
+    let path = trajectory::output_path();
+    let run = trajectory::run_from_rows("bench", env.records(), Some(overhead_pct), &[]);
+    match trajectory::append_run(&path, run) {
+        Ok(doc) => println!(
+            "trajectory: appended run #{} to {}",
+            doc.runs.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("trajectory: could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    benches();
+    append_overhead_run();
+}

@@ -13,7 +13,7 @@
 
 use ciao_bench::experiments::{ablation, end_to_end, fig6, micro, service, table4, tables};
 use ciao_bench::table::{f3, pct, TextTable};
-use ciao_bench::ExperimentScale;
+use ciao_bench::{trajectory, ExperimentScale};
 use ciao_datagen::Dataset;
 
 fn main() {
@@ -53,6 +53,7 @@ fn main() {
             "headline" => print_headline(scale, &mut e2e_cache),
             "ablation" => print_ablation(),
             "service" => print_service(scale),
+            "validate-bench" => validate_bench(),
             other => eprintln!("unknown experiment `{other}` (see EXPERIMENTS.md)"),
         }
     }
@@ -301,6 +302,9 @@ fn print_service(scale: ExperimentScale) {
         "Records/s",
         "Speedup",
         "Query(ms)",
+        "Ack p50/p99(µs)",
+        "Query p50/p99(µs)",
+        "Blocked(ms)",
         "Counts==baseline",
     ]);
     for r in &rows {
@@ -311,6 +315,9 @@ fn print_service(scale: ExperimentScale) {
             format!("{:.0}", r.records_per_s),
             format!("{:.2}x", r.speedup),
             format!("{:.3}", r.query_ms),
+            format!("{:.0}/{:.0}", r.ingest_ack_p50_us, r.ingest_ack_p99_us),
+            format!("{:.0}/{:.0}", r.query_p50_us, r.query_p99_us),
+            format!("{:.1}", r.blocked_ms),
             if r.counts_ok {
                 "yes".into()
             } else {
@@ -319,7 +326,34 @@ fn print_service(scale: ExperimentScale) {
         ]);
     }
     println!("{t}");
-    println!("(beyond the paper: client prefiltering is pre-paid on both sides; the table\n isolates what sharding the server loop buys. The ×1 gap vs the baseline is\n the queue+lock tax; speedup beyond it requires the cores to exist — on a\n single-core host every row shows only that coordination overhead.)\n");
+    println!("(beyond the paper: client prefiltering is pre-paid on both sides; the table\n isolates what sharding the server loop buys. The ×1 gap vs the baseline is\n the queue+lock tax; speedup beyond it requires the cores to exist — on a\n single-core host every row shows only that coordination overhead. The ack\n and query quantiles come from the service's own telemetry histograms.)\n");
+
+    let path = trajectory::output_path();
+    let run = trajectory::run_from_rows("repro", scale.records, None, &rows);
+    match trajectory::append_run(&path, run) {
+        Ok(doc) => println!(
+            "(trajectory: appended run #{} to {})\n",
+            doc.runs.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("(trajectory: could not write {}: {e})\n", path.display()),
+    }
+}
+
+fn validate_bench() {
+    let doc = trajectory::output_path();
+    let schema = trajectory::schema_path();
+    match trajectory::validate_files(&doc, &schema) {
+        Ok(()) => println!(
+            "## validate-bench — {} conforms to {}\n",
+            doc.display(),
+            schema.display()
+        ),
+        Err(report) => {
+            eprintln!("## validate-bench FAILED\n\n{report}\n");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn print_headline(

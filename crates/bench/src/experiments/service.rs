@@ -16,8 +16,13 @@ use ciao_datagen::Dataset;
 use ciao_json::RecordChunk;
 use ciao_predicate::{parse_query, Query};
 use ciao_service::{Service, ServiceConfig};
+use ciao_telemetry::Histogram;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How many times the query workload is replayed per configuration so
+/// the latency quantiles have more than one sample per query.
+pub const QUERY_REPEATS: usize = 5;
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -34,8 +39,27 @@ pub struct ServiceRow {
     pub speedup: f64,
     /// Mean per-query latency (ms) over the workload.
     pub query_ms: f64,
+    /// p50 ingest-ack latency (µs): enqueue → ingested for the
+    /// service, per-chunk synchronous ingest for the baseline.
+    pub ingest_ack_p50_us: f64,
+    /// p99 of the same distribution (µs).
+    pub ingest_ack_p99_us: f64,
+    /// p50 per-query latency (µs) over the replayed workload.
+    pub query_p50_us: f64,
+    /// p99 per-query latency (µs).
+    pub query_p99_us: f64,
+    /// Producer blocked time in `enqueue_wait` (ms; 0 for baseline).
+    pub blocked_ms: f64,
+    /// Chunks rejected with `QueueFull` (0 under `enqueue_wait`).
+    pub rejected: u64,
     /// Whether every query count matched the baseline.
     pub counts_ok: bool,
+    /// Records per shard (single entry for the baseline).
+    pub shard_records: Vec<usize>,
+}
+
+fn us(nanos: u64) -> f64 {
+    nanos as f64 / 1e3
 }
 
 /// The environment both sides share: plan, schema, prefiltered chunks.
@@ -100,16 +124,38 @@ impl ServiceEnv {
         server
     }
 
+    /// Like [`ServiceEnv::baseline_server`], but records each chunk's
+    /// synchronous ingest latency — the baseline's ingest-ack
+    /// distribution for the trajectory rows.
+    pub fn baseline_server_timed(&self) -> (Server, Histogram) {
+        let ack = Histogram::new();
+        let mut server = Server::new(self.plan.clone(), Arc::clone(&self.schema), 1024);
+        for (chunk, filter) in &self.chunks {
+            let start = Instant::now();
+            server.ingest(chunk, filter);
+            ack.record_duration(start.elapsed());
+        }
+        (server, ack)
+    }
+
     /// Ingests the whole stream into a fresh sharded service and
     /// drains it (the Criterion benches iterate exactly this).
     pub fn run_service_ingest(&self, shards: usize) -> Service {
+        self.run_service_ingest_with(shards, true)
+    }
+
+    /// [`ServiceEnv::run_service_ingest`] with an explicit telemetry
+    /// switch — the overhead bench compares both settings on the same
+    /// stream.
+    pub fn run_service_ingest_with(&self, shards: usize, telemetry: bool) -> Service {
         let service = Service::start(
             self.plan.clone(),
             Arc::clone(&self.schema),
             ServiceConfig::default()
                 .with_shards(shards)
                 .with_workers(shards)
-                .with_queue_capacity(64),
+                .with_queue_capacity(64)
+                .with_telemetry(telemetry),
         );
         for (chunk, filter) in &self.chunks {
             assert!(service
@@ -121,24 +167,37 @@ impl ServiceEnv {
     }
 }
 
-/// Runs the sweep: baseline server, then 1/2/4/8-shard services.
+/// Runs the sweep: baseline server, then 1/2/4/8-shard services. Each
+/// configuration replays the query workload [`QUERY_REPEATS`] times so
+/// the p50/p99 latencies rest on more than one sample per query; the
+/// service rows read their ingest-ack/query distributions and blocked
+/// time from the service's own telemetry.
 pub fn run(scale: ExperimentScale, shard_counts: &[usize]) -> Vec<ServiceRow> {
     let env = ServiceEnv::new(scale);
     let mut rows = Vec::new();
 
-    // Baseline: the paper's single-threaded server loop.
+    // Baseline: the paper's single-threaded server loop, with local
+    // histograms standing in for the service's telemetry.
     let start = Instant::now();
-    let mut server = env.baseline_server();
+    let (mut server, baseline_ack) = env.baseline_server_timed();
     server.finalize();
     let baseline_ingest = start.elapsed().as_secs_f64();
 
+    let baseline_query = Histogram::new();
     let qstart = Instant::now();
-    let truth: Vec<usize> = env
-        .queries
-        .iter()
-        .map(|q| server.execute(q).count)
-        .collect();
-    let baseline_query_ms = qstart.elapsed().as_secs_f64() * 1e3 / env.queries.len() as f64;
+    let mut truth: Vec<usize> = Vec::new();
+    for round in 0..QUERY_REPEATS {
+        for q in &env.queries {
+            let t = Instant::now();
+            let count = server.execute(q).count;
+            baseline_query.record_duration(t.elapsed());
+            if round == 0 {
+                truth.push(count);
+            }
+        }
+    }
+    let executed = (env.queries.len() * QUERY_REPEATS) as f64;
+    let baseline_query_ms = qstart.elapsed().as_secs_f64() * 1e3 / executed;
 
     rows.push(ServiceRow {
         label: "server (single thread)".into(),
@@ -147,7 +206,14 @@ pub fn run(scale: ExperimentScale, shard_counts: &[usize]) -> Vec<ServiceRow> {
         records_per_s: env.records as f64 / baseline_ingest,
         speedup: 1.0,
         query_ms: baseline_query_ms,
+        ingest_ack_p50_us: us(baseline_ack.p50()),
+        ingest_ack_p99_us: us(baseline_ack.p99()),
+        query_p50_us: us(baseline_query.p50()),
+        query_p99_us: us(baseline_query.p99()),
+        blocked_ms: 0.0,
+        rejected: 0,
         counts_ok: true,
+        shard_records: vec![env.records],
     });
 
     for &shards in shard_counts {
@@ -156,9 +222,21 @@ pub fn run(scale: ExperimentScale, shard_counts: &[usize]) -> Vec<ServiceRow> {
         let ingest_s = start.elapsed().as_secs_f64();
 
         let qstart = Instant::now();
-        let counts: Vec<usize> = env.queries.iter().map(|q| service.query(q).count).collect();
-        let query_ms = qstart.elapsed().as_secs_f64() * 1e3 / env.queries.len() as f64;
-        service.shutdown();
+        let mut counts: Vec<usize> = Vec::new();
+        for round in 0..QUERY_REPEATS {
+            for q in &env.queries {
+                let count = service.query(q).count;
+                if round == 0 {
+                    counts.push(count);
+                }
+            }
+        }
+        let query_ms = qstart.elapsed().as_secs_f64() * 1e3 / executed;
+
+        let t = service.telemetry().expect("sweep runs with telemetry on");
+        let ack = t.ingest_ack_merged();
+        let query_hist = t.query.detached_copy();
+        let metrics = service.shutdown();
 
         rows.push(ServiceRow {
             label: format!("service ×{shards}"),
@@ -167,7 +245,14 @@ pub fn run(scale: ExperimentScale, shard_counts: &[usize]) -> Vec<ServiceRow> {
             records_per_s: env.records as f64 / ingest_s,
             speedup: baseline_ingest / ingest_s,
             query_ms,
+            ingest_ack_p50_us: us(ack.p50()),
+            ingest_ack_p99_us: us(ack.p99()),
+            query_p50_us: us(query_hist.p50()),
+            query_p99_us: us(query_hist.p99()),
+            blocked_ms: metrics.blocked.as_secs_f64() * 1e3,
+            rejected: metrics.rejected_chunks,
             counts_ok: counts == truth,
+            shard_records: metrics.shards.iter().map(|s| s.load.total()).collect(),
         });
     }
     rows
@@ -183,5 +268,17 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.counts_ok), "{rows:?}");
         assert!(rows.iter().all(|r| r.records_per_s > 0.0));
+        // Every row carries real latency distributions…
+        for r in &rows {
+            assert!(r.ingest_ack_p99_us >= r.ingest_ack_p50_us, "{r:?}");
+            assert!(r.query_p99_us >= r.query_p50_us, "{r:?}");
+            assert!(r.ingest_ack_p50_us > 0.0, "{r:?}");
+        }
+        // …and the per-shard record split covers the whole stream.
+        let records = ExperimentScale::tiny().records;
+        for r in &rows {
+            assert_eq!(r.shard_records.iter().sum::<usize>(), records, "{r:?}");
+            assert_eq!(r.shard_records.len(), r.shards);
+        }
     }
 }

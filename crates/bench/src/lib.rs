@@ -14,5 +14,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod trajectory;
 
 pub use experiments::datasets::ExperimentScale;

@@ -1,10 +1,11 @@
 //! Client-side counters.
 
+use ciao_telemetry::Histogram;
 use std::collections::HashMap;
 use std::time::Duration;
 
 /// Counters accumulated while prefiltering chunks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ClientStats {
     /// Raw records seen.
     pub records_processed: usize,
@@ -16,7 +17,27 @@ pub struct ClientStats {
     pub chunks: usize,
     /// Chunks where the budget enforcement degraded evaluation.
     pub degraded_chunks: usize,
+    /// Distribution of per-chunk prefilter evaluation time
+    /// (nanoseconds) — the latency a producer pays before it can
+    /// enqueue, not just the mean `matching_time` hides tails in.
+    pub chunk_eval_ns: Histogram,
     matches: HashMap<u32, usize>,
+}
+
+impl Clone for ClientStats {
+    /// Value-semantics clone: the histogram is deep-copied, so a clone
+    /// is a frozen report, not an alias of a still-recording one.
+    fn clone(&self) -> ClientStats {
+        ClientStats {
+            records_processed: self.records_processed,
+            predicate_evals: self.predicate_evals,
+            matching_time: self.matching_time,
+            chunks: self.chunks,
+            degraded_chunks: self.degraded_chunks,
+            chunk_eval_ns: self.chunk_eval_ns.detached_copy(),
+            matches: self.matches.clone(),
+        }
+    }
 }
 
 impl ClientStats {
@@ -26,6 +47,7 @@ impl ClientStats {
         self.predicate_evals += records * predicates;
         self.matching_time += elapsed;
         self.chunks += 1;
+        self.chunk_eval_ns.record_duration(elapsed);
     }
 
     /// Accumulates match counts for one predicate.
@@ -63,6 +85,7 @@ impl ClientStats {
         self.matching_time += other.matching_time;
         self.chunks += other.chunks;
         self.degraded_chunks += other.degraded_chunks;
+        self.chunk_eval_ns.merge(&other.chunk_eval_ns);
         for (&id, &count) in &other.matches {
             *self.matches.entry(id).or_insert(0) += count;
         }
@@ -114,5 +137,22 @@ mod tests {
         assert_eq!(a.matches_for(1), 10);
         assert_eq!(a.matches_for(2), 2);
         assert_eq!(a.degraded_chunks, 1);
+        assert_eq!(a.chunk_eval_ns.count(), 2);
+        assert_eq!(a.chunk_eval_ns.max(), 20_000);
+    }
+
+    #[test]
+    fn chunk_eval_histogram_tracks_latency_and_clone_detaches() {
+        let mut s = ClientStats::default();
+        s.record_chunk(100, 2, Duration::from_micros(250));
+        s.record_chunk(100, 2, Duration::from_micros(750));
+        assert_eq!(s.chunk_eval_ns.count(), 2);
+        assert_eq!(s.chunk_eval_ns.max(), 750_000);
+        assert!(s.chunk_eval_ns.p50() >= 250_000);
+
+        let frozen = s.clone();
+        s.record_chunk(100, 2, Duration::from_micros(10));
+        assert_eq!(frozen.chunk_eval_ns.count(), 2, "clone must not alias");
+        assert_eq!(s.chunk_eval_ns.count(), 3);
     }
 }

@@ -84,7 +84,10 @@ impl Executor {
         // Zone maps are always sound, so both paths enable them.
         if pushed_ids.is_empty() {
             metrics.table_scan = scan_count(table, query, &ScanOptions::full().with_zone_maps());
+            metrics.table_scan_time = start.elapsed();
+            let raw_start = Instant::now();
             metrics.raw_scan = scan_raw_records(parked, query);
+            metrics.raw_scan_time = raw_start.elapsed();
             metrics.scanned_parked = true;
             metrics.used_skipping = false;
         } else {
@@ -93,6 +96,7 @@ impl Executor {
                 query,
                 &ScanOptions::skipping(pushed_ids).with_zone_maps(),
             );
+            metrics.table_scan_time = start.elapsed();
             metrics.scanned_parked = false;
             metrics.used_skipping = true;
         }
@@ -120,7 +124,10 @@ impl Executor {
         let mut records;
         if pushed_ids.is_empty() {
             let t = select_from_table(table, query, &ScanOptions::full().with_zone_maps());
+            metrics.table_scan_time = start.elapsed();
+            let raw_start = Instant::now();
             let r = select_from_raw(parked, query);
+            metrics.raw_scan_time = raw_start.elapsed();
             metrics.table_scan = t.metrics;
             metrics.raw_scan = r.metrics;
             metrics.scanned_parked = true;
@@ -132,6 +139,7 @@ impl Executor {
                 query,
                 &ScanOptions::skipping(pushed_ids).with_zone_maps(),
             );
+            metrics.table_scan_time = start.elapsed();
             metrics.table_scan = t.metrics;
             metrics.used_skipping = true;
             records = t.records;
@@ -191,6 +199,9 @@ mod tests {
         assert!(out.metrics.used_skipping);
         assert!(!out.metrics.scanned_parked);
         assert_eq!(out.metrics.raw_scan.records_parsed, 0);
+        // No fallback ran, so no fallback time was spent.
+        assert_eq!(out.metrics.raw_scan_time, std::time::Duration::ZERO);
+        assert!(out.metrics.table_scan_time <= out.metrics.elapsed);
     }
 
     #[test]
@@ -204,6 +215,8 @@ mod tests {
         assert_eq!(out.metrics.raw_scan.records_parsed, 40);
         assert_eq!(out.metrics.raw_scan.rows_matched, 10);
         assert_eq!(out.metrics.table_scan.rows_matched, 0);
+        // The JIT parse-scan fallback is timed separately.
+        assert!(out.metrics.raw_scan_time > std::time::Duration::ZERO);
     }
 
     #[test]

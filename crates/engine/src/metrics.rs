@@ -55,6 +55,12 @@ pub struct QueryMetrics {
     pub scanned_parked: bool,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Time spent scanning the columnar side (includes the skip-mask
+    /// evaluation when `used_skipping` is set).
+    pub table_scan_time: Duration,
+    /// Time spent in the JIT parse-scan fallback over parked raw rows
+    /// (zero when the parked side was skipped wholesale).
+    pub raw_scan_time: Duration,
 }
 
 impl QueryMetrics {
@@ -67,14 +73,18 @@ impl QueryMetrics {
     /// when one logical query fans out across shards: counters add,
     /// the boolean flags OR (any shard that skipped / scanned parked
     /// sets the merged flag), and `elapsed` takes the max — the
-    /// wall-clock of a parallel fan-out is its slowest shard. Folding
-    /// from [`QueryMetrics::default`] is the identity.
+    /// wall-clock of a parallel fan-out is its slowest shard. The
+    /// per-side scan times add: they report cumulative work done, not
+    /// wall-clock. Folding from [`QueryMetrics::default`] is the
+    /// identity.
     pub fn merge(&mut self, other: &QueryMetrics) {
         self.table_scan.merge(&other.table_scan);
         self.raw_scan.merge(&other.raw_scan);
         self.used_skipping |= other.used_skipping;
         self.scanned_parked |= other.scanned_parked;
         self.elapsed = self.elapsed.max(other.elapsed);
+        self.table_scan_time += other.table_scan_time;
+        self.raw_scan_time += other.raw_scan_time;
     }
 }
 
@@ -129,6 +139,8 @@ mod tests {
             used_skipping: true,
             scanned_parked: true,
             elapsed: Duration::from_millis(5),
+            table_scan_time: Duration::from_millis(3),
+            raw_scan_time: Duration::from_millis(1),
         };
         let mut merged = QueryMetrics::default();
         merged.merge(&shard);
@@ -139,6 +151,9 @@ mod tests {
         assert!(merged.scanned_parked);
         // Parallel fan-out: wall-clock is the slowest shard, not the sum.
         assert_eq!(merged.elapsed, Duration::from_millis(5));
+        // ...but per-side scan time is cumulative work, so it adds.
+        assert_eq!(merged.table_scan_time, Duration::from_millis(6));
+        assert_eq!(merged.raw_scan_time, Duration::from_millis(2));
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub struct ServiceConfig {
     pub routing: Routing,
     /// Background compaction policy (parked-row promotion).
     pub compaction: CompactionPolicy,
+    /// Whether the service registers telemetry (latency histograms,
+    /// backpressure counters, trace events). On by default — recording
+    /// is a few relaxed atomics per chunk; turn it off only for
+    /// zero-instrumentation baselines.
+    pub telemetry: bool,
+    /// Trace-event ring capacity (oldest events evicted beyond it).
+    pub event_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +56,8 @@ impl Default for ServiceConfig {
             block_size: 1024,
             routing: Routing::RoundRobin,
             compaction: CompactionPolicy::default(),
+            telemetry: true,
+            event_capacity: ciao_telemetry::registry::DEFAULT_EVENT_CAPACITY,
         }
     }
 }
@@ -92,6 +101,19 @@ impl ServiceConfig {
         self.compaction = policy;
         self
     }
+
+    /// Enables or disables telemetry registration.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Sets the trace-event ring capacity.
+    pub fn with_event_capacity(mut self, events: usize) -> Self {
+        assert!(events > 0, "event capacity must be positive");
+        self.event_capacity = events;
+        self
+    }
 }
 
 /// FNV-1a over the chunk payload — cheap, deterministic, and stable
@@ -116,12 +138,17 @@ mod tests {
             .with_workers(2)
             .with_queue_capacity(16)
             .with_block_size(64)
-            .with_routing(Routing::Hash);
+            .with_routing(Routing::Hash)
+            .with_telemetry(false)
+            .with_event_capacity(32);
         assert_eq!(cfg.shards, 8);
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.queue_capacity, 16);
         assert_eq!(cfg.block_size, 64);
         assert_eq!(cfg.routing, Routing::Hash);
+        assert!(!cfg.telemetry);
+        assert_eq!(cfg.event_capacity, 32);
+        assert!(ServiceConfig::default().telemetry, "on by default");
     }
 
     #[test]

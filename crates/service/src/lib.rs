@@ -28,8 +28,11 @@
 //!   policy ([`CompactionPolicy`]).
 //! * **Observability and lifecycle** — [`Service::metrics`] snapshots
 //!   queue depth, per-shard row counts, parked ratio, and compaction
-//!   counters; [`Service::shutdown`] drains the queue and joins every
-//!   worker.
+//!   counters; [`Service::telemetry_snapshot`] exports latency
+//!   histograms (enqueue-wait, per-shard ingest-ack and
+//!   compaction-tick, query), backpressure counters, and a bounded
+//!   trace-event ring via `ciao_telemetry`; [`Service::shutdown`]
+//!   drains the queue and joins every worker.
 //!
 //! ## Quickstart
 //!
@@ -74,6 +77,7 @@ pub mod metrics;
 pub mod queue;
 pub mod service;
 pub mod shard;
+pub mod telemetry;
 
 pub use compactor::{CompactionPolicy, CompactionStats};
 pub use config::{Routing, ServiceConfig};
@@ -81,3 +85,4 @@ pub use metrics::ServiceMetrics;
 pub use queue::{EnqueueResult, IngestQueue};
 pub use service::Service;
 pub use shard::{Shard, ShardSnapshot};
+pub use telemetry::ServiceTelemetry;

@@ -3,6 +3,7 @@
 use crate::compactor::CompactionStats;
 use crate::shard::ShardSnapshot;
 use ciao::LoadStats;
+use std::time::Duration;
 
 /// A point-in-time view of the whole service, from
 /// [`crate::Service::metrics`].
@@ -22,6 +23,10 @@ pub struct ServiceMetrics {
     pub ingested_records: u64,
     /// Queries answered (fan-out counts once, not per shard).
     pub queries: u64,
+    /// Cumulative wall-clock time producers spent blocked inside
+    /// [`crate::Service::enqueue_wait`] waiting for queue capacity —
+    /// the backpressure cost the bounded queue passes upstream.
+    pub blocked: Duration,
     /// Per-shard views, indexed by shard.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -53,6 +58,16 @@ impl ServiceMetrics {
     /// Rows currently parked as raw JSON, fleet-wide.
     pub fn parked(&self) -> usize {
         self.shards.iter().map(|s| s.parked).sum()
+    }
+
+    /// Ingest epochs sealed, fleet-wide.
+    pub fn sealed_epochs(&self) -> usize {
+        self.shards.iter().map(|s| s.sealed_epochs).sum()
+    }
+
+    /// Columnar blocks live in sealed tables, fleet-wide.
+    pub fn sealed_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.sealed_blocks).sum()
     }
 
     /// Fraction of live rows still parked — the number compaction
@@ -89,6 +104,8 @@ mod tests {
                     ..Default::default()
                 },
                 heat: 0,
+                sealed_epochs: 2,
+                sealed_blocks: 3,
             },
             ShardSnapshot {
                 rows: 10,
@@ -103,6 +120,8 @@ mod tests {
                     ..Default::default()
                 },
                 heat: 1,
+                sealed_epochs: 1,
+                sealed_blocks: 1,
             },
         ];
         assert_eq!(m.rows(), 40);
@@ -111,5 +130,7 @@ mod tests {
         assert_eq!(m.load().total(), 80);
         assert_eq!(m.compaction().promoted, 5);
         assert_eq!(m.compaction().ticks, 2);
+        assert_eq!(m.sealed_epochs(), 3);
+        assert_eq!(m.sealed_blocks(), 4);
     }
 }

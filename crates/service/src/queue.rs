@@ -11,6 +11,7 @@ use ciao_client::ChunkFilterResult;
 use ciao_json::RecordChunk;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// One unit of ingest work, routed to a shard at enqueue time.
 #[derive(Debug)]
@@ -19,6 +20,10 @@ pub struct IngestJob {
     pub seq: u64,
     /// Destination shard index.
     pub shard: usize,
+    /// When the queue accepted the job — the start of the ingest-ack
+    /// latency window (one `Instant::now()` per whole chunk, so it is
+    /// stamped unconditionally rather than gated on telemetry).
+    pub enqueued_at: Instant,
     /// The raw chunk.
     pub chunk: RecordChunk,
     /// The client's filter result for the chunk.
@@ -115,6 +120,7 @@ impl IngestQueue {
         st.jobs.push_back(IngestJob {
             seq,
             shard,
+            enqueued_at: Instant::now(),
             chunk,
             filter,
         });
@@ -144,6 +150,7 @@ impl IngestQueue {
         st.jobs.push_back(IngestJob {
             seq,
             shard,
+            enqueued_at: Instant::now(),
             chunk,
             filter,
         });

@@ -5,16 +5,19 @@ use crate::config::{fnv1a, Routing, ServiceConfig};
 use crate::metrics::ServiceMetrics;
 use crate::queue::{EnqueueResult, IngestJob, IngestQueue};
 use crate::shard::Shard;
+use crate::telemetry::{names, ServiceTelemetry};
 use ciao::PushdownPlan;
 use ciao_client::{ChunkFilterResult, Prefilter};
 use ciao_columnar::Schema;
 use ciao_engine::QueryOutcome;
 use ciao_json::RecordChunk;
 use ciao_predicate::Query;
+use ciao_telemetry::TelemetrySnapshot;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Shared between the service handle and its worker threads.
 #[derive(Debug)]
@@ -26,6 +29,11 @@ struct Inner {
     ingested_chunks: AtomicU64,
     ingested_records: AtomicU64,
     queries: AtomicU64,
+    /// Nanoseconds producers spent blocked in `enqueue_wait` —
+    /// tracked even with telemetry off (it is one add per blocking
+    /// enqueue, and `ServiceMetrics::blocked` always reports it).
+    blocked_nanos: AtomicU64,
+    telemetry: Option<Arc<ServiceTelemetry>>,
 }
 
 impl Inner {
@@ -49,6 +57,9 @@ impl Inner {
             .ingest(&job.chunk, &job.filter);
         self.ingested_chunks.fetch_add(1, Ordering::Relaxed);
         self.ingested_records.fetch_add(records, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.ingest_ack[job.shard].record_duration(job.enqueued_at.elapsed());
+        }
         self.queue.complete();
     }
 }
@@ -78,13 +89,17 @@ impl Service {
     pub fn start(plan: PushdownPlan, schema: Arc<Schema>, config: ServiceConfig) -> Service {
         let prefilter = plan.prefilter();
         let plan = Arc::new(plan);
+        let telemetry = config
+            .telemetry
+            .then(|| ServiceTelemetry::new(config.shards, config.event_capacity));
         let shards = (0..config.shards)
-            .map(|_| {
-                Mutex::new(Shard::new(
-                    Arc::clone(&plan),
-                    Arc::clone(&schema),
-                    config.block_size,
-                ))
+            .map(|i| {
+                let mut shard =
+                    Shard::new(Arc::clone(&plan), Arc::clone(&schema), config.block_size);
+                if let Some(t) = &telemetry {
+                    shard.attach_telemetry(i, Arc::clone(t));
+                }
+                Mutex::new(shard)
             })
             .collect();
         let inner = Arc::new(Inner {
@@ -95,6 +110,8 @@ impl Service {
             ingested_chunks: AtomicU64::new(0),
             ingested_records: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            blocked_nanos: AtomicU64::new(0),
+            telemetry,
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -157,6 +174,14 @@ impl Service {
         let result = self.inner.queue.push(shard, chunk, filter);
         if !result.is_enqueued() {
             self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.inner.telemetry {
+                t.queue_full.inc();
+                t.events().push(
+                    names::EVENT_QUEUE_FULL,
+                    Some(shard),
+                    &[("capacity", self.inner.queue.capacity() as u64)],
+                );
+            }
         }
         result
     }
@@ -175,7 +200,17 @@ impl Service {
             };
         }
         let shard = self.inner.route(self.inner.queue.accepted(), &chunk);
-        self.inner.queue.push_wait(shard, chunk, filter)
+        let started = Instant::now();
+        let result = self.inner.queue.push_wait(shard, chunk, filter);
+        let blocked = started.elapsed();
+        self.inner.blocked_nanos.fetch_add(
+            u64::try_from(blocked.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        if let Some(t) = &self.inner.telemetry {
+            t.enqueue_wait.record_duration(blocked);
+        }
+        result
     }
 
     /// Convenience: prefilter a raw chunk with the plan's own patterns
@@ -203,6 +238,7 @@ impl Service {
     /// and merges the per-shard outcomes. Counts add; `elapsed` is the
     /// slowest shard (the fan-out runs shards in parallel).
     pub fn query(&self, query: &Query) -> QueryOutcome {
+        let started = Instant::now();
         self.drain();
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
         let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(self.inner.shards.len());
@@ -225,6 +261,18 @@ impl Service {
         for outcome in &outcomes {
             merged.merge(outcome);
         }
+        if let Some(t) = &self.inner.telemetry {
+            t.query.record_duration(started.elapsed());
+            t.events().push(
+                names::EVENT_PLAN_EVAL,
+                None,
+                &[
+                    ("covered", u64::from(merged.metrics.used_skipping)),
+                    ("count", merged.count as u64),
+                    ("parsed", merged.metrics.raw_scan.records_parsed as u64),
+                ],
+            );
+        }
         merged
     }
 
@@ -234,10 +282,44 @@ impl Service {
     /// a test loop; ticks are cheap no-ops when nothing is eligible.
     pub fn compact(&self) -> CompactionStats {
         let mut delta = CompactionStats::default();
-        for shard in &self.inner.shards {
-            delta.merge(&shard.lock().compact(&self.config.compaction));
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let started = Instant::now();
+            let tick = shard.lock().compact(&self.config.compaction);
+            if let Some(t) = &self.inner.telemetry {
+                t.compaction_tick[i].record_duration(started.elapsed());
+                // Idle ticks are frequent and carry no information, so
+                // only real work enters the bounded trace ring.
+                if tick.promoted > 0 || tick.unparseable > 0 {
+                    t.events().push(
+                        names::EVENT_COMPACTION_TICK,
+                        Some(i),
+                        &[
+                            ("promoted", tick.promoted as u64),
+                            ("unparseable", tick.unparseable as u64),
+                        ],
+                    );
+                }
+            }
+            delta.merge(&tick);
         }
         delta
+    }
+
+    /// The service's telemetry bundle, `None` when started with
+    /// [`ServiceConfig::with_telemetry`]`(false)`.
+    pub fn telemetry(&self) -> Option<&ServiceTelemetry> {
+        self.inner.telemetry.as_deref()
+    }
+
+    /// A point-in-time snapshot of every telemetry series and the
+    /// trace-event ring (queue depth gauge refreshed first). `None`
+    /// when telemetry is off.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let t = self.inner.telemetry.as_ref()?;
+        t.registry()
+            .gauge(names::QUEUE_DEPTH)
+            .set(self.inner.queue.depth() as i64);
+        Some(t.snapshot())
     }
 
     /// A point-in-time observability snapshot.
@@ -250,6 +332,7 @@ impl Service {
             ingested_chunks: self.inner.ingested_chunks.load(Ordering::Relaxed),
             ingested_records: self.inner.ingested_records.load(Ordering::Relaxed),
             queries: self.inner.queries.load(Ordering::Relaxed),
+            blocked: Duration::from_nanos(self.inner.blocked_nanos.load(Ordering::Relaxed)),
             shards: self
                 .inner
                 .shards
@@ -421,6 +504,127 @@ mod tests {
         let after = service.metrics();
         assert!(after.parked_ratio() < before.parked_ratio());
         service.shutdown();
+    }
+
+    #[test]
+    fn telemetry_observes_the_full_hot_path() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default().with_shards(2).with_workers(0),
+        );
+        let chunks = all.split(64);
+        let n_chunks = chunks.len() as u64;
+        for chunk in chunks {
+            assert!(service.enqueue_raw(chunk).is_enqueued());
+        }
+        service.query(&parse_query("q", "stars = 5").unwrap());
+        service.query(&parse_query("q", "stars = 2").unwrap());
+        service.compact();
+
+        let t = service.telemetry().expect("telemetry on by default");
+        assert_eq!(t.ingest_ack_merged().count(), n_chunks);
+        assert!(t.ingest_ack_merged().max() > 0, "ack latency was measured");
+        assert_eq!(t.query.count(), 2);
+        assert_eq!(t.compaction_tick_merged().count(), 2, "one tick per shard");
+
+        let snap = service.telemetry_snapshot().unwrap();
+        assert_eq!(
+            snap.counter(names::EPOCHS_SEALED_TOTAL),
+            Some(service.metrics().sealed_epochs() as u64)
+        );
+        assert_eq!(snap.gauge(names::QUEUE_DEPTH), Some(0));
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&names::EVENT_EPOCH_SEAL));
+        assert!(kinds.contains(&names::EVENT_PLAN_EVAL));
+        assert!(kinds.contains(&names::EVENT_COMPACTION_TICK));
+        // The exposition formats render without panicking and carry
+        // the service's series.
+        assert!(snap.prometheus_text().contains(names::QUERY_NS));
+        assert!(snap.to_json().contains(names::QUERY_NS));
+        service.shutdown();
+    }
+
+    #[test]
+    fn telemetry_can_be_disabled() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_workers(0)
+                .with_telemetry(false),
+        );
+        for chunk in all.split(100) {
+            assert!(service.enqueue_raw(chunk).is_enqueued());
+        }
+        assert!(service.telemetry().is_none());
+        assert!(service.telemetry_snapshot().is_none());
+        let out = service.query(&parse_query("q", "stars = 5").unwrap());
+        assert_eq!(out.count, 80, "answers are identical without telemetry");
+    }
+
+    #[test]
+    fn queue_full_raises_counter_and_trace_event() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_workers(0)
+                .with_queue_capacity(1),
+        );
+        let chunks = all.split(200);
+        assert!(service.enqueue_raw(chunks[0].clone()).is_enqueued());
+        assert!(!service.enqueue_raw(chunks[1].clone()).is_enqueued());
+        let snap = service.telemetry_snapshot().unwrap();
+        assert_eq!(snap.counter(names::QUEUE_FULL_TOTAL), Some(1));
+        let event = snap
+            .events
+            .iter()
+            .find(|e| e.kind == names::EVENT_QUEUE_FULL)
+            .expect("backpressure leaves a trace event");
+        assert_eq!(event.fields, vec![("capacity", 1)]);
+        service.drain();
+        service.shutdown();
+    }
+
+    #[test]
+    fn enqueue_wait_blocked_time_is_accounted() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Arc::new(Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_shards(1)
+                .with_workers(0)
+                .with_queue_capacity(1),
+        ));
+        let chunks = all.split(200);
+        assert!(service.enqueue_raw(chunks[0].clone()).is_enqueued());
+        assert_eq!(service.metrics().blocked, std::time::Duration::ZERO);
+
+        // A producer blocks on the full queue until the main thread
+        // drains it ~30ms later; that wait must surface as blocked time.
+        let svc = Arc::clone(&service);
+        let chunk = chunks[1].clone();
+        let producer = std::thread::spawn(move || {
+            let filter = svc.prefilter().run_chunk(&chunk);
+            svc.enqueue_wait(chunk, filter)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        service.drain();
+        assert!(producer.join().unwrap().is_enqueued());
+
+        let blocked = service.metrics().blocked;
+        assert!(
+            blocked >= std::time::Duration::from_millis(20),
+            "blocked for ~30ms but recorded {blocked:?}"
+        );
+        let t = service.telemetry().unwrap();
+        assert_eq!(t.enqueue_wait.count(), 1);
+        assert!(t.enqueue_wait.max() >= 20_000_000);
     }
 
     #[test]

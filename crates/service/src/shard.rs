@@ -10,6 +10,7 @@
 //! for a "finalized" lifecycle.
 
 use crate::compactor::{CompactionPolicy, CompactionStats};
+use crate::telemetry::{names, ServiceTelemetry};
 use ciao::{jit, LoadStats, Loader, PushdownPlan};
 use ciao_client::ChunkFilterResult;
 use ciao_columnar::{Schema, Table};
@@ -36,6 +37,12 @@ pub struct ShardSnapshot {
     /// Uncovered-query executions that scanned this shard's parked
     /// store since its last compaction (the compactor's heat signal).
     pub heat: usize,
+    /// Ingest epochs sealed so far (each seal merges one active
+    /// [`Loader`]'s fragment into the cumulative state).
+    pub sealed_epochs: usize,
+    /// Columnar blocks currently live in the sealed table (excluding
+    /// the active epoch's unfinished blocks).
+    pub sealed_blocks: usize,
 }
 
 impl ShardSnapshot {
@@ -65,6 +72,10 @@ pub struct Shard {
     executor: Executor,
     compaction: CompactionStats,
     heat: usize,
+    sealed_epochs: usize,
+    /// `(shard index, handles)` once the owning service attaches its
+    /// telemetry; standalone shards run unobserved.
+    telemetry: Option<(usize, Arc<ServiceTelemetry>)>,
 }
 
 impl Shard {
@@ -82,7 +93,15 @@ impl Shard {
             executor,
             compaction: CompactionStats::default(),
             heat: 0,
+            sealed_epochs: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches service telemetry so epoch seals are counted and
+    /// traced under this shard's index.
+    pub fn attach_telemetry(&mut self, shard_index: usize, telemetry: Arc<ServiceTelemetry>) {
+        self.telemetry = Some((shard_index, telemetry));
     }
 
     fn open_epoch(&mut self) -> &mut Loader {
@@ -113,6 +132,18 @@ impl Shard {
             self.table.merge(fragment);
             self.parked.extend(parked);
             self.stats.merge(&stats);
+            self.sealed_epochs += 1;
+            if let Some((index, t)) = &self.telemetry {
+                t.epochs_sealed.inc();
+                t.events().push(
+                    names::EVENT_EPOCH_SEAL,
+                    Some(*index),
+                    &[
+                        ("loaded", stats.loaded_records as u64),
+                        ("parked", stats.parked_records as u64),
+                    ],
+                );
+            }
         }
     }
 
@@ -171,6 +202,8 @@ impl Shard {
             load,
             compaction: self.compaction,
             heat: self.heat,
+            sealed_epochs: self.sealed_epochs,
+            sealed_blocks: self.table.blocks().len(),
         }
     }
 }
@@ -291,6 +324,53 @@ mod tests {
         // ...and fires once the threshold is reached, resetting heat.
         assert!(shard.compact(&gated).promoted > 0);
         assert_eq!(shard.snapshot().heat, 0);
+    }
+
+    #[test]
+    fn sealed_epoch_and_block_counts_track_lifecycle() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        assert_eq!(shard.snapshot().sealed_epochs, 0);
+        assert_eq!(shard.snapshot().sealed_blocks, 0);
+
+        let q = parse_query("q", "stars = 5").unwrap();
+        shard.ingest(&chunks[0], &fs[0]);
+        // Ingest alone seals nothing; the first query does.
+        assert_eq!(shard.snapshot().sealed_epochs, 0);
+        shard.execute(&q);
+        let snap = shard.snapshot();
+        assert_eq!(snap.sealed_epochs, 1);
+        assert!(snap.sealed_blocks > 0, "sealed rows live in blocks");
+
+        // A sealed-then-resealed idempotent seal adds no epoch.
+        shard.seal_epoch();
+        assert_eq!(shard.snapshot().sealed_epochs, 1);
+
+        // Each ingest→query cycle seals exactly one more epoch.
+        shard.ingest(&chunks[1], &fs[1]);
+        shard.execute(&q);
+        assert_eq!(shard.snapshot().sealed_epochs, 2);
+    }
+
+    #[test]
+    fn attached_telemetry_traces_epoch_seals() {
+        let (mut shard, chunks) = fixture();
+        let fs = filters(&shard, &chunks);
+        let t = crate::telemetry::ServiceTelemetry::new(4, 16);
+        shard.attach_telemetry(3, Arc::clone(&t));
+        shard.ingest(&chunks[0], &fs[0]);
+        shard.seal_epoch();
+        assert_eq!(
+            t.snapshot()
+                .counter(crate::telemetry::names::EPOCHS_SEALED_TOTAL),
+            Some(1)
+        );
+        let events = t.events().snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, crate::telemetry::names::EVENT_EPOCH_SEAL);
+        assert_eq!(events[0].shard, Some(3));
+        let total: u64 = events[0].fields.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 40, "loaded + parked covers the whole chunk");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Service-level telemetry: the metric names the service publishes
+//! and a pre-resolved bundle of handles for the hot paths.
+//!
+//! The [`ciao_telemetry::Telemetry`] registry hands out handles by
+//! name through a mutex; looking a name up per ingest job would put
+//! that mutex on the hot path. [`ServiceTelemetry`] resolves every
+//! handle once at service start, so recording is a couple of relaxed
+//! atomic adds — cheap enough to leave on in production, and gated
+//! behind [`crate::ServiceConfig::telemetry`] for benchmarks that
+//! want a zero-instrumentation baseline.
+
+use ciao_telemetry::{Counter, EventRing, Histogram, Telemetry, TelemetrySnapshot};
+use std::sync::Arc;
+
+/// Metric and event names published by a [`crate::Service`].
+///
+/// Histograms record nanoseconds. Per-shard histograms append
+/// `_shard<i>`; merged views are exposed by
+/// [`ServiceTelemetry::ingest_ack_merged`] and
+/// [`ServiceTelemetry::compaction_tick_merged`].
+pub mod names {
+    /// Time producers spent blocked in [`crate::Service::enqueue_wait`].
+    pub const ENQUEUE_WAIT_NS: &str = "ciao_service_enqueue_wait_ns";
+    /// Enqueue → ingested latency per chunk (prefix; one histogram per
+    /// shard, suffixed `_shard<i>`).
+    pub const INGEST_ACK_NS: &str = "ciao_service_ingest_ack_ns";
+    /// Duration of one compaction tick (prefix; one histogram per
+    /// shard, suffixed `_shard<i>`).
+    pub const COMPACTION_TICK_NS: &str = "ciao_service_compaction_tick_ns";
+    /// End-to-end [`crate::Service::query`] latency (drain + fan-out +
+    /// merge).
+    pub const QUERY_NS: &str = "ciao_service_query_ns";
+    /// Enqueue attempts refused with `QueueFull`.
+    pub const QUEUE_FULL_TOTAL: &str = "ciao_service_queue_full_total";
+    /// Epochs sealed across all shards.
+    pub const EPOCHS_SEALED_TOTAL: &str = "ciao_service_epochs_sealed_total";
+    /// Queue depth at the last snapshot.
+    pub const QUEUE_DEPTH: &str = "ciao_service_queue_depth";
+
+    /// Trace-event kind: a shard sealed an ingest epoch.
+    pub const EVENT_EPOCH_SEAL: &str = "epoch_seal";
+    /// Trace-event kind: a compaction tick did real work.
+    pub const EVENT_COMPACTION_TICK: &str = "compaction_tick";
+    /// Trace-event kind: an enqueue was refused (backpressure).
+    pub const EVENT_QUEUE_FULL: &str = "queue_full";
+    /// Trace-event kind: a query plan was evaluated.
+    pub const EVENT_PLAN_EVAL: &str = "plan_eval";
+}
+
+/// Pre-resolved telemetry handles for one [`crate::Service`].
+///
+/// Built at [`crate::Service::start`] when
+/// [`crate::ServiceConfig::telemetry`] is on; shared (via `Arc`) by
+/// the service handle, its worker threads, and each shard.
+#[derive(Debug)]
+pub struct ServiceTelemetry {
+    registry: Arc<Telemetry>,
+    /// Producer blocked time in [`crate::Service::enqueue_wait`].
+    pub enqueue_wait: Histogram,
+    /// End-to-end query latency.
+    pub query: Histogram,
+    /// Per-shard enqueue → ingested latency.
+    pub ingest_ack: Vec<Histogram>,
+    /// Per-shard compaction-tick duration.
+    pub compaction_tick: Vec<Histogram>,
+    /// Backpressure events.
+    pub queue_full: Counter,
+    /// Epoch seals across all shards.
+    pub epochs_sealed: Counter,
+}
+
+impl ServiceTelemetry {
+    /// Builds a registry with one histogram per shard for the sharded
+    /// series and resolves every handle.
+    pub fn new(shards: usize, event_capacity: usize) -> Arc<ServiceTelemetry> {
+        let registry = Arc::new(Telemetry::with_event_capacity(event_capacity));
+        let per_shard = |prefix: &str| {
+            (0..shards)
+                .map(|i| registry.histogram(&format!("{prefix}_shard{i}")))
+                .collect()
+        };
+        Arc::new(ServiceTelemetry {
+            enqueue_wait: registry.histogram(names::ENQUEUE_WAIT_NS),
+            query: registry.histogram(names::QUERY_NS),
+            ingest_ack: per_shard(names::INGEST_ACK_NS),
+            compaction_tick: per_shard(names::COMPACTION_TICK_NS),
+            queue_full: registry.counter(names::QUEUE_FULL_TOTAL),
+            epochs_sealed: registry.counter(names::EPOCHS_SEALED_TOTAL),
+            registry,
+        })
+    }
+
+    /// The underlying registry (for exporting or registering extra
+    /// series next to the service's own).
+    pub fn registry(&self) -> &Arc<Telemetry> {
+        &self.registry
+    }
+
+    /// The trace-event ring.
+    pub fn events(&self) -> &EventRing {
+        self.registry.events()
+    }
+
+    /// Ingest-ack latency merged across shards (a detached copy; safe
+    /// to quantile while ingest keeps recording).
+    pub fn ingest_ack_merged(&self) -> Histogram {
+        Self::merged(&self.ingest_ack)
+    }
+
+    /// Compaction-tick duration merged across shards (detached copy).
+    pub fn compaction_tick_merged(&self) -> Histogram {
+        Self::merged(&self.compaction_tick)
+    }
+
+    fn merged(per_shard: &[Histogram]) -> Histogram {
+        let total = Histogram::new();
+        for h in per_shard {
+            total.merge(h);
+        }
+        total
+    }
+
+    /// A point-in-time snapshot of every series and the event ring.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_shard_series_and_merge() {
+        let t = ServiceTelemetry::new(3, 16);
+        t.ingest_ack[0].record(100);
+        t.ingest_ack[2].record(5_000);
+        let merged = t.ingest_ack_merged();
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max(), 5_000);
+        // The merged view is detached: later records don't leak in.
+        t.ingest_ack[1].record(9);
+        assert_eq!(merged.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_carries_named_series() {
+        let t = ServiceTelemetry::new(2, 16);
+        t.query
+            .record_duration(std::time::Duration::from_micros(40));
+        t.queue_full.inc();
+        let snap = t.snapshot();
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(name, h)| name == names::QUERY_NS && h.count == 1));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(name, v)| name == names::QUEUE_FULL_TOTAL && *v == 1));
+    }
+}

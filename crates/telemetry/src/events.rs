@@ -1,0 +1,129 @@
+//! Bounded ring buffer of structured trace events.
+//!
+//! Counters answer "how many"; the ring answers "what happened, in
+//! what order": epoch seals, compaction ticks, `QueueFull`
+//! backpressure, plan evaluations. Capacity is fixed at construction —
+//! when full, the oldest event is dropped and counted, so a
+//! long-running service keeps a recent window instead of growing
+//! without bound. Pushes take a short mutex (events are rare next to
+//! counter increments; the hot layers never push per record).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (ring lifetime, survives drops).
+    pub seq: u64,
+    /// Time since the ring was created.
+    pub t: Duration,
+    /// Event kind, e.g. `"epoch_seal"` or `"queue_full"`.
+    pub kind: &'static str,
+    /// Originating shard, when the event is shard-scoped.
+    pub shard: Option<usize>,
+    /// Small structured payload, e.g. `[("rows", 1024)]`.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    buf: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded event ring.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    started: Instant,
+    state: Mutex<RingState>,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        EventRing {
+            capacity,
+            started: Instant::now(),
+            state: Mutex::new(RingState::default()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, kind: &'static str, shard: Option<usize>, fields: &[(&'static str, u64)]) {
+        let t = self.started.elapsed();
+        let mut st = self.state.lock().unwrap();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        if st.buf.len() == self.capacity {
+            st.buf.pop_front();
+            st.dropped += 1;
+        }
+        st.buf.push_back(TraceEvent {
+            seq,
+            t,
+            kind,
+            shard,
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.state.lock().unwrap().buf.iter().cloned().collect()
+    }
+
+    /// Events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().unwrap().dropped
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let ring = EventRing::new(2);
+        ring.push("a", None, &[]);
+        ring.push("b", Some(1), &[("x", 1)]);
+        ring.push("c", None, &[]);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "b");
+        assert_eq!(events[0].fields, vec![("x", 1)]);
+        assert_eq!(events[1].kind, "c");
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let ring = EventRing::new(8);
+        ring.push("a", None, &[]);
+        ring.push("b", None, &[]);
+        let events = ring.snapshot();
+        assert!(events[0].t <= events[1].t);
+        assert!(events[0].seq < events[1].seq);
+    }
+}

@@ -1,0 +1,243 @@
+//! Exporters: Prometheus-style text exposition and a JSON snapshot.
+//!
+//! Both render a [`TelemetrySnapshot`], so an exporter call never
+//! holds registry locks while formatting. The JSON writer is
+//! hand-rolled (this crate has no dependencies) and emits strict RFC
+//! 8259 output — the workspace's oracle-grade `serde_json` parses it
+//! in the tests.
+
+use crate::events::TraceEvent;
+use crate::histogram::{bucket_bounds, HistogramSnapshot};
+use std::fmt::Write as _;
+
+/// A point-in-time copy of a [`crate::Telemetry`] registry.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// `(name, value)` for every registered counter, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// The retained trace-event window, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring to make room.
+    pub dropped_events: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Looks up a counter's value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge's value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Prometheus-style text exposition. Histograms emit cumulative
+    /// `_bucket{le="…"}` lines for non-empty buckets (plus `+Inf`),
+    /// with `le` bounds in the histogram's recorded unit (nanoseconds
+    /// for the service's latency metrics).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cum += n;
+                let le = bucket_bounds(i).1;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+
+    /// A compact JSON document: counters/gauges as objects, histograms
+    /// as `{count, sum, max, mean, p50, p90, p99}`, events as an array
+    /// of `{seq, t_s, kind, shard, fields}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count,
+                h.sum,
+                h.max,
+                json_f64(h.mean()),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+            );
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"t_s\":{},\"kind\":",
+                e.seq,
+                json_f64(e.t.as_secs_f64())
+            );
+            write_json_string(&mut out, e.kind);
+            match e.shard {
+                Some(s) => {
+                    let _ = write!(out, ",\"shard\":{s}");
+                }
+                None => out.push_str(",\"shard\":null"),
+            }
+            out.push_str(",\"fields\":{");
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_json_string(&mut out, k);
+                let _ = write!(out, ":{v}");
+            }
+            out.push_str("}}");
+        }
+        let _ = write!(out, "],\"dropped_events\":{}}}", self.dropped_events);
+        out
+    }
+}
+
+/// Formats a finite f64 as a JSON number (non-finite values, which the
+/// snapshot math never produces from valid inputs, degrade to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    fn populated() -> Telemetry {
+        let t = Telemetry::with_event_capacity(8);
+        t.counter("ingested_total").add(42);
+        t.gauge("queue_depth").set(-1);
+        let h = t.histogram("ack_ns");
+        for v in [100, 200, 300, 400_000] {
+            h.record(v);
+        }
+        t.events().push("queue_full", Some(2), &[("capacity", 64)]);
+        t
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = populated().snapshot().prometheus_text();
+        assert!(text.contains("# TYPE ingested_total counter"));
+        assert!(text.contains("ingested_total 42"));
+        assert!(text.contains("queue_depth -1"));
+        assert!(text.contains("# TYPE ack_ns histogram"));
+        assert!(text.contains("ack_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("ack_ns_count 4"));
+        // Cumulative: the last finite bucket line carries the full count.
+        let last_finite = text
+            .lines()
+            .rfind(|l| l.starts_with("ack_ns_bucket{le=\"") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 4"), "{last_finite}");
+    }
+
+    #[test]
+    fn json_is_strictly_parseable() {
+        let json = populated().snapshot().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("ingested_total")
+                .unwrap()
+                .as_i64(),
+            Some(42)
+        );
+        let h = v.get("histograms").unwrap().get("ack_ns").unwrap();
+        assert_eq!(h.get("count").unwrap().as_i64(), Some(4));
+        assert_eq!(h.get("max").unwrap().as_i64(), Some(400_000));
+        let events = v.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("kind").unwrap().as_str(), Some("queue_full"));
+        assert_eq!(events[0].get("shard").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let t = Telemetry::new();
+        t.counter("weird\"name\\with\ncontrol").inc();
+        let json = t.snapshot().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("escaped");
+        assert!(v
+            .get("counters")
+            .unwrap()
+            .get("weird\"name\\with\ncontrol")
+            .is_some());
+    }
+}

@@ -1,0 +1,353 @@
+//! Log-linear-bucket latency histograms.
+//!
+//! Values (typically nanoseconds) land in one of [`BUCKETS`] buckets:
+//! the first [`LINEAR`] buckets hold one value each, and every power
+//! of two above that is split into [`SUBBUCKETS`] equal-width
+//! subbuckets, so a bucket's width is at most 1/16 of its magnitude
+//! (≤ ~6% relative error on any reported quantile). The layout is a
+//! compile-time constant, which is what makes [`Histogram::merge`]
+//! associative and commutative: merging is element-wise addition.
+//!
+//! Recording is a relaxed atomic increment on one bucket plus three
+//! bookkeeping atomics — no locks, safe from any thread through a
+//! cheaply cloneable handle.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Exact one-value buckets below the first split power of two.
+pub const LINEAR: usize = 16;
+/// Subbuckets per power of two above the linear range.
+pub const SUBBUCKETS: usize = 16;
+/// Total bucket count (fixed layout; merges require identical layouts).
+pub const BUCKETS: usize = LINEAR + (64 - SUBBUCKETS.trailing_zeros() as usize) * SUBBUCKETS;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value < LINEAR as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize; // >= 4
+    let sub = ((value >> (msb - 4)) & (SUBBUCKETS as u64 - 1)) as usize;
+    LINEAR + (msb - 4) * SUBBUCKETS + sub
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index < LINEAR {
+        return (index as u64, index as u64);
+    }
+    let group = (index - LINEAR) / SUBBUCKETS;
+    let sub = (index - LINEAR) % SUBBUCKETS;
+    let lo = ((LINEAR + sub) as u64) << group;
+    let width = 1u64 << group;
+    (lo, lo.saturating_add(width - 1))
+}
+
+#[derive(Debug)]
+struct Core {
+    buckets: Vec<AtomicU64>, // length BUCKETS
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Core {
+    fn new() -> Core {
+        Core {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A shareable handle to one histogram. `Clone` shares the underlying
+/// buckets (like a metrics-library handle); use
+/// [`Histogram::detached_copy`] for a value-semantics duplicate.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Default for Core {
+    fn default() -> Core {
+        Core::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let c = &self.core;
+        c.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value. 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The quantile estimate for `q` in `[0, 1]`: the upper bound of
+    /// the bucket holding the value of exact rank `ceil(q·n)`, clamped
+    /// to the observed maximum (so `quantile(1.0) == max()` exactly,
+    /// and every estimate is within one bucket of the exact rank
+    /// value). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every bucket of `other` into this histogram. Element-wise
+    /// atomic addition over the shared fixed layout, so merging is
+    /// associative and commutative and never loses counts; merging
+    /// while writers are recording yields some valid interleaving.
+    pub fn merge(&self, other: &Histogram) {
+        let (a, b) = (&self.core, &other.core);
+        for (dst, src) in a.buckets.iter().zip(&b.buckets) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        a.count
+            .fetch_add(b.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.sum
+            .fetch_add(b.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        a.max
+            .fetch_max(b.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A value-semantics duplicate: a fresh histogram holding a copy
+    /// of the current counts, sharing nothing with `self`.
+    pub fn detached_copy(&self) -> Histogram {
+        let copy = Histogram::new();
+        copy.merge(self);
+        copy
+    }
+
+    /// A consistent-enough point-in-time copy of the counts (bucket
+    /// loads are not atomic as a group; totals may trail the buckets
+    /// by in-flight recordings).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        HistogramSnapshot {
+            buckets: c
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Plain-data copy of a histogram's counts, used by the exporters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, length [`BUCKETS`].
+    pub buckets: Vec<u64>,
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Quantile estimate over the snapshot; see [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean recorded value. 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous_and_monotone() {
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket upper bounds are strictly increasing.
+        let mut prev_hi = None;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap before bucket {i}");
+            }
+            prev_hi = (hi != u64::MAX).then_some(hi);
+        }
+        for v in [
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            63,
+            64,
+            1000,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..LINEAR as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), LINEAR as u64);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_ranks() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50's exact rank value is 500; estimate must land in 500's bucket.
+        assert_eq!(bucket_of(h.p50()), bucket_of(500));
+        assert_eq!(bucket_of(h.p99()), bucket_of(990));
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_and_detached_copy_shares_nothing() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1_000_000);
+
+        let frozen = a.detached_copy();
+        a.record(5);
+        assert_eq!(frozen.count(), 2, "detached copy must not see new records");
+        // Handle clones DO share.
+        let alias = a.clone();
+        alias.record(7);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let h = Histogram::new();
+        h.record_duration(Duration::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

@@ -1,0 +1,225 @@
+//! Named metric registry with typed lock-free handles.
+
+use crate::events::EventRing;
+use crate::export::TelemetrySnapshot;
+use crate::histogram::Histogram;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates an unregistered counter (useful standalone).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge handle. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates an unregistered gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (negative to subtract).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named registry of counters, gauges, histograms, and one trace
+/// ring. Registration (name lookup) takes a mutex once; the returned
+/// handles record lock-free, so callers cache them, not names.
+#[derive(Debug)]
+pub struct Telemetry {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    histograms: Mutex<Vec<(String, Histogram)>>,
+    events: EventRing,
+}
+
+/// Default trace-ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl Telemetry {
+    /// Creates a registry with the default event-ring capacity.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Creates a registry whose trace ring holds `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Telemetry {
+        Telemetry {
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+            events: EventRing::new(capacity),
+        }
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        Self::get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Self::get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Self::get_or_insert(&self.histograms, name)
+    }
+
+    /// The trace-event ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    fn get_or_insert<T: Clone + Default>(slot: &Mutex<Vec<(String, T)>>, name: &str) -> T {
+        let mut entries = slot.lock().unwrap();
+        if let Some((_, handle)) = entries.iter().find(|(n, _)| n == name) {
+            return handle.clone();
+        }
+        let handle = T::default();
+        entries.push((name.to_owned(), handle.clone()));
+        handle
+    }
+
+    /// A point-in-time copy of every registered metric and the event
+    /// window, for the exporters.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events.snapshot(),
+            dropped_events: self.events.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_cell() {
+        let t = Telemetry::new();
+        let a = t.counter("x");
+        let b = t.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(t.counter("x").get(), 3);
+        assert_ne!(t.counter("y").get(), 3);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let t = Telemetry::new();
+        let g = t.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let t = Telemetry::with_event_capacity(4);
+        t.counter("c").inc();
+        t.gauge("g").set(-2);
+        t.histogram("h").record(100);
+        t.events().push("boot", None, &[]);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters, vec![("c".to_owned(), 1)]);
+        assert_eq!(snap.gauges, vec![("g".to_owned(), -2)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.dropped_events, 0);
+    }
+
+    #[test]
+    fn handles_record_across_threads() {
+        let t = Telemetry::new();
+        let h = t.histogram("lat");
+        let c = t.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(c.get(), 4000);
+    }
+}

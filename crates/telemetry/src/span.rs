@@ -1,0 +1,88 @@
+//! Scoped timers: measure a lexical scope into a histogram.
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// Records the wall-clock lifetime of the value into a histogram when
+/// dropped. Start one at the top of a hot scope:
+///
+/// ```
+/// use ciao_telemetry::{Histogram, ScopedTimer};
+/// let ingest_ns = Histogram::new();
+/// {
+///     let _span = ScopedTimer::start(&ingest_ns);
+///     // ... the work being measured ...
+/// }
+/// assert_eq!(ingest_ns.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ScopedTimer {
+    histogram: Histogram,
+    started: Instant,
+    armed: bool,
+}
+
+impl ScopedTimer {
+    /// Starts timing now; the elapsed nanoseconds are recorded into
+    /// `histogram` on drop.
+    pub fn start(histogram: &Histogram) -> ScopedTimer {
+        ScopedTimer {
+            histogram: histogram.clone(),
+            started: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stops the timer early, recording now instead of at drop.
+    pub fn stop(mut self) {
+        self.record();
+    }
+
+    /// Abandons the span without recording (e.g. the guarded operation
+    /// failed and its latency would pollute the distribution).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+
+    fn record(&mut self) {
+        if self.armed {
+            self.armed = false;
+            self.histogram.record_duration(self.started.elapsed());
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_once_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = ScopedTimer::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_and_disarms_drop() {
+        let h = Histogram::new();
+        let t = ScopedTimer::start(&h);
+        t.stop();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Histogram::new();
+        ScopedTimer::start(&h).cancel();
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the histogram invariants the observability
+//! layer leans on: quantile estimates stay within one bucket of the
+//! exact rank statistic, and merging shard histograms is associative
+//! and commutative (so fleet-wide aggregation order never changes the
+//! reported distribution).
+
+use ciao_telemetry::histogram::bucket_of;
+use ciao_telemetry::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact rank statistic a quantile estimate is judged against:
+/// `sorted[ceil(q·n) - 1]` (clamped to a valid rank).
+fn exact_rank(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Values spanning the linear buckets, the log-linear range, and the
+/// extreme tail, so bucket-boundary arithmetic is exercised everywhere.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..64,
+            0u64..100_000,
+            0u64..10_000_000_000,
+            Just(u64::MAX),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #[test]
+    fn quantiles_within_one_bucket_of_exact_rank(values in arb_values()) {
+        let h = hist_of(&values);
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let est = h.quantile(q);
+            let exact = exact_rank(&values, q);
+            let (eb, xb) = (bucket_of(est), bucket_of(exact));
+            prop_assert!(
+                eb.abs_diff(xb) <= 1,
+                "q={q}: estimate {est} (bucket {eb}) vs exact {exact} (bucket {xb})"
+            );
+        }
+        // The extremes are exact, not merely bucket-accurate.
+        prop_assert_eq!(h.quantile(1.0), *values.iter().max().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_values(), b in arb_values(), c in arb_values()) {
+        // (a + b) + c
+        let left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+        // a + (b + c)
+        let bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let right = hist_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    #[test]
+    fn merge_equals_recording_concatenation(a in arb_values(), b in arb_values()) {
+        let merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged.snapshot(), hist_of(&all).snapshot());
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in any::<u64>()) {
+        let (lo, hi) = ciao_telemetry::histogram::bucket_bounds(bucket_of(v));
+        prop_assert!(lo <= v && v <= hi);
+    }
+}

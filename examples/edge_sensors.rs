@@ -198,12 +198,70 @@ fn main() {
         );
     }
 
+    // Final telemetry report, read before shutdown tears the handles
+    // down: latency quantiles from the service's own histograms and
+    // the recent event timeline from the bounded trace ring.
+    let t = service.telemetry().expect("telemetry is on by default");
+    let ack = t.ingest_ack_merged();
+    let ticks_hist = t.compaction_tick_merged();
+    println!("\n== telemetry report ==");
+    println!(
+        "ingest-ack latency : p50 {:>7.1} µs, p99 {:>7.1} µs, max {:>7.1} µs ({} chunks)",
+        ack.p50() as f64 / 1e3,
+        ack.p99() as f64 / 1e3,
+        ack.max() as f64 / 1e3,
+        ack.count(),
+    );
+    println!(
+        "query latency      : p50 {:>7.1} µs, p99 {:>7.1} µs ({} queries)",
+        t.query.p50() as f64 / 1e3,
+        t.query.p99() as f64 / 1e3,
+        t.query.count(),
+    );
+    println!(
+        "compaction ticks   : p50 {:>7.1} µs, p99 {:>7.1} µs ({} ticks)",
+        ticks_hist.p50() as f64 / 1e3,
+        ticks_hist.p99() as f64 / 1e3,
+        ticks_hist.count(),
+    );
+    println!(
+        "backpressure       : {} QueueFull rejections, producers blocked in enqueue_wait {} times",
+        t.queue_full.get(),
+        t.enqueue_wait.count(),
+    );
+    let events = t.events().snapshot();
+    let seals = events
+        .iter()
+        .filter(|e| e.kind == ciao_service::telemetry::names::EVENT_EPOCH_SEAL)
+        .count();
+    println!(
+        "event ring         : {} events retained ({} dropped), {} epoch seals",
+        events.len(),
+        t.events().dropped(),
+        seals,
+    );
+    println!("compaction timeline (from the trace ring):");
+    for e in events
+        .iter()
+        .filter(|e| e.kind == ciao_service::telemetry::names::EVENT_COMPACTION_TICK)
+    {
+        let shard = e.shard.map_or_else(|| "?".into(), |s| s.to_string());
+        let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "  +{:>8.3}ms shard {shard}: {}",
+            e.t.as_secs_f64() * 1e3,
+            fields.join(", "),
+        );
+    }
+
     let final_metrics = service.shutdown();
     println!(
-        "\nshutdown: {} chunks / {} records ingested, {} queries served, queue rejected {}",
+        "\nshutdown: {} chunks / {} records ingested, {} queries served, queue rejected {}, \
+         producers blocked {:.1} ms total",
         final_metrics.ingested_chunks,
         final_metrics.ingested_records,
         final_metrics.queries,
         final_metrics.rejected_chunks,
+        final_metrics.blocked.as_secs_f64() * 1e3,
     );
 }

@@ -244,3 +244,62 @@ fn concurrent_producers_stress_matches_baseline() {
     assert_eq!(metrics.ingested_records as usize, RECORDS);
     assert_eq!(metrics.rejected_chunks, 0, "enqueue_wait never rejects");
 }
+
+#[test]
+fn telemetry_snapshot_is_consistent_and_json_exports_parse() {
+    let f = fixture();
+    let service = Service::start(
+        f.plan.clone(),
+        Arc::clone(&f.schema),
+        ServiceConfig::default().with_shards(2).with_workers(2),
+    );
+    let prefilter = service.prefilter();
+    for chunk in &f.chunks {
+        let filter = prefilter.run_chunk(chunk);
+        assert!(service.enqueue_wait(chunk.clone(), filter).is_enqueued());
+    }
+    for q in &f.queries {
+        service.query(q);
+    }
+    service.compact();
+
+    let t = service.telemetry().expect("telemetry on by default");
+    assert_eq!(
+        t.ingest_ack_merged().count() as usize,
+        f.chunks.len(),
+        "every ingested chunk recorded an ack latency"
+    );
+    assert_eq!(t.query.count() as usize, f.queries.len());
+    assert!(t.query.p99() >= t.query.p50());
+
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.sealed_epochs() as u64,
+        t.snapshot()
+            .counter(ciao_service::telemetry::names::EPOCHS_SEALED_TOTAL)
+            .unwrap(),
+        "snapshot counter agrees with per-shard sealed counts"
+    );
+    assert!(metrics.sealed_blocks() > 0);
+
+    // Both exports must be machine-readable: JSON through the strict
+    // oracle parser, Prometheus text by line shape.
+    let snap = service.telemetry_snapshot().unwrap();
+    let json: serde_json::Value =
+        serde_json::from_str(&snap.to_json()).expect("snapshot JSON is strict RFC 8259");
+    let histograms = json.get("histograms").unwrap().as_object().unwrap();
+    let query_series = histograms
+        .get(ciao_service::telemetry::names::QUERY_NS)
+        .expect("query latency series exported");
+    assert_eq!(
+        query_series.get("count").unwrap().as_i64().unwrap() as usize,
+        f.queries.len()
+    );
+    for line in snap.prometheus_text().lines() {
+        assert!(
+            line.starts_with('#') || line.contains(' '),
+            "malformed exposition line: {line}"
+        );
+    }
+    service.shutdown();
+}
