@@ -1,0 +1,176 @@
+//! Beyond the paper: what durability costs the ingest ack.
+//!
+//! The CIAO pipeline acks a chunk the moment the queue takes it; the
+//! storage layer makes that ack *mean* something by write-ahead-logging
+//! the chunk first. This experiment replays the in-memory service
+//! sweep's chunk stream under each [`SyncPolicy`] — memory-only (no
+//! log), `Always` (fsync per ack), `EveryN` (amortized fsync), `Never`
+//! (OS-paced writeback) — on the same shard count, and reports the
+//! throughput and ack-latency overhead of each durability level, plus
+//! a one-shot checkpoint cost. Every configuration must still answer
+//! the query workload with identical counts: durability is allowed to
+//! cost time, never answers.
+
+use super::datasets::ExperimentScale;
+use super::service::{ServiceEnv, ServiceRow, QUERY_REPEATS};
+use ciao_service::{ServiceConfig, StorageConfig, SyncPolicy};
+use ciao_storage::ScratchDir;
+use std::time::Instant;
+
+/// One durability configuration: the shared [`ServiceRow`] shape (so
+/// the rows ride the existing bench trajectory schema) plus the
+/// WAL-side counters the in-memory sweep has no equivalent for.
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// The trajectory-schema row (label, throughput, latencies, ...).
+    pub service: ServiceRow,
+    /// WAL records appended (0 for memory-only).
+    pub wal_appends: u64,
+    /// `fsync` calls the append path issued.
+    pub wal_syncs: u64,
+    /// Wall-clock milliseconds for one end-of-ingest checkpoint
+    /// (snapshots + manifest + WAL truncation); 0 for memory-only.
+    pub checkpoint_ms: f64,
+}
+
+/// The sync policies compared, with their row labels.
+fn variants(shards: usize) -> Vec<(String, Option<SyncPolicy>)> {
+    vec![
+        (format!("service ×{shards} (memory-only)"), None),
+        (
+            format!("service ×{shards} (wal: always)"),
+            Some(SyncPolicy::Always),
+        ),
+        (
+            format!("service ×{shards} (wal: every-8)"),
+            Some(SyncPolicy::EveryN(8)),
+        ),
+        (
+            format!("service ×{shards} (wal: never)"),
+            Some(SyncPolicy::Never),
+        ),
+    ]
+}
+
+fn us(nanos: u64) -> f64 {
+    nanos as f64 / 1e3
+}
+
+/// Runs the durability sweep at one shard count. The memory-only row
+/// is the baseline: its ingest time defines `speedup = 1.0` and its
+/// query counts define `counts_ok` for every durable row.
+pub fn run(scale: ExperimentScale, shards: usize) -> Vec<DurabilityRow> {
+    let env = ServiceEnv::new(scale);
+    let mut rows: Vec<DurabilityRow> = Vec::new();
+    let mut baseline_ingest = 0.0_f64;
+    let mut truth: Vec<usize> = Vec::new();
+
+    for (label, sync) in variants(shards) {
+        // Each durable variant owns a fresh scratch directory, removed
+        // when the row is done — runs never see each other's logs.
+        let scratch = sync.map(|_| ScratchDir::new("bench-durability"));
+        let mut config = ServiceConfig::default()
+            .with_shards(shards)
+            .with_workers(shards)
+            .with_queue_capacity(64);
+        if let (Some(dir), Some(sync)) = (&scratch, sync) {
+            config = config.with_storage(StorageConfig::new(dir.path()).with_sync(sync));
+        }
+
+        let start = Instant::now();
+        let service = env.run_service_ingest_configured(config);
+        let ingest_s = start.elapsed().as_secs_f64();
+        if rows.is_empty() {
+            baseline_ingest = ingest_s;
+        }
+
+        let qstart = Instant::now();
+        let mut counts: Vec<usize> = Vec::new();
+        for round in 0..QUERY_REPEATS {
+            for q in env.queries() {
+                let count = service.query(q).count;
+                if round == 0 {
+                    counts.push(count);
+                }
+            }
+        }
+        let executed = (env.queries().len() * QUERY_REPEATS) as f64;
+        let query_ms = qstart.elapsed().as_secs_f64() * 1e3 / executed;
+        if rows.is_empty() {
+            truth = counts.clone();
+        }
+
+        // Capture the append-path counters before the checkpoint: the
+        // checkpoint's own rotation fsync belongs to `checkpoint_ms`,
+        // not to the per-ack sync cadence under comparison.
+        let (wal_appends, wal_syncs) = service
+            .durability()
+            .map_or((0, 0), |d| (d.wal_appends, d.wal_syncs));
+        let cstart = Instant::now();
+        let checkpointed = service.checkpoint().is_some();
+        let checkpoint_ms = if checkpointed {
+            cstart.elapsed().as_secs_f64() * 1e3
+        } else {
+            0.0
+        };
+
+        let t = service.telemetry().expect("sweep runs with telemetry on");
+        let ack = t.ingest_ack_merged();
+        let query_hist = t.query.detached_copy();
+        let metrics = service.shutdown();
+
+        rows.push(DurabilityRow {
+            service: ServiceRow {
+                label,
+                shards,
+                ingest_s,
+                records_per_s: env.records() as f64 / ingest_s,
+                speedup: baseline_ingest / ingest_s,
+                query_ms,
+                ingest_ack_p50_us: us(ack.p50()),
+                ingest_ack_p99_us: us(ack.p99()),
+                query_p50_us: us(query_hist.p50()),
+                query_p99_us: us(query_hist.p99()),
+                blocked_ms: metrics.blocked.as_secs_f64() * 1e3,
+                rejected: metrics.rejected_chunks,
+                counts_ok: counts == truth,
+                shard_records: metrics.shards.iter().map(|s| s.load.total()).collect(),
+            },
+            wal_appends,
+            wal_syncs,
+            checkpoint_ms,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_sweep_preserves_answers_and_counts_wal_work() {
+        let rows = run(ExperimentScale::tiny(), 2);
+        assert_eq!(rows.len(), 4);
+        assert!(
+            rows.iter().all(|r| r.service.counts_ok),
+            "durability must never change answers: {rows:?}"
+        );
+
+        let chunks = rows[1].wal_appends;
+        assert!(chunks > 0, "durable rows log every chunk");
+        // Every durable variant logs the identical stream...
+        assert!(rows[1..].iter().all(|r| r.wal_appends == chunks));
+        // ...and the sync cadence is exactly what each policy promises
+        // on the append path: one fsync per append, one per 8 appends,
+        // none at all.
+        assert_eq!(rows[1].wal_syncs, chunks);
+        assert_eq!(rows[2].wal_syncs, chunks / 8);
+        assert_eq!(rows[3].wal_syncs, 0);
+
+        // Memory-only has no log and no checkpoint.
+        assert_eq!(rows[0].wal_appends, 0);
+        assert_eq!(rows[0].checkpoint_ms, 0.0);
+        assert!(rows[1..].iter().all(|r| r.checkpoint_ms > 0.0));
+    }
+}

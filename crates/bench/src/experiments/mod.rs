@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod datasets;
+pub mod durability;
 pub mod end_to_end;
 pub mod fig6;
 pub mod micro;

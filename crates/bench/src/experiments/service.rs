@@ -113,6 +113,11 @@ impl ServiceEnv {
         self.records
     }
 
+    /// The query workload every configuration replays.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
     /// Ingests the whole stream into a fresh single-threaded `Server`
     /// (not yet finalized) — the baseline both the sweep and the
     /// Criterion benches compare against.
@@ -148,15 +153,20 @@ impl ServiceEnv {
     /// switch — the overhead bench compares both settings on the same
     /// stream.
     pub fn run_service_ingest_with(&self, shards: usize, telemetry: bool) -> Service {
-        let service = Service::start(
-            self.plan.clone(),
-            Arc::clone(&self.schema),
+        self.run_service_ingest_configured(
             ServiceConfig::default()
                 .with_shards(shards)
                 .with_workers(shards)
                 .with_queue_capacity(64)
                 .with_telemetry(telemetry),
-        );
+        )
+    }
+
+    /// Ingests the whole stream under an arbitrary service config —
+    /// how the durability experiment attaches a write-ahead log to the
+    /// same chunk stream the in-memory sweep measures.
+    pub fn run_service_ingest_configured(&self, config: ServiceConfig) -> Service {
+        let service = Service::start(self.plan.clone(), Arc::clone(&self.schema), config);
         for (chunk, filter) in &self.chunks {
             assert!(service
                 .enqueue_wait(chunk.clone(), filter.clone())

@@ -27,7 +27,10 @@ pub mod table;
 
 pub use block::{Block, BlockBuilder};
 pub use column::{Cell, Column, ColumnBuilder, ColumnValues};
-pub use io::{read_table, write_table, IoError};
+pub use io::{
+    crc32, read_block, read_schema, read_table, write_block, write_schema, write_table, IoError,
+    PageReader, PageWriter,
+};
 pub use metadata::{BlockMetadata, ColumnStats};
 pub use schema::{DataType, Field, Schema, SchemaError};
 pub use table::{Table, TableBuilder, DEFAULT_BLOCK_SIZE};

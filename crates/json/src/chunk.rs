@@ -112,6 +112,19 @@ impl RecordChunk {
             .map(move |&(s, e)| &self.text[s as usize..e as usize])
     }
 
+    /// Canonical NDJSON serialization: every record followed by one
+    /// `\n`, blank lines and CRLF normalized away. This is the byte
+    /// form durable logs persist — `from_ndjson(&c.to_ndjson())`
+    /// yields a chunk with identical records.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(self.payload_bytes() + self.len());
+        for record in self.iter() {
+            out.push_str(record);
+            out.push('\n');
+        }
+        out
+    }
+
     /// Total payload size in bytes (records only, no framing).
     pub fn payload_bytes(&self) -> usize {
         self.spans.iter().map(|&(s, e)| (e - s) as usize).sum()
@@ -269,6 +282,18 @@ mod tests {
     fn from_records_rejects_newline() {
         let err = RecordChunk::from_records(&["ok", "bad\nline"]).unwrap_err();
         assert_eq!(err, ChunkError::EmbeddedNewline { record: 1 });
+    }
+
+    #[test]
+    fn to_ndjson_roundtrips_and_normalizes() {
+        let c = RecordChunk::from_ndjson("{\"a\":1}\r\n\n{\"b\":2}\n   \n{\"c\":3}");
+        assert_eq!(c.to_ndjson(), "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n");
+        let back = RecordChunk::from_ndjson(&c.to_ndjson());
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            c.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(RecordChunk::from_ndjson("").to_ndjson(), "");
     }
 
     #[test]

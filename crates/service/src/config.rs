@@ -1,6 +1,7 @@
 //! Service tunables.
 
 use crate::compactor::CompactionPolicy;
+use ciao_storage::StorageConfig;
 
 /// How an incoming chunk is routed to a shard.
 ///
@@ -45,6 +46,11 @@ pub struct ServiceConfig {
     pub telemetry: bool,
     /// Trace-event ring capacity (oldest events evicted beyond it).
     pub event_capacity: usize,
+    /// Durability. `None` (the default) keeps the service purely
+    /// in-memory; `Some` write-ahead-logs every acked chunk, persists
+    /// epoch snapshots at [`crate::Service::checkpoint`], and makes
+    /// [`crate::Service::start`] recover whatever the directory holds.
+    pub storage: Option<StorageConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +64,7 @@ impl Default for ServiceConfig {
             compaction: CompactionPolicy::default(),
             telemetry: true,
             event_capacity: ciao_telemetry::registry::DEFAULT_EVENT_CAPACITY,
+            storage: None,
         }
     }
 }
@@ -112,6 +119,12 @@ impl ServiceConfig {
     pub fn with_event_capacity(mut self, events: usize) -> Self {
         assert!(events > 0, "event capacity must be positive");
         self.event_capacity = events;
+        self
+    }
+
+    /// Enables durability rooted at `storage.dir` (WAL + snapshots).
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = Some(storage);
         self
     }
 }

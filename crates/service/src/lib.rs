@@ -83,6 +83,10 @@ pub use compactor::{CompactionPolicy, CompactionStats};
 pub use config::{Routing, ServiceConfig};
 pub use metrics::ServiceMetrics;
 pub use queue::{EnqueueResult, IngestQueue};
-pub use service::Service;
+pub use service::{DurabilityStatus, Service};
 pub use shard::{Shard, ShardSnapshot};
 pub use telemetry::ServiceTelemetry;
+
+// Re-exported so storage-backed deployments configure durability
+// without naming `ciao_storage` directly.
+pub use ciao_storage::{CheckpointStats, RecoveryReport, StorageConfig, StorageError, SyncPolicy};

@@ -92,6 +92,15 @@ impl IngestQueue {
         }
     }
 
+    /// A queue whose first accepted chunk gets sequence `first_seq` —
+    /// how a recovered service resumes its lifetime seq line instead
+    /// of re-issuing numbers the WAL already holds.
+    pub fn with_first_seq(capacity: usize, first_seq: u64) -> IngestQueue {
+        let queue = IngestQueue::new(capacity);
+        queue.state.lock().unwrap().next_seq = first_seq;
+        queue
+    }
+
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity

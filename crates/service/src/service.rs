@@ -12,6 +12,7 @@ use ciao_columnar::Schema;
 use ciao_engine::QueryOutcome;
 use ciao_json::RecordChunk;
 use ciao_predicate::Query;
+use ciao_storage::{CheckpointStats, RecoveryReport, ShardSnapshot, StorageError, Store};
 use ciao_telemetry::TelemetrySnapshot;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +35,13 @@ struct Inner {
     /// enqueue, and `ServiceMetrics::blocked` always reports it).
     blocked_nanos: AtomicU64,
     telemetry: Option<Arc<ServiceTelemetry>>,
+    /// The durable store, `None` for a purely in-memory service. The
+    /// mutex serializes WAL appends and checkpoints; ingest workers
+    /// never touch it (logging happens on the producer's thread,
+    /// before the ack).
+    storage: Option<Mutex<Store>>,
+    /// Snapshot files written by checkpoints over this service's life.
+    snapshots_written: AtomicU64,
 }
 
 impl Inner {
@@ -62,6 +70,43 @@ impl Inner {
         }
         self.queue.complete();
     }
+
+    /// Write-ahead-logs one accepted chunk before its ack is returned
+    /// to the producer. `payload` is `None` when storage is off (the
+    /// serialization is skipped entirely then).
+    ///
+    /// Panics on a WAL write failure: returning `Enqueued` for a chunk
+    /// the log could not take would turn "acked" into a lie, and the
+    /// producer's thread is where that contract breaks.
+    fn log_durable(&self, seq: u64, shard: usize, payload: Option<&str>) {
+        let (Some(storage), Some(payload)) = (&self.storage, payload) else {
+            return;
+        };
+        storage
+            .lock()
+            .append(seq, shard as u32, payload.as_bytes())
+            .expect("write-ahead log append failed");
+        if let Some(t) = &self.telemetry {
+            t.wal_appends.inc();
+        }
+    }
+}
+
+/// Durability counters for a storage-backed service, reported by
+/// [`Service::durability`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// Chunks appended to the WAL since start.
+    pub wal_appends: u64,
+    /// `fsync` calls the append path issued (tracks the
+    /// [`ciao_storage::SyncPolicy`]).
+    pub wal_syncs: u64,
+    /// Live WAL segment files.
+    pub wal_segments: usize,
+    /// Chunks re-applied from the WAL tail when this service started.
+    pub wal_replayed: u64,
+    /// Snapshot files written by this service's checkpoints.
+    pub snapshots_written: u64,
 }
 
 /// A long-running, sharded CIAO service.
@@ -81,30 +126,90 @@ pub struct Service {
     workers: Vec<JoinHandle<()>>,
     prefilter: Prefilter,
     config: ServiceConfig,
+    /// What recovery worked around at start (`None` when storage is
+    /// off). An empty-notes report means a clean start.
+    recovery_report: Option<RecoveryReport>,
+    /// Chunks re-applied from the WAL tail at start.
+    wal_replayed: u64,
 }
 
 impl Service {
     /// Starts a service: builds the shards and spawns the configured
     /// worker threads.
+    ///
+    /// Panics when [`ServiceConfig::storage`] is set and recovery
+    /// fails; use [`Service::try_start`] to handle storage errors.
     pub fn start(plan: PushdownPlan, schema: Arc<Schema>, config: ServiceConfig) -> Service {
+        Self::try_start(plan, schema, config).expect("storage recovery failed")
+    }
+
+    /// Starts a service, recovering durable state first when
+    /// [`ServiceConfig::storage`] is set: the manifest picks each
+    /// shard's newest readable snapshot (falling back a generation on
+    /// damage), the WAL tail is re-applied through the normal ingest
+    /// path, and the sequence line resumes past everything recovered.
+    /// The [`Service::recovery_report`] records every degradation the
+    /// start tolerated.
+    pub fn try_start(
+        plan: PushdownPlan,
+        schema: Arc<Schema>,
+        config: ServiceConfig,
+    ) -> Result<Service, StorageError> {
         let prefilter = plan.prefilter();
         let plan = Arc::new(plan);
         let telemetry = config
             .telemetry
             .then(|| ServiceTelemetry::new(config.shards, config.event_capacity));
-        let shards = (0..config.shards)
+        let mut shards: Vec<Shard> = (0..config.shards)
             .map(|i| {
                 let mut shard =
                     Shard::new(Arc::clone(&plan), Arc::clone(&schema), config.block_size);
                 if let Some(t) = &telemetry {
                     shard.attach_telemetry(i, Arc::clone(t));
                 }
-                Mutex::new(shard)
+                shard
             })
             .collect();
+
+        let mut storage = None;
+        let mut recovery_report = None;
+        let mut first_seq = 0;
+        let mut wal_replayed = 0u64;
+        if let Some(storage_config) = &config.storage {
+            let (store, recovery) = Store::open(storage_config.clone(), config.shards as u32)?;
+            for recovered in &recovery.shards {
+                if let Some(snap) = &recovered.snapshot {
+                    shards[recovered.shard as usize].restore(
+                        snap.table(),
+                        snap.parked.clone(),
+                        snap.stats,
+                        snap.sealed_epochs as usize,
+                    );
+                }
+            }
+            // Re-apply the WAL tail through the normal ingest path —
+            // the prefilter is deterministic, so re-running it beats
+            // persisting filter bitvectors in the log.
+            for shard_index in 0..config.shards {
+                for record in recovery.tail_for(shard_index as u32) {
+                    let text = String::from_utf8_lossy(&record.chunk);
+                    let chunk = RecordChunk::from_ndjson(&text);
+                    let filter = prefilter.run_chunk(&chunk);
+                    shards[shard_index].ingest(&chunk, &filter);
+                    wal_replayed += 1;
+                }
+            }
+            if let Some(t) = &telemetry {
+                t.wal_replayed.add(wal_replayed);
+            }
+            first_seq = recovery.next_seq;
+            recovery_report = Some(recovery.report);
+            storage = Some(Mutex::new(store));
+        }
+
         let inner = Arc::new(Inner {
-            queue: IngestQueue::new(config.queue_capacity),
-            shards,
+            queue: IngestQueue::with_first_seq(config.queue_capacity, first_seq),
+            shards: shards.into_iter().map(Mutex::new).collect(),
             routing: config.routing,
             rejected: AtomicU64::new(0),
             ingested_chunks: AtomicU64::new(0),
@@ -112,6 +217,8 @@ impl Service {
             queries: AtomicU64::new(0),
             blocked_nanos: AtomicU64::new(0),
             telemetry,
+            storage,
+            snapshots_written: AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -123,12 +230,14 @@ impl Service {
                 })
             })
             .collect();
-        Service {
+        Ok(Service {
             inner,
             workers,
             prefilter,
             config,
-        }
+            recovery_report,
+            wal_replayed,
+        })
     }
 
     /// The configuration the service was started with.
@@ -170,17 +279,25 @@ impl Service {
                 shard: 0,
             };
         }
+        // Serialize before the queue consumes the chunk — only when a
+        // WAL will actually take the bytes.
+        let payload = self.inner.storage.is_some().then(|| chunk.to_ndjson());
         let shard = self.inner.route(self.inner.queue.accepted(), &chunk);
         let result = self.inner.queue.push(shard, chunk, filter);
-        if !result.is_enqueued() {
-            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-            if let Some(t) = &self.inner.telemetry {
-                t.queue_full.inc();
-                t.events().push(
-                    names::EVENT_QUEUE_FULL,
-                    Some(shard),
-                    &[("capacity", self.inner.queue.capacity() as u64)],
-                );
+        match result {
+            EnqueueResult::Enqueued { seq, shard } => {
+                self.inner.log_durable(seq, shard, payload.as_deref());
+            }
+            EnqueueResult::QueueFull { .. } => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.inner.telemetry {
+                    t.queue_full.inc();
+                    t.events().push(
+                        names::EVENT_QUEUE_FULL,
+                        Some(shard),
+                        &[("capacity", self.inner.queue.capacity() as u64)],
+                    );
+                }
             }
         }
         result
@@ -199,6 +316,7 @@ impl Service {
                 shard: 0,
             };
         }
+        let payload = self.inner.storage.is_some().then(|| chunk.to_ndjson());
         let shard = self.inner.route(self.inner.queue.accepted(), &chunk);
         let started = Instant::now();
         let result = self.inner.queue.push_wait(shard, chunk, filter);
@@ -209,6 +327,9 @@ impl Service {
         );
         if let Some(t) = &self.inner.telemetry {
             t.enqueue_wait.record_duration(blocked);
+        }
+        if let EnqueueResult::Enqueued { seq, shard } = result {
+            self.inner.log_durable(seq, shard, payload.as_deref());
         }
         result
     }
@@ -305,6 +426,81 @@ impl Service {
         delta
     }
 
+    /// Commits a checkpoint: drains the queue, seals every shard's
+    /// active epoch, writes one snapshot per shard plus the manifest,
+    /// prunes old snapshot generations, and truncates WAL segments no
+    /// retained generation still needs. Returns `None` when the
+    /// service runs without storage.
+    ///
+    /// The snapshots' WAL ceiling is the accepted-seq high-water mark
+    /// read *before* the drain, so every record a snapshot claims to
+    /// cover has provably been applied. Chunks enqueued concurrently
+    /// with the checkpoint may land both in a snapshot and above its
+    /// ceiling — recovery would then apply them twice, so run
+    /// checkpoints from a quiescent point (or the single producer
+    /// thread) when exact-once matters.
+    ///
+    /// Panics on a storage write failure, like the WAL append path.
+    pub fn checkpoint(&self) -> Option<CheckpointStats> {
+        let storage = self.inner.storage.as_ref()?;
+        let ceiling = self.inner.queue.accepted();
+        self.drain();
+        let mut snapshots = Vec::with_capacity(self.inner.shards.len());
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let mut shard = shard.lock();
+            shard.seal_epoch();
+            let table = shard.sealed_table();
+            snapshots.push(ShardSnapshot {
+                shard: i as u32,
+                sealed_epochs: shard.sealed_epoch_count() as u64,
+                ceiling,
+                stats: shard.cumulative_stats(),
+                schema: table.schema().map(|s| Arc::new(s.clone())),
+                blocks: table.blocks().to_vec(),
+                parked: shard.parked_rows().to_vec(),
+            });
+        }
+        let stats = storage
+            .lock()
+            .checkpoint(&snapshots)
+            .expect("checkpoint commit failed");
+        self.inner
+            .snapshots_written
+            .fetch_add(stats.snapshots_written as u64, Ordering::Relaxed);
+        if let Some(t) = &self.inner.telemetry {
+            t.snapshots_written.add(stats.snapshots_written as u64);
+            t.events().push(
+                names::EVENT_CHECKPOINT,
+                None,
+                &[
+                    ("snapshots", stats.snapshots_written as u64),
+                    ("floor", stats.floor),
+                    ("segments_deleted", stats.segments_deleted as u64),
+                ],
+            );
+        }
+        Some(stats)
+    }
+
+    /// Durability counters, `None` for an in-memory service.
+    pub fn durability(&self) -> Option<DurabilityStatus> {
+        let storage = self.inner.storage.as_ref()?;
+        let store = storage.lock();
+        Some(DurabilityStatus {
+            wal_appends: store.wal_appends(),
+            wal_syncs: store.wal_syncs(),
+            wal_segments: store.wal_segments(),
+            wal_replayed: self.wal_replayed,
+            snapshots_written: self.inner.snapshots_written.load(Ordering::Relaxed),
+        })
+    }
+
+    /// What recovery worked around when this service started; `None`
+    /// without storage, empty notes for a clean start.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery_report.as_ref()
+    }
+
     /// The service's telemetry bundle, `None` when started with
     /// [`ServiceConfig::with_telemetry`]`(false)`.
     pub fn telemetry(&self) -> Option<&ServiceTelemetry> {
@@ -342,10 +538,13 @@ impl Service {
         }
     }
 
-    /// Graceful shutdown: drain the queue, close it, join every
-    /// worker, and return the final metrics snapshot.
+    /// Graceful shutdown: drain the queue, commit a final checkpoint
+    /// (when storage is on, so a clean restart replays no WAL at all),
+    /// close the queue, join every worker, and return the final
+    /// metrics snapshot.
     pub fn shutdown(mut self) -> ServiceMetrics {
         self.drain();
+        self.checkpoint();
         self.inner.queue.close();
         for worker in self.workers.drain(..) {
             worker.join().expect("ingest worker panicked");
@@ -362,6 +561,12 @@ impl Drop for Service {
         self.inner.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Best-effort flush of an EveryN/Never WAL tail — a clean exit
+        // should not lose acked chunks a crash would have kept only by
+        // luck of the page cache.
+        if let Some(storage) = &self.inner.storage {
+            let _ = storage.lock().sync();
         }
     }
 }
@@ -637,6 +842,91 @@ mod tests {
         // producer, never inside a worker.
         let filter = service.prefilter().run_chunk(&chunks[0]);
         let _ = service.enqueue(all, filter);
+    }
+
+    #[test]
+    fn durable_service_restarts_from_checkpoint_and_wal() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let dir = ciao_storage::ScratchDir::new("svc");
+        let storage = || ciao_storage::StorageConfig::new(dir.path());
+        let cfg = || {
+            ServiceConfig::default()
+                .with_shards(2)
+                .with_workers(0)
+                .with_storage(storage())
+        };
+        let q = parse_query("q", "stars = 5").unwrap();
+        let chunks = all.split(50); // 8 chunks
+
+        // Life 1: ingest 4 chunks, checkpoint, ingest 2 more (WAL
+        // tail), then drop WITHOUT shutdown — the tail must survive.
+        {
+            let service = Service::start(plan.clone(), Arc::clone(&schema), cfg());
+            assert!(service.recovery_report().unwrap().clean());
+            for chunk in &chunks[..4] {
+                assert!(service.enqueue_raw(chunk.clone()).is_enqueued());
+            }
+            let stats = service.checkpoint().unwrap();
+            assert_eq!(stats.snapshots_written, 2);
+            for chunk in &chunks[4..6] {
+                assert!(service.enqueue_raw(chunk.clone()).is_enqueued());
+            }
+            service.drain();
+            let d = service.durability().unwrap();
+            assert_eq!(d.wal_appends, 6);
+            assert_eq!(d.snapshots_written, 2);
+            drop(service);
+        }
+
+        // Life 2: recovery = snapshot + 2-chunk WAL replay; answers
+        // and load totals match a crash-free service over 6 chunks.
+        {
+            let service = Service::start(plan.clone(), Arc::clone(&schema), cfg());
+            let d = service.durability().unwrap();
+            assert_eq!(d.wal_replayed, 2);
+            assert!(service.recovery_report().unwrap().clean());
+            assert_eq!(service.query(&q).count, 60, "6 × 50 records, 1/5 match");
+            assert_eq!(service.metrics().load().total(), 300);
+            // Seq line resumed: new chunks extend, not overwrite.
+            for chunk in &chunks[6..] {
+                assert!(service.enqueue_raw(chunk.clone()).is_enqueued());
+            }
+            assert_eq!(service.query(&q).count, 80);
+            service.shutdown(); // final checkpoint
+        }
+
+        // Life 3: clean shutdown left no WAL tail to replay.
+        {
+            let service = Service::start(plan, schema, cfg());
+            assert_eq!(service.durability().unwrap().wal_replayed, 0);
+            assert_eq!(service.query(&q).count, 80);
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn shard_count_mismatch_surfaces_via_try_start() {
+        let (plan, schema, _) = plan_and_schema(10.0);
+        let dir = ciao_storage::ScratchDir::new("svc");
+        let storage = || ciao_storage::StorageConfig::new(dir.path());
+        let cfg = |shards| {
+            ServiceConfig::default()
+                .with_shards(shards)
+                .with_workers(0)
+                .with_storage(storage())
+        };
+        Service::start(plan.clone(), Arc::clone(&schema), cfg(2)).shutdown();
+        let err = Service::try_start(plan, schema, cfg(3)).unwrap_err();
+        assert!(matches!(err, StorageError::ShardCountMismatch { .. }));
+    }
+
+    #[test]
+    fn in_memory_service_reports_no_durability() {
+        let (plan, schema, _) = plan_and_schema(10.0);
+        let service = Service::start(plan, schema, ServiceConfig::default().with_workers(0));
+        assert!(service.durability().is_none());
+        assert!(service.recovery_report().is_none());
+        assert!(service.checkpoint().is_none());
     }
 
     #[test]

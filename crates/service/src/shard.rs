@@ -104,6 +104,51 @@ impl Shard {
         self.telemetry = Some((shard_index, telemetry));
     }
 
+    /// Restores recovered durable state into a freshly built shard:
+    /// the sealed table, the parked store, cumulative load stats, and
+    /// the sealed-epoch count the snapshot was taken at. Replayed WAL
+    /// chunks are then ingested on top through the normal path.
+    ///
+    /// Panics when the shard already holds data — restore is a
+    /// start-of-life operation, not a merge.
+    pub fn restore(
+        &mut self,
+        table: Table,
+        parked: Vec<String>,
+        stats: LoadStats,
+        sealed_epochs: usize,
+    ) {
+        assert!(
+            self.loader.is_none() && self.table.is_empty() && self.parked.is_empty(),
+            "restore into a non-empty shard"
+        );
+        self.table = table;
+        self.parked = parked;
+        self.stats = stats;
+        self.sealed_epochs = sealed_epochs;
+    }
+
+    /// The sealed columnar table (excludes the active epoch). Seal
+    /// first when a checkpoint needs everything applied so far.
+    pub fn sealed_table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The sealed parked store (excludes the active epoch).
+    pub fn parked_rows(&self) -> &[String] {
+        &self.parked
+    }
+
+    /// Cumulative load stats over sealed epochs.
+    pub fn cumulative_stats(&self) -> LoadStats {
+        self.stats
+    }
+
+    /// Epochs sealed so far.
+    pub fn sealed_epoch_count(&self) -> usize {
+        self.sealed_epochs
+    }
+
     fn open_epoch(&mut self) -> &mut Loader {
         let plan = &self.plan;
         let schema = &self.schema;

@@ -36,6 +36,12 @@ pub mod names {
     pub const EPOCHS_SEALED_TOTAL: &str = "ciao_service_epochs_sealed_total";
     /// Queue depth at the last snapshot.
     pub const QUEUE_DEPTH: &str = "ciao_service_queue_depth";
+    /// Chunks appended to the write-ahead log (durable ingest acks).
+    pub const WAL_APPENDS_TOTAL: &str = "ciao_service_wal_appends_total";
+    /// Chunks re-applied from the WAL tail during recovery.
+    pub const WAL_REPLAYED_TOTAL: &str = "ciao_service_wal_replayed_total";
+    /// Per-shard snapshot files written by checkpoints.
+    pub const SNAPSHOTS_WRITTEN_TOTAL: &str = "ciao_service_snapshots_written_total";
 
     /// Trace-event kind: a shard sealed an ingest epoch.
     pub const EVENT_EPOCH_SEAL: &str = "epoch_seal";
@@ -45,6 +51,8 @@ pub mod names {
     pub const EVENT_QUEUE_FULL: &str = "queue_full";
     /// Trace-event kind: a query plan was evaluated.
     pub const EVENT_PLAN_EVAL: &str = "plan_eval";
+    /// Trace-event kind: a checkpoint committed (snapshots + manifest).
+    pub const EVENT_CHECKPOINT: &str = "checkpoint";
 }
 
 /// Pre-resolved telemetry handles for one [`crate::Service`].
@@ -67,6 +75,12 @@ pub struct ServiceTelemetry {
     pub queue_full: Counter,
     /// Epoch seals across all shards.
     pub epochs_sealed: Counter,
+    /// Durable (write-ahead-logged) ingest acks.
+    pub wal_appends: Counter,
+    /// Chunks re-applied from the WAL tail at recovery.
+    pub wal_replayed: Counter,
+    /// Snapshot files written by checkpoints.
+    pub snapshots_written: Counter,
 }
 
 impl ServiceTelemetry {
@@ -86,6 +100,9 @@ impl ServiceTelemetry {
             compaction_tick: per_shard(names::COMPACTION_TICK_NS),
             queue_full: registry.counter(names::QUEUE_FULL_TOTAL),
             epochs_sealed: registry.counter(names::EPOCHS_SEALED_TOTAL),
+            wal_appends: registry.counter(names::WAL_APPENDS_TOTAL),
+            wal_replayed: registry.counter(names::WAL_REPLAYED_TOTAL),
+            snapshots_written: registry.counter(names::SNAPSHOTS_WRITTEN_TOTAL),
             registry,
         })
     }

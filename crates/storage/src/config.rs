@@ -1,0 +1,112 @@
+//! Durability tunables.
+
+use std::path::{Path, PathBuf};
+
+/// When the write-ahead log is fsync'd relative to the ingest ack.
+///
+/// The ack a producer observes from the service is only as strong as
+/// this policy: [`SyncPolicy::Always`] makes every ack durable,
+/// [`SyncPolicy::EveryN`] bounds the loss window to the last `N - 1`
+/// acked chunks, [`SyncPolicy::Never`] leaves flushing entirely to the
+/// OS (a crash may lose anything the kernel had not written back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every append, before the ack. The only policy
+    /// under which "acked" implies "survives `SIGKILL` + power loss".
+    Always,
+    /// `fsync` once every `N` appends (and on rotation, checkpoint,
+    /// and clean shutdown). Amortizes the sync cost; a crash can lose
+    /// up to the last `N - 1` acked chunks.
+    EveryN(u64),
+    /// Never `fsync` on the append path. Fastest; a crash loses
+    /// whatever the OS page cache still held.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Whether the `appends_since_sync`-th unsynced append must flush.
+    pub(crate) fn due(&self, appends_since_sync: u64) -> bool {
+        match self {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => appends_since_sync >= (*n).max(1),
+            SyncPolicy::Never => false,
+        }
+    }
+}
+
+/// Configuration for a durable store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Directory holding WAL segments, snapshots, and the manifest.
+    /// Created (recursively) on open.
+    pub dir: PathBuf,
+    /// WAL fsync policy (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Size threshold at which the active WAL segment is rotated.
+    /// Only closed segments can be truncated away by checkpoints.
+    pub segment_bytes: usize,
+    /// Snapshot generations retained per shard (minimum 1). Keeping 2
+    /// (the default) means a corrupt or deleted newest snapshot can
+    /// fall back one generation — WAL truncation honors the oldest
+    /// retained generation, so the fallback always has its tail.
+    pub retain_snapshots: usize,
+}
+
+impl StorageConfig {
+    /// A config rooted at `dir` with defaults: [`SyncPolicy::Always`],
+    /// 4 MiB segments, 2 retained snapshot generations.
+    pub fn new(dir: impl AsRef<Path>) -> StorageConfig {
+        StorageConfig {
+            dir: dir.as_ref().to_path_buf(),
+            sync: SyncPolicy::Always,
+            segment_bytes: 4 << 20,
+            retain_snapshots: 2,
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn with_sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Sets the WAL segment rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "segment size must be positive");
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets the retained snapshot generations per shard (min 1).
+    pub fn with_retain_snapshots(mut self, generations: usize) -> Self {
+        assert!(generations > 0, "must retain at least one generation");
+        self.retain_snapshots = generations;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_policy_due() {
+        assert!(SyncPolicy::Always.due(1));
+        assert!(!SyncPolicy::Never.due(1_000_000));
+        assert!(!SyncPolicy::EveryN(8).due(7));
+        assert!(SyncPolicy::EveryN(8).due(8));
+        // EveryN(0) behaves like EveryN(1), not like Never.
+        assert!(SyncPolicy::EveryN(0).due(1));
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = StorageConfig::new("/tmp/x")
+            .with_sync(SyncPolicy::EveryN(4))
+            .with_segment_bytes(1024)
+            .with_retain_snapshots(3);
+        assert_eq!(cfg.sync, SyncPolicy::EveryN(4));
+        assert_eq!(cfg.segment_bytes, 1024);
+        assert_eq!(cfg.retain_snapshots, 3);
+    }
+}

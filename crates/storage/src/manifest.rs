@@ -1,0 +1,216 @@
+//! The checkpoint manifest.
+//!
+//! A small, human-readable text file (`MANIFEST`) naming the newest
+//! snapshot per shard and the shard count it was written for. The last
+//! line is a CRC of everything above it, so a torn or hand-damaged
+//! manifest is *detected* rather than trusted — recovery then falls
+//! back to scanning the snapshot directory directly.
+//!
+//! ```text
+//! ciao-manifest v1
+//! shards 2
+//! shard 0 epochs 3 ceiling 120 file snap-s0000-…​.snap
+//! shard 1 epochs 3 ceiling 117 file snap-s0001-…​.snap
+//! crc 89ab01cd
+//! ```
+//!
+//! Written with the same temp-file + rename + directory-fsync dance as
+//! snapshots: the manifest on disk is always a complete generation.
+
+use crate::StorageError;
+use ciao_columnar::crc32;
+use std::io::Write;
+use std::path::Path;
+
+/// Manifest file name inside the storage directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// One shard's newest checkpoint, as recorded by the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Shard index.
+    pub shard: u32,
+    /// Sealed epochs at the checkpoint.
+    pub epochs: u64,
+    /// WAL replay resumes at this seq for the shard.
+    pub ceiling: u64,
+    /// Snapshot file name (relative to the storage dir).
+    pub file: String,
+}
+
+/// The durable checkpoint record for a whole service.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Shard count the checkpoint was taken under. Recovery refuses a
+    /// mismatched count — resharding is not a restart-time operation.
+    pub shard_count: u32,
+    /// Newest snapshot per shard that had one (sorted by shard).
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    fn render(&self) -> String {
+        let mut text = String::from("ciao-manifest v1\n");
+        text.push_str(&format!("shards {}\n", self.shard_count));
+        for e in &self.entries {
+            text.push_str(&format!(
+                "shard {} epochs {} ceiling {} file {}\n",
+                e.shard, e.epochs, e.ceiling, e.file
+            ));
+        }
+        text.push_str(&format!("crc {:08x}\n", crc32(text.as_bytes())));
+        text
+    }
+
+    fn parse(text: &str) -> Result<Manifest, StorageError> {
+        let body_end = text
+            .rfind("crc ")
+            .ok_or_else(|| StorageError::corrupt("manifest: missing crc line"))?;
+        let (body, crc_line) = text.split_at(body_end);
+        let stated = crc_line
+            .trim()
+            .strip_prefix("crc ")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| StorageError::corrupt("manifest: malformed crc line"))?;
+        let actual = crc32(body.as_bytes());
+        if stated != actual {
+            return Err(StorageError::corrupt(format!(
+                "manifest: crc mismatch (stated {stated:08x}, actual {actual:08x})"
+            )));
+        }
+
+        let mut lines = body.lines();
+        if lines.next() != Some("ciao-manifest v1") {
+            return Err(StorageError::corrupt("manifest: bad header"));
+        }
+        let shard_count = lines
+            .next()
+            .and_then(|l| l.strip_prefix("shards "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| StorageError::corrupt("manifest: bad shards line"))?;
+        let mut entries = Vec::new();
+        for line in lines {
+            let mut words = line.split_whitespace();
+            let parsed = (|| {
+                let mut expect =
+                    |tag: &str| -> Option<&str> { (words.next()? == tag).then(|| words.next())? };
+                Some(ManifestEntry {
+                    shard: expect("shard")?.parse().ok()?,
+                    epochs: expect("epochs")?.parse().ok()?,
+                    ceiling: expect("ceiling")?.parse().ok()?,
+                    file: expect("file")?.to_string(),
+                })
+            })();
+            entries.push(parsed.ok_or_else(|| {
+                StorageError::corrupt(format!("manifest: bad entry line {line:?}"))
+            })?);
+        }
+        Ok(Manifest {
+            shard_count,
+            entries,
+        })
+    }
+}
+
+/// Atomically replaces the manifest on disk.
+pub fn store(dir: &Path, manifest: &Manifest) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(manifest.render().as_bytes())?;
+    file.sync_data()?;
+    drop(file);
+    std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_data();
+    }
+    Ok(())
+}
+
+/// Loads the manifest. `Ok(None)` when none was ever written; `Err`
+/// when one exists but fails validation (callers degrade to a
+/// directory scan and report it).
+pub fn load(dir: &Path) -> Result<Option<Manifest>, StorageError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    Manifest::parse(&text).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    fn sample() -> Manifest {
+        Manifest {
+            shard_count: 2,
+            entries: vec![
+                ManifestEntry {
+                    shard: 0,
+                    epochs: 3,
+                    ceiling: 120,
+                    file: "snap-s0000-e0000000003-q00000000000000000120.snap".into(),
+                },
+                ManifestEntry {
+                    shard: 1,
+                    epochs: 3,
+                    ceiling: 117,
+                    file: "snap-s0001-e0000000003-q00000000000000000117.snap".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let d = ScratchDir::new("manifest");
+        store(d.path(), &sample()).unwrap();
+        assert_eq!(load(d.path()).unwrap(), Some(sample()));
+    }
+
+    #[test]
+    fn missing_is_none() {
+        let d = ScratchDir::new("manifest");
+        assert_eq!(load(d.path()).unwrap(), None);
+    }
+
+    #[test]
+    fn store_replaces_previous_generation() {
+        let d = ScratchDir::new("manifest");
+        store(d.path(), &Manifest::default()).unwrap();
+        store(d.path(), &sample()).unwrap();
+        assert_eq!(load(d.path()).unwrap(), Some(sample()));
+    }
+
+    #[test]
+    fn any_byte_flip_is_rejected() {
+        let d = ScratchDir::new("manifest");
+        store(d.path(), &sample()).unwrap();
+        let path = d.path().join(MANIFEST_FILE);
+        let clean = std::fs::read(&path).unwrap();
+        // Every byte except the trailing newline after the crc digits,
+        // which carries no information.
+        for at in 0..clean.len() - 1 {
+            let mut broken = clean.clone();
+            broken[at] ^= 0x01;
+            std::fs::write(&path, &broken).unwrap();
+            assert!(
+                load(d.path()).is_err(),
+                "flip at byte {at} passed validation"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let d = ScratchDir::new("manifest");
+        store(d.path(), &sample()).unwrap();
+        let path = d.path().join(MANIFEST_FILE);
+        let clean = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert!(load(d.path()).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Unique, self-cleaning scratch directories.
+//!
+//! Every storage test (and the durability benchmark) needs a private
+//! directory: a fixed path collides the moment two test binaries — or
+//! two parallel tests in one binary — run at once. [`ScratchDir`]
+//! derives a unique path from the process id, a process-local counter,
+//! and the wall clock, creates it eagerly, and removes it on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, deleted
+/// (recursively) when dropped.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+    /// Keep the tree after drop (e.g. to export a CI artifact).
+    keep: bool,
+}
+
+impl ScratchDir {
+    /// Creates `"$TMPDIR/ciao-<prefix>-<pid>-<n>-<nanos>"`.
+    pub fn new(prefix: &str) -> ScratchDir {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos());
+        let path = std::env::temp_dir().join(format!(
+            "ciao-{prefix}-{}-{}-{nanos}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path, keep: false }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disables cleanup so the tree outlives the handle.
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_created_and_cleaned() {
+        let a = ScratchDir::new("t");
+        let b = ScratchDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dropped scratch dir is removed");
+        assert!(b.path().is_dir(), "sibling untouched");
+    }
+
+    #[test]
+    fn keep_survives_drop() {
+        let mut d = ScratchDir::new("keep");
+        d.keep();
+        let path = d.path().to_path_buf();
+        drop(d);
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(path).unwrap();
+    }
+}

@@ -1,0 +1,395 @@
+//! Per-shard epoch snapshots.
+//!
+//! A snapshot captures everything a shard has *applied*: the sealed
+//! columnar table, the parked raw records, cumulative load stats, and
+//! the WAL position (`ceiling`) all of it covers. Restoring the
+//! snapshot and replaying WAL records with `seq >= ceiling` rebuilds
+//! the shard exactly.
+//!
+//! On-disk layout: the magic `CIAOSNAP`, a version word, then CRC'd
+//! pages framed by [`ciao_columnar::PageWriter`]:
+//!
+//! ```text
+//! META    [shard u32][sealed_epochs u64][ceiling u64][4 × stat u64]
+//! SCHEMA  columnar schema section            (omitted when no rows)
+//! BLOCK   one columnar block section         (repeated)
+//! PARKED  parked raw records, NDJSON
+//! END     empty
+//! ```
+//!
+//! The `END` page matters: the page layer alone cannot distinguish a
+//! file truncated at an exact page boundary from a complete shorter
+//! file, so a reader treats a missing `END` as corruption.
+//!
+//! Files are written to a temp name and renamed into place, so a
+//! snapshot either exists whole or not at all; crash mid-write leaves
+//! only a `.tmp` that recovery ignores.
+
+use crate::StorageError;
+use bytes::{BufMut, BytesMut};
+use ciao::LoadStats;
+use ciao_columnar::{
+    read_block, read_schema, write_block, write_schema, Block, PageReader, PageWriter, Schema,
+    Table,
+};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"CIAOSNAP";
+const VERSION: u32 = 1;
+
+const PAGE_META: u8 = 1;
+const PAGE_SCHEMA: u8 = 2;
+const PAGE_BLOCK: u8 = 3;
+const PAGE_PARKED: u8 = 4;
+const PAGE_END: u8 = 5;
+
+/// The durable image of one shard at an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// Shard index within the service.
+    pub shard: u32,
+    /// Epochs sealed into the table so far.
+    pub sealed_epochs: u64,
+    /// WAL watermark: every logged record with `seq < ceiling` is
+    /// already applied here; replay resumes at `seq >= ceiling`.
+    pub ceiling: u64,
+    /// Cumulative load statistics at the boundary.
+    pub stats: LoadStats,
+    /// Schema of the sealed table (`None` when it has no rows).
+    pub schema: Option<Arc<Schema>>,
+    /// Sealed columnar blocks.
+    pub blocks: Vec<Block>,
+    /// Parked raw records awaiting just-in-time promotion.
+    pub parked: Vec<String>,
+}
+
+impl ShardSnapshot {
+    /// Rebuilds the sealed table.
+    pub fn table(&self) -> Table {
+        match &self.schema {
+            Some(schema) => Table::from_blocks(Arc::clone(schema), self.blocks.clone()),
+            None => Table::default(),
+        }
+    }
+
+    /// Serializes the snapshot to its file image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut writer = PageWriter::new();
+
+        let mut meta = BytesMut::with_capacity(52);
+        meta.put_u32_le(self.shard);
+        meta.put_u64_le(self.sealed_epochs);
+        meta.put_u64_le(self.ceiling);
+        for stat in [
+            self.stats.loaded_records,
+            self.stats.parked_records,
+            self.stats.parse_errors,
+            self.stats.coercion_failures,
+        ] {
+            meta.put_u64_le(stat as u64);
+        }
+        writer.page(PAGE_META, &meta);
+
+        if let Some(schema) = &self.schema {
+            let mut buf = BytesMut::new();
+            write_schema(schema, &mut buf);
+            writer.page(PAGE_SCHEMA, &buf);
+            for block in &self.blocks {
+                let mut buf = BytesMut::new();
+                write_block(schema, block, &mut buf);
+                writer.page(PAGE_BLOCK, &buf);
+            }
+        }
+
+        let mut parked = Vec::new();
+        for line in &self.parked {
+            parked.extend_from_slice(line.as_bytes());
+            parked.push(b'\n');
+        }
+        writer.page(PAGE_PARKED, &parked);
+        writer.page(PAGE_END, &[]);
+
+        let pages = writer.finish();
+        let mut out = Vec::with_capacity(MAGIC.len() + 4 + pages.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&pages);
+        out
+    }
+
+    /// Parses a snapshot file image, verifying magic, version, page
+    /// checksums, and the terminal `END` page.
+    pub fn decode(bytes: &[u8]) -> Result<ShardSnapshot, StorageError> {
+        if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(StorageError::corrupt("snapshot: bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(StorageError::corrupt(format!(
+                "snapshot: unsupported version {version}"
+            )));
+        }
+
+        let mut reader = PageReader::new(&bytes[12..]);
+        let mut snapshot: Option<ShardSnapshot> = None;
+        let mut ended = false;
+        while let Some((kind, payload)) = reader
+            .next_page()
+            .map_err(|e| StorageError::corrupt(format!("snapshot page: {e}")))?
+        {
+            if ended {
+                return Err(StorageError::corrupt("snapshot: pages after END"));
+            }
+            match kind {
+                PAGE_META => {
+                    if payload.len() != 52 {
+                        return Err(StorageError::corrupt("snapshot: bad META size"));
+                    }
+                    let u64_at =
+                        |off: usize| u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+                    snapshot = Some(ShardSnapshot {
+                        shard: u32::from_le_bytes(payload[..4].try_into().unwrap()),
+                        sealed_epochs: u64_at(4),
+                        ceiling: u64_at(12),
+                        stats: LoadStats {
+                            loaded_records: u64_at(20) as usize,
+                            parked_records: u64_at(28) as usize,
+                            parse_errors: u64_at(36) as usize,
+                            coercion_failures: u64_at(44) as usize,
+                        },
+                        schema: None,
+                        blocks: Vec::new(),
+                        parked: Vec::new(),
+                    });
+                }
+                PAGE_SCHEMA => {
+                    let snap = snapshot
+                        .as_mut()
+                        .ok_or_else(|| StorageError::corrupt("snapshot: SCHEMA before META"))?;
+                    let mut buf = payload;
+                    snap.schema = Some(
+                        read_schema(&mut buf)
+                            .map_err(|e| StorageError::corrupt(format!("snapshot schema: {e}")))?,
+                    );
+                }
+                PAGE_BLOCK => {
+                    let snap = snapshot
+                        .as_mut()
+                        .ok_or_else(|| StorageError::corrupt("snapshot: BLOCK before META"))?;
+                    let schema = snap
+                        .schema
+                        .clone()
+                        .ok_or_else(|| StorageError::corrupt("snapshot: BLOCK before SCHEMA"))?;
+                    let mut buf = payload;
+                    snap.blocks.push(
+                        read_block(&schema, &mut buf)
+                            .map_err(|e| StorageError::corrupt(format!("snapshot block: {e}")))?,
+                    );
+                }
+                PAGE_PARKED => {
+                    let snap = snapshot
+                        .as_mut()
+                        .ok_or_else(|| StorageError::corrupt("snapshot: PARKED before META"))?;
+                    let text = std::str::from_utf8(payload)
+                        .map_err(|_| StorageError::corrupt("snapshot: parked not UTF-8"))?;
+                    snap.parked = text.lines().map(str::to_string).collect();
+                }
+                PAGE_END => ended = true,
+                other => {
+                    return Err(StorageError::corrupt(format!(
+                        "snapshot: unknown page kind {other}"
+                    )));
+                }
+            }
+        }
+        if !ended {
+            return Err(StorageError::corrupt(
+                "snapshot: missing END page (truncated file)",
+            ));
+        }
+        snapshot.ok_or_else(|| StorageError::corrupt("snapshot: missing META page"))
+    }
+}
+
+/// A parsed snapshot filename: `snap-s<shard>-e<epochs>-q<ceiling>.snap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotName {
+    /// Shard index.
+    pub shard: u32,
+    /// Sealed-epoch count at the boundary (orders generations).
+    pub epochs: u64,
+    /// WAL ceiling recorded in the name (readable without opening).
+    pub ceiling: u64,
+    /// Absolute path.
+    pub path: PathBuf,
+}
+
+impl SnapshotName {
+    fn file_name(shard: u32, epochs: u64, ceiling: u64) -> String {
+        format!("snap-s{shard:04}-e{epochs:010}-q{ceiling:020}.snap")
+    }
+
+    fn parse(dir: &Path, name: &str) -> Option<SnapshotName> {
+        let rest = name.strip_prefix("snap-s")?.strip_suffix(".snap")?;
+        let (shard, rest) = rest.split_once("-e")?;
+        let (epochs, ceiling) = rest.split_once("-q")?;
+        Some(SnapshotName {
+            shard: shard.parse().ok()?,
+            epochs: epochs.parse().ok()?,
+            ceiling: ceiling.parse().ok()?,
+            path: dir.join(name),
+        })
+    }
+}
+
+/// Lists snapshot files in `dir`, sorted by (shard, epochs) so the
+/// last entry per shard is its newest generation.
+pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<SnapshotName>> {
+    let mut found: Vec<SnapshotName> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| SnapshotName::parse(dir, &e.file_name().to_string_lossy()))
+        .collect();
+    found.sort_by_key(|s| (s.shard, s.epochs, s.ceiling));
+    Ok(found)
+}
+
+/// Writes the snapshot atomically (temp file + fsync + rename) and
+/// returns its parsed name.
+pub fn write_snapshot(dir: &Path, snapshot: &ShardSnapshot) -> std::io::Result<SnapshotName> {
+    let name = SnapshotName::file_name(snapshot.shard, snapshot.sealed_epochs, snapshot.ceiling);
+    let final_path = dir.join(&name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
+    let mut file = std::fs::File::create(&tmp_path)?;
+    file.write_all(&snapshot.encode())?;
+    file.sync_data()?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path)?;
+    // Persist the rename itself.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_data();
+    }
+    Ok(SnapshotName::parse(dir, &name).expect("self-generated name parses"))
+}
+
+/// Reads and decodes one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<ShardSnapshot, StorageError> {
+    let bytes = std::fs::read(path)?;
+    ShardSnapshot::decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+    use ciao_columnar::{DataType, Field, TableBuilder};
+    use std::collections::BTreeMap;
+
+    fn sample(shard: u32, epochs: u64, ceiling: u64, rows: usize) -> ShardSnapshot {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("level", DataType::Str),
+                Field::new("code", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let mut tb = TableBuilder::with_block_size(Arc::clone(&schema), &[0], 3);
+        for i in 0..rows {
+            let rec = ciao_json::parse(&format!(r#"{{"level":"l{}","code":{i}}}"#, i % 2)).unwrap();
+            tb.push_record(&rec, &BTreeMap::from([(0, i % 2 == 0)]));
+        }
+        let table = tb.finish();
+        ShardSnapshot {
+            shard,
+            sealed_epochs: epochs,
+            ceiling,
+            stats: LoadStats {
+                loaded_records: rows,
+                parked_records: 2,
+                parse_errors: 1,
+                coercion_failures: 0,
+            },
+            schema: table.schema().map(|s| Arc::new(s.clone())),
+            blocks: table.blocks().to_vec(),
+            parked: vec![r#"{"raw":1}"#.to_string(), r#"{"raw":2}"#.to_string()],
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_rows() {
+        let snap = sample(3, 7, 42, 8);
+        let back = ShardSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.table().row_count(), 8);
+    }
+
+    #[test]
+    fn roundtrip_empty_shard() {
+        let snap = ShardSnapshot {
+            shard: 0,
+            sealed_epochs: 0,
+            ceiling: 0,
+            stats: LoadStats::default(),
+            schema: None,
+            blocks: Vec::new(),
+            parked: Vec::new(),
+        };
+        let back = ShardSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.table().is_empty());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = sample(0, 1, 5, 6).encode();
+        // Every strict prefix must fail: mid-page cuts break the page
+        // reader, exact page-boundary cuts lose the END marker.
+        for cut in 0..bytes.len() {
+            assert!(
+                ShardSnapshot::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = sample(0, 1, 5, 6).encode();
+        for &at in &[13, bytes.len() / 2, bytes.len() - 1] {
+            let mut broken = bytes.clone();
+            broken[at] ^= 0x20;
+            assert!(
+                ShardSnapshot::decode(&broken).is_err(),
+                "flip at {at} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_write_and_listing() {
+        let d = ScratchDir::new("snap");
+        write_snapshot(d.path(), &sample(0, 1, 10, 4)).unwrap();
+        write_snapshot(d.path(), &sample(0, 2, 20, 4)).unwrap();
+        write_snapshot(d.path(), &sample(1, 1, 15, 4)).unwrap();
+        let listed = list_snapshots(d.path()).unwrap();
+        assert_eq!(listed.len(), 3);
+        assert_eq!(
+            listed
+                .iter()
+                .map(|s| (s.shard, s.epochs, s.ceiling))
+                .collect::<Vec<_>>(),
+            vec![(0, 1, 10), (0, 2, 20), (1, 1, 15)],
+        );
+        let back = read_snapshot(&listed[1].path).unwrap();
+        assert_eq!(back.sealed_epochs, 2);
+        assert_eq!(back.ceiling, 20);
+    }
+
+    #[test]
+    fn tmp_files_are_not_listed() {
+        let d = ScratchDir::new("snap");
+        std::fs::write(d.path().join("snap-s0000-e1-q1.snap.tmp"), b"junk").unwrap();
+        assert!(list_snapshots(d.path()).unwrap().is_empty());
+    }
+}

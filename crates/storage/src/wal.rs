@@ -1,0 +1,512 @@
+//! The segmented write-ahead chunk log.
+//!
+//! Ingest durability is chunk-granular: the unit a producer acks is a
+//! whole [`RecordChunk`](ciao_json::RecordChunk), so that is the unit
+//! the log records — raw NDJSON payload plus the routing the service
+//! chose (`seq`, `shard`). Nothing derived (filter bitvectors, parsed
+//! values) is logged; replay re-derives it with the same deterministic
+//! prefilter, which keeps the log small and version-proof.
+//!
+//! On-disk frame, little-endian:
+//!
+//! ```text
+//! [payload len u32][crc32(payload) u32][payload]
+//! payload = [seq u64][shard u32][chunk NDJSON bytes…]
+//! ```
+//!
+//! Segments are append-only files `wal-<id>.log`; the id only ever
+//! grows, and a reopened log always starts a *fresh* segment — after a
+//! crash the previous tail may be torn, and appending past a torn
+//! frame would bury valid records behind garbage. Closed segments
+//! whose highest seq falls below the checkpoint floor are deleted by
+//! [`Wal::truncate_below`].
+
+use crate::config::{StorageConfig, SyncPolicy};
+use ciao_columnar::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame header: payload length + checksum.
+const FRAME_HEADER: usize = 8;
+/// Payload header: seq + shard.
+const PAYLOAD_HEADER: usize = 12;
+/// Sanity bound on a single record — a length prefix beyond this is
+/// treated as a torn/corrupt tail, not an allocation request.
+pub const MAX_RECORD_BYTES: usize = 256 << 20;
+
+/// One logged ingest chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Service-lifetime enqueue sequence number.
+    pub seq: u64,
+    /// Shard the chunk was routed to at enqueue time.
+    pub shard: u32,
+    /// Raw NDJSON chunk payload.
+    pub chunk: Vec<u8>,
+}
+
+impl WalRecord {
+    /// Encodes the full frame (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = PAYLOAD_HEADER + self.chunk.len();
+        let mut out = Vec::with_capacity(FRAME_HEADER + payload_len);
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        out.extend_from_slice(&[0; 4]); // crc placeholder
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.chunk);
+        let crc = crc32(&out[FRAME_HEADER..]);
+        out[4..8].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a checksummed payload (the bytes after the frame
+    /// header). `None` when the payload is too short to carry its own
+    /// header.
+    pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        if payload.len() < PAYLOAD_HEADER {
+            return None;
+        }
+        Some(WalRecord {
+            seq: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+            shard: u32::from_le_bytes(payload[8..12].try_into().unwrap()),
+            chunk: payload[PAYLOAD_HEADER..].to_vec(),
+        })
+    }
+}
+
+/// What one on-disk segment holds (derived by scanning at open).
+#[derive(Debug, Clone)]
+pub struct SegmentMeta {
+    /// Monotone segment id (the number in `wal-<id>.log`).
+    pub id: u64,
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Highest record seq inside, `None` for an empty segment.
+    pub max_seq: Option<u64>,
+}
+
+/// Everything a WAL directory scan recovers.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Every intact record, in (segment, offset) order.
+    pub records: Vec<WalRecord>,
+    /// Per-segment metadata (for the writer to resume around).
+    pub segments: Vec<SegmentMeta>,
+    /// Bytes abandoned at and after the first corrupt/torn frame.
+    pub dropped_bytes: u64,
+    /// Description of the first corruption hit, if any.
+    pub corruption: Option<String>,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:020}.log"))
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Scans `dir` for WAL segments and replays every intact record.
+///
+/// Replay is conservative: the first torn or checksum-broken frame
+/// ends it — everything after (including later segments) is reported
+/// as dropped rather than trusted, because a log with a hole in the
+/// middle no longer proves anything about what follows.
+pub fn replay_dir(dir: &Path) -> std::io::Result<WalReplay> {
+    let mut ids: Vec<u64> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| parse_segment_id(&e.file_name().to_string_lossy()))
+        .collect();
+    ids.sort_unstable();
+
+    let mut replay = WalReplay::default();
+    for (i, &id) in ids.iter().enumerate() {
+        let path = segment_path(dir, id);
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        let mut meta = SegmentMeta {
+            id,
+            path: path.clone(),
+            max_seq: None,
+        };
+
+        let mut offset = 0usize;
+        let corruption: Option<String> = loop {
+            if offset == bytes.len() {
+                break None;
+            }
+            let rest = &bytes[offset..];
+            if rest.len() < FRAME_HEADER {
+                break Some(format!(
+                    "{}: torn frame header at offset {offset}",
+                    path.display()
+                ));
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            let expected = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            if len > MAX_RECORD_BYTES {
+                break Some(format!(
+                    "{}: implausible record length {len} at offset {offset}",
+                    path.display()
+                ));
+            }
+            if rest.len() < FRAME_HEADER + len {
+                break Some(format!(
+                    "{}: torn record payload at offset {offset}",
+                    path.display()
+                ));
+            }
+            let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+            let actual = crc32(payload);
+            if actual != expected {
+                break Some(format!(
+                    "{}: checksum mismatch at offset {offset} \
+                     (header {expected:#010x}, payload {actual:#010x})",
+                    path.display()
+                ));
+            }
+            let Some(record) = WalRecord::decode_payload(payload) else {
+                break Some(format!(
+                    "{}: record at offset {offset} too short for its header",
+                    path.display()
+                ));
+            };
+            meta.max_seq = Some(meta.max_seq.map_or(record.seq, |m| m.max(record.seq)));
+            replay.records.push(record);
+            offset += FRAME_HEADER + len;
+        };
+
+        replay.segments.push(meta);
+        if let Some(reason) = corruption {
+            replay.dropped_bytes += (bytes.len() - offset) as u64;
+            // Later segments cannot be trusted past a hole: count them
+            // dropped wholesale.
+            for &later in &ids[i + 1..] {
+                let p = segment_path(dir, later);
+                replay.dropped_bytes += std::fs::metadata(&p).map(|m| m.len()).unwrap_or(0);
+                replay.segments.push(SegmentMeta {
+                    id: later,
+                    path: p,
+                    max_seq: None,
+                });
+            }
+            replay.corruption = Some(reason);
+            break;
+        }
+    }
+    Ok(replay)
+}
+
+/// The append side of the log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    sync: SyncPolicy,
+    segment_bytes: usize,
+    /// Closed segments, oldest first.
+    closed: Vec<SegmentMeta>,
+    active: Option<ActiveSegment>,
+    next_id: u64,
+    appends_since_sync: u64,
+    /// Records appended over this writer's lifetime.
+    pub appends: u64,
+    /// `fsync` calls issued by the append path.
+    pub syncs: u64,
+}
+
+#[derive(Debug)]
+struct ActiveSegment {
+    meta: SegmentMeta,
+    file: File,
+    bytes: usize,
+}
+
+impl Wal {
+    /// Opens the writer over a directory whose segments were already
+    /// scanned by [`replay_dir`]. Existing segments are all treated as
+    /// closed; the first append starts a fresh one.
+    pub fn open(dir: &Path, config: &StorageConfig, existing: Vec<SegmentMeta>) -> Wal {
+        let next_id = existing.iter().map(|s| s.id + 1).max().unwrap_or(0);
+        Wal {
+            dir: dir.to_path_buf(),
+            sync: config.sync,
+            segment_bytes: config.segment_bytes,
+            closed: existing,
+            active: None,
+            next_id,
+            appends_since_sync: 0,
+            appends: 0,
+            syncs: 0,
+        }
+    }
+
+    /// Appends one record, rotating and syncing per policy. When this
+    /// returns under [`SyncPolicy::Always`], the record is on stable
+    /// storage.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        let frame = record.encode();
+        if self
+            .active
+            .as_ref()
+            .is_some_and(|a| a.bytes + frame.len() > self.segment_bytes && a.bytes > 0)
+        {
+            self.rotate()?;
+        }
+        if self.active.is_none() {
+            let meta = SegmentMeta {
+                id: self.next_id,
+                path: segment_path(&self.dir, self.next_id),
+                max_seq: None,
+            };
+            self.next_id += 1;
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&meta.path)?;
+            self.active = Some(ActiveSegment {
+                meta,
+                file,
+                bytes: 0,
+            });
+        }
+        let active = self.active.as_mut().expect("just opened");
+        active.file.write_all(&frame)?;
+        active.bytes += frame.len();
+        active.meta.max_seq = Some(
+            active
+                .meta
+                .max_seq
+                .map_or(record.seq, |m| m.max(record.seq)),
+        );
+        self.appends += 1;
+        self.appends_since_sync += 1;
+        if self.sync.due(self.appends_since_sync) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync of the active segment (no-op when already
+    /// clean).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.appends_since_sync == 0 {
+            return Ok(());
+        }
+        if let Some(active) = &mut self.active {
+            active.file.sync_data()?;
+            self.syncs += 1;
+        }
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Closes the active segment (after syncing it) so it becomes
+    /// eligible for truncation. The next append opens a new segment.
+    pub fn rotate(&mut self) -> std::io::Result<()> {
+        self.sync()?;
+        if let Some(active) = self.active.take() {
+            self.closed.push(active.meta);
+        }
+        Ok(())
+    }
+
+    /// Deletes closed segments every record of which has
+    /// `seq < floor`. Returns how many files were removed.
+    pub fn truncate_below(&mut self, floor: u64) -> std::io::Result<usize> {
+        let mut deleted = 0;
+        let mut kept = Vec::with_capacity(self.closed.len());
+        for seg in self.closed.drain(..) {
+            let disposable = seg.max_seq.is_none_or(|max| max < floor);
+            if disposable {
+                std::fs::remove_file(&seg.path)?;
+                deleted += 1;
+            } else {
+                kept.push(seg);
+            }
+        }
+        self.closed = kept;
+        Ok(deleted)
+    }
+
+    /// Closed + active segment count (for observability and tests).
+    pub fn segment_count(&self) -> usize {
+        self.closed.len() + usize::from(self.active.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+
+    fn rec(seq: u64, shard: u32, text: &str) -> WalRecord {
+        WalRecord {
+            seq,
+            shard,
+            chunk: text.as_bytes().to_vec(),
+        }
+    }
+
+    fn open_wal(dir: &Path, cfg: &StorageConfig) -> Wal {
+        let replay = replay_dir(dir).unwrap();
+        Wal::open(dir, cfg, replay.segments)
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path());
+        let mut wal = open_wal(d.path(), &cfg);
+        let records: Vec<WalRecord> = (0..20)
+            .map(|i| rec(i, (i % 3) as u32, &format!("{{\"i\":{i}}}")))
+            .collect();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        drop(wal);
+        let replay = replay_dir(d.path()).unwrap();
+        assert_eq!(replay.records, records);
+        assert!(replay.corruption.is_none());
+        assert_eq!(replay.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn reopen_starts_fresh_segment_and_preserves_history() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path());
+        let mut wal = open_wal(d.path(), &cfg);
+        wal.append(&rec(0, 0, "a")).unwrap();
+        drop(wal);
+        let mut wal = open_wal(d.path(), &cfg);
+        wal.append(&rec(1, 0, "b")).unwrap();
+        drop(wal);
+        let replay = replay_dir(d.path()).unwrap();
+        assert_eq!(replay.segments.len(), 2, "one segment per writer life");
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].chunk, b"b");
+    }
+
+    #[test]
+    fn rotation_by_size_and_truncation_by_floor() {
+        let d = ScratchDir::new("wal");
+        // Tiny segments: every record rotates.
+        let cfg = StorageConfig::new(d.path()).with_segment_bytes(8);
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..10 {
+            wal.append(&rec(i, 0, "xxxxxxxxxxxxxxxx")).unwrap();
+        }
+        assert!(wal.segment_count() >= 10);
+        wal.rotate().unwrap();
+        // Floor 7: segments holding seqs 0..=6 go; 7, 8, 9 stay.
+        let deleted = wal.truncate_below(7).unwrap();
+        assert_eq!(deleted, 7);
+        let replay = replay_dir(d.path()).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reported() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path());
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..5 {
+            wal.append(&rec(i, 0, "payload-payload")).unwrap();
+        }
+        drop(wal);
+        // Tear 3 bytes off the single segment's tail.
+        let seg = segment_path(d.path(), 0);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let replay = replay_dir(d.path()).unwrap();
+        assert_eq!(replay.records.len(), 4, "only the torn record is lost");
+        assert!(replay.corruption.as_deref().unwrap().contains("torn"));
+        assert!(replay.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn checksum_flip_stops_replay_at_the_flip() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path());
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..5 {
+            wal.append(&rec(i, 0, "payload-payload")).unwrap();
+        }
+        drop(wal);
+        let seg = segment_path(d.path(), 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        // Flip a payload byte in the middle record (frame 2 of 5).
+        let frame = bytes.len() / 5;
+        bytes[2 * frame + FRAME_HEADER + PAYLOAD_HEADER + 1] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let replay = replay_dir(d.path()).unwrap();
+        assert_eq!(replay.records.len(), 2, "replay stops before the flip");
+        assert!(replay
+            .corruption
+            .as_deref()
+            .unwrap()
+            .contains("checksum mismatch"));
+        assert_eq!(replay.dropped_bytes, 3 * frame as u64);
+    }
+
+    #[test]
+    fn corruption_poisons_later_segments_too() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path()).with_segment_bytes(8);
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..4 {
+            wal.append(&rec(i, 0, "sixteen-byte-rec")).unwrap();
+        }
+        drop(wal);
+        // Corrupt segment 1 of 4: segments 2 and 3 must not be
+        // trusted either — a hole breaks the prefix property.
+        let seg = segment_path(d.path(), 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let replay = replay_dir(d.path()).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0], "only the pre-hole prefix survives");
+        assert!(replay.corruption.is_some());
+    }
+
+    #[test]
+    fn implausible_length_is_corruption_not_allocation() {
+        let d = ScratchDir::new("wal");
+        let seg = segment_path(d.path(), 0);
+        let mut bytes = (u32::MAX - 7).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 12]);
+        std::fs::write(&seg, &bytes).unwrap();
+        let replay = replay_dir(d.path()).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay
+            .corruption
+            .as_deref()
+            .unwrap()
+            .contains("implausible record length"));
+    }
+
+    #[test]
+    fn sync_policy_counts_syncs() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path()).with_sync(SyncPolicy::EveryN(4));
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..10 {
+            wal.append(&rec(i, 0, "x")).unwrap();
+        }
+        assert_eq!(wal.syncs, 2, "10 appends / every-4 = 2 due syncs");
+        wal.sync().unwrap();
+        assert_eq!(wal.syncs, 3, "explicit sync flushes the remainder");
+        wal.sync().unwrap();
+        assert_eq!(wal.syncs, 3, "clean log does not re-sync");
+    }
+}

@@ -1,7 +1,11 @@
 //! Failure injection across the stack: malformed records, budget
-//! exhaustion, schema-violating values, desynchronized bitvectors.
+//! exhaustion, schema-violating values, desynchronized bitvectors —
+//! and, for the durable service, corrupted storage (torn WAL tails,
+//! flipped checksum bytes, deleted snapshots, a broken manifest).
 //! CIAO's contract under failure is "never lose a record, never return
 //! a wrong count" — degradation is allowed, silence is not.
+
+mod support;
 
 use ciao::{AdmissionPolicy, CiaoConfig, Loader, Pipeline, PushdownPlan, Server};
 use ciao_client::{Budget, BudgetedPrefilter, ClientStats, Prefilter};
@@ -123,4 +127,201 @@ fn queries_over_empty_server_return_zero() {
     let mut server = Server::new(plan, schema, 16);
     server.finalize();
     assert_eq!(server.execute(&queries[0]).count, 0);
+}
+
+// ---------------------------------------------------------------------
+// Storage fault injection: damage the on-disk state between two lives
+// of a durable service and require graceful degradation — every intact
+// prefix recovered, every degradation surfaced in the recovery report,
+// never a panic, never a wrong count over what survived.
+// ---------------------------------------------------------------------
+
+mod storage_faults {
+    use crate::support::{self, chunk, CHUNK_RECORDS};
+    use ciao_service::{Service, ServiceConfig, StorageConfig};
+    use ciao_storage::{list_snapshots, manifest::MANIFEST_FILE, ScratchDir};
+    use std::fs::OpenOptions;
+    use std::path::{Path, PathBuf};
+
+    const SHARDS: usize = 2;
+
+    /// A deterministic durable service over the shared fixture: no
+    /// worker threads, explicit drains, `SyncPolicy::Always` (the
+    /// `StorageConfig` default).
+    fn durable(dir: &Path) -> Service {
+        let (plan, schema) = support::plan_and_schema();
+        Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_shards(SHARDS)
+                .with_workers(0)
+                .with_storage(StorageConfig::new(dir)),
+        )
+    }
+
+    fn feed(service: &Service, range: std::ops::Range<u64>) {
+        let prefilter = service.prefilter();
+        for i in range {
+            let c = chunk(i);
+            let filter = prefilter.run_chunk(&c);
+            assert!(service.enqueue(c, filter).is_enqueued());
+            service.drain();
+        }
+    }
+
+    /// Recover from `dir` and require the service to hold exactly the
+    /// dense chunk prefix `[0, expected_next_seq)` with oracle-equal
+    /// answers.
+    fn assert_recovers_prefix(dir: &Path, expected_next_seq: u64) -> Service {
+        let recovered = durable(dir);
+        let next_seq = recovered.metrics().accepted_chunks;
+        assert_eq!(next_seq, expected_next_seq, "recovered sequence line");
+        assert_eq!(
+            recovered.metrics().load().total() as u64,
+            next_seq * CHUNK_RECORDS,
+            "recovered prefix is not dense"
+        );
+        let (counts, _) = support::crash::oracle(SHARDS, next_seq);
+        for (q, expected) in support::queries().iter().zip(counts) {
+            assert_eq!(
+                recovered.query(q).count,
+                expected,
+                "query {} diverged after fault recovery",
+                q.name
+            );
+        }
+        recovered
+    }
+
+    /// Newest WAL segment in `dir` (the one holding the tail).
+    fn newest_wal_segment(dir: &Path) -> PathBuf {
+        let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                let name = p.file_name().unwrap().to_string_lossy();
+                name.starts_with("wal-") && name.ends_with(".log")
+            })
+            .collect();
+        segments.sort();
+        segments.pop().expect("a WAL segment exists")
+    }
+
+    fn flip_byte(path: &Path, offset: usize) {
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes[offset] ^= 0xFF;
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_drops_only_the_torn_record() {
+        let scratch = ScratchDir::new("fault-torn");
+        {
+            let service = durable(scratch.path());
+            feed(&service, 0..12);
+            drop(service); // no shutdown: no checkpoint, WAL holds everything
+        }
+        // Cut into the final frame, as a crash mid-append would.
+        let segment = newest_wal_segment(scratch.path());
+        let len = std::fs::metadata(&segment).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let recovered = assert_recovers_prefix(scratch.path(), 11);
+        let report = recovered.recovery_report().unwrap();
+        assert!(!report.clean(), "a torn tail must be surfaced");
+        assert!(report.wal_corruption.is_some());
+        assert!(report.wal_dropped_bytes > 0);
+        recovered.shutdown();
+    }
+
+    #[test]
+    fn flipped_wal_byte_recovers_the_intact_prefix() {
+        const CHUNKS: u64 = 16;
+        let scratch = ScratchDir::new("fault-flip");
+        {
+            let service = durable(scratch.path());
+            feed(&service, 0..CHUNKS);
+            drop(service);
+        }
+        // Flip one byte mid-segment: replay must stop at the broken
+        // frame (checksum or framing, whichever the byte lands in) and
+        // keep every record before it.
+        let segment = newest_wal_segment(scratch.path());
+        let len = std::fs::metadata(&segment).unwrap().len() as usize;
+        flip_byte(&segment, len / 2);
+
+        let recovered = durable(scratch.path());
+        let report = recovered.recovery_report().unwrap().clone();
+        assert!(!report.clean());
+        assert!(report.wal_corruption.is_some());
+        assert!(report.wal_dropped_bytes > 0);
+        let next_seq = recovered.metrics().accepted_chunks;
+        assert!(
+            (1..CHUNKS).contains(&next_seq),
+            "a mid-file flip keeps a proper, non-empty prefix (got {next_seq})"
+        );
+        drop(recovered);
+        assert_recovers_prefix(scratch.path(), next_seq).shutdown();
+    }
+
+    #[test]
+    fn deleted_newest_snapshots_fall_back_a_generation() {
+        let scratch = ScratchDir::new("fault-snap");
+        {
+            let service = durable(scratch.path());
+            feed(&service, 0..6);
+            assert!(service.checkpoint().is_some()); // generation 1
+            feed(&service, 6..12);
+            assert!(service.checkpoint().is_some()); // generation 2
+            feed(&service, 12..15); // WAL tail past the last checkpoint
+            drop(service);
+        }
+        // Delete the newest snapshot of every shard. Retention keeps
+        // two generations and truncates the WAL only below the oldest
+        // retained ceiling, so the previous generation plus the
+        // surviving log must still reconstruct everything.
+        let snapshots = list_snapshots(scratch.path()).unwrap();
+        for shard in 0..SHARDS as u32 {
+            let newest = snapshots
+                .iter()
+                .rfind(|s| s.shard == shard)
+                .expect("two generations on disk");
+            std::fs::remove_file(&newest.path).unwrap();
+        }
+
+        let recovered = assert_recovers_prefix(scratch.path(), 15);
+        let report = recovered.recovery_report().unwrap();
+        assert!(!report.clean());
+        assert_eq!(
+            report.snapshot_fallbacks, SHARDS,
+            "every shard fell back one generation"
+        );
+        recovered.shutdown();
+    }
+
+    #[test]
+    fn corrupt_manifest_degrades_to_directory_scan() {
+        let scratch = ScratchDir::new("fault-manifest");
+        {
+            let service = durable(scratch.path());
+            feed(&service, 0..10);
+            assert!(service.checkpoint().is_some());
+            feed(&service, 10..13);
+            drop(service);
+        }
+        flip_byte(&scratch.path().join(MANIFEST_FILE), 10);
+
+        let recovered = assert_recovers_prefix(scratch.path(), 13);
+        let report = recovered.recovery_report().unwrap();
+        assert!(!report.manifest_ok, "manifest corruption must be noticed");
+        assert!(!report.clean());
+        recovered.shutdown();
+    }
 }

@@ -1,6 +1,8 @@
 //! Persistence: the partially loaded columnar state (including its
 //! bitvector metadata) must survive a serialize/deserialize cycle with
-//! identical query results — the "Parquet file on disk" path.
+//! identical query results — the "Parquet file on disk" path — and the
+//! disk-touching tests must each own a unique, self-cleaning directory
+//! (a fixed path collides the moment two test binaries run at once).
 
 use ciao::{CiaoConfig, PushdownPlan, Server};
 use ciao_columnar::{read_table, write_table, Schema};
@@ -8,11 +10,13 @@ use ciao_datagen::Dataset;
 use ciao_engine::Executor;
 use ciao_json::RecordChunk;
 use ciao_predicate::parse_query;
+use ciao_storage::{read_snapshot, write_snapshot, ScratchDir, ShardSnapshot};
 use ciao_workload::{build_pool, WorkloadConfig};
 use std::sync::Arc;
 
-#[test]
-fn loaded_state_roundtrips_through_bytes() {
+/// A finalized server over 2k Yelp records with a 10-query workload —
+/// the loaded state every roundtrip test persists and reloads.
+fn loaded_server() -> (Server, Vec<ciao_predicate::Query>) {
     let ndjson = Dataset::Yelp.generate_ndjson(31, 2_000);
     let all = RecordChunk::from_ndjson(&ndjson);
     let sample: Vec<_> = all
@@ -35,6 +39,12 @@ fn loaded_state_roundtrips_through_bytes() {
         server.ingest(&chunk, &filter);
     }
     server.finalize();
+    (server, queries)
+}
+
+#[test]
+fn loaded_state_roundtrips_through_bytes() {
+    let (server, queries) = loaded_server();
 
     // Serialize the columnar side, read it back, and re-attach an
     // executor with the same registry.
@@ -63,6 +73,66 @@ fn loaded_state_roundtrips_through_bytes() {
             "skipping decision diverged after reload"
         );
     }
+}
+
+#[test]
+fn loaded_state_roundtrips_through_a_file_on_disk() {
+    // The same roundtrip through an actual file — in a per-test unique
+    // scratch directory. A fixed path here would collide the moment two
+    // test binaries (or two parallel tests) persist at once; this test
+    // also pins that the directory cleans up after itself.
+    let (server, queries) = loaded_server();
+    let scratch = ScratchDir::new("persist-table");
+    let path = scratch.path().join("table.bin");
+    std::fs::write(&path, write_table(server.table())).unwrap();
+    let reloaded = read_table(&std::fs::read(&path).unwrap()).expect("disk roundtrip");
+    assert_eq!(reloaded.row_count(), server.table().row_count());
+
+    let executor = Executor::new(
+        server
+            .plan()
+            .predicates
+            .iter()
+            .map(|p| (p.clause.clone(), p.id)),
+    );
+    let parked: Vec<String> = server.parked().to_vec();
+    for q in &queries {
+        assert_eq!(
+            server.execute(q).count,
+            executor.execute_count(&reloaded, &parked, q).count,
+            "query {} diverged after file reload",
+            q.name
+        );
+    }
+
+    let dir = scratch.path().to_path_buf();
+    drop(scratch);
+    assert!(!dir.exists(), "scratch dir must remove itself on drop");
+}
+
+#[test]
+fn shard_snapshot_roundtrips_on_disk() {
+    // The storage layer's snapshot file must carry a real loaded state
+    // (blocks, bitvector metadata, parked rows) bit-for-bit, with the
+    // (shard, epochs, ceiling) identity recoverable from the file name
+    // alone.
+    let (server, _) = loaded_server();
+    let table = server.table();
+    let snapshot = ShardSnapshot {
+        shard: 3,
+        sealed_epochs: 2,
+        ceiling: 41,
+        stats: ciao::LoadStats::default(),
+        schema: table.schema().map(|s| Arc::new(s.clone())),
+        blocks: table.blocks().to_vec(),
+        parked: server.parked().to_vec(),
+    };
+
+    let scratch = ScratchDir::new("persist-snap");
+    let name = write_snapshot(scratch.path(), &snapshot).unwrap();
+    assert_eq!((name.shard, name.epochs, name.ceiling), (3, 2, 41));
+    let back = read_snapshot(&name.path).expect("snapshot roundtrip");
+    assert_eq!(back, snapshot);
 }
 
 #[test]

@@ -1,0 +1,312 @@
+//! Kill-and-recover harness: run ingest in a child process, SIGKILL it
+//! at a seeded point, restart against the same storage directory, and
+//! check the recovered answers against a crash-free oracle.
+//!
+//! The child is this very test binary re-executed with
+//! `--ignored --exact <child test name>` — no helper binaries, no
+//! build-system coupling. Parent and child coordinate through a
+//! directory: the child appends every acked sequence number to an ack
+//! file (fsync'd after each line), the parent polls that file until the
+//! seeded kill point and then delivers SIGKILL, so the crash lands at a
+//! different ingest/checkpoint/fsync boundary per seed.
+//!
+//! The durability contract under test: every chunk whose sequence
+//! number reached the ack file was acked with [`SyncPolicy::Always`],
+//! so after recovery the service must hold a prefix `[0, next_seq)` of
+//! the deterministic chunk stream with `next_seq` strictly past every
+//! acked sequence — and answer queries exactly like a service that
+//! ingested that prefix without ever crashing.
+
+use super::{chunk, plan_and_schema, queries, CHUNK_RECORDS};
+use ciao_service::{EnqueueResult, Service, ServiceConfig, StorageConfig, SyncPolicy};
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Coordination directory handed to the child (storage dir + ack file
+/// live under it).
+pub const ENV_DIR: &str = "CIAO_CRASH_DIR";
+/// Shard count for the child's service.
+pub const ENV_SHARDS: &str = "CIAO_CRASH_SHARDS";
+/// `"1"` to interleave compaction ticks with ingest.
+pub const ENV_COMPACT: &str = "CIAO_CRASH_COMPACT";
+/// Checkpoint every N acked chunks (`"0"` disables checkpoints).
+pub const ENV_CHECKPOINT_EVERY: &str = "CIAO_CRASH_CHECKPOINT_EVERY";
+/// Set by CI: export the recovered manifest + a summary here.
+pub const ENV_ARTIFACT_DIR: &str = "CIAO_DURABILITY_ARTIFACT_DIR";
+
+/// Ack file name inside the coordination directory: one acked sequence
+/// number per line, fsync'd after each.
+pub const ACK_FILE: &str = "acked.seq";
+/// Storage root inside the coordination directory.
+pub const STORE_DIR: &str = "store";
+
+/// Upper bound on chunks the child ingests — the parent kills it long
+/// before this; the cap only keeps an orphaned child from spinning
+/// forever if the parent dies first.
+const CHILD_MAX_CHUNKS: u64 = 10_000;
+
+/// One cell of the crash matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct KillPlan {
+    /// Shards (and workers) in the crashing child and the recovery.
+    pub shards: usize,
+    /// Seed selecting the kill point.
+    pub seed: u64,
+    /// Whether the child interleaves compaction ticks.
+    pub compact: bool,
+    /// Child checkpoints every this many acked chunks (0 = never).
+    pub checkpoint_every: u64,
+}
+
+impl KillPlan {
+    /// The seeded kill point: SIGKILL once this many chunks are acked.
+    /// Spread over [5, 45) so different seeds land before the first
+    /// checkpoint, right on a checkpoint boundary, and well past one.
+    pub fn kill_after(&self) -> u64 {
+        5 + (self.seed.wrapping_mul(7)) % 40
+    }
+}
+
+/// Child-process entry point, called from the `#[ignore]`d test the
+/// parent re-executes. Ingests the deterministic chunk stream with
+/// `SyncPolicy::Always` durability, acking each accepted sequence to
+/// the ack file, until killed. A no-op when the coordination env var is
+/// absent (i.e. someone ran the ignored test directly).
+pub fn child_ingest_loop() {
+    let Ok(dir) = std::env::var(ENV_DIR) else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let shards: usize = read_env(ENV_SHARDS, 1);
+    let compact = std::env::var(ENV_COMPACT).as_deref() == Ok("1");
+    let checkpoint_every: u64 = read_env(ENV_CHECKPOINT_EVERY, 8);
+
+    let (plan, schema) = plan_and_schema();
+    let service = Service::start(
+        plan,
+        schema,
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_workers(shards)
+            .with_storage(StorageConfig::new(dir.join(STORE_DIR)).with_sync(SyncPolicy::Always)),
+    );
+    let prefilter = service.prefilter();
+    let mut ack = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(ACK_FILE))
+        .expect("open ack file");
+
+    for i in 0..CHILD_MAX_CHUNKS {
+        let c = chunk(i);
+        let filter = prefilter.run_chunk(&c);
+        let EnqueueResult::Enqueued { seq, .. } = service.enqueue_wait(c, filter) else {
+            break;
+        };
+        assert_eq!(seq, i, "a single-producer child acks in sequence order");
+        // The ack is only recorded once it is durable: single write,
+        // then fsync, so an acked line in the file is a real promise.
+        ack.write_all(format!("{seq}\n").as_bytes())
+            .expect("append ack");
+        ack.sync_data().expect("fsync ack");
+        if checkpoint_every > 0 && (i + 1) % checkpoint_every == 0 {
+            service.checkpoint();
+        }
+        if compact && (i + 1) % 3 == 0 {
+            service.compact();
+        }
+    }
+}
+
+/// Sequence numbers the child durably acked. Only complete lines count
+/// — SIGKILL can tear the final line mid-write, and a torn digit prefix
+/// must not masquerade as an ack.
+pub fn read_acks(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let complete = match text.rfind('\n') {
+        Some(end) => &text[..end],
+        None => return Vec::new(),
+    };
+    complete
+        .lines()
+        .map(|l| l.trim().parse().expect("ack lines are integers"))
+        .collect()
+}
+
+/// Parent half: re-execute this test binary as the crashing child,
+/// poll the ack file until the plan's kill point, SIGKILL the child,
+/// and return the acked sequence numbers.
+pub fn run_child_until_kill(child_test: &str, dir: &Path, plan: &KillPlan) -> Vec<u64> {
+    let exe = std::env::current_exe().expect("current test binary path");
+    let mut child = Command::new(exe)
+        .args([
+            "--ignored",
+            "--exact",
+            child_test,
+            "--test-threads=1",
+            "--nocapture",
+        ])
+        .env(ENV_DIR, dir)
+        .env(ENV_SHARDS, plan.shards.to_string())
+        .env(ENV_COMPACT, if plan.compact { "1" } else { "0" })
+        .env(ENV_CHECKPOINT_EVERY, plan.checkpoint_every.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn crash child");
+
+    let ack_path = dir.join(ACK_FILE);
+    let kill_after = plan.kill_after() as usize;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if read_acks(&ack_path).len() >= kill_after {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll crash child") {
+            panic!("crash child exited ({status}) before the kill point ({plan:?})");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "crash child never reached the kill point ({plan:?})"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // SIGKILL — no atexit, no Drop, no flush. The recovery must stand
+    // on what fsync already put on disk.
+    child.kill().expect("SIGKILL crash child");
+    child.wait().expect("reap crash child");
+    read_acks(&ack_path)
+}
+
+/// A crash-free oracle: an in-memory service over the deterministic
+/// chunk prefix `[0, chunks)`. Returns the per-query counts and the
+/// total loaded+parked record count.
+pub fn oracle(shards: usize, chunks: u64) -> (Vec<usize>, usize) {
+    let (plan, schema) = plan_and_schema();
+    let service = Service::start(
+        plan,
+        schema,
+        ServiceConfig::default().with_shards(shards).with_workers(0),
+    );
+    let prefilter = service.prefilter();
+    for i in 0..chunks {
+        let c = chunk(i);
+        let filter = prefilter.run_chunk(&c);
+        assert!(service.enqueue(c, filter).is_enqueued());
+        service.drain();
+    }
+    let counts = queries().iter().map(|q| service.query(q).count).collect();
+    let total = service.shutdown().load().total();
+    (counts, total)
+}
+
+/// Run one matrix cell end to end: crash the child at the seeded
+/// point, recover in-process from the surviving directory, and assert
+/// the recovered service (a) lost no acked chunk, (b) holds a clean
+/// prefix of the stream, and (c) answers exactly like the oracle.
+pub fn crash_recover_and_verify(child_test: &str, dir: &Path, plan: &KillPlan) {
+    let acked = run_child_until_kill(child_test, dir, plan);
+    assert!(
+        acked.len() as u64 >= plan.kill_after(),
+        "kill fired before the seeded point ({plan:?})"
+    );
+    let max_acked = *acked.iter().max().expect("at least one ack");
+
+    let (pushdown, schema) = plan_and_schema();
+    let recovered = Service::start(
+        pushdown,
+        schema,
+        ServiceConfig::default()
+            .with_shards(plan.shards)
+            .with_workers(0)
+            .with_storage(StorageConfig::new(dir.join(STORE_DIR)).with_sync(SyncPolicy::Always)),
+    );
+    let report = recovered
+        .recovery_report()
+        .expect("durable restart produces a recovery report")
+        .clone();
+
+    // No acked chunk may be lost: the recovered sequence line must sit
+    // strictly past every ack the child recorded before dying.
+    let next_seq = recovered.metrics().accepted_chunks;
+    assert!(
+        next_seq > max_acked,
+        "recovery lost acked chunks: next_seq {next_seq} <= max acked {max_acked} \
+         ({plan:?}, report {report:?})"
+    );
+
+    // The recovered state is a prefix [0, next_seq) of the stream —
+    // possibly one chunk past the last ack (logged, then killed before
+    // the ack line landed). Answers must match a crash-free service
+    // over that same prefix, record for record.
+    let (expected_counts, expected_total) = oracle(plan.shards, next_seq);
+    for (q, expected) in queries().iter().zip(expected_counts) {
+        let got = recovered.query(q).count;
+        assert_eq!(
+            got, expected,
+            "query {} diverged after crash recovery ({plan:?}, report {report:?})",
+            q.name
+        );
+    }
+    let total = recovered.metrics().load().total();
+    assert_eq!(
+        total, expected_total,
+        "recovered record total diverged ({plan:?}, report {report:?})"
+    );
+    assert_eq!(
+        total as u64,
+        next_seq * CHUNK_RECORDS,
+        "recovered prefix is not dense ({plan:?})"
+    );
+
+    export_artifact(dir, plan, next_seq, max_acked);
+    recovered.shutdown();
+}
+
+/// When CI asks for it, export the recovered manifest plus a one-line
+/// summary per matrix cell so a failed durability-smoke run leaves
+/// evidence behind.
+fn export_artifact(dir: &Path, plan: &KillPlan, next_seq: u64, max_acked: u64) {
+    let Ok(out) = std::env::var(ENV_ARTIFACT_DIR) else {
+        return;
+    };
+    let out = PathBuf::from(out);
+    if std::fs::create_dir_all(&out).is_err() {
+        return;
+    }
+    let cell = format!(
+        "s{}-seed{}-{}",
+        plan.shards,
+        plan.seed,
+        if plan.compact { "compact" } else { "plain" }
+    );
+    let manifest = dir
+        .join(STORE_DIR)
+        .join(ciao_storage::manifest::MANIFEST_FILE);
+    if manifest.is_file() {
+        let _ = std::fs::copy(&manifest, out.join(format!("MANIFEST-{cell}")));
+    }
+    let summary = format!(
+        "{cell}: kill_after={} max_acked={max_acked} next_seq={next_seq}\n",
+        plan.kill_after()
+    );
+    if let Ok(mut f) = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out.join("summary.txt"))
+    {
+        let _ = f.write_all(summary.as_bytes());
+    }
+}
+
+fn read_env<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

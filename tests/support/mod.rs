@@ -1,0 +1,57 @@
+//! Shared fixtures for the workspace integration tests.
+//!
+//! Declared as `mod support;` per test binary; not every binary uses
+//! every helper, hence the crate-level `dead_code` allowance.
+#![allow(dead_code)]
+
+pub mod crash;
+
+use ciao::PushdownPlan;
+use ciao_columnar::Schema;
+use ciao_json::RecordChunk;
+use ciao_optimizer::CostModel;
+use ciao_predicate::{parse_query, Query};
+use std::sync::Arc;
+
+/// Records per deterministic ingest chunk.
+pub const CHUNK_RECORDS: u64 = 40;
+
+/// The deterministic chunk with index `i` — identical in every
+/// process, so a crashed child's ingest stream can be reproduced
+/// exactly by an oracle that never crashed.
+pub fn chunk(i: u64) -> RecordChunk {
+    let records: Vec<String> = (0..CHUNK_RECORDS)
+        .map(|j| {
+            let id = i * CHUNK_RECORDS + j;
+            format!(r#"{{"stars":{},"id":{id}}}"#, id % 5 + 1)
+        })
+        .collect();
+    RecordChunk::from_records(&records).expect("fixture records are newline-free")
+}
+
+/// The queries every durability test answers and cross-checks.
+pub fn queries() -> Vec<Query> {
+    vec![
+        parse_query("hot", "stars = 5").unwrap(),
+        parse_query("cold", "stars = 2").unwrap(),
+    ]
+}
+
+/// A deterministic plan + schema over the fixture's record shape —
+/// the same in the crashing child, the recovering parent, and the
+/// crash-free oracle.
+pub fn plan_and_schema() -> (PushdownPlan, Arc<Schema>) {
+    let sample: Vec<_> = chunk(0)
+        .iter()
+        .map(|r| ciao_json::parse(r).unwrap())
+        .collect();
+    let plan = PushdownPlan::build(
+        &queries(),
+        &sample,
+        &CostModel::default_uncalibrated(),
+        10.0,
+    )
+    .unwrap();
+    let schema = Arc::new(Schema::infer(&sample).unwrap());
+    (plan, schema)
+}
