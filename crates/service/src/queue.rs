@@ -118,41 +118,28 @@ impl IngestQueue {
         chunk: RecordChunk,
         filter: ChunkFilterResult,
     ) -> EnqueueResult {
-        let mut st = self.state.lock().unwrap();
-        if st.closed || st.jobs.len() >= self.capacity {
-            return EnqueueResult::QueueFull {
+        match self.try_push(shard, chunk, filter) {
+            Ok(seq) => EnqueueResult::Enqueued { seq, shard },
+            Err(_) => EnqueueResult::QueueFull {
                 capacity: self.capacity,
-            };
+            },
         }
-        let seq = st.next_seq;
-        st.next_seq += 1;
-        st.jobs.push_back(IngestJob {
-            seq,
-            shard,
-            enqueued_at: Instant::now(),
-            chunk,
-            filter,
-        });
-        self.jobs.notify_one();
-        EnqueueResult::Enqueued { seq, shard }
     }
 
-    /// Blocking enqueue: waits for capacity. Returns `QueueFull` only
-    /// if the queue closes while waiting.
-    pub fn push_wait(
+    /// Non-blocking enqueue that hands the job back on failure, so a
+    /// caller can retry the same chunk later without cloning it (the
+    /// service's blocking enqueue loops over this, waiting for space
+    /// *between* attempts rather than while holding its checkpoint
+    /// gate).
+    pub fn try_push(
         &self,
         shard: usize,
         chunk: RecordChunk,
         filter: ChunkFilterResult,
-    ) -> EnqueueResult {
+    ) -> Result<u64, (RecordChunk, ChunkFilterResult)> {
         let mut st = self.state.lock().unwrap();
-        while !st.closed && st.jobs.len() >= self.capacity {
-            st = self.space.wait(st).unwrap();
-        }
-        if st.closed {
-            return EnqueueResult::QueueFull {
-                capacity: self.capacity,
-            };
+        if st.closed || st.jobs.len() >= self.capacity {
+            return Err((chunk, filter));
         }
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -164,7 +151,18 @@ impl IngestQueue {
             filter,
         });
         self.jobs.notify_one();
-        EnqueueResult::Enqueued { seq, shard }
+        Ok(seq)
+    }
+
+    /// Blocks until the queue has free capacity or is closed; returns
+    /// `false` on close. Space is not reserved — a competing producer
+    /// can take it first, so callers loop over [`IngestQueue::try_push`].
+    pub fn wait_space(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while !st.closed && st.jobs.len() >= self.capacity {
+            st = self.space.wait(st).unwrap();
+        }
+        !st.closed
     }
 
     /// Worker side: blocks for the next job; `None` once the queue is
@@ -289,23 +287,46 @@ mod tests {
         q.complete();
         // ...then workers see the end.
         assert!(q.pop_wait().is_none());
-        // And producers are refused.
+        // And producers are refused: non-blocking pushes report full,
+        // blocking waiters observe the close instead of hanging.
         let (c, f) = job_parts();
         assert!(!q.push(0, c, f).is_enqueued());
-        let (c, f) = job_parts();
-        assert!(!q.push_wait(0, c, f).is_enqueued());
+        assert!(!q.wait_space(), "wait_space reports the close");
     }
 
     #[test]
-    fn push_wait_blocks_until_space() {
+    fn try_push_returns_the_job_on_a_full_queue() {
+        let q = IngestQueue::new(1);
+        let (c, f) = job_parts();
+        assert!(q.try_push(0, c, f).is_ok());
+        let (c, f) = job_parts();
+        let (c, f) = q.try_push(0, c, f).expect_err("queue is full");
+        // The job came back intact; after space frees it goes in.
+        let _job = q.try_pop().unwrap();
+        q.complete();
+        assert!(q.wait_space());
+        assert_eq!(q.try_push(0, c, f).unwrap(), 1);
+    }
+
+    #[test]
+    fn wait_space_blocks_until_space() {
         use std::sync::Arc;
         let q = Arc::new(IngestQueue::new(1));
         let (c, f) = job_parts();
         assert!(q.push(0, c, f).is_enqueued());
         let q2 = Arc::clone(&q);
         let producer = std::thread::spawn(move || {
-            let (c, f) = job_parts();
-            q2.push_wait(0, c, f)
+            let (mut c, mut f) = job_parts();
+            // The retry loop the service's blocking enqueue runs.
+            loop {
+                match q2.try_push(0, c, f) {
+                    Ok(seq) => return EnqueueResult::Enqueued { seq, shard: 0 },
+                    Err(back) => (c, f) = back,
+                }
+                if !q2.wait_space() {
+                    return EnqueueResult::QueueFull { capacity: 1 };
+                }
+            }
         });
         // Free the slot; the blocked producer must complete.
         let _job = q.try_pop().unwrap();

@@ -16,7 +16,7 @@ use ciao_storage::{CheckpointStats, RecoveryReport, ShardSnapshot, StorageError,
 use ciao_telemetry::TelemetrySnapshot;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,6 +40,16 @@ struct Inner {
     /// never touch it (logging happens on the producer's thread,
     /// before the ack).
     storage: Option<Mutex<Store>>,
+    /// Producer/checkpoint exclusion. Producers hold it shared across
+    /// `queue.push` + WAL append, so the two are atomic as seen by a
+    /// checkpoint; [`Service::checkpoint`] holds it exclusively across
+    /// ceiling-read + drain + shard seal. Without the gate a chunk
+    /// enqueued mid-checkpoint could land both in a snapshot and above
+    /// its ceiling, double-applying on recovery. Never held while
+    /// blocking on queue capacity (see `enqueue_wait`'s retry loop),
+    /// so a pending checkpoint cannot deadlock with a blocked
+    /// producer.
+    ingest_gate: RwLock<()>,
     /// Snapshot files written by checkpoints over this service's life.
     snapshots_written: AtomicU64,
 }
@@ -218,6 +228,7 @@ impl Service {
             blocked_nanos: AtomicU64::new(0),
             telemetry,
             storage,
+            ingest_gate: RwLock::new(()),
             snapshots_written: AtomicU64::new(0),
         });
         let workers = (0..config.workers)
@@ -268,7 +279,9 @@ impl Service {
     /// Non-blocking enqueue of a prefiltered chunk. Routes to a shard
     /// deterministically, then either queues the job or reports
     /// [`EnqueueResult::QueueFull`] backpressure. Empty chunks are
-    /// accepted and dropped (seq still advances).
+    /// accepted and dropped (seq still advances). Never waits for
+    /// queue capacity, but may block momentarily while a concurrent
+    /// [`Service::checkpoint`] commits.
     ///
     /// Panics when `filter` does not cover exactly `chunk`'s records.
     pub fn enqueue(&self, chunk: RecordChunk, filter: ChunkFilterResult) -> EnqueueResult {
@@ -283,12 +296,18 @@ impl Service {
         // WAL will actually take the bytes.
         let payload = self.inner.storage.is_some().then(|| chunk.to_ndjson());
         let shard = self.inner.route(self.inner.queue.accepted(), &chunk);
+        // Under the shared gate, push + WAL append are one atomic step
+        // as far as a concurrent checkpoint is concerned (it briefly
+        // blocks here while a checkpoint commits).
+        let gate = self.inner.ingest_gate.read().expect("ingest gate");
         let result = self.inner.queue.push(shard, chunk, filter);
         match result {
             EnqueueResult::Enqueued { seq, shard } => {
                 self.inner.log_durable(seq, shard, payload.as_deref());
+                drop(gate);
             }
             EnqueueResult::QueueFull { .. } => {
+                drop(gate);
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                 if let Some(t) = &self.inner.telemetry {
                     t.queue_full.inc();
@@ -319,7 +338,28 @@ impl Service {
         let payload = self.inner.storage.is_some().then(|| chunk.to_ndjson());
         let shard = self.inner.route(self.inner.queue.accepted(), &chunk);
         let started = Instant::now();
-        let result = self.inner.queue.push_wait(shard, chunk, filter);
+        // Attempt under the shared gate; wait for capacity *outside*
+        // it. Holding the gate while blocked would deadlock a pending
+        // checkpoint in inline-drain mode (the checkpoint is the only
+        // thing that would free capacity).
+        let (mut chunk, mut filter) = (chunk, filter);
+        let result = loop {
+            let gate = self.inner.ingest_gate.read().expect("ingest gate");
+            match self.inner.queue.try_push(shard, chunk, filter) {
+                Ok(seq) => {
+                    self.inner.log_durable(seq, shard, payload.as_deref());
+                    drop(gate);
+                    break EnqueueResult::Enqueued { seq, shard };
+                }
+                Err(back) => (chunk, filter) = back,
+            }
+            drop(gate);
+            if !self.inner.queue.wait_space() {
+                break EnqueueResult::QueueFull {
+                    capacity: self.inner.queue.capacity(),
+                };
+            }
+        };
         let blocked = started.elapsed();
         self.inner.blocked_nanos.fetch_add(
             u64::try_from(blocked.as_nanos()).unwrap_or(u64::MAX),
@@ -327,9 +367,6 @@ impl Service {
         );
         if let Some(t) = &self.inner.telemetry {
             t.enqueue_wait.record_duration(blocked);
-        }
-        if let EnqueueResult::Enqueued { seq, shard } = result {
-            self.inner.log_durable(seq, shard, payload.as_deref());
         }
         result
     }
@@ -432,17 +469,21 @@ impl Service {
     /// retained generation still needs. Returns `None` when the
     /// service runs without storage.
     ///
-    /// The snapshots' WAL ceiling is the accepted-seq high-water mark
-    /// read *before* the drain, so every record a snapshot claims to
-    /// cover has provably been applied. Chunks enqueued concurrently
-    /// with the checkpoint may land both in a snapshot and above its
-    /// ceiling — recovery would then apply them twice, so run
-    /// checkpoints from a quiescent point (or the single producer
-    /// thread) when exact-once matters.
+    /// The snapshots' WAL ceiling is the accepted-seq high-water mark,
+    /// read and drained under the exclusive ingest gate: producers are
+    /// held off for the ceiling-read → drain → seal window, so every
+    /// record a snapshot claims to cover has provably been applied and
+    /// no concurrently-enqueued chunk can land both in a snapshot and
+    /// above its ceiling (which would double-apply on recovery).
+    /// Producers block briefly on [`Service::enqueue`] /
+    /// [`Service::enqueue_wait`] while a checkpoint commits — the
+    /// quiescence the recovery protocol needs is enforced here, not
+    /// assumed.
     ///
     /// Panics on a storage write failure, like the WAL append path.
     pub fn checkpoint(&self) -> Option<CheckpointStats> {
         let storage = self.inner.storage.as_ref()?;
+        let _gate = self.inner.ingest_gate.write().expect("ingest gate");
         let ceiling = self.inner.queue.accepted();
         self.drain();
         let mut snapshots = Vec::with_capacity(self.inner.shards.len());
@@ -902,6 +943,64 @@ mod tests {
             assert_eq!(service.query(&q).count, 80);
             service.shutdown();
         }
+    }
+
+    #[test]
+    fn concurrent_checkpoints_never_double_apply_or_lose_chunks() {
+        // Producers race checkpoints on purpose: the ingest gate must
+        // make every chunk land either fully inside a snapshot or
+        // fully above its ceiling. A double-applied chunk shows up as
+        // an inflated count after restart; a lost one as a deflated
+        // count.
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let dir = ciao_storage::ScratchDir::new("svc-race");
+        let storage = || ciao_storage::StorageConfig::new(dir.path());
+        let q = parse_query("q", "stars = 5").unwrap();
+        let chunks = all.split(10); // 40 chunks × 10 records
+        {
+            let service = Service::start(
+                plan.clone(),
+                Arc::clone(&schema),
+                ServiceConfig::default()
+                    .with_shards(2)
+                    .with_workers(2)
+                    .with_queue_capacity(4)
+                    .with_storage(storage()),
+            );
+            let pf = service.prefilter();
+            std::thread::scope(|scope| {
+                for producer in chunks.chunks(10) {
+                    let (service, pf) = (&service, &pf);
+                    scope.spawn(move || {
+                        for chunk in producer {
+                            let filter = pf.run_chunk(chunk);
+                            assert!(service.enqueue_wait(chunk.clone(), filter).is_enqueued());
+                        }
+                    });
+                }
+                // Checkpoint continuously while producers run.
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        service.checkpoint();
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            assert_eq!(service.query(&q).count, 80);
+            drop(service); // unclean exit: recovery must reconstruct
+        }
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_shards(2)
+                .with_workers(0)
+                .with_storage(storage()),
+        );
+        assert_eq!(service.metrics().accepted_chunks, 40);
+        assert_eq!(service.query(&q).count, 80, "exactly-once across restart");
+        assert_eq!(service.metrics().load().total(), 400);
+        service.shutdown();
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`recovery`] — restart logic: manifest → snapshots (falling back
 //!   a generation per shard when files are missing or corrupt) → WAL
 //!   tail replay, with every degradation surfaced in a
-//!   [`RecoveryReport`] instead of a panic.
+//!   [`RecoveryReport`] instead of a panic. WAL damage is *repaired*
+//!   in place ([`repair_dir`]: truncate the torn segment, quarantine
+//!   untrusted later ones) so a second unclean shutdown cannot re-drop
+//!   records acked after the first recovery.
 //! * [`store`] — the single handle a service owns: append on the hot
 //!   path, [`Store::checkpoint`] at epoch boundaries (snapshots +
 //!   manifest + retention pruning + WAL truncation).
@@ -46,7 +49,17 @@ pub use recovery::{recover, RecoveredShard, Recovery, RecoveryReport};
 pub use scratch::ScratchDir;
 pub use snapshot::{list_snapshots, read_snapshot, write_snapshot, ShardSnapshot, SnapshotName};
 pub use store::{CheckpointStats, Store};
-pub use wal::{replay_dir, SegmentMeta, Wal, WalRecord, WalReplay};
+pub use wal::{repair_dir, replay_dir, SegmentMeta, Wal, WalDamage, WalRecord, WalReplay};
+
+/// Fsyncs a directory so renames, creations, and deletions inside it
+/// survive power loss. Every durable-file path in this crate (WAL
+/// segment creation, snapshot and manifest rename, WAL repair) must
+/// persist the *directory entry*, not just the file data — a missing
+/// dirent loses the whole file no matter how hard its blocks were
+/// synced.
+pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
 
 /// Errors surfaced by the durability layer.
 #[derive(Debug)]

@@ -120,9 +120,9 @@ pub fn store(dir: &Path, manifest: &Manifest) -> std::io::Result<()> {
     file.sync_data()?;
     drop(file);
     std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_data();
-    }
+    // The manifest is the checkpoint's commit point: the rename must
+    // be durable before the WAL below the new floor may be truncated.
+    crate::sync_dir(dir)?;
     Ok(())
 }
 

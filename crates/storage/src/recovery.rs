@@ -8,7 +8,9 @@
 //!    generation at a time when a file is missing or corrupt, and to
 //!    an empty shard (full WAL replay) when none survives;
 //! 3. replay every intact WAL record; torn or checksum-broken tails
-//!    are dropped and reported.
+//!    are dropped, reported, and repaired on disk
+//!    ([`repair_dir`](crate::wal::repair_dir)) so the hole cannot
+//!    swallow segments a later service life appends.
 //!
 //! The only *hard* error besides I/O is a shard-count mismatch: a
 //! checkpoint taken under `N` shards encodes routing decisions that a
@@ -17,7 +19,7 @@
 use crate::config::StorageConfig;
 use crate::manifest::{self, Manifest};
 use crate::snapshot::{list_snapshots, read_snapshot, ShardSnapshot, SnapshotName};
-use crate::wal::{replay_dir, SegmentMeta, WalRecord};
+use crate::wal::{repair_dir, replay_dir, SegmentMeta, WalRecord};
 use crate::StorageError;
 
 /// One shard's recovered starting point.
@@ -126,14 +128,22 @@ pub fn recover(config: &StorageConfig, shard_count: u32) -> Result<Recovery, Sto
         shards.push(recover_shard(shard, &manifest, &scanned, &mut report));
     }
 
-    let replay = replay_dir(dir)?;
-    if let Some(reason) = &replay.corruption {
-        report.wal_corruption = Some(reason.clone());
+    let mut replay = replay_dir(dir)?;
+    if let Some(damage) = &replay.corruption {
+        report.wal_corruption = Some(damage.reason.clone());
         report.wal_dropped_bytes = replay.dropped_bytes;
         report.note(format!(
-            "wal: dropped {} byte(s) after corruption: {reason}",
-            replay.dropped_bytes
+            "wal: dropped {} byte(s) after corruption: {}",
+            replay.dropped_bytes, damage.reason
         ));
+        // Repair before the writer reopens: truncate the hole away and
+        // quarantine untrusted segments, so the *next* replay reads
+        // straight through to whatever this service life appends. An
+        // unrepaired hole would make a second crash drop post-recovery
+        // segments wholesale — acked, fsync'd records included.
+        for note in repair_dir(dir, &mut replay)? {
+            report.note(note);
+        }
     }
 
     let next_seq = replay
@@ -412,6 +422,44 @@ mod tests {
         assert_eq!(r.shards[0].ceiling, 0);
         assert_eq!(r.tail_for(0).count(), 8, "full WAL replay");
         assert!(!r.report.clean());
+    }
+
+    #[test]
+    fn second_recovery_keeps_records_acked_after_the_first() {
+        let d = ScratchDir::new("rec");
+        let cfg = StorageConfig::new(d.path());
+        // Life 1 crashes mid-append: seqs 0..5 logged, the last frame
+        // torn.
+        let mut wal = Wal::open(d.path(), &cfg, Vec::new());
+        for seq in 0..5 {
+            wal.append(&rec(seq, 0)).unwrap();
+        }
+        drop(wal);
+        let seg = replay_dir(d.path()).unwrap().segments[0].path.clone();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 2]).unwrap();
+
+        // Recovery 1 repairs; life 2 acks three more records and also
+        // dies unclean.
+        let r = recover(&cfg, 1).unwrap();
+        assert_eq!(r.next_seq, 4);
+        assert!(r.report.wal_corruption.is_some());
+        let mut wal = Wal::open(d.path(), &cfg, r.segments);
+        for seq in 4..7 {
+            wal.append(&rec(seq, 0)).unwrap();
+        }
+        drop(wal);
+
+        // Recovery 2 must see everything either life made durable —
+        // without the repair it would stop at the life-1 hole and drop
+        // life 2's segment wholesale.
+        let r = recover(&cfg, 1).unwrap();
+        assert!(r.report.wal_corruption.is_none(), "hole was repaired");
+        assert_eq!(r.next_seq, 7);
+        assert_eq!(
+            r.tail_for(0).map(|x| x.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5, 6]
+        );
     }
 
     #[test]

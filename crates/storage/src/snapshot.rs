@@ -266,10 +266,10 @@ pub fn write_snapshot(dir: &Path, snapshot: &ShardSnapshot) -> std::io::Result<S
     file.sync_data()?;
     drop(file);
     std::fs::rename(&tmp_path, &final_path)?;
-    // Persist the rename itself.
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_data();
-    }
+    // Persist the rename itself — and fail loudly if that is not
+    // possible, since an unsynced dirent means the snapshot may not
+    // exist after power loss even though the data blocks do.
+    crate::sync_dir(dir)?;
     Ok(SnapshotName::parse(dir, &name).expect("self-generated name parses"))
 }
 

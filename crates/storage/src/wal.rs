@@ -20,8 +20,18 @@
 //! frame would bury valid records behind garbage. Closed segments
 //! whose highest seq falls below the checkpoint floor are deleted by
 //! [`Wal::truncate_below`].
+//!
+//! Damage found by a replay must be **repaired** before the writer
+//! reopens ([`repair_dir`]): the corrupt segment is truncated to its
+//! intact prefix and any later (untrusted) segments are quarantined as
+//! `*.corrupt`. Without the repair, the next replay would stop at the
+//! same old hole and drop every segment written *after* the first
+//! recovery — losing records that were acked and fsync'd in the
+//! meantime. Two unclean shutdowns in a row are the normal WAL torture
+//! case, so recovery always repairs.
 
 use crate::config::{StorageConfig, SyncPolicy};
+use crate::sync_dir;
 use ciao_columnar::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -87,6 +97,21 @@ pub struct SegmentMeta {
     pub max_seq: Option<u64>,
 }
 
+/// The damage a replay found — everything [`repair_dir`] needs to make
+/// the hole single-shot instead of permanent.
+#[derive(Debug, Clone)]
+pub struct WalDamage {
+    /// Human-readable description of the first corrupt/torn frame.
+    pub reason: String,
+    /// Id of the segment holding that frame.
+    pub segment_id: u64,
+    /// Length of the segment's intact prefix (every replayed byte).
+    pub valid_bytes: u64,
+    /// Ids of later segments replay refused to trust (a hole breaks
+    /// the prefix property for everything behind it).
+    pub poisoned: Vec<u64>,
+}
+
 /// Everything a WAL directory scan recovers.
 #[derive(Debug, Default)]
 pub struct WalReplay {
@@ -96,8 +121,8 @@ pub struct WalReplay {
     pub segments: Vec<SegmentMeta>,
     /// Bytes abandoned at and after the first corrupt/torn frame.
     pub dropped_bytes: u64,
-    /// Description of the first corruption hit, if any.
-    pub corruption: Option<String>,
+    /// The first corruption hit, if any.
+    pub corruption: Option<WalDamage>,
 }
 
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
@@ -195,11 +220,60 @@ pub fn replay_dir(dir: &Path) -> std::io::Result<WalReplay> {
                     max_seq: None,
                 });
             }
-            replay.corruption = Some(reason);
+            replay.corruption = Some(WalDamage {
+                reason,
+                segment_id: id,
+                valid_bytes: offset as u64,
+                poisoned: ids[i + 1..].to_vec(),
+            });
             break;
         }
     }
     Ok(replay)
+}
+
+/// Repairs the damage a replay found so the *next* replay no longer
+/// stops at the same hole: the corrupt segment is truncated to its
+/// intact prefix and every poisoned later segment is renamed to
+/// `wal-<id>.log.corrupt` (quarantined — invisible to replay, kept on
+/// disk for inspection until the next checkpoint truncation cleans it
+/// up). The directory is fsync'd so the repair itself is durable.
+///
+/// Mutates `replay.segments` to match the disk: quarantined metas keep
+/// their id (the writer's `next_id` stays monotone) but point at the
+/// `.corrupt` path with no `max_seq`, so [`Wal::truncate_below`]
+/// deletes them at the first checkpoint.
+///
+/// Returns one human-readable note per file touched; no-op (empty
+/// notes) when the replay was clean.
+pub fn repair_dir(dir: &Path, replay: &mut WalReplay) -> std::io::Result<Vec<String>> {
+    let Some(damage) = replay.corruption.clone() else {
+        return Ok(Vec::new());
+    };
+    let mut notes = Vec::new();
+    let torn = segment_path(dir, damage.segment_id);
+    let file = OpenOptions::new().write(true).open(&torn)?;
+    file.set_len(damage.valid_bytes)?;
+    file.sync_data()?;
+    notes.push(format!(
+        "wal: truncated {} to its {} intact byte(s)",
+        torn.display(),
+        damage.valid_bytes
+    ));
+    for &id in &damage.poisoned {
+        let from = segment_path(dir, id);
+        let to = dir.join(format!("wal-{id:020}.log.corrupt"));
+        std::fs::rename(&from, &to)?;
+        if let Some(meta) = replay.segments.iter_mut().find(|m| m.id == id) {
+            meta.path = to.clone();
+        }
+        notes.push(format!(
+            "wal: quarantined untrusted segment as {}",
+            to.display()
+        ));
+    }
+    sync_dir(dir)?;
+    Ok(notes)
 }
 
 /// The append side of the log.
@@ -268,6 +342,11 @@ impl Wal {
                 .create_new(true)
                 .append(true)
                 .open(&meta.path)?;
+            // Make the directory entry itself durable: without this a
+            // power loss can erase the whole freshly created segment —
+            // records acked under `SyncPolicy::Always` included — even
+            // though the file's data blocks were fsync'd.
+            sync_dir(&self.dir)?;
             self.active = Some(ActiveSegment {
                 meta,
                 file,
@@ -317,20 +396,33 @@ impl Wal {
 
     /// Deletes closed segments every record of which has
     /// `seq < floor`. Returns how many files were removed.
+    ///
+    /// On a removal error the failing segment and everything after it
+    /// stay in the closed list, so a later truncation retries them
+    /// instead of leaking the files on disk forever.
     pub fn truncate_below(&mut self, floor: u64) -> std::io::Result<usize> {
         let mut deleted = 0;
         let mut kept = Vec::with_capacity(self.closed.len());
+        let mut error = None;
         for seg in self.closed.drain(..) {
             let disposable = seg.max_seq.is_none_or(|max| max < floor);
-            if disposable {
-                std::fs::remove_file(&seg.path)?;
-                deleted += 1;
+            if disposable && error.is_none() {
+                match std::fs::remove_file(&seg.path) {
+                    Ok(()) => deleted += 1,
+                    Err(e) => {
+                        error = Some(e);
+                        kept.push(seg);
+                    }
+                }
             } else {
                 kept.push(seg);
             }
         }
         self.closed = kept;
-        Ok(deleted)
+        match error {
+            Some(e) => Err(e),
+            None => Ok(deleted),
+        }
     }
 
     /// Closed + active segment count (for observability and tests).
@@ -426,7 +518,10 @@ mod tests {
 
         let replay = replay_dir(d.path()).unwrap();
         assert_eq!(replay.records.len(), 4, "only the torn record is lost");
-        assert!(replay.corruption.as_deref().unwrap().contains("torn"));
+        let damage = replay.corruption.as_ref().unwrap();
+        assert!(damage.reason.contains("torn"));
+        assert_eq!(damage.segment_id, 0);
+        assert!(damage.poisoned.is_empty());
         assert!(replay.dropped_bytes > 0);
     }
 
@@ -448,11 +543,9 @@ mod tests {
 
         let replay = replay_dir(d.path()).unwrap();
         assert_eq!(replay.records.len(), 2, "replay stops before the flip");
-        assert!(replay
-            .corruption
-            .as_deref()
-            .unwrap()
-            .contains("checksum mismatch"));
+        let damage = replay.corruption.as_ref().unwrap();
+        assert!(damage.reason.contains("checksum mismatch"));
+        assert_eq!(damage.valid_bytes, 2 * frame as u64);
         assert_eq!(replay.dropped_bytes, 3 * frame as u64);
     }
 
@@ -476,7 +569,117 @@ mod tests {
         let replay = replay_dir(d.path()).unwrap();
         let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![0], "only the pre-hole prefix survives");
-        assert!(replay.corruption.is_some());
+        let damage = replay.corruption.as_ref().unwrap();
+        assert_eq!(damage.segment_id, 1);
+        assert_eq!(damage.poisoned, vec![2, 3]);
+    }
+
+    #[test]
+    fn repair_makes_a_torn_tail_single_shot() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path());
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..5 {
+            wal.append(&rec(i, 0, "payload-payload")).unwrap();
+        }
+        drop(wal);
+        // Crash 1 tears the tail.
+        let seg = segment_path(d.path(), 0);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        // Recovery 1: replay, repair, append new (acked) records.
+        let mut replay = replay_dir(d.path()).unwrap();
+        assert_eq!(replay.records.len(), 4);
+        let notes = repair_dir(d.path(), &mut replay).unwrap();
+        assert_eq!(notes.len(), 1, "one truncation, nothing quarantined");
+        let mut wal = Wal::open(d.path(), &cfg, replay.segments);
+        for i in 4..8 {
+            wal.append(&rec(i, 0, "post-crash")).unwrap();
+        }
+        drop(wal);
+
+        // Crash 2 (unclean again): the old hole must not swallow the
+        // post-repair segment.
+        let replay = replay_dir(d.path()).unwrap();
+        assert!(replay.corruption.is_none(), "the hole was repaired");
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn repair_quarantines_poisoned_segments_until_truncation() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path()).with_segment_bytes(8);
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..4 {
+            wal.append(&rec(i, 0, "sixteen-byte-rec")).unwrap();
+        }
+        drop(wal);
+        // A hole in segment 1 poisons segments 2 and 3.
+        let seg = segment_path(d.path(), 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let mut replay = replay_dir(d.path()).unwrap();
+        let notes = repair_dir(d.path(), &mut replay).unwrap();
+        assert_eq!(notes.len(), 3, "one truncation + two quarantines");
+        let quarantined: Vec<PathBuf> = std::fs::read_dir(d.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(".corrupt"))
+            .collect();
+        assert_eq!(quarantined.len(), 2, "poisoned files kept for inspection");
+
+        // The repaired log replays its surviving prefix and keeps
+        // accepting appends past the (former) hole.
+        let mut wal = Wal::open(d.path(), &cfg, replay.segments);
+        assert!(wal.next_id >= 4, "quarantined ids are not reused");
+        wal.append(&rec(1, 0, "sixteen-byte-rec")).unwrap();
+        wal.rotate().unwrap();
+        let replay = replay_dir(d.path()).unwrap();
+        assert!(replay.corruption.is_none());
+        assert_eq!(
+            replay.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        // A checkpoint truncation past everything cleans the
+        // quarantine files up (their metas have no max_seq).
+        wal.truncate_below(u64::MAX).unwrap();
+        for q in &quarantined {
+            assert!(!q.exists(), "{} should be gone", q.display());
+        }
+    }
+
+    #[test]
+    fn truncate_error_keeps_undeleted_segments_tracked() {
+        let d = ScratchDir::new("wal");
+        let cfg = StorageConfig::new(d.path()).with_segment_bytes(8);
+        let mut wal = open_wal(d.path(), &cfg);
+        for i in 0..3 {
+            wal.append(&rec(i, 0, "sixteen-byte-rec")).unwrap();
+        }
+        wal.rotate().unwrap();
+        assert_eq!(wal.segment_count(), 3);
+        // Sabotage segment 1: replace the file with a non-empty
+        // directory so remove_file fails mid-truncation.
+        let seg1 = segment_path(d.path(), 1);
+        std::fs::remove_file(&seg1).unwrap();
+        std::fs::create_dir(&seg1).unwrap();
+        std::fs::write(seg1.join("x"), b"x").unwrap();
+
+        let err = wal.truncate_below(u64::MAX);
+        assert!(err.is_err(), "removal of a directory must fail");
+        // Segment 0 was deleted; 1 (failed) and 2 (never reached) must
+        // still be tracked so a retry can delete them.
+        assert_eq!(wal.segment_count(), 2);
+        std::fs::remove_dir_all(&seg1).unwrap();
+        std::fs::write(&seg1, b"").unwrap();
+        assert_eq!(wal.truncate_below(u64::MAX).unwrap(), 2);
+        assert_eq!(wal.segment_count(), 0);
     }
 
     #[test]
@@ -490,8 +693,9 @@ mod tests {
         assert!(replay.records.is_empty());
         assert!(replay
             .corruption
-            .as_deref()
+            .as_ref()
             .unwrap()
+            .reason
             .contains("implausible record length"));
     }
 

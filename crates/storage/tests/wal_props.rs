@@ -10,9 +10,11 @@
 //!    *prefix* of the appended records: never an invented record,
 //!    never a record out of order, and a reported corruption whenever
 //!    bytes were dropped.
+//! 3. **Repair** — after `repair_dir` runs on any damage, the next
+//!    replay is clean: the damage never poisons a second recovery.
 
 use ciao_columnar::io::crc32;
-use ciao_storage::{replay_dir, ScratchDir, StorageConfig, SyncPolicy, Wal, WalRecord};
+use ciao_storage::{repair_dir, replay_dir, ScratchDir, StorageConfig, SyncPolicy, Wal, WalRecord};
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = WalRecord> {
@@ -115,6 +117,48 @@ proptest! {
             .sum();
         prop_assert_eq!(replayed_bytes + replay.dropped_bytes, cut);
         prop_assert_eq!(replay.corruption.is_some(), replay.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn repair_makes_any_truncation_single_shot(
+        records in arb_records(),
+        cut_fraction in 0.0f64..1.0,
+        extra in arb_records(),
+    ) {
+        let (scratch, segment) = write_segment(&records, SyncPolicy::Never);
+        let len = std::fs::metadata(&segment).unwrap().len();
+        let cut = (len as f64 * cut_fraction) as u64;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        // First recovery: replay whatever prefix survived, repair the
+        // damage in place, and resume a new writer life past it.
+        let dir = scratch.path();
+        let mut replay = replay_dir(dir).unwrap();
+        let prefix = replay.records.clone();
+        if replay.corruption.is_some() {
+            repair_dir(dir, &mut replay).unwrap();
+        }
+        let config = StorageConfig::new(dir).with_sync(SyncPolicy::Never);
+        let mut wal = Wal::open(dir, &config, replay.segments.clone());
+        for r in &extra {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Second recovery: the old tear is gone, nothing was dropped,
+        // and the appended records follow the surviving prefix exactly.
+        let second = replay_dir(dir).unwrap();
+        prop_assert!(second.corruption.is_none(), "repair left damage: {:?}", second.corruption);
+        prop_assert_eq!(second.dropped_bytes, 0);
+        let mut expected = prefix;
+        expected.extend(extra.iter().cloned());
+        prop_assert_eq!(second.records, expected);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 mod support;
 
 use ciao_storage::ScratchDir;
-use support::crash::{child_ingest_loop, crash_recover_and_verify, KillPlan};
+use support::crash::{
+    child_ingest_loop, crash_recover_and_verify, recover_and_verify, run_child_until_kill, KillPlan,
+};
 
 /// Child-process entry point — only meaningful when re-executed by the
 /// harness with `CIAO_CRASH_DIR` set; a no-op (instant pass) if run
@@ -54,6 +56,41 @@ fn kill_recover_two_shards() {
 #[test]
 fn kill_recover_four_shards() {
     run_matrix(4);
+}
+
+/// Two crashes back to back: the first SIGKILL can leave a torn WAL
+/// tail, the restarted child recovers (repairing that tail), resumes
+/// ingest from the recovered high-water mark, and is killed again. The
+/// final recovery then replays a log whose middle was once damaged —
+/// the case where an unrepaired first corruption would silently drop
+/// every segment the second life wrote.
+#[test]
+fn kill_twice_recover_both_lives() {
+    for seed in [3, 23] {
+        let plan = KillPlan {
+            shards: 2,
+            seed,
+            compact: false,
+            checkpoint_every: 8,
+        };
+        let scratch = ScratchDir::new("crash-twice");
+        let first = run_child_until_kill(
+            "crash_child_ingest_loop",
+            scratch.path(),
+            &plan,
+            plan.kill_after() as usize,
+        );
+        // Second life: same directory, same plan; wait for another
+        // kill_after acks past whatever the first life banked.
+        let acked = run_child_until_kill(
+            "crash_child_ingest_loop",
+            scratch.path(),
+            &plan,
+            first.len() + plan.kill_after() as usize,
+        );
+        assert!(acked.len() > first.len(), "second life made progress");
+        recover_and_verify(scratch.path(), &plan, &acked);
+    }
 }
 
 /// A kill point below the first checkpoint boundary: recovery has no

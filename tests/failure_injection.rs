@@ -242,6 +242,47 @@ mod storage_faults {
     }
 
     #[test]
+    fn torn_wal_tail_is_repaired_so_a_second_crash_loses_nothing() {
+        let scratch = ScratchDir::new("fault-torn-twice");
+        {
+            let service = durable(scratch.path());
+            feed(&service, 0..12);
+            drop(service);
+        }
+        let segment = newest_wal_segment(scratch.path());
+        let len = std::fs::metadata(&segment).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        // First recovery drops the torn record AND truncates the
+        // damage out of the segment; the resumed life appends past it.
+        {
+            let recovered = assert_recovers_prefix(scratch.path(), 11);
+            assert!(recovered
+                .recovery_report()
+                .unwrap()
+                .wal_corruption
+                .is_some());
+            feed(&recovered, 11..18);
+            drop(recovered); // crash again: no checkpoint, WAL is all there is
+        }
+        // Second recovery must replay both lives cleanly. Without the
+        // repair, replay would stop at the old tear and lose every
+        // chunk the second life acked.
+        let recovered = assert_recovers_prefix(scratch.path(), 18);
+        let report = recovered.recovery_report().unwrap();
+        assert!(
+            report.wal_corruption.is_none(),
+            "the first recovery's repair left a clean log: {report:?}"
+        );
+        recovered.shutdown();
+    }
+
+    #[test]
     fn flipped_wal_byte_recovers_the_intact_prefix() {
         const CHUNKS: u64 = 16;
         let scratch = ScratchDir::new("fault-flip");

@@ -75,6 +75,12 @@ impl KillPlan {
 /// `SyncPolicy::Always` durability, acking each accepted sequence to
 /// the ack file, until killed. A no-op when the coordination env var is
 /// absent (i.e. someone ran the ignored test directly).
+///
+/// The child picks up wherever the storage directory left off: it
+/// starts ingesting at the recovered `accepted_chunks` high-water mark,
+/// so re-running it against a crashed directory models a process that
+/// restarts, recovers, and keeps serving — the double-crash cells kill
+/// that second life too.
 pub fn child_ingest_loop() {
     let Ok(dir) = std::env::var(ENV_DIR) else {
         return;
@@ -100,7 +106,8 @@ pub fn child_ingest_loop() {
         .open(dir.join(ACK_FILE))
         .expect("open ack file");
 
-    for i in 0..CHILD_MAX_CHUNKS {
+    let base = service.metrics().accepted_chunks;
+    for i in base..CHILD_MAX_CHUNKS {
         let c = chunk(i);
         let filter = prefilter.run_chunk(&c);
         let EnqueueResult::Enqueued { seq, .. } = service.enqueue_wait(c, filter) else {
@@ -139,9 +146,15 @@ pub fn read_acks(path: &Path) -> Vec<u64> {
 }
 
 /// Parent half: re-execute this test binary as the crashing child,
-/// poll the ack file until the plan's kill point, SIGKILL the child,
-/// and return the acked sequence numbers.
-pub fn run_child_until_kill(child_test: &str, dir: &Path, plan: &KillPlan) -> Vec<u64> {
+/// poll the ack file until it holds `target_acks` total lines (an
+/// absolute count, so a second child life extends the same file),
+/// SIGKILL the child, and return every acked sequence number.
+pub fn run_child_until_kill(
+    child_test: &str,
+    dir: &Path,
+    plan: &KillPlan,
+    target_acks: usize,
+) -> Vec<u64> {
     let exe = std::env::current_exe().expect("current test binary path");
     let mut child = Command::new(exe)
         .args([
@@ -161,10 +174,9 @@ pub fn run_child_until_kill(child_test: &str, dir: &Path, plan: &KillPlan) -> Ve
         .expect("spawn crash child");
 
     let ack_path = dir.join(ACK_FILE);
-    let kill_after = plan.kill_after() as usize;
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
-        if read_acks(&ack_path).len() >= kill_after {
+        if read_acks(&ack_path).len() >= target_acks {
             break;
         }
         if let Some(status) = child.try_wait().expect("poll crash child") {
@@ -210,11 +222,18 @@ pub fn oracle(shards: usize, chunks: u64) -> (Vec<usize>, usize) {
 /// the recovered service (a) lost no acked chunk, (b) holds a clean
 /// prefix of the stream, and (c) answers exactly like the oracle.
 pub fn crash_recover_and_verify(child_test: &str, dir: &Path, plan: &KillPlan) {
-    let acked = run_child_until_kill(child_test, dir, plan);
+    let acked = run_child_until_kill(child_test, dir, plan, plan.kill_after() as usize);
     assert!(
         acked.len() as u64 >= plan.kill_after(),
         "kill fired before the seeded point ({plan:?})"
     );
+    recover_and_verify(dir, plan, &acked);
+}
+
+/// Recovery half of a matrix cell, reusable after any number of child
+/// lives: restart in-process from the surviving directory and hold the
+/// recovered service to the durability contract against the oracle.
+pub fn recover_and_verify(dir: &Path, plan: &KillPlan, acked: &[u64]) {
     let max_acked = *acked.iter().max().expect("at least one ack");
 
     let (pushdown, schema) = plan_and_schema();
