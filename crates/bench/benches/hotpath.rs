@@ -1,0 +1,129 @@
+//! Hot-path kernel benches: Criterion timings for the optimized
+//! kernels, plus the interleaved-median suite from
+//! `ciao_bench::experiments::hotpath` appended to `BENCH_hotpath.json`
+//! (source `"bench"`), so local Criterion runs feed the same
+//! trajectory the CI perf gate reads.
+
+use ciao_bench::experiments::hotpath::{self, HotpathEnv};
+use ciao_bench::{trajectory, ExperimentScale};
+use ciao_bitvec::BitVec;
+use ciao_client::Finder;
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+fn bench_search(c: &mut Criterion) {
+    let env = HotpathEnv::new(ExperimentScale::tiny());
+    let hay = env.text().as_bytes();
+    let finder = Finder::new("error");
+    let mut group = c.benchmark_group("hotpath_search");
+    group.throughput(Throughput::Bytes(hay.len() as u64));
+    group.bench_function("swar", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            let mut at = 0;
+            while let Some(hit) = finder.find_from(black_box(hay), at) {
+                n += 1;
+                at = hit + 1;
+            }
+            n
+        })
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            let mut at = 0;
+            while let Some(hit) = finder.find_from_scalar(black_box(hay), at) {
+                n += 1;
+                at = hit + 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_patternset(c: &mut Criterion) {
+    let env = HotpathEnv::new(ExperimentScale::tiny());
+    let mut group = c.benchmark_group("hotpath_patternset");
+    group.throughput(Throughput::Bytes(env.chunk().payload_bytes() as u64));
+    for preds in [4usize, 8, 16] {
+        let pf = env.prefilter(preds);
+        group.bench_function(format!("one_pass_preds{preds}"), |b| {
+            b.iter(|| {
+                black_box(&pf)
+                    .run_chunk(env.chunk())
+                    .bitvecs
+                    .iter()
+                    .map(BitVec::count_ones)
+                    .sum::<usize>()
+            })
+        });
+        group.bench_function(format!("per_needle_preds{preds}"), |b| {
+            b.iter(|| {
+                black_box(&pf)
+                    .run_chunk_scalar(env.chunk())
+                    .bitvecs
+                    .iter()
+                    .map(BitVec::count_ones)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitvec_fused(c: &mut Criterion) {
+    const BITS: usize = 1 << 21;
+    let vecs: Vec<BitVec> = (0..8)
+        .map(|k| BitVec::from_fn(BITS, |i| (i + k) % (k + 2) != 0))
+        .collect();
+    let refs: Vec<&BitVec> = vecs.iter().collect();
+    let mut group = c.benchmark_group("hotpath_bitvec");
+    group.throughput(Throughput::Bytes((BITS / 8 * 8) as u64));
+    group.bench_function("and_all8_fused", |b| {
+        b.iter(|| BitVec::and_all(black_box(&refs)).unwrap().count_ones())
+    });
+    group.bench_function("and_all8_fold", |b| {
+        b.iter(|| {
+            let mut acc = vecs[0].clone();
+            for v in &vecs[1..] {
+                acc.and_assign(black_box(v));
+            }
+            acc.count_ones()
+        })
+    });
+    group.bench_function("count_and", |b| {
+        b.iter(|| black_box(&vecs[0]).count_and(&vecs[1]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_patternset, bench_bitvec_fused);
+
+/// After the Criterion pass, run the interleaved-median suite once and
+/// append it to the hot-path trajectory — same rows, same schema, same
+/// gate as `repro -- micro`.
+fn append_hotpath_run() {
+    let scale = ExperimentScale::tiny();
+    let rows = hotpath::run(scale);
+    for r in &rows {
+        println!(
+            "{:<34} {:>10.0}ns vs {:>10.0}ns  speedup {:>5.2}x  gated={}",
+            r.name, r.median_ns, r.baseline_ns, r.speedup, r.gated
+        );
+    }
+    let path = trajectory::hotpath_output_path();
+    let run = trajectory::hotpath_run_from_rows("bench", scale.records, rows);
+    match trajectory::append_hotpath_run(&path, run) {
+        Ok(doc) => println!(
+            "trajectory: appended run #{} to {}",
+            doc.runs.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("trajectory: could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    benches();
+    append_hotpath_run();
+}

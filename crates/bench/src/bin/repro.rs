@@ -4,6 +4,9 @@
 //! cargo run --release -p ciao_bench --bin repro -- all
 //! cargo run --release -p ciao_bench --bin repro -- fig3 fig6 table4
 //! CIAO_SCALE_RECORDS=100000 cargo run --release -p ciao_bench --bin repro -- fig5
+//! cargo run --release -p ciao_bench --bin repro -- micro
+//! cargo run --release -p ciao_bench --bin repro -- check-perf \
+//!     --baseline BENCH_hotpath.json --tolerance-pct 25
 //! ```
 //!
 //! Absolute times will not match the paper (our substrate is a
@@ -12,14 +15,18 @@
 //! benefit — are the reproduction targets. See EXPERIMENTS.md.
 
 use ciao_bench::experiments::{
-    ablation, durability, end_to_end, fig6, micro, service, table4, tables,
+    ablation, durability, end_to_end, fig6, hotpath, micro, service, table4, tables,
 };
 use ciao_bench::table::{f3, pct, TextTable};
-use ciao_bench::{trajectory, ExperimentScale};
+use ciao_bench::{perf_gate, trajectory, ExperimentScale};
 use ciao_datagen::Dataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check-perf") {
+        check_perf(&args[1..]);
+        return;
+    }
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1",
@@ -40,6 +47,7 @@ fn main() {
             "ablation",
             "service",
             "durability",
+            "micro",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -72,6 +80,7 @@ fn main() {
             "ablation" => print_ablation(),
             "service" => print_service(scale),
             "durability" => print_durability(scale),
+            "micro" => print_hotpath(scale),
             "validate-bench" => validate_bench(),
             other => eprintln!("unknown experiment `{other}` (see EXPERIMENTS.md)"),
         }
@@ -411,19 +420,123 @@ fn print_durability(scale: ExperimentScale) {
     }
 }
 
-fn validate_bench() {
-    let doc = trajectory::output_path();
-    let schema = trajectory::schema_path();
-    match trajectory::validate_files(&doc, &schema) {
-        Ok(()) => println!(
-            "## validate-bench — {} conforms to {}\n",
-            doc.display(),
-            schema.display()
+fn print_hotpath(scale: ExperimentScale) {
+    println!(
+        "## Micro — hot-path kernels vs their scalar references ({} records)\n",
+        scale.records
+    );
+    let rows = hotpath::run(scale);
+    let mut t = TextTable::new(&[
+        "Kernel",
+        "Group",
+        "Median(ns)",
+        "Scalar(ns)",
+        "Speedup",
+        "MB/s",
+        "Gated",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.name.clone(),
+            r.group.clone(),
+            format!("{:.0}", r.median_ns),
+            format!("{:.0}", r.baseline_ns),
+            format!("{:.2}x", r.speedup),
+            format!("{:.0}", r.throughput_mb_s),
+            if r.gated { "yes".into() } else { "no".into() },
+        ]);
+    }
+    println!("{t}");
+    println!("(speedups are in-run ratios vs the scalar reference, so they transfer across\n machines; `repro -- check-perf` gates on them. Ungated rows depend on core\n count and are recorded for the trajectory only.)\n");
+
+    let path = trajectory::hotpath_output_path();
+    let run = trajectory::hotpath_run_from_rows("repro", scale.records, rows);
+    match trajectory::append_hotpath_run(&path, run) {
+        Ok(doc) => println!(
+            "(trajectory: appended run #{} to {})\n",
+            doc.runs.len(),
+            path.display()
         ),
-        Err(report) => {
-            eprintln!("## validate-bench FAILED\n\n{report}\n");
-            std::process::exit(1);
+        Err(e) => eprintln!("(trajectory: could not write {}: {e})\n", path.display()),
+    }
+}
+
+/// `repro -- check-perf --baseline <file> [--current <file>]
+/// [--tolerance-pct <pct>]` — compare the latest hot-path run against
+/// the committed baseline and exit non-zero on regression. `--current`
+/// defaults to the hot-path output path (env-overridable), so CI runs
+/// `repro -- micro` into a scratch file and gates it here.
+fn check_perf(args: &[String]) {
+    let mut baseline_path = None;
+    let mut current_path = trajectory::hotpath_output_path();
+    let mut tolerance_pct = 25.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(std::path::PathBuf::from(value("--baseline"))),
+            "--current" => current_path = std::path::PathBuf::from(value("--current")),
+            "--tolerance-pct" => {
+                tolerance_pct = value("--tolerance-pct")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--tolerance-pct: {e}")))
+            }
+            other => die(&format!("unknown check-perf argument `{other}`")),
         }
+    }
+    let Some(baseline_path) = baseline_path else {
+        die("check-perf requires --baseline <file>")
+    };
+    let baseline = trajectory::read_hotpath(&baseline_path).unwrap_or_else(|e| die(&e));
+    let current = trajectory::read_hotpath(&current_path).unwrap_or_else(|e| die(&e));
+    println!(
+        "## check-perf — {} vs baseline {}\n",
+        current_path.display(),
+        baseline_path.display()
+    );
+    match perf_gate::check(&baseline, &current, tolerance_pct) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.pass {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("check-perf: {msg}");
+    std::process::exit(2);
+}
+
+fn validate_bench() {
+    let mut failed = false;
+    for (doc, schema) in [
+        (trajectory::output_path(), trajectory::schema_path()),
+        (
+            trajectory::hotpath_output_path(),
+            trajectory::hotpath_schema_path(),
+        ),
+    ] {
+        match trajectory::validate_files(&doc, &schema) {
+            Ok(()) => println!(
+                "## validate-bench — {} conforms to {}\n",
+                doc.display(),
+                schema.display()
+            ),
+            Err(report) => {
+                eprintln!("## validate-bench FAILED\n\n{report}\n");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -5,6 +5,7 @@ pub mod datasets;
 pub mod durability;
 pub mod end_to_end;
 pub mod fig6;
+pub mod hotpath;
 pub mod micro;
 pub mod service;
 pub mod table4;

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf_gate;
 pub mod table;
 pub mod trajectory;
 

@@ -1,12 +1,17 @@
-//! `BENCH_service.json` — the service benchmark trajectory.
+//! `BENCH_service.json` / `BENCH_hotpath.json` — benchmark
+//! trajectories.
 //!
 //! Every `repro -- service` run (and the Criterion overhead bench)
 //! appends one [`BenchRun`] to a JSON file, so performance history
-//! accumulates across commits instead of vanishing with the terminal.
-//! The document shape is pinned by `schemas/BENCH_service.schema.json`
-//! (a checked-in JSON-Schema subset) and [`validate`] enforces it —
-//! CI validates the emitted file on every push.
+//! accumulates across commits instead of vanishing with the terminal;
+//! `repro -- micro` does the same for the hot-path kernel suite
+//! ([`HotpathRun`]). Each document's shape is pinned by a checked-in
+//! schema file (a JSON-Schema subset) and [`validate`] enforces it —
+//! CI validates both emitted files on every push, and the perf gate
+//! (`repro -- check-perf`) compares the hotpath file against the
+//! committed baseline.
 
+use crate::experiments::hotpath::HotpathRow;
 use crate::experiments::service::ServiceRow;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -22,6 +27,14 @@ pub const DEFAULT_SCHEMA_PATH: &str = "schemas/BENCH_service.schema.json";
 pub const PATH_ENV: &str = "CIAO_BENCH_JSON";
 /// Env var overriding the schema path.
 pub const SCHEMA_ENV: &str = "CIAO_BENCH_SCHEMA";
+/// Default hot-path trajectory file, relative to the workspace root.
+pub const DEFAULT_HOTPATH_PATH: &str = "BENCH_hotpath.json";
+/// Default hot-path schema file, relative to the workspace root.
+pub const DEFAULT_HOTPATH_SCHEMA_PATH: &str = "schemas/BENCH_hotpath.schema.json";
+/// Env var overriding the hot-path output path.
+pub const HOTPATH_PATH_ENV: &str = "CIAO_BENCH_HOTPATH_JSON";
+/// Env var overriding the hot-path schema path.
+pub const HOTPATH_SCHEMA_ENV: &str = "CIAO_BENCH_HOTPATH_SCHEMA";
 
 /// The whole trajectory document: a version pin plus appended runs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -92,6 +105,94 @@ impl BenchTrajectory {
             runs: Vec::new(),
         }
     }
+}
+
+/// The hot-path trajectory document (`BENCH_hotpath.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathTrajectory {
+    /// Document format version ([`SCHEMA_VERSION`]).
+    pub schema_version: i64,
+    /// All recorded runs, oldest first.
+    pub runs: Vec<HotpathRun>,
+}
+
+/// One hot-path suite invocation (`repro -- micro` or the Criterion
+/// `hotpath` bench).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathRun {
+    /// `"repro"` for the sweep binary, `"bench"` for Criterion.
+    pub source: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time_s: u64,
+    /// Records in the generated stream the suite scanned.
+    pub records: u64,
+    /// `available_parallelism` on the host.
+    pub cores: u64,
+    /// One row per measured kernel.
+    pub rows: Vec<HotpathRow>,
+}
+
+impl HotpathTrajectory {
+    /// An empty hot-path trajectory at the current version.
+    pub fn empty() -> HotpathTrajectory {
+        HotpathTrajectory {
+            schema_version: SCHEMA_VERSION,
+            runs: Vec::new(),
+        }
+    }
+}
+
+/// Builds a hot-path run from suite rows, stamped with the current
+/// time and this host's core count.
+pub fn hotpath_run_from_rows(source: &str, records: usize, rows: Vec<HotpathRow>) -> HotpathRun {
+    let unix_time_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    HotpathRun {
+        source: source.to_owned(),
+        unix_time_s,
+        records: records as u64,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        rows,
+    }
+}
+
+/// The hot-path output path: `$CIAO_BENCH_HOTPATH_JSON` (relative to
+/// the working directory) or [`DEFAULT_HOTPATH_PATH`] anchored at the
+/// workspace root.
+pub fn hotpath_output_path() -> PathBuf {
+    std::env::var_os(HOTPATH_PATH_ENV).map_or_else(|| anchored(DEFAULT_HOTPATH_PATH), PathBuf::from)
+}
+
+/// The hot-path schema path: `$CIAO_BENCH_HOTPATH_SCHEMA` (relative to
+/// the working directory) or [`DEFAULT_HOTPATH_SCHEMA_PATH`] anchored
+/// at the workspace root.
+pub fn hotpath_schema_path() -> PathBuf {
+    std::env::var_os(HOTPATH_SCHEMA_ENV)
+        .map_or_else(|| anchored(DEFAULT_HOTPATH_SCHEMA_PATH), PathBuf::from)
+}
+
+/// Appends one run to the hot-path trajectory at `path` (creating it,
+/// or starting fresh when the existing file does not parse) and writes
+/// the updated document back. Returns the document as written.
+pub fn append_hotpath_run(path: &Path, run: HotpathRun) -> std::io::Result<HotpathTrajectory> {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<HotpathTrajectory>(&text).ok())
+        .unwrap_or_else(HotpathTrajectory::empty);
+    doc.schema_version = SCHEMA_VERSION;
+    doc.runs.push(run);
+    let json = serde_json::to_string(&doc).map_err(std::io::Error::other)?;
+    std::fs::write(path, json + "\n")?;
+    Ok(doc)
+}
+
+/// Reads and parses a hot-path trajectory file.
+pub fn read_hotpath(path: &Path) -> Result<HotpathTrajectory, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| format!("{} is not a hot-path trajectory: {e}", path.display()))
 }
 
 impl From<&ServiceRow> for ConfigRow {
@@ -340,6 +441,86 @@ mod tests {
             errors.iter().any(|e| e.contains("missing required")),
             "{errors:?}"
         );
+    }
+
+    fn sample_hotpath_row() -> HotpathRow {
+        HotpathRow {
+            name: "search/memmem_swar".into(),
+            group: "search".into(),
+            median_ns: 1000.0,
+            baseline_ns: 4000.0,
+            speedup: 4.0,
+            throughput_mb_s: 4000.0,
+            gated: true,
+        }
+    }
+
+    fn checked_in_hotpath_schema() -> Value {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/BENCH_hotpath.schema.json"
+        );
+        serde_json::from_str(&std::fs::read_to_string(path).expect("schema file checked in"))
+            .expect("schema file is valid JSON")
+    }
+
+    #[test]
+    fn hotpath_document_round_trips_and_satisfies_the_checked_in_schema() {
+        let run = hotpath_run_from_rows("repro", 4000, vec![sample_hotpath_row()]);
+        let mut doc = HotpathTrajectory::empty();
+        doc.runs.push(run);
+        let json = serde_json::to_string(&doc).unwrap();
+
+        let back: HotpathTrajectory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.runs[0].rows[0].name, "search/memmem_swar");
+        assert!(back.runs[0].rows[0].gated);
+
+        let value: Value = serde_json::from_str(&json).unwrap();
+        validate(&value, &checked_in_hotpath_schema()).expect("emitted document matches schema");
+    }
+
+    #[test]
+    fn hotpath_schema_rejects_a_malformed_row() {
+        let bad: Value = serde_json::from_str(
+            r#"{"schema_version":1,"runs":[{"source":"repro","unix_time_s":0,"records":0,
+                "cores":1,"rows":[{"name":"x","group":"g","median_ns":"fast"}]}]}"#,
+        )
+        .unwrap();
+        let errors = validate(&bad, &checked_in_hotpath_schema()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("median_ns")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("missing required")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn hotpath_append_accumulates_and_validates() {
+        let path = std::env::temp_dir().join(format!(
+            "ciao_bench_hotpath_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let one = append_hotpath_run(
+            &path,
+            hotpath_run_from_rows("repro", 100, vec![sample_hotpath_row()]),
+        )
+        .unwrap();
+        assert_eq!(one.runs.len(), 1);
+        let two = append_hotpath_run(&path, hotpath_run_from_rows("bench", 100, vec![])).unwrap();
+        assert_eq!(two.runs.len(), 2);
+        assert_eq!(two.runs[1].source, "bench");
+
+        let schema = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/BENCH_hotpath.schema.json"
+        );
+        validate_files(&path, Path::new(schema)).unwrap();
+        let read_back = read_hotpath(&path).unwrap();
+        assert_eq!(read_back.runs.len(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -82,13 +82,31 @@ impl BitVec {
     }
 
     /// `popcount(self & other)` without materializing the intersection.
-    pub fn intersection_count(&self, other: &BitVec) -> usize {
-        self.check_len(other, "intersection_count");
+    pub fn count_and(&self, other: &BitVec) -> usize {
+        self.check_len(other, "count_and");
         self.words
             .iter()
             .zip(&other.words)
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// `popcount(self & !other)` without materializing either the
+    /// complement or the difference. Sound despite `!other`'s tail bits
+    /// because `self`'s tail is zero by invariant.
+    pub fn count_and_not(&self, other: &BitVec) -> usize {
+        self.check_len(other, "count_and_not");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `popcount(self & other)` without materializing the intersection.
+    /// Alias of [`BitVec::count_and`], kept for the original API.
+    pub fn intersection_count(&self, other: &BitVec) -> usize {
+        self.count_and(other)
     }
 
     /// `popcount(self | other)` without materializing the union.
@@ -110,28 +128,58 @@ impl BitVec {
             .all(|(a, b)| a & !b == 0)
     }
 
-    /// Intersects an arbitrary number of equal-length vectors. Returns
-    /// `None` when the slice is empty (an empty conjunction has no
-    /// well-defined width here; callers that want "all ones" should use
-    /// [`BitVec::ones`] explicitly).
-    pub fn intersect_all(vecs: &[&BitVec]) -> Option<BitVec> {
-        let (first, rest) = vecs.split_first()?;
-        let mut acc = (*first).clone();
-        for v in rest {
-            acc.and_assign(v);
-        }
-        Some(acc)
+    /// Fused multi-operand intersection. Folding with `k - 1`
+    /// [`BitVec::and_assign`] sweeps re-streams the whole accumulator
+    /// from memory once per operand; here the accumulator is walked
+    /// **once** in L1-sized tiles, with every operand folded into each
+    /// tile while it is hot. Inner loops stay `iter().zip()` so they
+    /// vectorize like the two-operand kernels. Returns `None` when the
+    /// slice is empty (an empty conjunction has no well-defined width
+    /// here; callers that want "all ones" should use [`BitVec::ones`]
+    /// explicitly).
+    pub fn and_all(vecs: &[&BitVec]) -> Option<BitVec> {
+        Self::fused_reduce(vecs, "and_all", |a, b| *a &= b)
     }
 
-    /// Unions an arbitrary number of equal-length vectors. Returns `None`
-    /// when the slice is empty.
-    pub fn union_all(vecs: &[&BitVec]) -> Option<BitVec> {
+    /// Fused multi-operand union; see [`BitVec::and_all`] for the
+    /// shape. Returns `None` when the slice is empty.
+    pub fn or_all(vecs: &[&BitVec]) -> Option<BitVec> {
+        Self::fused_reduce(vecs, "or_all", |a, b| *a |= b)
+    }
+
+    fn fused_reduce(vecs: &[&BitVec], op_name: &str, op: impl Fn(&mut u64, u64)) -> Option<BitVec> {
+        /// Words per tile: 4 KiB, comfortably inside L1 alongside one
+        /// operand stream.
+        const TILE_WORDS: usize = 512;
         let (first, rest) = vecs.split_first()?;
-        let mut acc = (*first).clone();
         for v in rest {
-            acc.or_assign(v);
+            first.check_len(v, op_name);
         }
-        Some(acc)
+        let mut out = (*first).clone();
+        let mut offset = 0;
+        while offset < out.words.len() {
+            let end = (offset + TILE_WORDS).min(out.words.len());
+            let tile = &mut out.words[offset..end];
+            for v in rest {
+                for (a, &b) in tile.iter_mut().zip(&v.words[offset..end]) {
+                    op(a, b);
+                }
+            }
+            offset = end;
+        }
+        Some(out)
+    }
+
+    /// Intersects an arbitrary number of equal-length vectors. Alias of
+    /// the fused [`BitVec::and_all`], kept for the original API.
+    pub fn intersect_all(vecs: &[&BitVec]) -> Option<BitVec> {
+        BitVec::and_all(vecs)
+    }
+
+    /// Unions an arbitrary number of equal-length vectors. Alias of the
+    /// fused [`BitVec::or_all`], kept for the original API.
+    pub fn union_all(vecs: &[&BitVec]) -> Option<BitVec> {
+        BitVec::or_all(vecs)
     }
 
     #[inline]
@@ -245,6 +293,51 @@ mod tests {
         let b = div3(100);
         assert_eq!(a.intersection_count(&b), a.and(&b).count_ones());
         assert_eq!(a.union_count(&b), a.or(&b).count_ones());
+        assert_eq!(a.count_and(&b), a.and(&b).count_ones());
+        let mut diff = a.clone();
+        diff.and_not_assign(&b);
+        assert_eq!(a.count_and_not(&b), diff.count_ones());
+    }
+
+    #[test]
+    fn count_and_not_honors_tail_invariant() {
+        // `!other` flips tail bits past `len`; the count must not see
+        // them because `self`'s tail is zero.
+        let a = BitVec::ones(67);
+        let b = BitVec::zeros(67);
+        assert_eq!(a.count_and_not(&b), 67);
+        assert_eq!(b.count_and_not(&a), 0);
+    }
+
+    #[test]
+    fn fused_reductions_match_pairwise_folds() {
+        let n = 131;
+        let a = evens(n);
+        let b = div3(n);
+        let c = BitVec::from_fn(n, |i| i % 5 == 0);
+
+        let mut and_fold = a.clone();
+        and_fold.and_assign(&b);
+        and_fold.and_assign(&c);
+        assert_eq!(BitVec::and_all(&[&a, &b, &c]).unwrap(), and_fold);
+
+        let mut or_fold = a.clone();
+        or_fold.or_assign(&b);
+        or_fold.or_assign(&c);
+        assert_eq!(BitVec::or_all(&[&a, &b, &c]).unwrap(), or_fold);
+
+        assert_eq!(BitVec::and_all(&[&a]).unwrap(), a);
+        assert_eq!(BitVec::or_all(&[&a]).unwrap(), a);
+        assert!(BitVec::and_all(&[]).is_none());
+        assert!(BitVec::or_all(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fused_reduction_length_mismatch_panics() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        BitVec::and_all(&[&a, &b]);
     }
 
     #[test]

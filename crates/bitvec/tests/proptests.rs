@@ -112,6 +112,65 @@ proptest! {
         // not() twice must be identity even after truncation (tail invariant).
         prop_assert_eq!(t.not().not(), t);
     }
+
+    /// Fused counts vs materialize-then-count, at lengths straddling
+    /// the word boundary (63/64/65) where the tail-bit invariant is
+    /// easiest to violate.
+    #[test]
+    fn fused_counts_match_materialized((a, b) in arb_word_boundary_pair()) {
+        prop_assert_eq!(a.count_and(&b), a.and(&b).count_ones());
+        prop_assert_eq!(a.count_and_not(&b), a.and(&b.not()).count_ones());
+        prop_assert_eq!(a.intersection_count(&b), a.count_and(&b));
+    }
+
+    /// `and_not_assign` vs the two-step `not` + `and` composition.
+    #[test]
+    fn and_not_assign_matches_composition((a, b) in arb_word_boundary_pair()) {
+        let mut fused = a.clone();
+        fused.and_not_assign(&b);
+        prop_assert_eq!(fused, a.and(&b.not()));
+    }
+
+    /// Fused multi-operand reductions vs folding pairwise ops, for
+    /// 1–6 operands (1 exercises the clone-only path; > tile-free
+    /// sizes are covered by the unit tests on `BitVec::ones`).
+    #[test]
+    fn fused_reductions_match_pairwise((vecs, _n) in arb_operand_family()) {
+        let refs: Vec<&BitVec> = vecs.iter().collect();
+        let fused_and = BitVec::and_all(&refs).unwrap();
+        let fused_or = BitVec::or_all(&refs).unwrap();
+        let mut fold_and = vecs[0].clone();
+        let mut fold_or = vecs[0].clone();
+        for v in &vecs[1..] {
+            fold_and.and_assign(v);
+            fold_or.or_assign(v);
+        }
+        prop_assert_eq!(fused_and, fold_and);
+        prop_assert_eq!(fused_or, fold_or);
+    }
+}
+
+/// Two equal-length bitvectors whose length clusters on word edges.
+fn arb_word_boundary_pair() -> impl Strategy<Value = (BitVec, BitVec)> {
+    prop::sample::select(vec![0usize, 1, 62, 63, 64, 65, 127, 128, 129, 200]).prop_flat_map(|n| {
+        (
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(a, b)| (BitVec::from_bools(&a), BitVec::from_bools(&b)))
+    })
+}
+
+/// 1–6 equal-length random operands at a word-boundary length.
+fn arb_operand_family() -> impl Strategy<Value = (Vec<BitVec>, usize)> {
+    (
+        prop::sample::select(vec![0usize, 1, 63, 64, 65, 130]),
+        1usize..=6,
+    )
+        .prop_flat_map(|(n, k)| {
+            prop::collection::vec(prop::collection::vec(any::<bool>(), n), k)
+                .prop_map(move |vs| (vs.iter().map(|v| BitVec::from_bools(v)).collect(), n))
+        })
 }
 
 #[test]

@@ -14,9 +14,14 @@
 //!
 //! Modules:
 //!
-//! * [`search`] — reusable substring searchers (Horspool with a
-//!   first-byte fast path), the client's only text primitive.
+//! * [`swar`] — SIMD-within-a-register byte-scan primitives
+//!   (broadcast-compare masks, `u64`-at-a-time `memchr`).
+//! * [`search`] — reusable substring searchers: a SWAR first/last-byte
+//!   anchor scan feeding a Horspool verify, the client's only text
+//!   primitive.
 //! * [`raw_eval`] — pattern/clause matching over raw records.
+//! * [`pattern_set`] — all predicates of a pushdown plan compiled into
+//!   one anchor-bucketed matcher, evaluated in a single pass per record.
 //! * [`prefilter`] — per-chunk evaluation producing bitvectors.
 //! * [`budget`] — runtime budget enforcement with conservative
 //!   degradation (over budget ⇒ remaining bits forced to 1).
@@ -31,14 +36,17 @@
 pub mod budget;
 pub mod hardware;
 pub mod parallel;
+pub mod pattern_set;
 pub mod prefilter;
 pub mod raw_eval;
 pub mod search;
 pub mod stats;
+pub mod swar;
 
 pub use budget::{Budget, BudgetedPrefilter};
 pub use hardware::HardwareProfile;
 pub use parallel::ParallelPrefilter;
+pub use pattern_set::PatternSet;
 pub use prefilter::{ChunkFilterResult, CompiledPredicate, Prefilter};
 pub use raw_eval::{match_clause, match_pattern, CompiledClause};
 pub use search::Finder;

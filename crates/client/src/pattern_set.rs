@@ -1,0 +1,453 @@
+//! Batched multi-pattern evaluation: all of a plan's predicates in one
+//! pass per record.
+//!
+//! The per-needle prefilter walks every record once *per predicate* —
+//! with `P` pushed predicates that is `P` full traversals of every raw
+//! chunk. A [`PatternSet`] is compiled once per pushdown plan and
+//! inverts the loop (the Teddy-lite shape multi-pattern engines use):
+//!
+//! 1. Every disjunct of every clause becomes an **atom** anchored on
+//!    its statistically rarest byte (quoted JSON patterns mostly start
+//!    with `"`, which would pile every atom into one bucket — anchoring
+//!    on the rarest byte spreads them out).
+//! 2. Atoms are bucketed by anchor byte (CSR layout) behind a 256-entry
+//!    membership table.
+//! 3. One scan per record: non-anchor bytes cost one table test; an
+//!    anchor byte verifies only its bucket's unmatched atoms at that
+//!    position. The scan stops as soon as every predicate matched.
+//!
+//! Semantics are **bit-identical** to evaluating
+//! [`CompiledClause::is_match`](crate::raw_eval::CompiledClause) per
+//! predicate (differentially property-tested): a `Find` atom matches
+//! when its needle occurs anywhere, a `KeyThenValue` atom checks every
+//! key occurrence's window up to the next `,`. False positives stay
+//! allowed, false negatives stay forbidden.
+
+use crate::raw_eval::CompiledPattern;
+use crate::search::Finder;
+use crate::swar;
+use ciao_predicate::{ClausePattern, Pattern};
+
+/// Approximate descending byte frequency for JSON-serialized machine
+/// logs: structural bytes and common ASCII letters/digits score high,
+/// everything else low. Only the *relative order* matters — the anchor
+/// chooser picks the minimum-rank byte of each needle.
+static BYTE_RANK: [u8; 256] = {
+    let mut rank = [0u8; 256];
+    // Structural JSON bytes appear in every record.
+    rank[b'"' as usize] = 255;
+    rank[b',' as usize] = 250;
+    rank[b':' as usize] = 250;
+    rank[b'{' as usize] = 240;
+    rank[b'}' as usize] = 240;
+    rank[b'[' as usize] = 200;
+    rank[b']' as usize] = 200;
+    rank[b' ' as usize] = 230;
+    rank[b'.' as usize] = 150;
+    rank[b'-' as usize] = 140;
+    rank[b'_' as usize] = 140;
+    // English letter frequency, coarsely binned.
+    let common = b"etaoinshrdlu";
+    let mid = b"cmfwypvbg";
+    let mut i = 0;
+    while i < common.len() {
+        rank[common[i] as usize] = 220 - i as u8;
+        rank[common[i].to_ascii_uppercase() as usize] = 160 - i as u8;
+        i += 1;
+    }
+    i = 0;
+    while i < mid.len() {
+        rank[mid[i] as usize] = 190 - i as u8;
+        rank[mid[i].to_ascii_uppercase() as usize] = 130 - i as u8;
+        i += 1;
+    }
+    // Digits are common in logs (ids, counters, timestamps).
+    let mut d = b'0';
+    while d <= b'9' {
+        rank[d as usize] = 170;
+        d += 1;
+    }
+    rank
+};
+
+/// Distinct anchor bytes above which the record scan falls back from
+/// the SWAR masked loop to the per-byte table loop: each extra anchor
+/// costs one `eq_mask` (4 ALU ops) per 8-byte chunk, so past this point
+/// the fused masks stop beating one table lookup per byte.
+const MAX_SWAR_ANCHORS: usize = 8;
+
+/// One anchored disjunct.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Index into the predicate (clause) list, not the server id.
+    pred: u32,
+    /// Anchor offset within `prefix`.
+    offset: u32,
+    /// The needle that must start at `position - offset`: a `Find`
+    /// needle, or a `KeyThenValue` key.
+    prefix: Box<[u8]>,
+    /// `Some` for `KeyThenValue`: the value searched in the window
+    /// between the key end and the next `,`.
+    value: Option<Finder>,
+}
+
+/// A set of clause patterns compiled for one-pass evaluation.
+#[derive(Debug, Clone)]
+pub struct PatternSet {
+    pred_count: usize,
+    atoms: Vec<Atom>,
+    /// CSR bucket offsets: atoms anchored on byte `b` are
+    /// `bucket_atoms[bucket_start[b]..bucket_start[b + 1]]`. Boxed
+    /// fixed-size arrays so `u8` indexing needs no bounds check in the
+    /// per-byte scan.
+    bucket_start: Box<[u32; 257]>,
+    bucket_atoms: Vec<u32>,
+    /// 256-entry anchor membership table (`true` ⇔ non-empty bucket).
+    is_anchor: Box<[bool; 256]>,
+    /// Broadcast words of every distinct anchor byte, when there are
+    /// at most [`MAX_SWAR_ANCHORS`]: the record scan then tests eight
+    /// positions per iteration by OR-ing one [`swar::eq_mask`] per
+    /// anchor byte over a single load. Empty ⇒ per-byte table scan.
+    anchor_pats: Vec<u64>,
+    /// Predicate indices that match every record (an empty `Find`
+    /// needle — the empty string occurs in anything).
+    always: Vec<u32>,
+    /// `(predicate index, pattern)` pairs the scan cannot anchor (an
+    /// empty `KeyThenValue` key); evaluated per record the scalar way.
+    fallback: Vec<(u32, CompiledPattern)>,
+}
+
+impl Default for PatternSet {
+    fn default() -> PatternSet {
+        PatternSet {
+            pred_count: 0,
+            atoms: Vec::new(),
+            bucket_start: Box::new([0; 257]),
+            bucket_atoms: Vec::new(),
+            is_anchor: Box::new([false; 256]),
+            anchor_pats: Vec::new(),
+            always: Vec::new(),
+            fallback: Vec::new(),
+        }
+    }
+}
+
+impl PatternSet {
+    /// Compiles the clause patterns of a plan, in pushdown order.
+    pub fn new<'a>(clauses: impl IntoIterator<Item = &'a ClausePattern>) -> PatternSet {
+        let mut set = PatternSet::default();
+        let mut anchored: Vec<(u8, u32)> = Vec::new(); // (anchor byte, atom idx)
+        for (p, clause) in clauses.into_iter().enumerate() {
+            let p = p as u32;
+            set.pred_count += 1;
+            for pattern in &clause.patterns {
+                let (prefix, value) = match pattern {
+                    Pattern::Find { needle } => (needle.as_bytes(), None),
+                    Pattern::KeyThenValue { key, value } => {
+                        (key.as_bytes(), Some(Finder::new(value)))
+                    }
+                };
+                if prefix.is_empty() {
+                    match value {
+                        // find("") matches every record.
+                        None => set.always.push(p),
+                        // An empty key anchors nowhere; keep exact
+                        // semantics via the scalar matcher.
+                        Some(_) => set.fallback.push((p, CompiledPattern::new(pattern))),
+                    }
+                    continue;
+                }
+                let offset = prefix
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &b)| BYTE_RANK[b as usize])
+                    .map_or(0, |(i, _)| i);
+                anchored.push((prefix[offset], set.atoms.len() as u32));
+                set.atoms.push(Atom {
+                    pred: p,
+                    offset: offset as u32,
+                    prefix: prefix.into(),
+                    value,
+                });
+            }
+        }
+        set.always.sort_unstable();
+        set.always.dedup();
+
+        // CSR buckets: counting sort over the anchor byte.
+        let mut counts = [0u32; 256];
+        for &(b, _) in &anchored {
+            counts[b as usize] += 1;
+        }
+        let mut start = [0u32; 257];
+        for b in 0..256 {
+            start[b + 1] = start[b] + counts[b];
+            set.is_anchor[b] = counts[b] != 0;
+        }
+        let mut bucket_atoms = vec![0u32; anchored.len()];
+        let mut cursor = start;
+        for &(b, atom) in &anchored {
+            bucket_atoms[cursor[b as usize] as usize] = atom;
+            cursor[b as usize] += 1;
+        }
+        set.bucket_start = Box::new(start);
+        set.bucket_atoms = bucket_atoms;
+        let distinct = (0..256).filter(|&b| set.is_anchor[b]).count();
+        if (1..=MAX_SWAR_ANCHORS).contains(&distinct) {
+            set.anchor_pats = (0..256u32)
+                .filter(|&b| set.is_anchor[b as usize])
+                .map(|b| swar::broadcast(b as u8))
+                .collect();
+        }
+        set
+    }
+
+    /// Number of compiled predicates (clauses).
+    pub fn predicate_count(&self) -> usize {
+        self.pred_count
+    }
+
+    /// Evaluates every predicate against one record in a single pass.
+    ///
+    /// `matched` is cleared and resized to the predicate count; entry
+    /// `p` is `true` ⇔ predicate `p` (in compile order) matches. The
+    /// buffer is caller-owned so chunk loops allocate once.
+    pub fn eval_into(&self, record: &[u8], matched: &mut Vec<bool>) {
+        matched.clear();
+        matched.resize(self.pred_count, false);
+        let mut remaining = self.pred_count;
+
+        for &p in &self.always {
+            if !matched[p as usize] {
+                matched[p as usize] = true;
+                remaining -= 1;
+            }
+        }
+        for (p, pattern) in &self.fallback {
+            if !matched[*p as usize] && pattern.is_match(record) {
+                matched[*p as usize] = true;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 || self.atoms.is_empty() {
+            return;
+        }
+
+        let mut i = 0;
+        if !self.anchor_pats.is_empty() {
+            // SWAR scan: one load covers eight positions; each anchor
+            // byte contributes one eq_mask. A zero combined mask (the
+            // common case — anchors are chosen rare) skips the whole
+            // chunk for ~4 ALU ops per anchor byte.
+            while i + 8 <= record.len() {
+                let chunk = swar::load_le(record, i);
+                let mut m = 0u64;
+                for &pat in &self.anchor_pats {
+                    m |= swar::eq_mask(chunk, pat);
+                }
+                while m != 0 {
+                    let at = i + swar::first_lane(m);
+                    m = swar::clear_first_lane(m);
+                    let b = record[at];
+                    // eq_mask lanes above a true match can be false
+                    // positives; the membership table re-verifies.
+                    if self.is_anchor[b as usize]
+                        && self.check_bucket(record, at, b, matched, &mut remaining)
+                    {
+                        return;
+                    }
+                }
+                i += 8;
+            }
+        }
+        for at in i..record.len() {
+            let b = record[at];
+            if self.is_anchor[b as usize]
+                && self.check_bucket(record, at, b, matched, &mut remaining)
+            {
+                return;
+            }
+        }
+    }
+
+    /// Verifies every unmatched atom of byte `b`'s bucket against the
+    /// anchor position `at`. Returns `true` when every predicate has
+    /// now matched (the scan can stop).
+    #[inline]
+    fn check_bucket(
+        &self,
+        record: &[u8],
+        at: usize,
+        b: u8,
+        matched: &mut [bool],
+        remaining: &mut usize,
+    ) -> bool {
+        let s = self.bucket_start[b as usize] as usize;
+        let e = self.bucket_start[b as usize + 1] as usize;
+        for &ai in &self.bucket_atoms[s..e] {
+            let atom = &self.atoms[ai as usize];
+            if matched[atom.pred as usize] {
+                continue;
+            }
+            if self.verify(atom, record, at) {
+                matched[atom.pred as usize] = true;
+                *remaining -= 1;
+                if *remaining == 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Convenience wrapper allocating a fresh buffer.
+    pub fn eval(&self, record: &[u8]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.eval_into(record, &mut out);
+        out
+    }
+
+    /// Checks one atom whose anchor byte sits at `record[at]`.
+    #[inline]
+    fn verify(&self, atom: &Atom, record: &[u8], at: usize) -> bool {
+        let offset = atom.offset as usize;
+        if at < offset {
+            return false;
+        }
+        let start = at - offset;
+        let Some(window) = record.get(start..start + atom.prefix.len()) else {
+            return false;
+        };
+        if window != &atom.prefix[..] {
+            return false;
+        }
+        match &atom.value {
+            None => true,
+            Some(value) => {
+                // Key found: search the value between the key end and
+                // the next `,` — exactly CompiledPattern's window rule.
+                let wstart = start + atom.prefix.len();
+                let wend = swar::memchr_from(b',', record, wstart).unwrap_or(record.len());
+                value.find(&record[wstart..wend]).is_some()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw_eval::CompiledClause;
+    use ciao_predicate::{compile_clause, parse_clause};
+
+    fn pattern(text: &str) -> ClausePattern {
+        compile_clause(&parse_clause(text).unwrap()).unwrap()
+    }
+
+    fn reference(clauses: &[ClausePattern], record: &str) -> Vec<bool> {
+        clauses
+            .iter()
+            .map(|c| CompiledClause::new(c).is_match(record.as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn one_pass_agrees_with_per_needle_loop() {
+        let clauses = vec![
+            pattern(r#"name = "Bob""#),
+            pattern("stars = 5"),
+            pattern(r#"text LIKE "%delicious%""#),
+            pattern("email != NULL"),
+            pattern(r#"name IN ("Alice","Carol")"#),
+            pattern("isActive = true"),
+        ];
+        let set = PatternSet::new(&clauses);
+        assert_eq!(set.predicate_count(), 6);
+        let records = [
+            r#"{"name":"Bob","stars":5,"text":"so delicious!"}"#,
+            r#"{"name":"Alice","stars":3,"email":"a@b.c"}"#,
+            r#"{"name":"Carol","isActive":true}"#,
+            r#"{"stars":50,"text":"awful"}"#,
+            r#"{}"#,
+            "",
+        ];
+        for rec in records {
+            assert_eq!(
+                set.eval(rec.as_bytes()),
+                reference(&clauses, rec),
+                "record {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_value_checks_every_key_occurrence() {
+        // The nested "age" window lacks "10"; the top-level pair has
+        // it. A first-occurrence-only scan would false-negative.
+        let clauses = vec![pattern("age = 10")];
+        let set = PatternSet::new(&clauses);
+        assert_eq!(set.eval(br#"{"person":{"age":99},"age":10}"#), vec![true]);
+        assert_eq!(set.eval(br#"{"person":{"age":99},"age":11}"#), vec![false]);
+    }
+
+    #[test]
+    fn anchor_offset_near_record_edges() {
+        // Anchor chosen inside the needle: candidate windows straddling
+        // the record start/end must be rejected, not wrap or panic.
+        let clauses = vec![pattern(r#"name = "Bob""#)]; // needle is "Bob" with quotes
+        let set = PatternSet::new(&clauses);
+        assert_eq!(set.eval(b"Bob"), vec![false]); // unquoted, partial
+        assert_eq!(set.eval(br#""Bob""#), vec![true]);
+        assert_eq!(set.eval(br#"Bob""#), vec![false]);
+        assert_eq!(set.eval(br#""Bob"#), vec![false]);
+    }
+
+    #[test]
+    fn empty_pattern_set() {
+        let set = PatternSet::new(&[]);
+        assert_eq!(set.predicate_count(), 0);
+        assert_eq!(set.eval(b"anything"), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn empty_find_needle_always_matches() {
+        let clauses = vec![ClausePattern {
+            patterns: vec![Pattern::Find {
+                needle: String::new(),
+            }],
+        }];
+        let set = PatternSet::new(&clauses);
+        assert_eq!(set.eval(b""), vec![true]);
+        assert_eq!(set.eval(b"x"), vec![true]);
+    }
+
+    #[test]
+    fn empty_key_falls_back_to_scalar_semantics() {
+        let clause = ClausePattern {
+            patterns: vec![Pattern::KeyThenValue {
+                key: String::new(),
+                value: "42".into(),
+            }],
+        };
+        let set = PatternSet::new(std::iter::once(&clause));
+        let reference = CompiledPattern::new(&clause.patterns[0]);
+        for rec in [&b"{\"a\":42}"[..], b"{\"a\":41},42", b"", b"42"] {
+            assert_eq!(
+                set.eval(rec),
+                vec![reference.is_match(rec)],
+                "record {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_still_fills_every_predicate() {
+        // All predicates match in the first few bytes — the early
+        // return must leave a fully-sized, correct buffer.
+        let clauses = vec![pattern(r#"name LIKE "%a%""#), pattern(r#"name LIKE "%b%""#)];
+        let set = PatternSet::new(&clauses);
+        let mut buf = vec![false; 99];
+        set.eval_into(b"ab tail that never needs scanning", &mut buf);
+        assert_eq!(buf, vec![true, true]);
+    }
+}

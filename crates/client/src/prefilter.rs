@@ -1,5 +1,13 @@
 //! Chunk-level prefiltering: raw records in, bitvectors out.
+//!
+//! Since the hot-path rework, the chunk loop evaluates **all**
+//! predicates in one pass per record via a compiled
+//! [`PatternSet`](crate::pattern_set::PatternSet) instead of one
+//! haystack traversal per predicate. The per-needle loop survives as
+//! [`Prefilter::run_chunk_scalar`] — the differential-test oracle and
+//! the benchmark baseline.
 
+use crate::pattern_set::PatternSet;
 use crate::raw_eval::CompiledClause;
 use crate::stats::ClientStats;
 use ciao_bitvec::BitVec;
@@ -82,16 +90,22 @@ impl ChunkFilterResult {
 #[derive(Debug, Clone, Default)]
 pub struct Prefilter {
     predicates: Vec<CompiledPredicate>,
+    /// All clauses compiled for one-pass batched evaluation; order
+    /// matches `predicates`.
+    set: PatternSet,
 }
 
 impl Prefilter {
     /// Builds a prefilter from `(id, pattern)` pairs.
     pub fn new(predicates: impl IntoIterator<Item = (u32, ClausePattern)>) -> Prefilter {
+        let pairs: Vec<(u32, ClausePattern)> = predicates.into_iter().collect();
+        let set = PatternSet::new(pairs.iter().map(|(_, p)| p));
         Prefilter {
-            predicates: predicates
-                .into_iter()
-                .map(|(id, p)| CompiledPredicate::new(id, &p))
+            predicates: pairs
+                .iter()
+                .map(|(id, p)| CompiledPredicate::new(*id, p))
                 .collect(),
+            set,
         }
     }
 
@@ -111,11 +125,34 @@ impl Prefilter {
     }
 
     /// Like [`Prefilter::run_chunk`], also accumulating counters.
+    ///
+    /// One pass per record: the compiled [`PatternSet`] answers every
+    /// predicate from a single traversal instead of `P` of them.
     pub fn run_chunk_with_stats(
         &self,
         chunk: &RecordChunk,
         stats: &mut ClientStats,
     ) -> ChunkFilterResult {
+        let start = Instant::now();
+        let n = chunk.len();
+        let mut bitvecs: Vec<BitVec> = self.predicates.iter().map(|_| BitVec::zeros(n)).collect();
+        let mut matched = Vec::with_capacity(self.predicates.len());
+        for (r, record) in chunk.iter().enumerate() {
+            self.set.eval_into(record.as_bytes(), &mut matched);
+            for (p, &hit) in matched.iter().enumerate() {
+                if hit {
+                    bitvecs[p].set(r, true);
+                }
+            }
+        }
+        let elapsed = start.elapsed();
+        self.finish_result(bitvecs, n, elapsed, stats)
+    }
+
+    /// The pre-batching reference: one haystack traversal per
+    /// predicate. Kept as the differential-test oracle and the
+    /// benchmark baseline for the one-pass path.
+    pub fn run_chunk_scalar(&self, chunk: &RecordChunk) -> ChunkFilterResult {
         let start = Instant::now();
         let n = chunk.len();
         let mut bitvecs: Vec<BitVec> = self.predicates.iter().map(|_| BitVec::zeros(n)).collect();
@@ -128,14 +165,24 @@ impl Prefilter {
             }
         }
         let elapsed = start.elapsed();
-        stats.record_chunk(n, self.predicates.len(), elapsed);
+        self.finish_result(bitvecs, n, elapsed, &mut ClientStats::default())
+    }
+
+    fn finish_result(
+        &self,
+        bitvecs: Vec<BitVec>,
+        records: usize,
+        elapsed: Duration,
+        stats: &mut ClientStats,
+    ) -> ChunkFilterResult {
+        stats.record_chunk(records, self.predicates.len(), elapsed);
         for (p, bv) in bitvecs.iter().enumerate() {
             stats.record_matches(self.predicates[p].id, bv.count_ones());
         }
         ChunkFilterResult {
             predicate_ids: self.predicates.iter().map(|p| p.id).collect(),
             bitvecs,
-            records: n,
+            records,
             elapsed,
         }
     }
@@ -209,6 +256,20 @@ mod tests {
         let pf = Prefilter::new([(0, pattern(r#"name IN ("Bob","John")"#))]);
         let res = pf.run_chunk(&chunk());
         assert_eq!(res.bitvecs[0].ones_positions(), vec![0, 2]);
+    }
+
+    #[test]
+    fn batched_path_matches_scalar_path() {
+        let pf = Prefilter::new([
+            (0, pattern(r#"name = "Bob""#)),
+            (1, pattern("stars = 5")),
+            (2, pattern(r#"name IN ("Bob","John")"#)),
+            (3, pattern("stars = 1")),
+        ]);
+        let batched = pf.run_chunk(&chunk());
+        let scalar = pf.run_chunk_scalar(&chunk());
+        assert_eq!(batched.predicate_ids, scalar.predicate_ids);
+        assert_eq!(batched.bitvecs, scalar.bitvecs);
     }
 
     #[test]

@@ -3,8 +3,25 @@
 //! The client evaluates every predicate with substring search (the
 //! paper uses C++ `string::find`). Patterns here are compiled once per
 //! pushdown plan and reused across millions of records, so [`Finder`]
-//! precomputes a Boyer–Moore–Horspool bad-character table per needle
-//! and adds a cheap first-byte skip for short needles.
+//! precomputes everything it can per needle:
+//!
+//! * a **SWAR anchor scan** — the first and last needle bytes are
+//!   broadcast across `u64` words and compared against eight window
+//!   positions at a time ([`crate::swar`]); only positions where both
+//!   anchors line up are verified with a full byte compare. This is the
+//!   `memmem` shape used by memchr-style libraries, in portable safe
+//!   Rust.
+//! * a **Boyer–Moore–Horspool** bad-character table, used for the
+//!   sub-word tail of every haystack and as the scalar reference
+//!   implementation ([`Finder::find_from_scalar`]) that the SWAR path
+//!   is differentially tested against.
+
+use crate::swar;
+
+/// Haystacks shorter than this skip SWAR setup and go straight to the
+/// scalar loop (the broadcast/load machinery costs more than it saves
+/// on tiny records).
+const SWAR_MIN_HAYSTACK: usize = 24;
 
 /// A reusable compiled searcher for one needle.
 #[derive(Debug, Clone)]
@@ -14,6 +31,10 @@ pub struct Finder {
     /// may jump when the last byte mismatches. Boxed so a `Finder` (and
     /// everything holding one, like compiled plans) stays small to move.
     shift: Box<[usize; 256]>,
+    /// First needle byte broadcast across a word (SWAR anchor #1).
+    first_bc: u64,
+    /// Last needle byte broadcast across a word (SWAR anchor #2).
+    last_bc: u64,
 }
 
 impl Finder {
@@ -28,7 +49,14 @@ impl Finder {
                 shift[b as usize] = n - 1 - i;
             }
         }
-        Finder { needle, shift }
+        let first_bc = swar::broadcast(needle.first().copied().unwrap_or(0));
+        let last_bc = swar::broadcast(needle.last().copied().unwrap_or(0));
+        Finder {
+            needle,
+            shift,
+            first_bc,
+            last_bc,
+        }
     }
 
     /// The needle bytes.
@@ -56,7 +84,33 @@ impl Finder {
     }
 
     /// Finds the first occurrence at or after byte offset `start`.
+    ///
+    /// Dispatch: SWAR anchor scan for word-sized haystacks, Horspool
+    /// for the rest. Both share the degenerate-case handling here, so
+    /// they agree byte-for-byte (property-tested in
+    /// `tests/search_props.rs`).
     pub fn find_from(&self, haystack: &[u8], start: usize) -> Option<usize> {
+        let n = self.needle.len();
+        if n == 0 {
+            return (start <= haystack.len()).then_some(start);
+        }
+        if start >= haystack.len() || haystack.len() - start < n {
+            return None;
+        }
+        if haystack.len() - start < SWAR_MIN_HAYSTACK {
+            return self.horspool(haystack, start);
+        }
+        if n == 1 {
+            return swar::memchr_from(self.needle[0], haystack, start);
+        }
+        self.find_swar(haystack, start)
+    }
+
+    /// The scalar reference implementation (pure Horspool, no SWAR).
+    ///
+    /// Kept public so differential tests and the hot-path benchmarks
+    /// can pit the SWAR path against the exact code it replaced.
+    pub fn find_from_scalar(&self, haystack: &[u8], start: usize) -> Option<usize> {
         let n = self.needle.len();
         if n == 0 {
             return (start <= haystack.len()).then_some(start);
@@ -71,6 +125,44 @@ impl Finder {
                 .position(|&x| x == b)
                 .map(|p| p + start);
         }
+        self.horspool(haystack, start)
+    }
+
+    /// SWAR scan: compare eight window positions per iteration against
+    /// the first and last needle bytes; verify full equality only where
+    /// both anchors hit. Falls back to Horspool for the final windows a
+    /// word no longer covers.
+    ///
+    /// Caller guarantees `n >= 2` and at least one window at `start`.
+    fn find_swar(&self, haystack: &[u8], start: usize) -> Option<usize> {
+        let n = self.needle.len();
+        let mut i = start;
+        // Window positions i..i+8 need loads at [i, i+8) and
+        // [i+n-1, i+n+7), so the last full iteration starts at
+        // haystack.len() - n - 7.
+        while i + n + 7 <= haystack.len() {
+            let first = swar::load_le(haystack, i);
+            let last = swar::load_le(haystack, i + n - 1);
+            let mut m = swar::eq_mask(first, self.first_bc) & swar::eq_mask(last, self.last_bc);
+            while m != 0 {
+                let at = i + swar::first_lane(m);
+                // Anchors (and mask false positives) verified by the
+                // full compare; lanes are visited lowest-first so the
+                // first hit is the leftmost match.
+                if haystack[at..at + n] == self.needle[..] {
+                    return Some(at);
+                }
+                m = swar::clear_first_lane(m);
+            }
+            i += 8;
+        }
+        self.horspool(haystack, i)
+    }
+
+    /// Horspool with the precomputed bad-character table. Caller
+    /// guarantees `n >= 1`; handles `start` beyond the last window.
+    fn horspool(&self, haystack: &[u8], start: usize) -> Option<usize> {
+        let n = self.needle.len();
         let last = n - 1;
         let last_byte = self.needle[last];
         let mut i = start;
@@ -111,6 +203,19 @@ pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     Finder::new(needle).find(haystack)
 }
 
+/// `memmem`-equivalent one-shot search, mirroring the libc/memchr-crate
+/// signature so call sites read the same as the ecosystem idiom.
+#[inline]
+pub fn memmem(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    find(haystack, needle)
+}
+
+/// `memchr`-equivalent one-shot byte search (SWAR, no compilation).
+#[inline]
+pub fn memchr(byte: u8, haystack: &[u8]) -> Option<usize> {
+    swar::memchr(byte, haystack)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +235,10 @@ mod tests {
         assert_eq!(f.find(b"a,b,c"), Some(1));
         assert_eq!(f.find_from(b"a,b,c", 2), Some(3));
         assert_eq!(f.find_from(b"a,b,c", 4), None);
+        // Long enough to take the SWAR memchr path.
+        let hay = b"abcdefghijklmnopqrstuvwxyz0123456789,tail";
+        assert_eq!(f.find(hay), Some(36));
+        assert_eq!(f.find_from(hay, 37), None);
     }
 
     #[test]
@@ -150,6 +259,43 @@ mod tests {
         assert_eq!(f.find_from(b"abab", 1), Some(2));
         assert_eq!(f.find_from(b"abab", 3), None);
         assert_eq!(f.find_from(b"abab", 100), None);
+    }
+
+    #[test]
+    fn needle_at_exact_end_of_haystack() {
+        // Regression: the match's last byte is the haystack's last byte
+        // — the SWAR last-anchor load must not walk off the end, and the
+        // Horspool tail must still consider the final window.
+        for pad in 0..40 {
+            let mut hay = vec![b'x'; pad];
+            hay.extend_from_slice(b"needle");
+            let f = Finder::new("needle");
+            assert_eq!(f.find(&hay), Some(pad), "pad {pad}");
+            assert_eq!(f.find_from(&hay, pad), Some(pad), "pad {pad} from pad");
+        }
+        // Two-byte needle at the very end, across both dispatch paths.
+        for pad in [0, 1, 7, 8, 22, 23, 24, 31, 63, 64] {
+            let mut hay = vec![b'.'; pad];
+            hay.extend_from_slice(b"zq");
+            let f = Finder::new("zq");
+            assert_eq!(f.find(&hay), Some(pad), "pad {pad}");
+        }
+    }
+
+    #[test]
+    fn start_past_last_possible_match() {
+        // Regression: `start` inside the haystack but past the last
+        // window that could fit the needle must return None, not panic
+        // or scan out of bounds — on both paths.
+        let mut hay = vec![b'a'; 40];
+        hay.extend_from_slice(b"needle");
+        let f = Finder::new("needle");
+        let last = hay.len() - 6;
+        assert_eq!(f.find_from(&hay, last), Some(last));
+        for s in last + 1..=hay.len() + 2 {
+            assert_eq!(f.find_from(&hay, s), None, "start {s}");
+            assert_eq!(f.find_from_scalar(&hay, s), None, "scalar start {s}");
+        }
     }
 
     #[test]
@@ -182,6 +328,10 @@ mod tests {
         let f = Finder::new([0u8, 255, 0]);
         let hay = [1u8, 0, 255, 0, 2];
         assert_eq!(f.find(&hay), Some(1));
+        // Zero-byte needle anchors through the SWAR path too.
+        let mut long = vec![1u8; 40];
+        long.extend_from_slice(&[0, 255, 0]);
+        assert_eq!(f.find(&long), Some(40));
     }
 
     #[test]
@@ -195,19 +345,51 @@ mod tests {
             r#"{"name":"Bob","age":22}"#,
             "ababababab",
             "xyzxyzxyz",
+            "the quick brown fox jumps over the lazy dog, twice over",
         ];
         let needles = ["", "a", "ab", "Bob", "\"age\"", "xyz", "b\"", "zz", "fox"];
         for h in &hays {
             for n in &needles {
-                let ours = Finder::new(n).find(h.as_bytes());
+                let f = Finder::new(n);
                 let std = h.find(n);
-                assert_eq!(ours, std, "mismatch for needle {n:?} in {h:?}");
+                assert_eq!(f.find(h.as_bytes()), std, "swar: needle {n:?} in {h:?}");
+                assert_eq!(
+                    f.find_from_scalar(h.as_bytes(), 0),
+                    std,
+                    "scalar: needle {n:?} in {h:?}"
+                );
             }
         }
     }
 
     #[test]
-    fn one_shot_helper() {
+    fn swar_and_scalar_agree_across_offsets() {
+        // A haystack long enough that matches land in every lane of the
+        // 8-wide SWAR batch, for several needle lengths around word
+        // boundaries.
+        let hay: Vec<u8> = (0..200u32)
+            .flat_map(|i| [b'a' + (i % 17) as u8, b'_'])
+            .collect();
+        for n_len in [2usize, 3, 7, 8, 9, 15, 16, 17] {
+            for at in 0..hay.len().saturating_sub(n_len) {
+                let needle = &hay[at..at + n_len];
+                let f = Finder::new(needle);
+                for start in [0, 1, at.saturating_sub(3), at, at + 1] {
+                    assert_eq!(
+                        f.find_from(&hay, start),
+                        f.find_from_scalar(&hay, start),
+                        "len {n_len} at {at} start {start}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_helpers() {
         assert_eq!(find(b"hello world", b"world"), Some(6));
+        assert_eq!(memmem(b"hello world", b"world"), Some(6));
+        assert_eq!(memchr(b'w', b"hello world"), Some(6));
+        assert_eq!(memchr(b'z', b"hello world"), None);
     }
 }

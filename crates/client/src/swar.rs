@@ -1,0 +1,149 @@
+//! SWAR (SIMD-within-a-register) byte-scan primitives.
+//!
+//! The client's hot loop is "find a byte (or a byte pair) in a raw
+//! record". These helpers process the haystack a `u64` at a time:
+//! broadcast the wanted byte across a word, XOR against eight haystack
+//! bytes loaded at once, and use the classic zero-byte trick to get a
+//! per-lane candidate mask. One iteration inspects eight positions for
+//! a handful of ALU ops instead of eight bounds-checked loads.
+//!
+//! The candidate mask is **conservative**: a lane's bit is always set
+//! when the lane matches, and may rarely be set when it does not (the
+//! zero-byte trick borrows across lanes). Every caller re-verifies the
+//! candidate byte(s), so false positives cost a compare, never a wrong
+//! answer — the same FP-but-never-FN contract the rest of CIAO runs on.
+
+/// `0x01` in every lane.
+pub const LO: u64 = 0x0101_0101_0101_0101;
+/// `0x80` in every lane.
+pub const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcasts one byte to all eight lanes.
+#[inline(always)]
+pub fn broadcast(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// Loads 8 haystack bytes starting at `i` as a little-endian word, so
+/// lane `j` (bits `8j..8j+8`) is byte `haystack[i + j]` regardless of
+/// host endianness.
+///
+/// # Panics
+///
+/// Panics when fewer than 8 bytes remain at `i`.
+#[inline(always)]
+pub fn load_le(haystack: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(haystack[i..i + 8].try_into().unwrap())
+}
+
+/// Candidate-match mask: bit 7 of lane `j` is set when byte `j` of
+/// `chunk` *may* equal the byte broadcast into `pattern`.
+///
+/// Exact for the lowest candidate lane; lanes above a true match can be
+/// false positives (subtraction borrow), so callers must verify.
+#[inline(always)]
+pub fn eq_mask(chunk: u64, pattern: u64) -> u64 {
+    let x = chunk ^ pattern;
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Index of the lowest candidate lane in a non-zero [`eq_mask`] result.
+#[inline(always)]
+pub fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() as usize) >> 3
+}
+
+/// Clears the lowest candidate lane of a mask.
+#[inline(always)]
+pub fn clear_first_lane(mask: u64) -> u64 {
+    mask & (mask - 1)
+}
+
+/// SWAR `memchr`: first occurrence of `b` in `haystack[start..]`,
+/// as an index into `haystack`.
+#[inline]
+pub fn memchr_from(b: u8, haystack: &[u8], start: usize) -> Option<usize> {
+    let n = haystack.len();
+    if start >= n {
+        return None;
+    }
+    let pat = broadcast(b);
+    let mut i = start;
+    while i + 8 <= n {
+        let mut m = eq_mask(load_le(haystack, i), pat);
+        while m != 0 {
+            let at = i + first_lane(m);
+            // Verify: eq_mask may set lanes above a true match.
+            if haystack[at] == b {
+                return Some(at);
+            }
+            m = clear_first_lane(m);
+        }
+        i += 8;
+    }
+    haystack[i..].iter().position(|&x| x == b).map(|p| p + i)
+}
+
+/// SWAR `memchr` over a whole slice.
+#[inline]
+pub fn memchr(b: u8, haystack: &[u8]) -> Option<usize> {
+    memchr_from(b, haystack, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_fills_lanes() {
+        assert_eq!(broadcast(0xAB), 0xABAB_ABAB_ABAB_ABAB);
+        assert_eq!(broadcast(0), 0);
+    }
+
+    #[test]
+    fn eq_mask_finds_every_true_lane() {
+        // The mask must never miss a genuine match (no false negatives),
+        // whatever the surrounding bytes are.
+        for lane in 0..8 {
+            let mut bytes = [0x55u8; 8];
+            bytes[lane] = 0x7F;
+            let chunk = u64::from_le_bytes(bytes);
+            let m = eq_mask(chunk, broadcast(0x7F));
+            assert_ne!(m & (0x80u64 << (8 * lane)), 0, "lane {lane} missed");
+        }
+    }
+
+    #[test]
+    fn eq_mask_borrow_false_positive_is_verifiable() {
+        // 0x00 then 0x01 with pattern 0x00: the borrow from lane 0 can
+        // flag lane 1 too — callers verify, so document the behaviour.
+        let chunk = u64::from_le_bytes([0x00, 0x01, 2, 3, 4, 5, 6, 7]);
+        let m = eq_mask(chunk, broadcast(0x00));
+        assert_ne!(m & 0x80, 0, "true match in lane 0 must be flagged");
+    }
+
+    #[test]
+    fn memchr_matches_naive_on_exhaustive_small_inputs() {
+        let hay: Vec<u8> = (0..64u8).map(|i| i % 7).collect();
+        for b in 0..8u8 {
+            for start in 0..=hay.len() + 1 {
+                let ours = memchr_from(b, &hay, start);
+                let naive = hay
+                    .iter()
+                    .enumerate()
+                    .skip(start.min(hay.len()))
+                    .find(|&(_, &x)| x == b)
+                    .map(|(i, _)| i);
+                assert_eq!(ours, naive, "byte {b} from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn memchr_tail_shorter_than_a_word() {
+        assert_eq!(memchr(b'x', b"abcx"), Some(3));
+        assert_eq!(memchr(b'x', b"abc"), None);
+        assert_eq!(memchr(b'x', b""), None);
+        assert_eq!(memchr(0xFF, &[0u8, 0xFF]), Some(1));
+    }
+}

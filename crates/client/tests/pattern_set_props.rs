@@ -1,0 +1,99 @@
+//! Differential property tests for the batched multi-pattern engine:
+//! [`PatternSet::eval`] over a random clause mix must be bit-identical
+//! to evaluating each clause's [`CompiledClause`] independently — the
+//! one-pass bucket scan, the SWAR anchor masks, the early exit, and
+//! the empty-needle/empty-key special cases may change *cost*, never
+//! *answers*.
+
+use ciao_client::raw_eval::CompiledClause;
+use ciao_client::PatternSet;
+use ciao_predicate::{ClausePattern, Pattern};
+use proptest::prelude::*;
+
+/// Needles/keys drawn from a tiny alphabet so anchors collide across
+/// atoms and buckets hold several entries; empties included (the
+/// always-match and scalar-fallback paths).
+fn arb_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[ab\"]{1,6}".prop_map(String::from),
+        "[ab\"]{1,6}".prop_map(String::from),
+        "[ab\"]{1,6}".prop_map(String::from),
+        Just(String::new()),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        arb_token().prop_map(|needle| Pattern::Find { needle }),
+        (arb_token(), arb_token()).prop_map(|(key, value)| Pattern::KeyThenValue { key, value }),
+    ]
+}
+
+/// A clause is a disjunction of 1–3 patterns (IN-lists compile to
+/// several disjuncts).
+fn arb_clause() -> impl Strategy<Value = ClausePattern> {
+    prop::collection::vec(arb_pattern(), 1..=3).prop_map(|patterns| ClausePattern { patterns })
+}
+
+/// Records over the same alphabet, with JSON structure bytes mixed in
+/// so `KeyThenValue`'s `,`-bounded window rule gets exercised.
+fn arb_record() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"ab\",:{}x".to_vec()), 0..=60)
+}
+
+fn reference(clauses: &[ClausePattern], record: &[u8]) -> Vec<bool> {
+    clauses
+        .iter()
+        .map(|c| CompiledClause::new(c).is_match(record))
+        .collect()
+}
+
+proptest! {
+    /// Random clause set, random record: one-pass and per-needle agree
+    /// on every predicate bit.
+    #[test]
+    fn one_pass_is_bit_identical_to_per_needle(
+        clauses in prop::collection::vec(arb_clause(), 0..=12),
+        record in arb_record(),
+    ) {
+        let set = PatternSet::new(&clauses);
+        prop_assert_eq!(set.predicate_count(), clauses.len());
+        prop_assert_eq!(
+            set.eval(&record),
+            reference(&clauses, &record),
+            "clauses {:?} record {:?}",
+            clauses,
+            std::str::from_utf8(&record)
+        );
+    }
+
+    /// More than [`MAX_SWAR_ANCHORS`] distinct anchor bytes forces the
+    /// per-byte table scan; a wide alphabet makes that likely, so both
+    /// scan strategies get differential coverage.
+    #[test]
+    fn wide_alphabet_exercises_the_table_scan(
+        needles in prop::collection::vec("[a-z0-9]{1,4}", 9..=20),
+        record in prop::collection::vec(prop::sample::select(b"abcdefghijklmnop0123456789,\"".to_vec()), 0..=80),
+    ) {
+        let clauses: Vec<ClausePattern> = needles
+            .into_iter()
+            .map(|needle| ClausePattern { patterns: vec![Pattern::Find { needle }] })
+            .collect();
+        let set = PatternSet::new(&clauses);
+        prop_assert_eq!(set.eval(&record), reference(&clauses, &record));
+    }
+
+    /// Reused output buffer: a dirty, wrongly-sized buffer must come
+    /// back exactly as a fresh one would.
+    #[test]
+    fn eval_into_resets_the_buffer(
+        clauses in prop::collection::vec(arb_clause(), 0..=6),
+        record in arb_record(),
+        garbage in prop::collection::vec(any::<bool>(), 0..=20),
+    ) {
+        let set = PatternSet::new(&clauses);
+        let mut buf = garbage;
+        set.eval_into(&record, &mut buf);
+        prop_assert_eq!(buf, set.eval(&record));
+    }
+}

@@ -1,0 +1,125 @@
+//! Differential property tests for the SWAR substring kernel: on every
+//! input, `Finder::find_from` (SWAR anchor scan + Horspool verify),
+//! `Finder::find_from_scalar` (pure Horspool), and a naive
+//! `windows()` reference must return the *same* offset — not just
+//! agree on match/no-match. The SWAR mask is allowed false-positive
+//! candidate lanes, never false negatives, and verification must erase
+//! the difference entirely.
+
+use ciao_client::Finder;
+use proptest::prelude::*;
+
+/// The naive reference: first window equal to the needle at or after
+/// `start`. For the empty needle every position matches, including the
+/// one-past-the-end position — the convention `str::find` uses and
+/// `Finder` documents.
+fn naive_find_from(needle: &[u8], haystack: &[u8], start: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return (start <= haystack.len()).then_some(start);
+    }
+    if start > haystack.len() || haystack.len() - start < needle.len() {
+        return None;
+    }
+    haystack[start..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + start)
+}
+
+/// Low-entropy byte strings so matches and near-matches are common;
+/// `\\` and quotes keep the escaped-JSON shapes in play.
+fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::sample::select(b"ab\"\\,:{}\x00\xff".to_vec()),
+            any::<u8>(),
+        ],
+        0..=max,
+    )
+}
+
+fn check_all_offsets(needle: &[u8], haystack: &[u8]) -> Result<(), TestCaseError> {
+    let finder = Finder::new(needle);
+    for start in 0..=haystack.len() + 1 {
+        let expected = naive_find_from(needle, haystack, start);
+        prop_assert_eq!(
+            finder.find_from(haystack, start),
+            expected,
+            "SWAR path diverged: needle {:?} haystack {:?} start {}",
+            needle,
+            haystack,
+            start
+        );
+        prop_assert_eq!(
+            finder.find_from_scalar(haystack, start),
+            expected,
+            "scalar path diverged: needle {:?} haystack {:?} start {}",
+            needle,
+            haystack,
+            start
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Random needle, random haystack: all three implementations agree
+    /// at every start offset.
+    #[test]
+    fn swar_scalar_and_naive_agree(
+        needle in arb_bytes(12),
+        haystack in arb_bytes(200),
+    ) {
+        check_all_offsets(&needle, &haystack)?;
+    }
+
+    /// Needle planted into the haystack so true matches are guaranteed,
+    /// including flush against the end.
+    #[test]
+    fn planted_needles_are_found(
+        needle in arb_bytes(10),
+        mut haystack in arb_bytes(120),
+        plant_at_end in any::<bool>(),
+        seed in 0usize..100,
+    ) {
+        if plant_at_end {
+            haystack.extend_from_slice(&needle);
+        } else {
+            let at = seed % (haystack.len() + 1);
+            for (i, &b) in needle.iter().enumerate() {
+                if at + i < haystack.len() {
+                    haystack[at + i] = b;
+                }
+            }
+        }
+        check_all_offsets(&needle, &haystack)?;
+    }
+
+    /// The degenerate shapes the dispatch special-cases: empty needle
+    /// (matches everywhere, even on the empty haystack) and a needle
+    /// longer than the haystack (never matches).
+    #[test]
+    fn degenerate_needles(haystack in arb_bytes(40)) {
+        check_all_offsets(b"", &haystack)?;
+        let mut long = haystack.clone();
+        long.extend_from_slice(b"x");
+        check_all_offsets(&long, &haystack)?;
+    }
+
+    /// Haystack lengths straddling the SWAR word boundary and the
+    /// SWAR_MIN_HAYSTACK dispatch threshold (the off-by-one territory:
+    /// the SWAR loop bound must leave the last full window reachable).
+    #[test]
+    fn word_boundary_lengths(
+        needle in arb_bytes(9),
+        fill in any::<u8>(),
+        len in prop::sample::select(vec![0usize, 1, 7, 8, 9, 15, 16, 17, 23, 24, 25, 63, 64, 65]),
+    ) {
+        let mut haystack = vec![fill; len];
+        if !needle.is_empty() && len >= needle.len() {
+            let at = len - needle.len();
+            haystack[at..].copy_from_slice(&needle);
+        }
+        check_all_offsets(&needle, &haystack)?;
+    }
+}

@@ -168,7 +168,7 @@ impl BlockBuilder {
             .into_iter()
             .map(ColumnBuilder::finish)
             .collect();
-        let stats = columns.iter().map(compute_stats).collect();
+        let stats = columns.iter().map(ColumnStats::compute).collect();
         let metadata = BlockMetadata::new(self.rows, stats, self.bits);
         Block {
             schema: self.schema,
@@ -176,20 +176,6 @@ impl BlockBuilder {
             metadata,
         }
     }
-}
-
-fn compute_stats(col: &Column) -> ColumnStats {
-    let mut stats = ColumnStats {
-        null_count: col.null_count(),
-        ..ColumnStats::default()
-    };
-    for row in 0..col.len() {
-        if let Cell::Int(v) = col.cell(row) {
-            stats.min_int = Some(stats.min_int.map_or(v, |m| m.min(v)));
-            stats.max_int = Some(stats.max_int.map_or(v, |m| m.max(v)));
-        }
-    }
-    stats
 }
 
 #[cfg(test)]

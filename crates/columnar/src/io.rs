@@ -241,7 +241,7 @@ pub fn read_block(schema: &Arc<Schema>, buf: &mut &[u8]) -> Result<Block, IoErro
         columns.push(col);
     }
     // Recompute stats rather than trusting the producer.
-    let stats: Vec<ColumnStats> = columns.iter().map(recompute_stats).collect();
+    let stats: Vec<ColumnStats> = columns.iter().map(ColumnStats::compute).collect();
     let metadata = BlockMetadata::new(row_count, stats, bitvecs);
     Ok(Block::new(Arc::clone(schema), columns, metadata))
 }
@@ -353,20 +353,6 @@ impl<'a> PageReader<'a> {
         self.buf = &rest[len..];
         Ok(Some((kind, payload)))
     }
-}
-
-fn recompute_stats(col: &Column) -> ColumnStats {
-    let mut stats = ColumnStats {
-        null_count: col.null_count(),
-        ..ColumnStats::default()
-    };
-    for row in 0..col.len() {
-        if let crate::column::Cell::Int(v) = col.cell(row) {
-            stats.min_int = Some(stats.min_int.map_or(v, |m| m.min(v)));
-            stats.max_int = Some(stats.max_int.map_or(v, |m| m.max(v)));
-        }
-    }
-    stats
 }
 
 #[cfg(test)]

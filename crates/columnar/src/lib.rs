@@ -31,6 +31,6 @@ pub use io::{
     crc32, read_block, read_schema, read_table, write_block, write_schema, write_table, IoError,
     PageReader, PageWriter,
 };
-pub use metadata::{BlockMetadata, ColumnStats};
+pub use metadata::{BlockMetadata, ColumnStats, STR_DICT_STATS_MAX};
 pub use schema::{DataType, Field, Schema, SchemaError};
 pub use table::{Table, TableBuilder, DEFAULT_BLOCK_SIZE};

@@ -6,8 +6,14 @@
 //! into the metadata of each data block"). Query processing ANDs the
 //! bitvectors of a query's pushed clauses to skip rows (§VI-B).
 
+use crate::column::{Cell, Column};
 use ciao_bitvec::BitVec;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cardinality ceiling for [`ColumnStats::str_dict`]: above this many
+/// distinct strings a dictionary stops being a useful zone map (and the
+/// column chunk would not dictionary-encode well on disk either).
+pub const STR_DICT_STATS_MAX: usize = 32;
 
 /// Per-column statistics, kept for min/max pruning and diagnostics.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -18,6 +24,65 @@ pub struct ColumnStats {
     pub min_int: Option<i64>,
     /// Maximum integer value.
     pub max_int: Option<i64>,
+    /// Every distinct non-null string of a low-cardinality string
+    /// column chunk (sorted), mirroring the on-disk dictionary
+    /// encoding. `Some` ⇒ the list is **complete**, so a value absent
+    /// from it provably matches no row — the string analogue of the
+    /// int min/max zone map. `None` when cardinality exceeds
+    /// [`STR_DICT_STATS_MAX`] or the column holds no strings.
+    pub str_dict: Option<Vec<String>>,
+}
+
+impl ColumnStats {
+    /// Computes the statistics of one column chunk. The single
+    /// implementation behind both the block-build path and the
+    /// snapshot-reload path, so pruning behaves identically across a
+    /// restart.
+    pub fn compute(col: &Column) -> ColumnStats {
+        let mut stats = ColumnStats {
+            null_count: col.null_count(),
+            ..ColumnStats::default()
+        };
+        let mut dict: BTreeSet<&str> = BTreeSet::new();
+        let mut dict_overflow = false;
+        for row in 0..col.len() {
+            match col.cell(row) {
+                Cell::Int(v) => {
+                    stats.min_int = Some(stats.min_int.map_or(v, |m| m.min(v)));
+                    stats.max_int = Some(stats.max_int.map_or(v, |m| m.max(v)));
+                }
+                Cell::Str(s) if !dict_overflow => {
+                    dict.insert(s);
+                    if dict.len() > STR_DICT_STATS_MAX {
+                        dict_overflow = true;
+                        dict.clear();
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !dict_overflow && !dict.is_empty() {
+            stats.str_dict = Some(dict.into_iter().map(str::to_owned).collect());
+        }
+        stats
+    }
+
+    /// True when `value` provably matches no row of this column chunk:
+    /// the dictionary is complete and does not contain it.
+    pub fn str_excludes(&self, value: &str) -> bool {
+        match &self.str_dict {
+            Some(dict) => dict.binary_search_by(|e| e.as_str().cmp(value)).is_err(),
+            None => false,
+        }
+    }
+
+    /// True when no string of this column chunk can contain `needle`.
+    pub fn str_excludes_substring(&self, needle: &str) -> bool {
+        match &self.str_dict {
+            Some(dict) => !dict.iter().any(|e| e.contains(needle)),
+            None => false,
+        }
+    }
 }
 
 /// Metadata attached to one block.
@@ -73,18 +138,11 @@ impl BlockMetadata {
     /// callers must treat as "cannot skip, scan everything":
     /// a missing bitvector says nothing about which rows qualify.
     pub fn skip_mask(&self, predicate_ids: &[u32]) -> Option<BitVec> {
-        let mut acc: Option<BitVec> = None;
-        for id in predicate_ids {
-            let bv = self.bitvectors.get(id)?;
-            acc = Some(match acc {
-                None => bv.clone(),
-                Some(mut m) => {
-                    m.and_assign(bv);
-                    m
-                }
-            });
-        }
-        acc
+        let bvs: Vec<&BitVec> = predicate_ids
+            .iter()
+            .map(|id| self.bitvectors.get(id))
+            .collect::<Option<_>>()?;
+        BitVec::and_all(&bvs)
     }
 }
 
@@ -109,6 +167,42 @@ mod tests {
             m.bitvectors().map(|(id, _)| id).collect::<Vec<_>>(),
             vec![1, 2]
         );
+    }
+
+    #[test]
+    fn stats_build_a_complete_string_dictionary() {
+        let mut b = crate::column::ColumnBuilder::new(crate::schema::DataType::Str);
+        for i in 0..100 {
+            b.push(Some(&ciao_json::JsonValue::String(format!(
+                "lvl-{}",
+                i % 3
+            ))));
+        }
+        b.push(None);
+        let col = b.finish();
+        let stats = ColumnStats::compute(&col);
+        assert_eq!(stats.null_count, 1);
+        assert_eq!(
+            stats.str_dict,
+            Some(vec!["lvl-0".into(), "lvl-1".into(), "lvl-2".into()])
+        );
+        assert!(!stats.str_excludes("lvl-1"));
+        assert!(stats.str_excludes("lvl-9"));
+        assert!(!stats.str_excludes_substring("vl-2"));
+        assert!(stats.str_excludes_substring("zzz"));
+    }
+
+    #[test]
+    fn high_cardinality_drops_the_dictionary() {
+        let mut b = crate::column::ColumnBuilder::new(crate::schema::DataType::Str);
+        for i in 0..(STR_DICT_STATS_MAX + 1) {
+            b.push(Some(&ciao_json::JsonValue::String(format!("unique-{i}"))));
+        }
+        let stats = ColumnStats::compute(&b.finish());
+        assert_eq!(stats.str_dict, None);
+        // No dictionary ⇒ nothing is provably excluded.
+        assert!(!stats.str_excludes("anything"));
+        assert!(!stats.str_excludes_substring("anything"));
     }
 
     #[test]

@@ -64,21 +64,14 @@ impl AdmissionPolicy {
             AdmissionPolicy::PerQueryCoverage { coverage } => {
                 let mut admitted = BitVec::zeros(filter.records);
                 for ids in coverage {
-                    let mut per_query: Option<BitVec> = None;
-                    for id in ids {
-                        // A missing bitvector means the client never
-                        // evaluated this predicate — be conservative
-                        // and treat every record as possibly needed.
-                        let bv = filter.bitvec_for(*id)?;
-                        per_query = Some(match per_query {
-                            None => bv.clone(),
-                            Some(mut acc) => {
-                                acc.and_assign(bv);
-                                acc
-                            }
-                        });
-                    }
-                    if let Some(mask) = per_query {
+                    // A missing bitvector means the client never
+                    // evaluated this predicate — be conservative
+                    // and treat every record as possibly needed.
+                    let bvs: Vec<&BitVec> = ids
+                        .iter()
+                        .map(|id| filter.bitvec_for(*id))
+                        .collect::<Option<_>>()?;
+                    if let Some(mask) = BitVec::and_all(&bvs) {
                         admitted.or_assign(&mask);
                     }
                 }

@@ -16,7 +16,14 @@
 //! | `k < v`        | column absent, all-null, or `min ≥ v` |
 //! | `k > v`        | column absent, all-null, or `max ≤ v` |
 //! | `k != NULL`    | column absent or all-null |
-//! | anything else  | never (no stats for strings/bools/floats) |
+//! | `k = "v"`      | column absent, all-null, or the chunk's complete string dictionary lacks `v` |
+//! | `k LIKE "%v%"` | column absent, all-null, or no dictionary entry contains `v` |
+//! | anything else  | never (no stats for bools/floats) |
+//!
+//! The string rules piggyback on the dictionary the on-disk format
+//! already builds for low-cardinality columns
+//! ([`ciao_columnar::ColumnStats::str_dict`]); a high-cardinality chunk
+//! simply has no dictionary and is never pruned.
 //!
 //! A clause (disjunction) is block-false iff **every** disjunct is;
 //! a query is block-false iff **any** clause is (conjunction).
@@ -85,11 +92,14 @@ fn simple_false_for_block(p: &SimplePredicate, block: &Block) -> bool {
             }
         }
         SimplePredicate::NotNull { key } => all_null(key),
-        // No block statistics for string/bool/float columns.
-        SimplePredicate::StrEq { .. }
-        | SimplePredicate::StrContains { .. }
-        | SimplePredicate::BoolEq { .. }
-        | SimplePredicate::FloatEq { .. } => false,
+        SimplePredicate::StrEq { key, value } => {
+            all_null(key) || stats_for(key).is_some_and(|s| s.str_excludes(value))
+        }
+        SimplePredicate::StrContains { key, needle } => {
+            all_null(key) || stats_for(key).is_some_and(|s| s.str_excludes_substring(needle))
+        }
+        // No block statistics for bool/float columns.
+        SimplePredicate::BoolEq { .. } | SimplePredicate::FloatEq { .. } => false,
     }
 }
 
@@ -168,9 +178,35 @@ mod tests {
     }
 
     #[test]
+    fn string_dictionary_pruning() {
+        // names are {"a","b","c"} — low cardinality, so the chunk has a
+        // complete dictionary and absent values prune the block.
+        assert!(can_match(r#"name = "a""#));
+        assert!(!can_match(r#"name = "zzz""#));
+        assert!(can_match(r#"name LIKE "%a%""#));
+        assert!(!can_match(r#"name LIKE "%zzz%""#));
+        // Disjunction: one live disjunct keeps the block.
+        assert!(can_match(r#"name IN ("zzz", "b")"#));
+    }
+
+    #[test]
+    fn high_cardinality_strings_always_scan() {
+        let recs: Vec<_> = (0..100)
+            .map(|i| parse(&format!(r#"{{"name":"unique-{i}"}}"#)).unwrap())
+            .collect();
+        let schema = Arc::new(Schema::infer(&recs).unwrap());
+        let mut tb = TableBuilder::new(schema, &[]);
+        for r in &recs {
+            tb.push_record(r, &BTreeMap::new());
+        }
+        let t = tb.finish();
+        let q = parse_query("q", r#"name = "zzz""#).unwrap();
+        // >32 distinct strings: no dictionary, must scan.
+        assert!(block_can_match(&q, &t.blocks()[0]));
+    }
+
+    #[test]
     fn unprunable_types_always_scan() {
-        assert!(can_match(r#"name = "zzz""#));
-        assert!(can_match(r#"name LIKE "%zzz%""#));
         assert!(can_match("stars = 5.0")); // FloatEq has no stats
     }
 }
