@@ -8,5 +8,6 @@ pub mod fig6;
 pub mod hotpath;
 pub mod micro;
 pub mod service;
+pub mod sql;
 pub mod table4;
 pub mod tables;

@@ -109,6 +109,20 @@ impl Prefilter {
         }
     }
 
+    /// Builds a prefilter straight from predicate clauses — e.g. the
+    /// `WHERE` clauses of a compiled SQL plan — compiling each to its
+    /// pattern form. Clauses with no compilable pattern (none exist
+    /// today) are skipped rather than pushed as always-false.
+    pub fn for_clauses<'a>(
+        clauses: impl IntoIterator<Item = (u32, &'a ciao_predicate::Clause)>,
+    ) -> Prefilter {
+        Prefilter::new(
+            clauses
+                .into_iter()
+                .filter_map(|(id, c)| ciao_predicate::compile_clause(c).map(|p| (id, p))),
+        )
+    }
+
     /// Number of pushed predicates.
     pub fn predicate_count(&self) -> usize {
         self.predicates.len()
@@ -270,6 +284,21 @@ mod tests {
         let scalar = pf.run_chunk_scalar(&chunk());
         assert_eq!(batched.predicate_ids, scalar.predicate_ids);
         assert_eq!(batched.bitvecs, scalar.bitvecs);
+    }
+
+    #[test]
+    fn for_clauses_matches_manual_compilation() {
+        let clauses = [
+            parse_clause(r#"name = "Bob""#).unwrap(),
+            parse_clause("stars = 5").unwrap(),
+        ];
+        let from_clauses =
+            Prefilter::for_clauses(clauses.iter().enumerate().map(|(i, c)| (i as u32, c)));
+        let manual = Prefilter::new([(0, pattern(r#"name = "Bob""#)), (1, pattern("stars = 5"))]);
+        let a = from_clauses.run_chunk(&chunk());
+        let b = manual.run_chunk(&chunk());
+        assert_eq!(a.predicate_ids, b.predicate_ids);
+        assert_eq!(a.bitvecs, b.bitvecs);
     }
 
     #[test]

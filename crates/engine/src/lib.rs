@@ -16,12 +16,22 @@
 //!   (no false negatives), so the parked side is skipped wholesale.
 //!
 //! [`exec::Executor`] ties the two together and reports [`metrics`].
+//!
+//! On top of the count/select primitives sits the SQL execution layer
+//! ([`plan_exec`], [`result`]): [`Executor::execute_plan`] runs a
+//! `ciao_sql` physical plan (projection or grouped aggregation) over
+//! the same two paths — consuming zone maps and fused bitvec
+//! skip-masks so data skipping accelerates aggregates too — and
+//! produces a mergeable [`PartialResult`]; [`finalize`] turns merged
+//! partials into the ordered, limited, typed [`QueryResult`].
 
 #![warn(missing_docs)]
 
 pub mod exec;
 pub mod metrics;
+pub mod plan_exec;
 pub mod raw_scan;
+pub mod result;
 pub mod row_eval;
 pub mod scan;
 pub mod select;
@@ -29,7 +39,9 @@ pub mod zone;
 
 pub use exec::{Executor, QueryOutcome};
 pub use metrics::{QueryMetrics, ScanMetrics};
+pub use plan_exec::{finalize, AggState, PartialData, PartialResult};
 pub use raw_scan::scan_raw_records;
+pub use result::{ColumnDesc, QueryResult};
 pub use row_eval::{eval_clause_on_block, eval_query_on_block, eval_simple_on_block};
 pub use scan::{scan_count, ScanOptions};
 pub use select::{select_from_raw, select_from_table, SelectResult};

@@ -1,0 +1,750 @@
+//! Physical-plan execution: projections and aggregates over the
+//! columnar table plus the parked raw records.
+//!
+//! This is the engine half of the SQL stack. A [`PhysicalPlan`]'s
+//! WHERE conjunction is lowered into predicate [`Clause`]s (via
+//! `ciao_predicate::sql_bridge`) so the routing decision is exactly
+//! the one [`Executor::execute_count`] makes: any pushed clause means
+//! the scan consumes fused bitvec skip-masks and never touches the
+//! parked side; zone maps prune blocks on both paths. The difference
+//! is what happens per surviving row — instead of counting, rows feed
+//! a projection buffer or per-group aggregate states.
+//!
+//! Execution is deliberately split in two so a sharded service can
+//! fan out: [`Executor::execute_plan`] produces a mergeable
+//! [`PartialResult`] per shard, and [`finalize`] turns the merged
+//! partial into the ordered, limited [`QueryResult`]. Determinism is
+//! load-bearing (the tests compare against a full-scan oracle
+//! bit-for-bit): integer sums/averages accumulate exactly in `i128`,
+//! groups live in a `BTreeMap` so output is key-ordered before ORDER
+//! BY, and sorting tie-breaks on the whole row.
+
+use crate::exec::Executor;
+use crate::metrics::QueryMetrics;
+use crate::result::{ColumnDesc, QueryResult};
+use ciao_columnar::{Block, Table};
+use ciao_predicate::{clauses_from_sql, eval_query, Query};
+use ciao_sql::{
+    AggArgRef, AggCall, AggFunc, OutputSource, PhysicalOp, PhysicalPlan, SqlType, SqlValue,
+};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Running state of one aggregate over one group.
+///
+/// NULLs are ignored (SQL semantics): `COUNT(col)` counts non-null
+/// values, `SUM`/`AVG`/`MIN`/`MAX` of an all-null group finalize to
+/// NULL. `COUNT(*)` is fed a non-null marker per row, so it counts
+/// rows. Integer sums accumulate in `i128` so shard merge order can
+/// never change the answer through intermediate overflow.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// `COUNT(*)` / `COUNT(col)`.
+    Count {
+        /// Non-null values seen.
+        n: i64,
+    },
+    /// `SUM` over an int column (exact).
+    SumInt {
+        /// Exact running sum.
+        sum: i128,
+        /// Whether any non-null value was seen.
+        seen: bool,
+    },
+    /// `SUM` over a float column.
+    SumFloat {
+        /// Running sum.
+        sum: f64,
+        /// Whether any non-null value was seen.
+        seen: bool,
+    },
+    /// `MIN` over any comparable column.
+    Min {
+        /// Smallest value seen, if any.
+        v: Option<SqlValue>,
+    },
+    /// `MAX` over any comparable column.
+    Max {
+        /// Largest value seen, if any.
+        v: Option<SqlValue>,
+    },
+    /// `AVG` over an int column (exact sum, float finalize).
+    AvgInt {
+        /// Exact running sum.
+        sum: i128,
+        /// Non-null values seen.
+        n: i64,
+    },
+    /// `AVG` over a float column.
+    AvgFloat {
+        /// Running sum.
+        sum: f64,
+        /// Non-null values seen.
+        n: i64,
+    },
+}
+
+impl AggState {
+    /// Fresh state for one aggregate call.
+    pub fn new(call: &AggCall) -> AggState {
+        let col_ty = match &call.arg {
+            AggArgRef::Star => None,
+            AggArgRef::Column(c) => Some(c.ty),
+        };
+        match call.func {
+            AggFunc::Count => AggState::Count { n: 0 },
+            AggFunc::Sum => match col_ty {
+                Some(SqlType::Int) => AggState::SumInt {
+                    sum: 0,
+                    seen: false,
+                },
+                _ => AggState::SumFloat {
+                    sum: 0.0,
+                    seen: false,
+                },
+            },
+            AggFunc::Avg => match col_ty {
+                Some(SqlType::Int) => AggState::AvgInt { sum: 0, n: 0 },
+                _ => AggState::AvgFloat { sum: 0.0, n: 0 },
+            },
+            AggFunc::Min => AggState::Min { v: None },
+            AggFunc::Max => AggState::Max { v: None },
+        }
+    }
+
+    /// Folds one value in. NULLs are ignored for every variant.
+    pub fn update(&mut self, value: &SqlValue) {
+        if value.is_null() {
+            return;
+        }
+        match self {
+            AggState::Count { n } => *n += 1,
+            AggState::SumInt { sum, seen } => {
+                if let SqlValue::Int(i) = value {
+                    *sum += *i as i128;
+                    *seen = true;
+                }
+            }
+            AggState::SumFloat { sum, seen } => {
+                if let Some(x) = as_f64(value) {
+                    *sum += x;
+                    *seen = true;
+                }
+            }
+            AggState::Min { v } => {
+                if v.as_ref().is_none_or(|cur| value < cur) {
+                    *v = Some(value.clone());
+                }
+            }
+            AggState::Max { v } => {
+                if v.as_ref().is_none_or(|cur| value > cur) {
+                    *v = Some(value.clone());
+                }
+            }
+            AggState::AvgInt { sum, n } => {
+                if let SqlValue::Int(i) = value {
+                    *sum += *i as i128;
+                    *n += 1;
+                }
+            }
+            AggState::AvgFloat { sum, n } => {
+                if let Some(x) = as_f64(value) {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    /// Merges another shard's state for the same aggregate and group.
+    pub fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count { n }, AggState::Count { n: m }) => *n += m,
+            (AggState::SumInt { sum, seen }, AggState::SumInt { sum: s, seen: sn }) => {
+                *sum += s;
+                *seen |= sn;
+            }
+            (AggState::SumFloat { sum, seen }, AggState::SumFloat { sum: s, seen: sn }) => {
+                *sum += s;
+                *seen |= sn;
+            }
+            (AggState::Min { v }, AggState::Min { v: Some(o) }) => {
+                if v.as_ref().is_none_or(|cur| o < *cur) {
+                    *v = Some(o);
+                }
+            }
+            (AggState::Max { v }, AggState::Max { v: Some(o) }) => {
+                if v.as_ref().is_none_or(|cur| o > *cur) {
+                    *v = Some(o);
+                }
+            }
+            (AggState::Min { .. }, AggState::Min { v: None })
+            | (AggState::Max { .. }, AggState::Max { v: None }) => {}
+            (AggState::AvgInt { sum, n }, AggState::AvgInt { sum: s, n: m }) => {
+                *sum += s;
+                *n += m;
+            }
+            (AggState::AvgFloat { sum, n }, AggState::AvgFloat { sum: s, n: m }) => {
+                *sum += s;
+                *n += m;
+            }
+            _ => unreachable!("merging aggregate states from different plans"),
+        }
+    }
+
+    /// Produces the final value.
+    pub fn finalize(self) -> SqlValue {
+        match self {
+            AggState::Count { n } => SqlValue::Int(n),
+            AggState::SumInt { seen: false, .. } | AggState::SumFloat { seen: false, .. } => {
+                SqlValue::Null
+            }
+            AggState::SumInt { sum, .. } => match i64::try_from(sum) {
+                Ok(i) => SqlValue::Int(i),
+                Err(_) => SqlValue::Float(sum as f64),
+            },
+            AggState::SumFloat { sum, .. } => SqlValue::Float(sum),
+            AggState::Min { v } | AggState::Max { v } => v.unwrap_or(SqlValue::Null),
+            AggState::AvgInt { n: 0, .. } | AggState::AvgFloat { n: 0, .. } => SqlValue::Null,
+            AggState::AvgInt { sum, n } => SqlValue::Float(sum as f64 / n as f64),
+            AggState::AvgFloat { sum, n } => SqlValue::Float(sum / n as f64),
+        }
+    }
+}
+
+fn as_f64(value: &SqlValue) -> Option<f64> {
+    match value {
+        SqlValue::Int(i) => Some(*i as f64),
+        SqlValue::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// The mergeable, order-free part of a plan execution.
+#[derive(Debug, Clone)]
+pub enum PartialData {
+    /// Projection rows, in scan order.
+    Rows(Vec<Vec<SqlValue>>),
+    /// Per-group aggregate states, keyed by GROUP BY values. A
+    /// `BTreeMap` (with [`SqlValue`]'s total order) makes iteration —
+    /// and therefore unsorted output — deterministic.
+    Groups(BTreeMap<Vec<SqlValue>, Vec<AggState>>),
+}
+
+/// One shard's contribution to a plan execution.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    /// Rows or group states.
+    pub data: PartialData,
+    /// This shard's scan counters and timings.
+    pub metrics: QueryMetrics,
+}
+
+impl PartialResult {
+    /// An empty partial matching the plan's operator shape, the
+    /// identity for [`PartialResult::merge`].
+    pub fn empty(plan: &PhysicalPlan) -> PartialResult {
+        let data = match &plan.op {
+            PhysicalOp::ProjectScan { .. } => PartialData::Rows(Vec::new()),
+            PhysicalOp::HashAggregate { .. } => PartialData::Groups(BTreeMap::new()),
+        };
+        PartialResult {
+            data,
+            metrics: QueryMetrics::default(),
+        }
+    }
+
+    /// Folds another shard's partial in: projection rows append in
+    /// merge order; group states merge per key; metrics merge per
+    /// [`QueryMetrics::merge`].
+    pub fn merge(&mut self, other: PartialResult) {
+        self.metrics.merge(&other.metrics);
+        match (&mut self.data, other.data) {
+            (PartialData::Rows(rows), PartialData::Rows(more)) => rows.extend(more),
+            (PartialData::Groups(groups), PartialData::Groups(more)) => {
+                for (key, states) in more {
+                    match groups.entry(key) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(states);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            for (cur, inc) in e.get_mut().iter_mut().zip(states) {
+                                cur.merge(inc);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("merging partials from different plans"),
+        }
+    }
+}
+
+/// How the operator reads one block: pre-resolved column indices so
+/// the per-row loop never does name lookups.
+enum BlockCols {
+    Project(Vec<Option<usize>>),
+    Aggregate {
+        group: Vec<Option<usize>>,
+        args: Vec<BlockArg>,
+    },
+}
+
+enum BlockArg {
+    Star,
+    Col(Option<usize>),
+}
+
+fn resolve_block_cols(op: &PhysicalOp, block: &Block) -> BlockCols {
+    let idx = |name: &str| block.schema().index_of(name);
+    match op {
+        PhysicalOp::ProjectScan { columns } => {
+            BlockCols::Project(columns.iter().map(|c| idx(&c.name)).collect())
+        }
+        PhysicalOp::HashAggregate { group, aggs } => BlockCols::Aggregate {
+            group: group.iter().map(|c| idx(&c.name)).collect(),
+            args: aggs
+                .iter()
+                .map(|a| match &a.arg {
+                    AggArgRef::Star => BlockArg::Star,
+                    AggArgRef::Column(c) => BlockArg::Col(idx(&c.name)),
+                })
+                .collect(),
+        },
+    }
+}
+
+fn block_value(block: &Block, row: usize, idx: Option<usize>) -> SqlValue {
+    idx.map_or(SqlValue::Null, |i| {
+        SqlValue::from_cell(block.column(i).cell(row))
+    })
+}
+
+impl Executor {
+    /// Executes a SQL physical plan over this shard's (table, parked)
+    /// pair, producing a mergeable partial.
+    ///
+    /// Routing matches [`Executor::execute_count`]: with ≥1 pushed
+    /// WHERE clause the scan uses the pushed bitvectors as a fused
+    /// skip-mask and never reads the parked side; otherwise it scans
+    /// the whole table and JIT-parses every parked record. Zone maps
+    /// prune blocks on both paths — including pure aggregate scans, so
+    /// data skipping accelerates aggregates, not just filters. Every
+    /// surviving row is re-verified with full typed evaluation before
+    /// it feeds the operator (client bits admit false positives).
+    pub fn execute_plan<S: AsRef<str>>(
+        &self,
+        table: &Table,
+        parked: &[S],
+        plan: &PhysicalPlan,
+    ) -> PartialResult {
+        let start = Instant::now();
+        let query = Query::new("sql", clauses_from_sql(&plan.filter));
+        let pushed_ids = self.pushed_ids_for(&query);
+        let mut out = PartialResult::empty(plan);
+        let group_count = match &plan.op {
+            PhysicalOp::HashAggregate { group, .. } => group.len(),
+            PhysicalOp::ProjectScan { .. } => 0,
+        };
+        let aggs = match &plan.op {
+            PhysicalOp::HashAggregate { aggs, .. } => aggs.clone(),
+            PhysicalOp::ProjectScan { .. } => Vec::new(),
+        };
+
+        // Columnar side: the scan_count loop with an operator feed
+        // instead of a counter.
+        for block in table.blocks() {
+            if !crate::zone::block_can_match(&query, block) {
+                out.metrics.table_scan.blocks_pruned += 1;
+                out.metrics.table_scan.rows_skipped += block.row_count();
+                continue;
+            }
+            out.metrics.table_scan.blocks_visited += 1;
+            let cols = resolve_block_cols(&plan.op, block);
+            let mask = if pushed_ids.is_empty() {
+                None
+            } else {
+                // A missing bitvector makes skip_mask return None →
+                // conservative full scan of the block.
+                block.metadata().skip_mask(&pushed_ids)
+            };
+            if let Some(mask) = &mask {
+                out.metrics.table_scan.rows_skipped += mask.count_zeros();
+            }
+            let mut feed = |row: usize| {
+                out.metrics.table_scan.rows_scanned += 1;
+                if !crate::row_eval::eval_query_on_block(&query, block, row) {
+                    return;
+                }
+                out.metrics.table_scan.rows_matched += 1;
+                match (&mut out.data, &cols) {
+                    (PartialData::Rows(rows), BlockCols::Project(idxs)) => {
+                        rows.push(idxs.iter().map(|&i| block_value(block, row, i)).collect());
+                    }
+                    (PartialData::Groups(groups), BlockCols::Aggregate { group, args }) => {
+                        let key: Vec<SqlValue> =
+                            group.iter().map(|&i| block_value(block, row, i)).collect();
+                        let states = groups
+                            .entry(key)
+                            .or_insert_with(|| aggs.iter().map(AggState::new).collect());
+                        for (state, arg) in states.iter_mut().zip(args) {
+                            match arg {
+                                BlockArg::Star => state.update(&SqlValue::Int(1)),
+                                BlockArg::Col(i) => state.update(&block_value(block, row, *i)),
+                            }
+                        }
+                    }
+                    _ => unreachable!("operator/partial shape mismatch"),
+                }
+            };
+            match &mask {
+                Some(mask) => {
+                    for row in mask.iter_ones() {
+                        feed(row);
+                    }
+                }
+                None => {
+                    for row in 0..block.row_count() {
+                        feed(row);
+                    }
+                }
+            }
+        }
+        out.metrics.table_scan_time = start.elapsed();
+
+        // Parked side: only reachable when nothing was pushed (a
+        // parked record can never satisfy a pushed clause).
+        if pushed_ids.is_empty() {
+            let raw_start = Instant::now();
+            out.metrics.scanned_parked = true;
+            for rec in parked {
+                out.metrics.raw_scan.records_parsed += 1;
+                out.metrics.raw_scan.rows_scanned += 1;
+                let Ok(value) = ciao_json::parse(rec.as_ref()) else {
+                    // Malformed parked record: cannot match anything.
+                    continue;
+                };
+                if !eval_query(&query, &value) {
+                    continue;
+                }
+                out.metrics.raw_scan.rows_matched += 1;
+                match (&mut out.data, &plan.op) {
+                    (PartialData::Rows(rows), PhysicalOp::ProjectScan { columns }) => {
+                        rows.push(
+                            columns
+                                .iter()
+                                .map(|c| SqlValue::from_json(value.get(&c.name), c.ty))
+                                .collect(),
+                        );
+                    }
+                    (PartialData::Groups(groups), PhysicalOp::HashAggregate { group, .. }) => {
+                        let key: Vec<SqlValue> = group
+                            .iter()
+                            .map(|c| SqlValue::from_json(value.get(&c.name), c.ty))
+                            .collect();
+                        debug_assert_eq!(key.len(), group_count);
+                        let states = groups
+                            .entry(key)
+                            .or_insert_with(|| aggs.iter().map(AggState::new).collect());
+                        for (state, call) in states.iter_mut().zip(&aggs) {
+                            match &call.arg {
+                                AggArgRef::Star => state.update(&SqlValue::Int(1)),
+                                AggArgRef::Column(c) => {
+                                    state.update(&SqlValue::from_json(value.get(&c.name), c.ty))
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("operator/partial shape mismatch"),
+                }
+            }
+            out.metrics.raw_scan_time = raw_start.elapsed();
+        } else {
+            out.metrics.used_skipping = true;
+        }
+
+        out.metrics.elapsed = start.elapsed();
+        out
+    }
+}
+
+/// Turns the merged partials into the final answer: finalize group
+/// states (or take projection rows), apply ORDER BY with a full-row
+/// tie-break, then LIMIT.
+pub fn finalize(plan: &PhysicalPlan, partial: PartialResult) -> QueryResult {
+    let PartialResult { data, metrics } = partial;
+    let mut rows: Vec<Vec<SqlValue>> = match data {
+        PartialData::Rows(rows) => rows,
+        PartialData::Groups(groups) => {
+            let aggs = match &plan.op {
+                PhysicalOp::HashAggregate { aggs, .. } => aggs,
+                PhysicalOp::ProjectScan { .. } => {
+                    unreachable!("grouped partial from a projection plan")
+                }
+            };
+            let emit = |key: &[SqlValue], agg_vals: &[SqlValue]| -> Vec<SqlValue> {
+                plan.output
+                    .iter()
+                    .map(|o| match &o.source {
+                        OutputSource::Group(i) => key[*i].clone(),
+                        OutputSource::Agg(i) => agg_vals[*i].clone(),
+                        OutputSource::Column(_) => {
+                            unreachable!("bare column in an aggregate plan")
+                        }
+                    })
+                    .collect()
+            };
+            let grouped_by_keys = match &plan.op {
+                PhysicalOp::HashAggregate { group, .. } => !group.is_empty(),
+                PhysicalOp::ProjectScan { .. } => false,
+            };
+            if groups.is_empty() && !grouped_by_keys {
+                // SQL: an ungrouped aggregate over zero rows still
+                // yields one row (COUNT = 0, the rest NULL).
+                let agg_vals: Vec<SqlValue> = aggs
+                    .iter()
+                    .map(|call| AggState::new(call).finalize())
+                    .collect();
+                vec![emit(&[], &agg_vals)]
+            } else {
+                groups
+                    .into_iter()
+                    .map(|(key, states)| {
+                        let agg_vals: Vec<SqlValue> =
+                            states.into_iter().map(AggState::finalize).collect();
+                        emit(&key, &agg_vals)
+                    })
+                    .collect()
+            }
+        }
+    };
+
+    if !plan.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for key in &plan.order_by {
+                let ord = a[key.output].cmp(&b[key.output]);
+                let ord = if key.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            // Full-row tie-break: output never depends on shard count
+            // or merge order.
+            a.cmp(b)
+        });
+    }
+    if let Some(limit) = plan.limit {
+        rows.truncate(limit);
+    }
+
+    QueryResult {
+        columns: plan
+            .output
+            .iter()
+            .map(|o| ColumnDesc {
+                name: o.name.clone(),
+                ty: o.ty,
+            })
+            .collect(),
+        rows,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_columnar::{Schema, TableBuilder};
+    use ciao_json::{parse, JsonValue};
+    use ciao_predicate::parse_clause;
+    use std::collections::BTreeMap as Map;
+    use std::sync::Arc;
+
+    /// 60 records; stars = 5 rows admitted to the table with exact
+    /// predicate-1 bits, the rest parked as raw JSON. Records carry an
+    /// occasionally-null float score.
+    struct Env {
+        table: ciao_columnar::Table,
+        parked: Vec<String>,
+        exec: Executor,
+        schema: Schema,
+        all: Vec<JsonValue>,
+    }
+
+    fn record(i: usize) -> String {
+        let score = if i.is_multiple_of(7) {
+            "null".to_owned()
+        } else {
+            format!("{}.5", i % 4)
+        };
+        format!(
+            r#"{{"name":"u{}","stars":{},"score":{},"city":"c{}"}}"#,
+            i,
+            i % 5 + 1,
+            score,
+            i % 3
+        )
+    }
+
+    fn env() -> Env {
+        let all: Vec<JsonValue> = (0..60).map(|i| parse(&record(i)).unwrap()).collect();
+        let schema = Schema::infer(&all).unwrap();
+        let mut tb = TableBuilder::with_block_size(Arc::new(schema.clone()), &[1], 8);
+        let mut parked = Vec::new();
+        for rec in &all {
+            if rec.get("stars").unwrap().as_i64() == Some(5) {
+                tb.push_record(rec, &Map::from([(1, true)]));
+            } else {
+                parked.push(ciao_json::to_string(rec));
+            }
+        }
+        Env {
+            table: tb.finish(),
+            parked,
+            exec: Executor::new([(parse_clause("stars = 5").unwrap(), 1)]),
+            schema,
+            all,
+        }
+    }
+
+    fn run(e: &Env, sql: &str) -> QueryResult {
+        let plan = ciao_sql::compile(sql, &e.schema).unwrap();
+        finalize(&plan, e.exec.execute_plan(&e.table, &e.parked, &plan))
+    }
+
+    #[test]
+    fn count_star_matches_execute_count() {
+        let e = env();
+        let r = run(&e, "SELECT COUNT(*) FROM t WHERE stars = 5");
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(12)]]);
+        assert!(r.metrics.used_skipping);
+        assert!(!r.metrics.scanned_parked);
+    }
+
+    #[test]
+    fn grouped_aggregate_matches_oracle() {
+        let e = env();
+        let r = run(
+            &e,
+            "SELECT city, COUNT(*), SUM(stars), AVG(score) FROM t GROUP BY city ORDER BY city",
+        );
+        // Oracle: fold the raw records by hand with exact int sums.
+        let mut oracle: Map<String, (i64, i64, f64, i64)> = Map::new();
+        for rec in &e.all {
+            let city = rec.get("city").unwrap().as_str().unwrap().to_owned();
+            let stars = rec.get("stars").unwrap().as_i64().unwrap();
+            let entry = oracle.entry(city).or_insert((0, 0, 0.0, 0));
+            entry.0 += 1;
+            entry.1 += stars;
+            if let Some(s) = rec.get("score").and_then(|v| v.as_f64()) {
+                entry.2 += s;
+                entry.3 += 1;
+            }
+        }
+        let expected: Vec<Vec<SqlValue>> = oracle
+            .into_iter()
+            .map(|(city, (n, sum, ssum, sn))| {
+                vec![
+                    SqlValue::Str(city),
+                    SqlValue::Int(n),
+                    SqlValue::Int(sum),
+                    SqlValue::Float(ssum / sn as f64),
+                ]
+            })
+            .collect();
+        assert_eq!(r.rows, expected);
+        // Uncovered aggregate: full scan plus the parked fallback.
+        assert!(r.metrics.scanned_parked);
+        assert_eq!(r.metrics.raw_scan.records_parsed, e.parked.len());
+    }
+
+    #[test]
+    fn covered_aggregate_uses_skip_masks() {
+        let e = env();
+        let r = run(
+            &e,
+            "SELECT MIN(name), MAX(name), COUNT(score) FROM t WHERE stars = 5",
+        );
+        assert!(r.metrics.used_skipping);
+        assert!(!r.metrics.scanned_parked);
+        // 12 stars=5 rows: u4, u9, ..., u59; lexicographic min/max.
+        assert_eq!(r.rows[0][0], SqlValue::Str("u14".into()));
+        assert_eq!(r.rows[0][1], SqlValue::Str("u9".into()));
+        // score is null when i % 7 == 0 → u14, u49 excluded from COUNT(score).
+        assert_eq!(r.rows[0][2], SqlValue::Int(10));
+    }
+
+    #[test]
+    fn projection_reads_both_sides() {
+        let e = env();
+        let r = run(
+            &e,
+            "SELECT name, stars FROM t WHERE stars < 3 ORDER BY name LIMIT 5",
+        );
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.columns[0].name, "name");
+        for row in &r.rows {
+            assert!(matches!(row[1], SqlValue::Int(s) if s < 3));
+        }
+    }
+
+    #[test]
+    fn empty_ungrouped_aggregate_yields_one_row() {
+        let e = env();
+        let r = run(
+            &e,
+            "SELECT COUNT(*), SUM(stars), AVG(score) FROM t WHERE stars > 99",
+        );
+        assert_eq!(
+            r.rows,
+            vec![vec![SqlValue::Int(0), SqlValue::Null, SqlValue::Null]]
+        );
+        let grouped = run(
+            &e,
+            "SELECT city, COUNT(*) FROM t WHERE stars > 99 GROUP BY city",
+        );
+        assert!(grouped.rows.is_empty());
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_shard() {
+        let e = env();
+        let plan = ciao_sql::compile(
+            "SELECT city, COUNT(*), AVG(score) FROM t GROUP BY city ORDER BY 2 DESC LIMIT 2",
+            &e.schema,
+        )
+        .unwrap();
+        let whole = finalize(&plan, e.exec.execute_plan(&e.table, &e.parked, &plan));
+
+        let (left, right) = e.parked.split_at(e.parked.len() / 2);
+        let mut merged = e.exec.execute_plan(&e.table, left, &plan);
+        merged.merge(
+            e.exec
+                .execute_plan(&ciao_columnar::Table::default(), right, &plan),
+        );
+        let sharded = finalize(&plan, merged);
+        assert_eq!(whole.rows, sharded.rows);
+    }
+
+    #[test]
+    fn zone_maps_prune_aggregate_scans() {
+        // Clustered data: stars monotone over rows, so most blocks are
+        // prunable for a narrow range query.
+        let recs: Vec<JsonValue> = (0..128)
+            .map(|i| parse(&format!(r#"{{"k":{},"v":{}}}"#, i / 16, i)).unwrap())
+            .collect();
+        let schema = Schema::infer(&recs).unwrap();
+        let mut tb = TableBuilder::with_block_size(Arc::new(schema.clone()), &[], 16);
+        for rec in &recs {
+            tb.push_record(rec, &Map::new());
+        }
+        let table = tb.finish();
+        let exec = Executor::default();
+        let plan = ciao_sql::compile("SELECT SUM(v) FROM t WHERE k = 3", &schema).unwrap();
+        let r = finalize(&plan, exec.execute_plan::<String>(&table, &[], &plan));
+        let expected: i64 = (48..64).sum();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(expected)]]);
+        assert!(r.metrics.table_scan.blocks_pruned >= 6);
+        assert_eq!(r.metrics.table_scan.blocks_visited, 1);
+    }
+}

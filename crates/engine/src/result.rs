@@ -1,0 +1,74 @@
+//! The typed result set a SQL plan execution produces.
+
+use crate::metrics::QueryMetrics;
+use ciao_sql::{SqlType, SqlValue};
+
+/// One output column's name and type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDesc {
+    /// Output name (alias or derived, e.g. `avg(score)`).
+    pub name: String,
+    /// Value type.
+    pub ty: SqlType,
+}
+
+/// A fully materialized query answer: named+typed columns, rows, and
+/// the merged execution metrics. This one type replaces the old
+/// count/select split — `COUNT(*)` is simply a one-cell result.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Output columns, in projection order.
+    pub columns: Vec<ColumnDesc>,
+    /// Result rows; each row has one [`SqlValue`] per column.
+    pub rows: Vec<Vec<SqlValue>>,
+    /// Merged scan counters and timings across every shard touched.
+    pub metrics: QueryMetrics,
+}
+
+impl QueryResult {
+    /// Renders the result as stable, diff-friendly text: a `name:type`
+    /// header, then one `|`-separated line per row. Used by the golden
+    /// conformance suite, so the format must stay deterministic.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("{}:{}", c.name, c.ty))
+            .collect();
+        out.push_str(&header.join(" | "));
+        for row in &self.rows {
+            out.push('\n');
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable() {
+        let r = QueryResult {
+            columns: vec![
+                ColumnDesc {
+                    name: "city".into(),
+                    ty: SqlType::Str,
+                },
+                ColumnDesc {
+                    name: "count(*)".into(),
+                    ty: SqlType::Int,
+                },
+            ],
+            rows: vec![
+                vec![SqlValue::Str("Chicago".into()), SqlValue::Int(3)],
+                vec![SqlValue::Null, SqlValue::Int(1)],
+            ],
+            metrics: QueryMetrics::default(),
+        };
+        assert_eq!(r.render(), "city:str | count(*):int\nChicago | 3\nNULL | 1");
+    }
+}

@@ -25,9 +25,11 @@ pub mod eval;
 pub mod parser;
 pub mod pattern;
 pub mod selectivity;
+pub mod sql_bridge;
 
 pub use ast::{Clause, Query, SimplePredicate};
 pub use eval::{eval_clause, eval_query, eval_simple};
 pub use parser::{parse_clause, parse_query, parse_where, PredicateParseError};
 pub use pattern::{compile_clause, compile_simple, ClausePattern, Pattern};
 pub use selectivity::{estimate_clause_selectivity, SelectivityEstimator, SelectivityMap};
+pub use sql_bridge::{clause_from_sql, clauses_from_sql, simple_from_sql};

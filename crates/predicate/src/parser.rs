@@ -14,11 +14,18 @@
 //! literal := string | int | float | true | false
 //! ```
 //!
-//! This exists for ergonomic examples and tests
-//! (`parse_where(r#"name = "Bob" AND age = 20"#)`), not as a general
-//! SQL front end.
+//! Since the SQL frontend landed, this module is a thin back-compat
+//! shim: the grammar above is exactly the WHERE sub-grammar of
+//! `ciao_sql`, so parsing delegates to
+//! [`ciao_sql::parse_where_body`] and the resulting SQL predicate
+//! tree is folded into [`Clause`]s by [`crate::sql_bridge`]. Existing
+//! callers (`parse_where(r#"name = "Bob" AND age = 20"#)`, the
+//! optimizer's workload files) keep parsing identically — the
+//! differential suite in `tests/sql_differential.rs` holds this shim
+//! to the seed parser's behavior.
 
-use crate::ast::{Clause, Query, SimplePredicate};
+use crate::ast::{Clause, Query};
+use crate::sql_bridge::clauses_from_sql;
 
 /// Parse failure with byte offset into the predicate text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,200 +48,19 @@ impl std::fmt::Display for PredicateParseError {
 
 impl std::error::Error for PredicateParseError {}
 
-#[derive(Debug, Clone, PartialEq)]
-enum Token {
-    Ident(String),
-    Str(String),
-    Int(i64),
-    Float(f64),
-    Eq,
-    Neq,
-    Lt,
-    Gt,
-    LParen,
-    RParen,
-    Comma,
-}
-
-struct Lexer<'a> {
-    input: &'a str,
-    pos: usize,
-}
-
-impl<'a> Lexer<'a> {
-    fn err(&self, message: impl Into<String>) -> PredicateParseError {
+impl From<ciao_sql::SqlError> for PredicateParseError {
+    fn from(e: ciao_sql::SqlError) -> PredicateParseError {
         PredicateParseError {
-            offset: self.pos,
-            message: message.into(),
+            offset: e.span.start,
+            message: e.message,
         }
-    }
-
-    fn tokens(mut self) -> Result<Vec<(usize, Token)>, PredicateParseError> {
-        let mut out = Vec::new();
-        let bytes = self.input.as_bytes();
-        while self.pos < bytes.len() {
-            let start = self.pos;
-            let b = bytes[self.pos];
-            match b {
-                b' ' | b'\t' | b'\n' | b'\r' => {
-                    self.pos += 1;
-                }
-                b'(' => {
-                    out.push((start, Token::LParen));
-                    self.pos += 1;
-                }
-                b')' => {
-                    out.push((start, Token::RParen));
-                    self.pos += 1;
-                }
-                b',' => {
-                    out.push((start, Token::Comma));
-                    self.pos += 1;
-                }
-                b'=' => {
-                    out.push((start, Token::Eq));
-                    self.pos += 1;
-                }
-                b'<' => {
-                    out.push((start, Token::Lt));
-                    self.pos += 1;
-                }
-                b'>' => {
-                    out.push((start, Token::Gt));
-                    self.pos += 1;
-                }
-                b'!' => {
-                    if bytes.get(self.pos + 1) == Some(&b'=') {
-                        out.push((start, Token::Neq));
-                        self.pos += 2;
-                    } else {
-                        return Err(self.err("expected `!=`"));
-                    }
-                }
-                b'"' | b'\'' => {
-                    let quote = b;
-                    self.pos += 1;
-                    let content_start = self.pos;
-                    while self.pos < bytes.len() && bytes[self.pos] != quote {
-                        self.pos += 1;
-                    }
-                    if self.pos == bytes.len() {
-                        return Err(self.err("unterminated string literal"));
-                    }
-                    out.push((
-                        start,
-                        Token::Str(self.input[content_start..self.pos].to_owned()),
-                    ));
-                    self.pos += 1;
-                }
-                b'-' | b'0'..=b'9' => {
-                    let num_start = self.pos;
-                    self.pos += 1;
-                    while self.pos < bytes.len()
-                        && matches!(
-                            bytes[self.pos],
-                            b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
-                        )
-                    {
-                        // Stop `-` from being consumed as part of a second number.
-                        if matches!(bytes[self.pos], b'+' | b'-')
-                            && !matches!(bytes[self.pos - 1], b'e' | b'E')
-                        {
-                            break;
-                        }
-                        self.pos += 1;
-                    }
-                    let text = &self.input[num_start..self.pos];
-                    if let Ok(i) = text.parse::<i64>() {
-                        out.push((num_start, Token::Int(i)));
-                    } else if let Ok(f) = text.parse::<f64>() {
-                        out.push((num_start, Token::Float(f)));
-                    } else {
-                        return Err(PredicateParseError {
-                            offset: num_start,
-                            message: format!("malformed number `{text}`"),
-                        });
-                    }
-                }
-                c if c.is_ascii_alphabetic() || c == b'_' => {
-                    while self.pos < bytes.len()
-                        && (bytes[self.pos].is_ascii_alphanumeric()
-                            || matches!(bytes[self.pos], b'_' | b'.'))
-                    {
-                        self.pos += 1;
-                    }
-                    out.push((start, Token::Ident(self.input[start..self.pos].to_owned())));
-                }
-                other => {
-                    return Err(self.err(format!("unexpected character `{}`", other as char)));
-                }
-            }
-        }
-        Ok(out)
-    }
-}
-
-struct TokenStream {
-    tokens: Vec<(usize, Token)>,
-    idx: usize,
-    input_len: usize,
-}
-
-impl TokenStream {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.idx).map(|(_, t)| t)
-    }
-
-    fn offset(&self) -> usize {
-        self.tokens
-            .get(self.idx)
-            .map_or(self.input_len, |(o, _)| *o)
-    }
-
-    fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
-        if t.is_some() {
-            self.idx += 1;
-        }
-        t
-    }
-
-    fn err(&self, message: impl Into<String>) -> PredicateParseError {
-        PredicateParseError {
-            offset: self.offset(),
-            message: message.into(),
-        }
-    }
-
-    fn expect_ident_kw(&mut self, kw: &str) -> Result<(), PredicateParseError> {
-        match self.next() {
-            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
-            _ => Err(self.err(format!("expected keyword `{kw}`"))),
-        }
-    }
-
-    fn peek_is_kw(&self, kw: &str) -> bool {
-        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
     }
 }
 
 /// Parses a full `WHERE` body into its conjunctive clauses.
 pub fn parse_where(input: &str) -> Result<Vec<Clause>, PredicateParseError> {
-    let tokens = Lexer { input, pos: 0 }.tokens()?;
-    let mut ts = TokenStream {
-        tokens,
-        idx: 0,
-        input_len: input.len(),
-    };
-    let mut clauses = vec![parse_clause_inner(&mut ts)?];
-    while ts.peek_is_kw("and") {
-        ts.next();
-        clauses.push(parse_clause_inner(&mut ts)?);
-    }
-    if ts.peek().is_some() {
-        return Err(ts.err("trailing input after predicates"));
-    }
-    Ok(clauses)
+    let clauses = ciao_sql::parse_where_body(input)?;
+    Ok(clauses_from_sql(&clauses))
 }
 
 /// Parses a single clause, e.g. `(name = "a" OR name = "b")`.
@@ -254,120 +80,10 @@ pub fn parse_query(name: &str, where_body: &str) -> Result<Query, PredicateParse
     Ok(Query::new(name, parse_where(where_body)?))
 }
 
-fn parse_clause_inner(ts: &mut TokenStream) -> Result<Clause, PredicateParseError> {
-    if ts.peek() == Some(&Token::LParen) {
-        ts.next();
-        let mut disjuncts = vec![parse_simple(ts)?];
-        while ts.peek_is_kw("or") {
-            ts.next();
-            disjuncts.push(parse_simple(ts)?);
-        }
-        match ts.next() {
-            Some(Token::RParen) => Ok(Clause::new(disjuncts)),
-            _ => Err(ts.err("expected `)` to close disjunction")),
-        }
-    } else {
-        // Could be `key IN (...)` which desugars to a disjunction.
-        parse_simple_or_in(ts)
-    }
-}
-
-fn parse_simple_or_in(ts: &mut TokenStream) -> Result<Clause, PredicateParseError> {
-    // Look ahead: key IN '(' ... ')'
-    let save = ts.idx;
-    if let Some(Token::Ident(key)) = ts.next() {
-        if ts.peek_is_kw("in") {
-            ts.next();
-            if ts.next() != Some(Token::LParen) {
-                return Err(ts.err("expected `(` after IN"));
-            }
-            let mut disjuncts = Vec::new();
-            loop {
-                let p = match ts.next() {
-                    Some(Token::Str(s)) => SimplePredicate::StrEq {
-                        key: key.clone(),
-                        value: s,
-                    },
-                    Some(Token::Int(i)) => SimplePredicate::IntEq {
-                        key: key.clone(),
-                        value: i,
-                    },
-                    _ => return Err(ts.err("expected string or integer literal in IN list")),
-                };
-                disjuncts.push(p);
-                match ts.next() {
-                    Some(Token::Comma) => continue,
-                    Some(Token::RParen) => break,
-                    _ => return Err(ts.err("expected `,` or `)` in IN list")),
-                }
-            }
-            return Ok(Clause::new(disjuncts));
-        }
-    }
-    ts.idx = save;
-    Ok(Clause::single(parse_simple(ts)?))
-}
-
-fn parse_simple(ts: &mut TokenStream) -> Result<SimplePredicate, PredicateParseError> {
-    let key = match ts.next() {
-        Some(Token::Ident(k)) => k,
-        _ => return Err(ts.err("expected a key identifier")),
-    };
-    match ts.next() {
-        Some(Token::Eq) => match ts.next() {
-            Some(Token::Str(s)) => Ok(SimplePredicate::StrEq { key, value: s }),
-            Some(Token::Int(i)) => Ok(SimplePredicate::IntEq { key, value: i }),
-            Some(Token::Float(x)) => Ok(SimplePredicate::FloatEq { key, value: x }),
-            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("true") => {
-                Ok(SimplePredicate::BoolEq { key, value: true })
-            }
-            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("false") => {
-                Ok(SimplePredicate::BoolEq { key, value: false })
-            }
-            _ => Err(ts.err("expected literal after `=`")),
-        },
-        Some(Token::Neq) => match ts.next() {
-            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("null") => {
-                Ok(SimplePredicate::NotNull { key })
-            }
-            _ => Err(ts.err("only `!= NULL` is supported after `!=`")),
-        },
-        Some(Token::Lt) => match ts.next() {
-            Some(Token::Int(i)) => Ok(SimplePredicate::IntLt { key, value: i }),
-            _ => Err(ts.err("expected integer after `<`")),
-        },
-        Some(Token::Gt) => match ts.next() {
-            Some(Token::Int(i)) => Ok(SimplePredicate::IntGt { key, value: i }),
-            _ => Err(ts.err("expected integer after `>`")),
-        },
-        Some(Token::Ident(w)) if w.eq_ignore_ascii_case("like") => match ts.next() {
-            Some(Token::Str(s)) => {
-                let needle = s
-                    .strip_prefix('%')
-                    .and_then(|s| s.strip_suffix('%'))
-                    .ok_or_else(|| ts.err("LIKE pattern must be \"%needle%\""))?;
-                if needle.contains('%') || needle.is_empty() {
-                    return Err(ts.err("LIKE pattern must be \"%needle%\" with a non-empty needle"));
-                }
-                Ok(SimplePredicate::StrContains {
-                    key,
-                    needle: needle.to_owned(),
-                })
-            }
-            _ => Err(ts.err("expected string pattern after LIKE")),
-        },
-        Some(Token::Ident(w)) if w.eq_ignore_ascii_case("is") => {
-            ts.expect_ident_kw("not")?;
-            ts.expect_ident_kw("null")?;
-            Ok(SimplePredicate::NotNull { key })
-        }
-        _ => Err(ts.err("expected an operator (=, !=, <, >, LIKE, IS NOT NULL, IN)")),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::SimplePredicate;
 
     #[test]
     fn simple_forms() {
@@ -427,6 +143,26 @@ mod tests {
         );
         assert_eq!(
             parse_clause("age > -5").unwrap(),
+            Clause::single(SimplePredicate::IntGt {
+                key: "age".into(),
+                value: -5
+            })
+        );
+    }
+
+    #[test]
+    fn inclusive_bounds_lower_onto_exclusive() {
+        // New with the SQL frontend: `<=`/`>=` desugar onto the
+        // existing exclusive predicates.
+        assert_eq!(
+            parse_clause("age <= 29").unwrap(),
+            Clause::single(SimplePredicate::IntLt {
+                key: "age".into(),
+                value: 30
+            })
+        );
+        assert_eq!(
+            parse_clause("age >= -4").unwrap(),
             Clause::single(SimplePredicate::IntGt {
                 key: "age".into(),
                 value: -5

@@ -1,0 +1,90 @@
+//! Bridge from the `ciao_sql` WHERE AST to predicate [`Clause`]s.
+//!
+//! `ciao_sql` owns the grammar but cannot depend on this crate (the
+//! dependency points the other way), so its WHERE tree uses a
+//! structural twin of [`SimplePredicate`]. This module is the one
+//! place that twin is folded back into the real AST — both for the
+//! [`parser`](crate::parser) shim and for the engine, which compiles a
+//! physical plan's filter into clauses so pushdown plans, zone maps,
+//! and `PatternSet` prefilters keep working untouched.
+
+use crate::ast::{Clause, SimplePredicate};
+use ciao_sql::{SqlPredicate, WhereClause};
+
+/// Converts one SQL predicate into a [`SimplePredicate`].
+pub fn simple_from_sql(p: &SqlPredicate) -> SimplePredicate {
+    match p {
+        SqlPredicate::StrEq { key, value } => SimplePredicate::StrEq {
+            key: key.name.clone(),
+            value: value.clone(),
+        },
+        SqlPredicate::StrContains { key, needle } => SimplePredicate::StrContains {
+            key: key.name.clone(),
+            needle: needle.clone(),
+        },
+        SqlPredicate::NotNull { key } => SimplePredicate::NotNull {
+            key: key.name.clone(),
+        },
+        SqlPredicate::IntEq { key, value } => SimplePredicate::IntEq {
+            key: key.name.clone(),
+            value: *value,
+        },
+        SqlPredicate::BoolEq { key, value } => SimplePredicate::BoolEq {
+            key: key.name.clone(),
+            value: *value,
+        },
+        SqlPredicate::IntLt { key, value } => SimplePredicate::IntLt {
+            key: key.name.clone(),
+            value: *value,
+        },
+        SqlPredicate::IntGt { key, value } => SimplePredicate::IntGt {
+            key: key.name.clone(),
+            value: *value,
+        },
+        SqlPredicate::FloatEq { key, value } => SimplePredicate::FloatEq {
+            key: key.name.clone(),
+            value: *value,
+        },
+    }
+}
+
+/// Converts one SQL WHERE clause (a disjunction) into a [`Clause`].
+pub fn clause_from_sql(clause: &WhereClause) -> Clause {
+    Clause::new(clause.disjuncts.iter().map(simple_from_sql).collect())
+}
+
+/// Converts a full WHERE conjunction.
+pub fn clauses_from_sql(clauses: &[WhereClause]) -> Vec<Clause> {
+    clauses.iter().map(clause_from_sql).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let clauses = ciao_sql::parse_where_body(
+            r#"name IN ("a", 3) AND text LIKE "%x%" AND e != NULL AND b = true
+                   AND i < 5 AND i > 1 AND f = 2.5"#,
+        )
+        .unwrap();
+        let converted = clauses_from_sql(&clauses);
+        assert_eq!(converted.len(), 7);
+        assert_eq!(converted[0].arity(), 2);
+        assert_eq!(
+            converted[0].disjuncts()[1],
+            SimplePredicate::IntEq {
+                key: "name".into(),
+                value: 3
+            }
+        );
+        assert_eq!(
+            converted[6].disjuncts()[0],
+            SimplePredicate::FloatEq {
+                key: "f".into(),
+                value: 2.5
+            }
+        );
+    }
+}

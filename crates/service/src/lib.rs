@@ -21,6 +21,11 @@
 //!   [`QueryOutcome`](ciao_engine::QueryOutcome)s (counts add, scan
 //!   counters add, `elapsed` takes the slowest shard), answering
 //!   exactly as one server holding all the data would.
+//!   [`Service::query_sql`] runs full SQL `SELECT` statements
+//!   (projections, aggregates, `GROUP BY`, `ORDER BY`, `LIMIT`) the
+//!   same way: each shard executes the `ciao_sql` physical plan and
+//!   the mergeable partials combine into one typed
+//!   [`QueryResult`](ciao_engine::QueryResult).
 //! * **Background compaction** — tick-driven promotion of parked raw
 //!   rows into columnar blocks ([`Service::compact`]), generalizing
 //!   the per-query JIT promotion in `ciao::jit` into an ingest-side

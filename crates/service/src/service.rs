@@ -9,9 +9,10 @@ use crate::telemetry::{names, ServiceTelemetry};
 use ciao::PushdownPlan;
 use ciao_client::{ChunkFilterResult, Prefilter};
 use ciao_columnar::Schema;
-use ciao_engine::QueryOutcome;
+use ciao_engine::{PartialResult, QueryOutcome, QueryResult};
 use ciao_json::RecordChunk;
 use ciao_predicate::Query;
+use ciao_sql::SqlError;
 use ciao_storage::{CheckpointStats, RecoveryReport, ShardSnapshot, StorageError, Store};
 use ciao_telemetry::TelemetrySnapshot;
 use parking_lot::Mutex;
@@ -136,6 +137,9 @@ pub struct Service {
     workers: Vec<JoinHandle<()>>,
     prefilter: Prefilter,
     config: ServiceConfig,
+    /// The columnar schema every shard loads under — kept so
+    /// [`Service::query_sql`] can analyze statements against it.
+    schema: Arc<Schema>,
     /// What recovery worked around at start (`None` when storage is
     /// off). An empty-notes report means a clean start.
     recovery_report: Option<RecoveryReport>,
@@ -246,6 +250,7 @@ impl Service {
             workers,
             prefilter,
             config,
+            schema,
             recovery_report,
             wal_replayed,
         })
@@ -432,6 +437,71 @@ impl Service {
             );
         }
         merged
+    }
+
+    /// Executes one SQL `SELECT` statement end to end: lex + parse,
+    /// analyze against the service's schema, plan, then fan the
+    /// physical plan out across every shard and merge the partials
+    /// into one [`QueryResult`] — bit-identical to running the same
+    /// statement on a single shard holding all the records. Covered
+    /// `WHERE` clauses ride the same pushed-bitvector skip masks and
+    /// zone maps as [`Service::query`], so aggregates over sealed
+    /// blocks skip work exactly like counts do.
+    ///
+    /// Errors (with the offending source span) on any lex, parse, or
+    /// analysis failure; [`SqlError::render`] turns one into a
+    /// caret-annotated excerpt of `sql`.
+    pub fn query_sql(&self, sql: &str) -> Result<QueryResult, SqlError> {
+        let parse_started = Instant::now();
+        let statement = ciao_sql::parse(sql)?;
+        let parsed_in = parse_started.elapsed();
+        let plan_started = Instant::now();
+        let plan = ciao_sql::plan(&statement, &self.schema)?;
+        let planned_in = plan_started.elapsed();
+
+        let exec_started = Instant::now();
+        self.drain();
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        let mut partials: Vec<PartialResult> = Vec::with_capacity(self.inner.shards.len());
+        if self.inner.shards.len() == 1 {
+            partials.push(self.inner.shards[0].lock().execute_plan(&plan));
+        } else {
+            let plan = &plan;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .inner
+                    .shards
+                    .iter()
+                    .map(|shard| scope.spawn(move || shard.lock().execute_plan(plan)))
+                    .collect();
+                partials.extend(handles.into_iter().map(|h| h.join().expect("shard query")));
+            });
+        }
+        // Merge in shard order: group states and row batches combine
+        // associatively, and finalize() re-sorts, so the answer is
+        // independent of which shard finished first.
+        let mut merged = PartialResult::empty(&plan);
+        for partial in partials {
+            merged.merge(partial);
+        }
+        let result = ciao_engine::finalize(&plan, merged);
+        let executed_in = exec_started.elapsed();
+
+        if let Some(t) = &self.inner.telemetry {
+            t.sql_parse.record_duration(parsed_in);
+            t.sql_plan.record_duration(planned_in);
+            t.sql_exec.record_duration(executed_in);
+            t.events().push(
+                names::EVENT_SQL_QUERY,
+                None,
+                &[
+                    ("rows", result.rows.len() as u64),
+                    ("covered", u64::from(result.metrics.used_skipping)),
+                    ("pruned", result.metrics.table_scan.blocks_pruned as u64),
+                ],
+            );
+        }
+        Ok(result)
     }
 
     /// One background-maintenance tick: runs the configured compaction
@@ -1026,6 +1096,66 @@ mod tests {
         assert!(service.durability().is_none());
         assert!(service.recovery_report().is_none());
         assert!(service.checkpoint().is_none());
+    }
+
+    #[test]
+    fn sql_query_matches_count_query_and_records_telemetry() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default().with_shards(3).with_workers(0),
+        );
+        for chunk in all.split(64) {
+            assert!(service.enqueue_raw(chunk).is_enqueued());
+        }
+        let count = service
+            .query_sql("SELECT COUNT(*) FROM reviews WHERE stars = 5")
+            .unwrap();
+        assert_eq!(count.rows, vec![vec![ciao_sql::SqlValue::Int(80)]]);
+        assert!(count.metrics.used_skipping, "stars = 5 is pushed");
+
+        // Grouped aggregate over all shards: every stars bucket holds
+        // 80 records, keys come back in order.
+        let grouped = service
+            .query_sql("SELECT stars, COUNT(*) AS n FROM reviews GROUP BY stars ORDER BY stars")
+            .unwrap();
+        assert_eq!(grouped.columns.len(), 2);
+        assert_eq!(grouped.columns[1].name, "n");
+        assert_eq!(grouped.rows.len(), 5);
+        for (i, row) in grouped.rows.iter().enumerate() {
+            assert_eq!(
+                row,
+                &vec![
+                    ciao_sql::SqlValue::Int(i as i64 + 1),
+                    ciao_sql::SqlValue::Int(80)
+                ]
+            );
+        }
+
+        // Per-stage latency histograms and the trace event are live.
+        let snap = service.telemetry_snapshot().unwrap();
+        for name in [names::SQL_PARSE_NS, names::SQL_PLAN_NS, names::SQL_EXEC_NS] {
+            let (_, h) = snap
+                .histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"));
+            assert_eq!(h.count, 2, "{name} records once per statement");
+        }
+        assert!(snap.events.iter().any(|e| e.kind == names::EVENT_SQL_QUERY));
+        assert_eq!(service.metrics().queries, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn sql_errors_surface_with_spans_not_panics() {
+        let (plan, schema, _) = plan_and_schema(10.0);
+        let service = Service::start(plan, schema, ServiceConfig::default().with_workers(0));
+        let err = service.query_sql("SELECT nope FROM reviews").unwrap_err();
+        assert!(err.to_string().contains("unknown column `nope`"));
+        let err = service.query_sql("SELECT").unwrap_err();
+        assert!(err.render("SELECT").contains('^'));
     }
 
     #[test]

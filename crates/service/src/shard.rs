@@ -14,9 +14,10 @@ use crate::telemetry::{names, ServiceTelemetry};
 use ciao::{jit, LoadStats, Loader, PushdownPlan};
 use ciao_client::ChunkFilterResult;
 use ciao_columnar::{Schema, Table};
-use ciao_engine::{Executor, QueryOutcome};
+use ciao_engine::{Executor, PartialResult, QueryOutcome};
 use ciao_json::RecordChunk;
 use ciao_predicate::Query;
+use ciao_sql::PhysicalPlan;
 use std::sync::Arc;
 
 /// A point-in-time view of one shard, reported by
@@ -199,6 +200,19 @@ impl Shard {
         let out = self
             .executor
             .execute_count(&self.table, &self.parked, query);
+        if out.metrics.scanned_parked && !self.parked.is_empty() {
+            self.heat += 1;
+        }
+        out
+    }
+
+    /// Executes a SQL physical plan over everything ingested so far
+    /// (seals the active epoch first), returning this shard's
+    /// mergeable partial. Parked-store scans heat the shard for the
+    /// compactor exactly like uncovered `COUNT(*)` queries do.
+    pub fn execute_plan(&mut self, plan: &PhysicalPlan) -> PartialResult {
+        self.seal_epoch();
+        let out = self.executor.execute_plan(&self.table, &self.parked, plan);
         if out.metrics.scanned_parked && !self.parked.is_empty() {
             self.heat += 1;
         }

@@ -30,6 +30,14 @@ pub mod names {
     /// End-to-end [`crate::Service::query`] latency (drain + fan-out +
     /// merge).
     pub const QUERY_NS: &str = "ciao_service_query_ns";
+    /// SQL text → AST time inside [`crate::Service::query_sql`].
+    pub const SQL_PARSE_NS: &str = "ciao_service_sql_parse_ns";
+    /// AST → physical-plan time (analysis + planning) inside
+    /// [`crate::Service::query_sql`].
+    pub const SQL_PLAN_NS: &str = "ciao_service_sql_plan_ns";
+    /// Plan execution time (drain + fan-out + merge + finalize) inside
+    /// [`crate::Service::query_sql`].
+    pub const SQL_EXEC_NS: &str = "ciao_service_sql_exec_ns";
     /// Enqueue attempts refused with `QueueFull`.
     pub const QUEUE_FULL_TOTAL: &str = "ciao_service_queue_full_total";
     /// Epochs sealed across all shards.
@@ -51,6 +59,8 @@ pub mod names {
     pub const EVENT_QUEUE_FULL: &str = "queue_full";
     /// Trace-event kind: a query plan was evaluated.
     pub const EVENT_PLAN_EVAL: &str = "plan_eval";
+    /// Trace-event kind: a SQL statement was executed end to end.
+    pub const EVENT_SQL_QUERY: &str = "sql_query";
     /// Trace-event kind: a checkpoint committed (snapshots + manifest).
     pub const EVENT_CHECKPOINT: &str = "checkpoint";
 }
@@ -67,6 +77,12 @@ pub struct ServiceTelemetry {
     pub enqueue_wait: Histogram,
     /// End-to-end query latency.
     pub query: Histogram,
+    /// SQL lex+parse stage latency.
+    pub sql_parse: Histogram,
+    /// SQL analyze+plan stage latency.
+    pub sql_plan: Histogram,
+    /// SQL plan execution latency (fan-out + merge + finalize).
+    pub sql_exec: Histogram,
     /// Per-shard enqueue → ingested latency.
     pub ingest_ack: Vec<Histogram>,
     /// Per-shard compaction-tick duration.
@@ -96,6 +112,9 @@ impl ServiceTelemetry {
         Arc::new(ServiceTelemetry {
             enqueue_wait: registry.histogram(names::ENQUEUE_WAIT_NS),
             query: registry.histogram(names::QUERY_NS),
+            sql_parse: registry.histogram(names::SQL_PARSE_NS),
+            sql_plan: registry.histogram(names::SQL_PLAN_NS),
+            sql_exec: registry.histogram(names::SQL_EXEC_NS),
             ingest_ack: per_shard(names::INGEST_ACK_NS),
             compaction_tick: per_shard(names::COMPACTION_TICK_NS),
             queue_full: registry.counter(names::QUEUE_FULL_TOTAL),

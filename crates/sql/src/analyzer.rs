@@ -1,0 +1,612 @@
+//! Typed analysis: AST + columnar [`Schema`] → [`AnalyzedSelect`].
+//!
+//! This stage resolves every name, type-checks the WHERE conjunction
+//! against column types (rewriting `k = 3` into a float equality when
+//! `k` is a float column, so integer literals behave), validates
+//! aggregate arity and argument types, enforces SQL grouping rules,
+//! and resolves ORDER BY targets to output-column indices. Everything
+//! after it operates on indices, never names.
+
+use crate::ast::{
+    AggArg, AggFunc, Ident, OrderTarget, SelectItem, SqlPredicate, Statement, WhereClause,
+};
+use crate::error::SqlError;
+use crate::value::SqlType;
+use ciao_columnar::Schema;
+
+/// A resolved reference to a schema column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Column name as spelled in the schema.
+    pub name: String,
+    /// Index into the schema's field list.
+    pub index: usize,
+    /// The column's SQL-facing type.
+    pub ty: SqlType,
+}
+
+/// A resolved aggregate argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggArgRef {
+    /// `COUNT(*)` — count rows, no column read.
+    Star,
+    /// Aggregate over one column.
+    Column(ColumnRef),
+}
+
+/// A fully resolved aggregate call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggCall {
+    /// Which function.
+    pub func: AggFunc,
+    /// Its argument.
+    pub arg: AggArgRef,
+    /// The result type (`COUNT` → int, `AVG` → float, `SUM` over int →
+    /// int, over float → float, `MIN`/`MAX` → the column type).
+    pub output: SqlType,
+}
+
+/// Where one output column's values come from at finalize time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputSource {
+    /// The i-th GROUP BY key.
+    Group(usize),
+    /// The i-th aggregate.
+    Agg(usize),
+    /// A scanned column (ungrouped projection).
+    Column(ColumnRef),
+}
+
+/// One column of the result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputColumn {
+    /// Output name: the alias if given, else the column name, else a
+    /// derived name like `avg(score)`.
+    pub name: String,
+    /// The value type.
+    pub ty: SqlType,
+    /// Where values come from.
+    pub source: OutputSource,
+}
+
+/// One resolved ORDER BY key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Index into the output columns.
+    pub output: usize,
+    /// Descending if true.
+    pub desc: bool,
+}
+
+/// The analyzer's result: a typed, name-free description of the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedSelect {
+    /// Type-checked (and possibly rewritten) WHERE conjunction.
+    pub filter: Vec<WhereClause>,
+    /// GROUP BY keys, in declaration order.
+    pub group_by: Vec<ColumnRef>,
+    /// Aggregate calls, in projection order.
+    pub aggregates: Vec<AggCall>,
+    /// Output columns, in projection order.
+    pub output: Vec<OutputColumn>,
+    /// Resolved ORDER BY keys.
+    pub order_by: Vec<SortKey>,
+    /// Row cap.
+    pub limit: Option<usize>,
+    /// True when the query aggregates (has aggregate calls or a
+    /// GROUP BY — the latter alone acts as DISTINCT).
+    pub grouped: bool,
+}
+
+/// Analyzes a statement against the schema.
+pub fn analyze(stmt: &Statement, schema: &Schema) -> Result<AnalyzedSelect, SqlError> {
+    let Statement::Select(select) = stmt;
+
+    let filter = check_filter(&select.where_clauses, schema)?;
+
+    let group_by = select
+        .group_by
+        .iter()
+        .map(|ident| {
+            let col = resolve(ident, schema)?;
+            if col.ty == SqlType::Json {
+                return Err(SqlError::analyze(
+                    format!("cannot group by json column `{}`", col.name),
+                    ident.span,
+                ));
+            }
+            Ok(col)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let has_aggregate = select
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+    let grouped = has_aggregate || !group_by.is_empty();
+
+    let mut aggregates = Vec::new();
+    let mut output = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Star(span) => {
+                if grouped {
+                    return Err(SqlError::analyze(
+                        "SELECT * cannot be combined with aggregates or GROUP BY",
+                        *span,
+                    ));
+                }
+                for (index, field) in schema.fields().iter().enumerate() {
+                    let ty = SqlType::from_data_type(field.dtype);
+                    output.push(OutputColumn {
+                        name: field.name.clone(),
+                        ty,
+                        source: OutputSource::Column(ColumnRef {
+                            name: field.name.clone(),
+                            index,
+                            ty,
+                        }),
+                    });
+                }
+            }
+            SelectItem::Column { name, alias } => {
+                let col = resolve(name, schema)?;
+                let source = if grouped {
+                    let pos = group_by
+                        .iter()
+                        .position(|g| g.index == col.index)
+                        .ok_or_else(|| {
+                            SqlError::analyze(
+                                format!(
+                                    "column `{}` must appear in GROUP BY or inside an aggregate",
+                                    col.name
+                                ),
+                                name.span,
+                            )
+                        })?;
+                    OutputSource::Group(pos)
+                } else {
+                    OutputSource::Column(col.clone())
+                };
+                output.push(OutputColumn {
+                    name: alias.as_ref().map_or(col.name.clone(), |a| a.name.clone()),
+                    ty: col.ty,
+                    source,
+                });
+            }
+            SelectItem::Aggregate { call, alias } => {
+                let agg = check_aggregate(call, schema)?;
+                let name = alias.as_ref().map(|a| a.name.clone()).unwrap_or_else(|| {
+                    let arg = match &agg.arg {
+                        AggArgRef::Star => "*",
+                        AggArgRef::Column(c) => c.name.as_str(),
+                    };
+                    format!("{}({})", call.func.name().to_lowercase(), arg)
+                });
+                output.push(OutputColumn {
+                    name,
+                    ty: agg.output,
+                    source: OutputSource::Agg(aggregates.len()),
+                });
+                aggregates.push(agg);
+            }
+        }
+    }
+
+    let order_by = select
+        .order_by
+        .iter()
+        .map(|key| {
+            let index = match &key.target {
+                OrderTarget::Position { index, span } => {
+                    if *index < 1 || *index > output.len() as i64 {
+                        return Err(SqlError::analyze(
+                            format!(
+                                "ORDER BY position {index} is out of range (1..={})",
+                                output.len()
+                            ),
+                            *span,
+                        ));
+                    }
+                    (*index - 1) as usize
+                }
+                OrderTarget::Name(ident) => output
+                    .iter()
+                    .position(|o| o.name == ident.name)
+                    .ok_or_else(|| {
+                        SqlError::analyze(
+                            format!("unknown ORDER BY column `{}`", ident.name),
+                            ident.span,
+                        )
+                    })?,
+            };
+            Ok(SortKey {
+                output: index,
+                desc: key.desc,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(AnalyzedSelect {
+        filter,
+        group_by,
+        aggregates,
+        output,
+        order_by,
+        limit: select.limit.map(|(n, _)| n as usize),
+        grouped,
+    })
+}
+
+/// Resolves an identifier against the schema, with a did-you-mean hint
+/// for case mistakes.
+fn resolve(ident: &Ident, schema: &Schema) -> Result<ColumnRef, SqlError> {
+    if let Some(index) = schema.index_of(&ident.name) {
+        let field = &schema.fields()[index];
+        return Ok(ColumnRef {
+            name: field.name.clone(),
+            index,
+            ty: SqlType::from_data_type(field.dtype),
+        });
+    }
+    let hint = schema
+        .fields()
+        .iter()
+        .find(|f| f.name.eq_ignore_ascii_case(&ident.name))
+        .map(|f| format!(" (did you mean `{}`?)", f.name))
+        .unwrap_or_default();
+    Err(SqlError::analyze(
+        format!("unknown column `{}`{hint}", ident.name),
+        ident.span,
+    ))
+}
+
+/// Type-checks the WHERE conjunction, rewriting integer equalities on
+/// float columns into float equalities.
+fn check_filter(clauses: &[WhereClause], schema: &Schema) -> Result<Vec<WhereClause>, SqlError> {
+    clauses
+        .iter()
+        .map(|clause| {
+            let disjuncts = clause
+                .disjuncts
+                .iter()
+                .map(|p| check_predicate(p, schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(WhereClause {
+                disjuncts,
+                span: clause.span,
+            })
+        })
+        .collect()
+}
+
+fn check_predicate(p: &SqlPredicate, schema: &Schema) -> Result<SqlPredicate, SqlError> {
+    let key = p.key();
+    let col = resolve(key, schema)?;
+    let mismatch = |compared_to: &str| {
+        SqlError::analyze(
+            format!(
+                "type mismatch: column `{}` has type {} but is compared to {compared_to}",
+                col.name, col.ty
+            ),
+            key.span,
+        )
+    };
+    if col.ty == SqlType::Json && !matches!(p, SqlPredicate::NotNull { .. }) {
+        return Err(SqlError::analyze(
+            format!(
+                "column `{}` has type json and only supports IS NOT NULL",
+                col.name
+            ),
+            key.span,
+        ));
+    }
+    match p {
+        SqlPredicate::StrEq { .. } | SqlPredicate::StrContains { .. } => {
+            if col.ty != SqlType::Str {
+                return Err(mismatch("a string"));
+            }
+        }
+        SqlPredicate::NotNull { .. } => {}
+        SqlPredicate::IntEq { key, value } => match col.ty {
+            SqlType::Int => {}
+            // Row evaluation of an int equality never matches float
+            // cells; lower onto float equality so `score = 2` works.
+            SqlType::Float => {
+                return Ok(SqlPredicate::FloatEq {
+                    key: key.clone(),
+                    value: *value as f64,
+                })
+            }
+            _ => return Err(mismatch("an integer")),
+        },
+        SqlPredicate::IntLt { .. } | SqlPredicate::IntGt { .. } => {
+            if col.ty != SqlType::Int {
+                return Err(mismatch("an integer range"));
+            }
+        }
+        SqlPredicate::BoolEq { .. } => {
+            if col.ty != SqlType::Bool {
+                return Err(mismatch("a boolean"));
+            }
+        }
+        SqlPredicate::FloatEq { .. } => {
+            if !col.ty.is_numeric() {
+                return Err(mismatch("a float"));
+            }
+        }
+    }
+    Ok(p.clone())
+}
+
+fn check_aggregate(call: &crate::ast::AggExpr, schema: &Schema) -> Result<AggCall, SqlError> {
+    if call.args.len() != 1 {
+        return Err(SqlError::analyze(
+            format!(
+                "{} takes exactly one argument, found {}",
+                call.func.name(),
+                call.args.len()
+            ),
+            call.span,
+        ));
+    }
+    let arg = match &call.args[0] {
+        AggArg::Star(span) => {
+            if call.func != AggFunc::Count {
+                return Err(SqlError::analyze(
+                    format!("{} requires a column argument, not `*`", call.func.name()),
+                    *span,
+                ));
+            }
+            AggArgRef::Star
+        }
+        AggArg::Column(ident) => AggArgRef::Column(resolve(ident, schema)?),
+    };
+    let col_ty = match &arg {
+        AggArgRef::Star => None,
+        AggArgRef::Column(c) => Some(c.ty),
+    };
+    match call.func {
+        AggFunc::Count => {}
+        AggFunc::Sum | AggFunc::Avg => {
+            let ty = col_ty.expect("star rejected above");
+            if !ty.is_numeric() {
+                let name = match &arg {
+                    AggArgRef::Column(c) => c.name.as_str(),
+                    AggArgRef::Star => unreachable!(),
+                };
+                return Err(SqlError::analyze(
+                    format!(
+                        "{} requires a numeric column, but `{name}` has type {ty}",
+                        call.func.name()
+                    ),
+                    call.span,
+                ));
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let ty = col_ty.expect("star rejected above");
+            if ty == SqlType::Json {
+                let name = match &arg {
+                    AggArgRef::Column(c) => c.name.as_str(),
+                    AggArgRef::Star => unreachable!(),
+                };
+                return Err(SqlError::analyze(
+                    format!("{} cannot aggregate json column `{name}`", call.func.name()),
+                    call.span,
+                ));
+            }
+        }
+    }
+    let output = match call.func {
+        AggFunc::Count => SqlType::Int,
+        AggFunc::Avg => SqlType::Float,
+        AggFunc::Sum => match col_ty.expect("star rejected above") {
+            SqlType::Int => SqlType::Int,
+            _ => SqlType::Float,
+        },
+        AggFunc::Min | AggFunc::Max => col_ty.expect("star rejected above"),
+    };
+    Ok(AggCall {
+        func: call.func,
+        arg,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use ciao_columnar::{DataType, Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("name", DataType::Str),
+            Field::new("stars", DataType::Int),
+            Field::new("score", DataType::Float),
+            Field::new("active", DataType::Bool),
+            Field::new("payload", DataType::Json),
+        ])
+        .unwrap()
+    }
+
+    fn analyze_sql(sql: &str) -> Result<AnalyzedSelect, SqlError> {
+        analyze(&parse(sql)?, &schema())
+    }
+
+    #[test]
+    fn grouped_aggregate_resolves_sources() {
+        let a = analyze_sql(
+            "SELECT stars, COUNT(*) AS n, AVG(score) FROM t \
+             GROUP BY stars ORDER BY n DESC, 1 LIMIT 3",
+        )
+        .unwrap();
+        assert!(a.grouped);
+        assert_eq!(a.group_by.len(), 1);
+        assert_eq!(a.aggregates.len(), 2);
+        assert_eq!(a.output[0].source, OutputSource::Group(0));
+        assert_eq!(a.output[1].name, "n");
+        assert_eq!(a.output[1].ty, SqlType::Int);
+        assert_eq!(a.output[2].name, "avg(score)");
+        assert_eq!(a.output[2].ty, SqlType::Float);
+        assert_eq!(
+            a.order_by,
+            vec![
+                SortKey {
+                    output: 1,
+                    desc: true
+                },
+                SortKey {
+                    output: 0,
+                    desc: false
+                }
+            ]
+        );
+        assert_eq!(a.limit, Some(3));
+    }
+
+    #[test]
+    fn star_expands_schema_in_order() {
+        let a = analyze_sql("SELECT * FROM t").unwrap();
+        assert_eq!(a.output.len(), 5);
+        assert_eq!(a.output[4].name, "payload");
+        assert_eq!(a.output[4].ty, SqlType::Json);
+        assert!(!a.grouped);
+    }
+
+    #[test]
+    fn sum_output_type_follows_column() {
+        let a = analyze_sql("SELECT SUM(stars), SUM(score) FROM t").unwrap();
+        assert_eq!(a.output[0].ty, SqlType::Int);
+        assert_eq!(a.output[1].ty, SqlType::Float);
+    }
+
+    #[test]
+    fn int_equality_on_float_column_is_rewritten() {
+        let a = analyze_sql("SELECT name FROM t WHERE score = 2").unwrap();
+        assert!(matches!(
+            &a.filter[0].disjuncts[0],
+            SqlPredicate::FloatEq { value, .. } if *value == 2.0
+        ));
+    }
+
+    // The top user mistakes, each pointing at the offending span.
+
+    #[test]
+    fn mistake_unknown_column() {
+        let err = analyze_sql("SELECT strs FROM t").unwrap_err();
+        assert_eq!(err.message, "unknown column `strs`");
+        assert_eq!(err.span.start, 7);
+    }
+
+    #[test]
+    fn mistake_wrong_case_gets_hint() {
+        let err = analyze_sql("SELECT Stars FROM t").unwrap_err();
+        assert_eq!(
+            err.message,
+            "unknown column `Stars` (did you mean `stars`?)"
+        );
+    }
+
+    #[test]
+    fn mistake_type_mismatch_in_where() {
+        let err = analyze_sql(r#"SELECT * WHERE stars = "five""#).unwrap_err();
+        assert_eq!(
+            err.message,
+            "type mismatch: column `stars` has type int but is compared to a string"
+        );
+        let err = analyze_sql("SELECT * WHERE name = 5").unwrap_err();
+        assert_eq!(
+            err.message,
+            "type mismatch: column `name` has type str but is compared to an integer"
+        );
+        let err = analyze_sql("SELECT * WHERE score < 5").unwrap_err();
+        assert!(err.message.contains("integer range"));
+        let err = analyze_sql("SELECT * WHERE name = true").unwrap_err();
+        assert!(err.message.contains("a boolean"));
+    }
+
+    #[test]
+    fn mistake_json_column_predicate() {
+        let err = analyze_sql(r#"SELECT * WHERE payload = "x""#).unwrap_err();
+        assert_eq!(
+            err.message,
+            "column `payload` has type json and only supports IS NOT NULL"
+        );
+        assert!(analyze_sql("SELECT * WHERE payload IS NOT NULL").is_ok());
+    }
+
+    #[test]
+    fn mistake_bad_aggregate_arity() {
+        let err = analyze_sql("SELECT COUNT() FROM t").unwrap_err();
+        assert_eq!(err.message, "COUNT takes exactly one argument, found 0");
+        let err = analyze_sql("SELECT SUM(stars, score) FROM t").unwrap_err();
+        assert_eq!(err.message, "SUM takes exactly one argument, found 2");
+    }
+
+    #[test]
+    fn mistake_star_into_non_count() {
+        let err = analyze_sql("SELECT AVG(*) FROM t").unwrap_err();
+        assert_eq!(err.message, "AVG requires a column argument, not `*`");
+    }
+
+    #[test]
+    fn mistake_non_numeric_sum() {
+        let err = analyze_sql("SELECT SUM(name) FROM t").unwrap_err();
+        assert_eq!(
+            err.message,
+            "SUM requires a numeric column, but `name` has type str"
+        );
+        let err = analyze_sql("SELECT MIN(payload) FROM t").unwrap_err();
+        assert!(err.message.contains("cannot aggregate json column"));
+    }
+
+    #[test]
+    fn mistake_bare_column_next_to_aggregate() {
+        let err = analyze_sql("SELECT name, COUNT(*) FROM t").unwrap_err();
+        assert_eq!(
+            err.message,
+            "column `name` must appear in GROUP BY or inside an aggregate"
+        );
+    }
+
+    #[test]
+    fn mistake_star_with_group_by() {
+        let err = analyze_sql("SELECT * FROM t GROUP BY stars").unwrap_err();
+        assert_eq!(
+            err.message,
+            "SELECT * cannot be combined with aggregates or GROUP BY"
+        );
+    }
+
+    #[test]
+    fn mistake_order_by_out_of_range() {
+        let err = analyze_sql("SELECT name FROM t ORDER BY 2").unwrap_err();
+        assert_eq!(err.message, "ORDER BY position 2 is out of range (1..=1)");
+        let err = analyze_sql("SELECT name FROM t ORDER BY nope").unwrap_err();
+        assert_eq!(err.message, "unknown ORDER BY column `nope`");
+    }
+
+    #[test]
+    fn mistake_group_by_json() {
+        let err = analyze_sql("SELECT COUNT(*) FROM t GROUP BY payload").unwrap_err();
+        assert_eq!(err.message, "cannot group by json column `payload`");
+    }
+
+    #[test]
+    fn group_by_without_aggregates_is_distinct() {
+        let a = analyze_sql("SELECT stars FROM t GROUP BY stars").unwrap();
+        assert!(a.grouped);
+        assert!(a.aggregates.is_empty());
+    }
+
+    #[test]
+    fn caret_rendering_end_to_end() {
+        let sql = "SELECT strs FROM t";
+        let err = analyze_sql(sql).unwrap_err();
+        let rendered = err.render(sql);
+        assert!(rendered.contains("^^^^"));
+        assert!(rendered.contains("SELECT strs FROM t"));
+    }
+}

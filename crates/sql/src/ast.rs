@@ -1,0 +1,243 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! The AST is untyped and schema-free: names are plain [`Ident`]s and
+//! WHERE predicates are [`SqlPredicate`]s that structurally mirror
+//! `ciao_predicate::SimplePredicate` without depending on that crate
+//! (the dependency points the other way — `ciao_predicate` bridges
+//! *from* this AST). Every node keeps the [`Span`] it came from so the
+//! analyzer can point errors at source text.
+
+use crate::error::Span;
+
+/// A parsed SQL statement. Only `SELECT` exists today; the enum leaves
+/// room for more without breaking the public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT` statement.
+    Select(Select),
+}
+
+/// The body of a `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Projected items, in output order.
+    pub items: Vec<SelectItem>,
+    /// Optional `FROM` table name. CIAO has a single logical table per
+    /// service, so the name is accepted and ignored by the analyzer.
+    pub from: Option<Ident>,
+    /// `WHERE` conjunction (empty means no filter).
+    pub where_clauses: Vec<WhereClause>,
+    /// `GROUP BY` column names.
+    pub group_by: Vec<Ident>,
+    /// `ORDER BY` keys, in priority order.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count, with the literal's span.
+    pub limit: Option<(i64, Span)>,
+}
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    /// The identifier text (dotted keys like `address.city` allowed).
+    pub name: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+/// One item in the `SELECT` projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every schema column.
+    Star(Span),
+    /// A bare column, optionally aliased with `AS`.
+    Column {
+        /// The column name.
+        name: Ident,
+        /// Optional output alias.
+        alias: Option<Ident>,
+    },
+    /// An aggregate call, optionally aliased with `AS`.
+    Aggregate {
+        /// The call itself.
+        call: AggExpr,
+        /// Optional output alias.
+        alias: Option<Ident>,
+    },
+}
+
+/// An unanalyzed aggregate call, e.g. `AVG(score)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Which aggregate function.
+    pub func: AggFunc,
+    /// The argument list as written (arity is checked by the
+    /// analyzer, not the parser).
+    pub args: Vec<AggArg>,
+    /// Span of the whole call, `AVG` through `)`.
+    pub span: Span,
+}
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// The canonical upper-case name (`COUNT`, `SUM`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Parses a function name case-insensitively.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        if name.eq_ignore_ascii_case("count") {
+            Some(AggFunc::Count)
+        } else if name.eq_ignore_ascii_case("sum") {
+            Some(AggFunc::Sum)
+        } else if name.eq_ignore_ascii_case("min") {
+            Some(AggFunc::Min)
+        } else if name.eq_ignore_ascii_case("max") {
+            Some(AggFunc::Max)
+        } else if name.eq_ignore_ascii_case("avg") {
+            Some(AggFunc::Avg)
+        } else {
+            None
+        }
+    }
+}
+
+/// One argument to an aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggArg {
+    /// `*` — only meaningful for `COUNT`.
+    Star(Span),
+    /// A column name.
+    Column(Ident),
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// What to sort by.
+    pub target: OrderTarget,
+    /// `DESC` if true, `ASC` (the default) otherwise.
+    pub desc: bool,
+}
+
+/// The target of an `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderTarget {
+    /// A 1-based output-column position, e.g. `ORDER BY 2`.
+    Position {
+        /// The 1-based position as written.
+        index: i64,
+        /// Where the literal appeared.
+        span: Span,
+    },
+    /// An output alias or column name.
+    Name(Ident),
+}
+
+/// One simple predicate in a WHERE clause. Structurally mirrors
+/// `ciao_predicate::SimplePredicate`, with spans on the keys so the
+/// analyzer can report type mismatches precisely.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlPredicate {
+    /// `key = "value"`.
+    StrEq {
+        /// Record key.
+        key: Ident,
+        /// Exact string to match.
+        value: String,
+    },
+    /// `key LIKE "%needle%"`.
+    StrContains {
+        /// Record key.
+        key: Ident,
+        /// Substring to search for.
+        needle: String,
+    },
+    /// `key != NULL` / `key IS NOT NULL`.
+    NotNull {
+        /// Record key.
+        key: Ident,
+    },
+    /// `key = 42`.
+    IntEq {
+        /// Record key.
+        key: Ident,
+        /// Exact integer to match.
+        value: i64,
+    },
+    /// `key = true`.
+    BoolEq {
+        /// Record key.
+        key: Ident,
+        /// Boolean to match.
+        value: bool,
+    },
+    /// `key < 42` (also produced by `key <= 41`).
+    IntLt {
+        /// Record key.
+        key: Ident,
+        /// Exclusive upper bound.
+        value: i64,
+    },
+    /// `key > 42` (also produced by `key >= 43`).
+    IntGt {
+        /// Record key.
+        key: Ident,
+        /// Exclusive lower bound.
+        value: i64,
+    },
+    /// `key = 2.5`.
+    FloatEq {
+        /// Record key.
+        key: Ident,
+        /// Float to match (exact bit comparison downstream).
+        value: f64,
+    },
+}
+
+impl SqlPredicate {
+    /// The record key this predicate inspects.
+    pub fn key(&self) -> &Ident {
+        match self {
+            SqlPredicate::StrEq { key, .. }
+            | SqlPredicate::StrContains { key, .. }
+            | SqlPredicate::NotNull { key }
+            | SqlPredicate::IntEq { key, .. }
+            | SqlPredicate::BoolEq { key, .. }
+            | SqlPredicate::IntLt { key, .. }
+            | SqlPredicate::IntGt { key, .. }
+            | SqlPredicate::FloatEq { key, .. } => key,
+        }
+    }
+}
+
+/// One clause of the WHERE conjunction: a disjunction of simple
+/// predicates (usually a single one). Mirrors
+/// `ciao_predicate::Clause`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereClause {
+    /// The OR'd predicates; never empty.
+    pub disjuncts: Vec<SqlPredicate>,
+    /// Span of the whole clause.
+    pub span: Span,
+}

@@ -1,0 +1,202 @@
+//! Span-carrying errors with caret-rendered source context.
+//!
+//! Every stage of the frontend (lexer, parser, analyzer) reports
+//! failures as a [`SqlError`]: a message, the [`Stage`] that raised it,
+//! and a byte [`Span`] into the original statement text.
+//! [`SqlError::render`] turns that into the familiar compiler-style
+//! two-line excerpt with a caret underline, so a typo in a 300-byte
+//! statement is pointed at, not described.
+
+/// A half-open byte range `[start, end)` into the source text.
+///
+/// A zero-length span (`start == end`) marks a *position* — used for
+/// "expected X, found end of input" errors at the end of the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the offending region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at one position.
+    pub fn point(offset: usize) -> Span {
+        Span {
+            start: offset,
+            end: offset,
+        }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Span width in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True for a zero-width (position-only) span.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which frontend stage rejected the statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization (bad character, unterminated string, malformed
+    /// number).
+    Lex,
+    /// Grammar (unexpected token, missing keyword).
+    Parse,
+    /// Typed analysis against the schema (unknown column, type
+    /// mismatch, aggregate misuse).
+    Analyze,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Analyze => "analyze",
+        })
+    }
+}
+
+/// A frontend failure: stage, human-readable message, and source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// The stage that raised the error.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+    /// Byte span of the offending region in the statement text.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Builds an error for a stage.
+    pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> SqlError {
+        SqlError {
+            stage,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// A lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(Stage::Lex, message, span)
+    }
+
+    /// A parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(Stage::Parse, message, span)
+    }
+
+    /// An analyzer error.
+    pub fn analyze(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(Stage::Analyze, message, span)
+    }
+
+    /// Renders the error with a caret-underlined excerpt of `source`
+    /// (the statement text the span indexes into):
+    ///
+    /// ```text
+    /// analyze error: unknown column `strs`
+    ///   |
+    /// 1 | SELECT strs FROM t
+    ///   |        ^^^^
+    /// ```
+    ///
+    /// Multi-line sources are handled (the excerpt shows the line
+    /// containing the span's start); a span past the end of the text
+    /// points one column past the last character.
+    pub fn render(&self, source: &str) -> String {
+        let start = self.span.start.min(source.len());
+        // Line containing the span start, 1-based.
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_number = source[..start].matches('\n').count() + 1;
+        let line_end = source[line_start..]
+            .find('\n')
+            .map_or(source.len(), |i| line_start + i);
+        let line = &source[line_start..line_end];
+        let column = start - line_start;
+        // Caret width: clamp the span to this line, minimum one caret.
+        let span_on_line = self.span.end.clamp(start, line_end) - start;
+        let carets = "^".repeat(span_on_line.max(1));
+        let gutter = line_number.to_string();
+        let pad = " ".repeat(gutter.len());
+        format!(
+            "{self}\n{pad} |\n{gutter} | {line}\n{pad} | {caret_pad}{carets}",
+            caret_pad = " ".repeat(column),
+        )
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} error at byte {}: {}",
+            self.stage, self.span.start, self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_algebra() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(Span::point(4).is_empty());
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let source = "SELECT strs FROM t";
+        let err = SqlError::analyze("unknown column `strs`", Span::new(7, 11));
+        let rendered = err.render(source);
+        assert!(rendered.contains("unknown column `strs`"));
+        assert!(rendered.contains("1 | SELECT strs FROM t"));
+        assert!(rendered.contains("  |        ^^^^"));
+    }
+
+    #[test]
+    fn render_handles_multiline_and_eof_spans() {
+        let source = "SELECT *\nFROM t WHERE";
+        let err = SqlError::parse("expected a key identifier", Span::point(source.len()));
+        let rendered = err.render(source);
+        assert!(rendered.contains("2 | FROM t WHERE"));
+        // A zero-width span still draws one caret.
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn display_carries_stage_and_offset() {
+        let err = SqlError::lex("unexpected character `~`", Span::new(5, 6));
+        assert_eq!(
+            err.to_string(),
+            "lex error at byte 5: unexpected character `~`"
+        );
+    }
+}

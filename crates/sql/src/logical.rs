@@ -1,0 +1,80 @@
+//! Logical planning: [`AnalyzedSelect`] → [`LogicalPlan`].
+//!
+//! The logical plan names *what* to compute — a filtered projection or
+//! a filtered aggregation — independent of how the engine iterates
+//! blocks. It is deliberately small: CIAO has one table and no joins,
+//! so the planner's job is choosing between the two operator shapes
+//! and carrying the analyzer's resolved structures forward.
+
+use crate::analyzer::{AggCall, AnalyzedSelect, ColumnRef, OutputColumn, OutputSource, SortKey};
+use crate::ast::WhereClause;
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan → filter → project columns, then order/limit.
+    Projection {
+        /// The common scan/order/limit envelope.
+        core: PlanCore,
+        /// Projected columns, in output order.
+        columns: Vec<ColumnRef>,
+    },
+    /// Scan → filter → group and aggregate, then order/limit.
+    Aggregation {
+        /// The common scan/order/limit envelope.
+        core: PlanCore,
+        /// GROUP BY keys (possibly empty: one global group).
+        group_by: Vec<ColumnRef>,
+        /// Aggregate calls in projection order.
+        aggregates: Vec<AggCall>,
+    },
+}
+
+/// The parts both logical operators share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCore {
+    /// Type-checked WHERE conjunction.
+    pub filter: Vec<WhereClause>,
+    /// Output column descriptors.
+    pub output: Vec<OutputColumn>,
+    /// Resolved ORDER BY keys (over output columns).
+    pub order_by: Vec<SortKey>,
+    /// Row cap.
+    pub limit: Option<usize>,
+}
+
+/// Lowers an analyzed select into a logical plan.
+pub fn build_logical(analyzed: AnalyzedSelect) -> LogicalPlan {
+    let AnalyzedSelect {
+        filter,
+        group_by,
+        aggregates,
+        output,
+        order_by,
+        limit,
+        grouped,
+    } = analyzed;
+    let core = PlanCore {
+        filter,
+        output,
+        order_by,
+        limit,
+    };
+    if grouped {
+        LogicalPlan::Aggregation {
+            core,
+            group_by,
+            aggregates,
+        }
+    } else {
+        let columns = core
+            .output
+            .iter()
+            .map(|o| match &o.source {
+                OutputSource::Column(c) => c.clone(),
+                _ => unreachable!("ungrouped output only projects columns"),
+            })
+            .collect();
+        LogicalPlan::Projection { core, columns }
+    }
+}

@@ -1,0 +1,622 @@
+//! Recursive-descent parser: tokens → [`Statement`].
+//!
+//! The WHERE sub-grammar is byte-for-byte the old
+//! `ciao_predicate::parser` grammar (same productions, same error
+//! messages) so the back-compat shim can delegate here and every
+//! workload file that parsed before still parses. The statement
+//! grammar wraps it:
+//!
+//! ```text
+//! statement := SELECT item (',' item)*
+//!              [FROM ident] [WHERE where] [GROUP BY ident (',' ident)*]
+//!              [ORDER BY key (',' key)*] [LIMIT int] [';']
+//! item      := '*' | column [AS ident] | agg '(' args ')' [AS ident]
+//! agg       := COUNT | SUM | MIN | MAX | AVG
+//! args      := '*' | ident (',' ident)*        -- arity checked later
+//! key       := (int | ident) [ASC | DESC]
+//! where     := clause (AND clause)*
+//! clause    := '(' simple (OR simple)* ')'
+//!            | key IN '(' literal (',' literal)* ')'
+//!            | simple
+//! simple    := key '=' literal | key LIKE string
+//!            | key '!=' NULL | key IS NOT NULL | key '<>' NULL
+//!            | key '<' int | key '>' int | key '<=' int | key '>=' int
+//! ```
+
+use crate::ast::{
+    AggArg, AggExpr, AggFunc, Ident, OrderKey, OrderTarget, Select, SelectItem, SqlPredicate,
+    Statement, WhereClause,
+};
+use crate::error::{Span, SqlError};
+use crate::token::{lex, Spanned, Token};
+
+/// Parses a full SQL statement.
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let mut p = Parser::new(sql)?;
+    let select = p.parse_select()?;
+    if p.peek() == Some(&Token::Semicolon) {
+        p.next();
+    }
+    if let Some(tok) = p.peek() {
+        return Err(p.err_here(format!(
+            "expected end of statement, found {}",
+            tok.describe()
+        )));
+    }
+    Ok(Statement::Select(select))
+}
+
+/// Parses a bare WHERE body (no `WHERE` keyword) into its conjunctive
+/// clauses — the entry point used by the `ciao_predicate` shim.
+pub fn parse_where_body(input: &str) -> Result<Vec<WhereClause>, SqlError> {
+    let mut p = Parser::new(input)?;
+    let clauses = p.parse_where_clauses()?;
+    if p.peek().is_some() {
+        return Err(p.err_here("trailing input after predicates"));
+    }
+    Ok(clauses)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    idx: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, SqlError> {
+        Ok(Parser {
+            tokens: lex(input)?,
+            idx: 0,
+            input_len: input.len(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.idx).map(|s| &s.token)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.idx).cloned();
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    /// Span of the token about to be consumed, or a zero-width span at
+    /// end of input.
+    fn span_here(&self) -> Span {
+        self.tokens
+            .get(self.idx)
+            .map_or(Span::point(self.input_len), |s| s.span)
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.idx == 0 {
+            0
+        } else {
+            self.tokens[self.idx - 1].span.end
+        }
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> SqlError {
+        SqlError::parse(message, self.span_here())
+    }
+
+    fn peek_is_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_is_kw(kw) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        let span = self.span_here();
+        match self.next() {
+            Some(s) if s.token.is_kw(kw) => Ok(()),
+            _ => Err(SqlError::parse(format!("expected keyword `{kw}`"), span)),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Ident, SqlError> {
+        let span = self.span_here();
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(name),
+                span,
+            }) => Ok(Ident { name, span }),
+            _ => Err(SqlError::parse(format!("expected {what}"), span)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statement grammar
+    // ------------------------------------------------------------------
+
+    fn parse_select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw("SELECT")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            items.push(self.parse_select_item()?);
+        }
+        let from = if self.eat_kw("from") {
+            Some(self.expect_ident("a table name after FROM")?)
+        } else {
+            None
+        };
+        let where_clauses = if self.eat_kw("where") {
+            self.parse_where_clauses()?
+        } else {
+            Vec::new()
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expect_ident("a column name in GROUP BY")?);
+            while self.peek() == Some(&Token::Comma) {
+                self.next();
+                group_by.push(self.expect_ident("a column name in GROUP BY")?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("BY")?;
+            order_by.push(self.parse_order_key()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.next();
+                order_by.push(self.parse_order_key()?);
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            let span = self.span_here();
+            match self.next() {
+                Some(Spanned {
+                    token: Token::Int(n),
+                    span,
+                }) => {
+                    if n < 0 {
+                        return Err(SqlError::parse("LIMIT must be non-negative", span));
+                    }
+                    Some((n, span))
+                }
+                _ => return Err(SqlError::parse("expected an integer after LIMIT", span)),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            items,
+            from,
+            where_clauses,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        match self.peek() {
+            Some(Token::Star) => {
+                let span = self.span_here();
+                self.next();
+                Ok(SelectItem::Star(span))
+            }
+            Some(Token::Ident(name)) => {
+                let is_agg_call = AggFunc::from_name(name).is_some()
+                    && self.tokens.get(self.idx + 1).map(|s| &s.token) == Some(&Token::LParen);
+                if is_agg_call {
+                    let call = self.parse_agg_call()?;
+                    let alias = self.parse_alias()?;
+                    Ok(SelectItem::Aggregate { call, alias })
+                } else {
+                    let name = self.expect_ident("a column name")?;
+                    let alias = self.parse_alias()?;
+                    Ok(SelectItem::Column { name, alias })
+                }
+            }
+            _ => Err(self.err_here("expected a column, aggregate, or `*` in SELECT list")),
+        }
+    }
+
+    fn parse_agg_call(&mut self) -> Result<AggExpr, SqlError> {
+        let fname = self.expect_ident("an aggregate name")?;
+        let func = AggFunc::from_name(&fname.name).expect("caller checked the name");
+        self.next(); // the `(` the caller looked ahead at
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                match self.peek() {
+                    Some(Token::Star) => {
+                        args.push(AggArg::Star(self.span_here()));
+                        self.next();
+                    }
+                    Some(Token::Ident(_)) => {
+                        args.push(AggArg::Column(
+                            self.expect_ident("a column name in aggregate argument")?,
+                        ));
+                    }
+                    _ => {
+                        return Err(
+                            self.err_here("expected a column name or `*` in aggregate argument")
+                        )
+                    }
+                }
+                if self.peek() == Some(&Token::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        let close = self.span_here();
+        match self.next() {
+            Some(Spanned {
+                token: Token::RParen,
+                ..
+            }) => Ok(AggExpr {
+                func,
+                args,
+                span: fname.span.to(close),
+            }),
+            _ => Err(SqlError::parse(
+                format!("expected `)` to close {}(...)", func.name()),
+                close,
+            )),
+        }
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<Ident>, SqlError> {
+        if self.eat_kw("as") {
+            Ok(Some(self.expect_ident("an alias after AS")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_order_key(&mut self) -> Result<OrderKey, SqlError> {
+        let target = match self.peek() {
+            Some(Token::Int(n)) => {
+                let span = self.span_here();
+                let index = *n;
+                self.next();
+                OrderTarget::Position { index, span }
+            }
+            Some(Token::Ident(_)) => {
+                OrderTarget::Name(self.expect_ident("a column name or position in ORDER BY")?)
+            }
+            _ => return Err(self.err_here("expected a column name or position in ORDER BY")),
+        };
+        let desc = if self.eat_kw("desc") {
+            true
+        } else {
+            self.eat_kw("asc");
+            false
+        };
+        Ok(OrderKey { target, desc })
+    }
+
+    // ------------------------------------------------------------------
+    // WHERE grammar — mirrors the seed `ciao_predicate::parser` exactly
+    // ------------------------------------------------------------------
+
+    fn parse_where_clauses(&mut self) -> Result<Vec<WhereClause>, SqlError> {
+        let mut clauses = vec![self.parse_where_clause()?];
+        while self.peek_is_kw("and") {
+            self.next();
+            clauses.push(self.parse_where_clause()?);
+        }
+        Ok(clauses)
+    }
+
+    fn parse_where_clause(&mut self) -> Result<WhereClause, SqlError> {
+        let start = self.span_here().start;
+        if self.peek() == Some(&Token::LParen) {
+            self.next();
+            let mut disjuncts = vec![self.parse_simple()?];
+            while self.peek_is_kw("or") {
+                self.next();
+                disjuncts.push(self.parse_simple()?);
+            }
+            let close = self.span_here();
+            match self.next() {
+                Some(Spanned {
+                    token: Token::RParen,
+                    ..
+                }) => Ok(WhereClause {
+                    disjuncts,
+                    span: Span::new(start, self.prev_end()),
+                }),
+                _ => Err(SqlError::parse("expected `)` to close disjunction", close)),
+            }
+        } else {
+            self.parse_simple_or_in()
+        }
+    }
+
+    fn parse_simple_or_in(&mut self) -> Result<WhereClause, SqlError> {
+        // Look ahead: key IN '(' ... ')' desugars to a disjunction.
+        let save = self.idx;
+        let start = self.span_here().start;
+        if let Some(Spanned {
+            token: Token::Ident(name),
+            span,
+        }) = self.next()
+        {
+            if self.peek_is_kw("in") {
+                let key = Ident { name, span };
+                self.next();
+                let open_span = self.span_here();
+                if !matches!(self.next(), Some(s) if s.token == Token::LParen) {
+                    return Err(SqlError::parse("expected `(` after IN", open_span));
+                }
+                let mut disjuncts = Vec::new();
+                loop {
+                    let lit_span = self.span_here();
+                    let p = match self.next().map(|s| s.token) {
+                        Some(Token::Str(value)) => SqlPredicate::StrEq {
+                            key: key.clone(),
+                            value,
+                        },
+                        Some(Token::Int(value)) => SqlPredicate::IntEq {
+                            key: key.clone(),
+                            value,
+                        },
+                        _ => {
+                            return Err(SqlError::parse(
+                                "expected string or integer literal in IN list",
+                                lit_span,
+                            ))
+                        }
+                    };
+                    disjuncts.push(p);
+                    let sep_span = self.span_here();
+                    match self.next().map(|s| s.token) {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RParen) => break,
+                        _ => {
+                            return Err(SqlError::parse("expected `,` or `)` in IN list", sep_span))
+                        }
+                    }
+                }
+                return Ok(WhereClause {
+                    disjuncts,
+                    span: Span::new(start, self.prev_end()),
+                });
+            }
+        }
+        self.idx = save;
+        let p = self.parse_simple()?;
+        Ok(WhereClause {
+            disjuncts: vec![p],
+            span: Span::new(start, self.prev_end()),
+        })
+    }
+
+    fn parse_simple(&mut self) -> Result<SqlPredicate, SqlError> {
+        let key_span = self.span_here();
+        let key = match self.next() {
+            Some(Spanned {
+                token: Token::Ident(name),
+                span,
+            }) => Ident { name, span },
+            _ => return Err(SqlError::parse("expected a key identifier", key_span)),
+        };
+        let op_span = self.span_here();
+        match self.next().map(|s| s.token) {
+            Some(Token::Eq) => {
+                let lit_span = self.span_here();
+                match self.next().map(|s| s.token) {
+                    Some(Token::Str(value)) => Ok(SqlPredicate::StrEq { key, value }),
+                    Some(Token::Int(value)) => Ok(SqlPredicate::IntEq { key, value }),
+                    Some(Token::Float(value)) => Ok(SqlPredicate::FloatEq { key, value }),
+                    Some(Token::Ident(w)) if w.eq_ignore_ascii_case("true") => {
+                        Ok(SqlPredicate::BoolEq { key, value: true })
+                    }
+                    Some(Token::Ident(w)) if w.eq_ignore_ascii_case("false") => {
+                        Ok(SqlPredicate::BoolEq { key, value: false })
+                    }
+                    _ => Err(SqlError::parse("expected literal after `=`", lit_span)),
+                }
+            }
+            Some(Token::Neq) => {
+                let lit_span = self.span_here();
+                match self.next().map(|s| s.token) {
+                    Some(Token::Ident(w)) if w.eq_ignore_ascii_case("null") => {
+                        Ok(SqlPredicate::NotNull { key })
+                    }
+                    _ => Err(SqlError::parse(
+                        "only `!= NULL` is supported after `!=`",
+                        lit_span,
+                    )),
+                }
+            }
+            Some(Token::Lt) => {
+                let lit_span = self.span_here();
+                match self.next().map(|s| s.token) {
+                    Some(Token::Int(value)) => Ok(SqlPredicate::IntLt { key, value }),
+                    _ => Err(SqlError::parse("expected integer after `<`", lit_span)),
+                }
+            }
+            Some(Token::Gt) => {
+                let lit_span = self.span_here();
+                match self.next().map(|s| s.token) {
+                    Some(Token::Int(value)) => Ok(SqlPredicate::IntGt { key, value }),
+                    _ => Err(SqlError::parse("expected integer after `>`", lit_span)),
+                }
+            }
+            Some(Token::Le) => {
+                let lit_span = self.span_here();
+                match self.next().map(|s| s.token) {
+                    // `k <= v` lowers onto the existing exclusive
+                    // bound: `k < v+1`.
+                    Some(Token::Int(value)) => match value.checked_add(1) {
+                        Some(bound) => Ok(SqlPredicate::IntLt { key, value: bound }),
+                        None => Err(SqlError::parse("integer overflow in `<=` bound", lit_span)),
+                    },
+                    _ => Err(SqlError::parse("expected integer after `<=`", lit_span)),
+                }
+            }
+            Some(Token::Ge) => {
+                let lit_span = self.span_here();
+                match self.next().map(|s| s.token) {
+                    Some(Token::Int(value)) => match value.checked_sub(1) {
+                        Some(bound) => Ok(SqlPredicate::IntGt { key, value: bound }),
+                        None => Err(SqlError::parse("integer overflow in `>=` bound", lit_span)),
+                    },
+                    _ => Err(SqlError::parse("expected integer after `>=`", lit_span)),
+                }
+            }
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("like") => {
+                let lit_span = self.span_here();
+                match self.next().map(|s| s.token) {
+                    Some(Token::Str(s)) => {
+                        let needle = s
+                            .strip_prefix('%')
+                            .and_then(|s| s.strip_suffix('%'))
+                            .ok_or_else(|| {
+                                SqlError::parse("LIKE pattern must be \"%needle%\"", lit_span)
+                            })?;
+                        if needle.contains('%') || needle.is_empty() {
+                            return Err(SqlError::parse(
+                                "LIKE pattern must be \"%needle%\" with a non-empty needle",
+                                lit_span,
+                            ));
+                        }
+                        Ok(SqlPredicate::StrContains {
+                            key,
+                            needle: needle.to_owned(),
+                        })
+                    }
+                    _ => Err(SqlError::parse(
+                        "expected string pattern after LIKE",
+                        lit_span,
+                    )),
+                }
+            }
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("is") => {
+                self.expect_kw("NOT")?;
+                self.expect_kw("NULL")?;
+                Ok(SqlPredicate::NotNull { key })
+            }
+            _ => Err(SqlError::parse(
+                "expected an operator (=, !=, <, >, LIKE, IS NOT NULL, IN)",
+                op_span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(sql: &str) -> Select {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+        }
+    }
+
+    #[test]
+    fn full_statement_shape() {
+        let s = select(
+            "SELECT city, COUNT(*) AS n, AVG(score) FROM reviews \
+             WHERE stars = 5 AND active = true \
+             GROUP BY city ORDER BY 2 DESC, city LIMIT 10;",
+        );
+        assert_eq!(s.items.len(), 3);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Aggregate {
+                call: AggExpr {
+                    func: AggFunc::Count,
+                    ..
+                },
+                alias: Some(a),
+            } if a.name == "n"
+        ));
+        assert_eq!(s.from.as_ref().unwrap().name, "reviews");
+        assert_eq!(s.where_clauses.len(), 2);
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].desc);
+        assert!(!s.order_by[1].desc);
+        assert_eq!(s.limit, Some((10, s.limit.unwrap().1)));
+    }
+
+    #[test]
+    fn star_and_keywords_case_insensitive() {
+        let s = select("select * from t where a = 1 order by a asc limit 3");
+        assert!(matches!(s.items[0], SelectItem::Star(_)));
+        assert_eq!(s.where_clauses.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_names_are_valid_columns() {
+        // `count` with no `(` is an ordinary column reference.
+        let s = select("SELECT count FROM t");
+        assert!(matches!(&s.items[0], SelectItem::Column { name, .. } if name.name == "count"));
+    }
+
+    #[test]
+    fn where_grammar_matches_seed_parser() {
+        let s = select(
+            r#"SELECT * WHERE name IN ("Bob","John") AND (a = 1 OR b = 2) AND c LIKE "%x%""#,
+        );
+        assert_eq!(s.where_clauses.len(), 3);
+        assert_eq!(s.where_clauses[0].disjuncts.len(), 2);
+        assert_eq!(s.where_clauses[1].disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn le_ge_lower_onto_exclusive_bounds() {
+        let s = select("SELECT * WHERE a <= 5 AND b >= 3");
+        assert!(matches!(
+            &s.where_clauses[0].disjuncts[0],
+            SqlPredicate::IntLt { value: 6, .. }
+        ));
+        assert!(matches!(
+            &s.where_clauses[1].disjuncts[0],
+            SqlPredicate::IntGt { value: 2, .. }
+        ));
+        let err = parse(&format!("SELECT * WHERE a <= {}", i64::MAX)).unwrap_err();
+        assert!(err.message.contains("overflow"));
+    }
+
+    #[test]
+    fn parse_where_body_requires_full_consumption() {
+        assert_eq!(parse_where_body("a = 1 AND b = 2").unwrap().len(), 2);
+        let err = parse_where_body("a = 1 extra").unwrap_err();
+        assert_eq!(err.message, "trailing input after predicates");
+        assert_eq!(err.span.start, 6);
+    }
+
+    #[test]
+    fn statement_errors_carry_spans() {
+        let err = parse("SELECT , x").unwrap_err();
+        assert_eq!(err.span.start, 7);
+        assert!(err.message.contains("SELECT list"));
+        let err = parse("SELECT a LIMIT -1").unwrap_err();
+        assert_eq!(err.message, "LIMIT must be non-negative");
+        let err = parse("SELECT a FROM t GROUP city").unwrap_err();
+        assert_eq!(err.message, "expected keyword `BY`");
+        let err = parse("SELECT a FROM t; SELECT b").unwrap_err();
+        assert!(err.message.contains("expected end of statement"));
+    }
+
+    #[test]
+    fn aggregate_call_errors() {
+        let err = parse("SELECT COUNT(").unwrap_err();
+        assert!(err.message.contains("aggregate argument"));
+        let err = parse("SELECT SUM(a").unwrap_err();
+        assert!(err.message.contains("expected `)` to close SUM(...)"));
+    }
+}

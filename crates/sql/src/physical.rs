@@ -1,0 +1,97 @@
+//! Physical planning: [`LogicalPlan`] → [`PhysicalPlan`].
+//!
+//! The physical plan is what executors consume. It spells out the scan
+//! contract: which WHERE clauses to push at the block scanner (all of
+//! them — the engine decides per-clause whether a prefilter bitvector
+//! backs it), which columns the operator reads from each block, and
+//! the finalize steps (output mapping, sort keys, limit).
+
+use crate::analyzer::{AggCall, ColumnRef, OutputColumn, SortKey};
+use crate::ast::WhereClause;
+use crate::logical::LogicalPlan;
+
+/// The row-producing operator at the heart of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalOp {
+    /// Emit one output row per matching scanned row.
+    ProjectScan {
+        /// Columns to read, in output order.
+        columns: Vec<ColumnRef>,
+    },
+    /// Fold matching rows into per-group aggregate states; emit one
+    /// row per group at finalize.
+    HashAggregate {
+        /// GROUP BY key columns (empty: one global group).
+        group: Vec<ColumnRef>,
+        /// Aggregate calls in projection order.
+        aggs: Vec<AggCall>,
+    },
+}
+
+/// An executable plan for one SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// WHERE conjunction, evaluated on every candidate row; clauses
+    /// with pushed-down prefilter bits double as skip-mask inputs.
+    pub filter: Vec<WhereClause>,
+    /// The row-producing operator.
+    pub op: PhysicalOp,
+    /// Output column descriptors (names + types + sources).
+    pub output: Vec<OutputColumn>,
+    /// Sort keys over output columns, applied at finalize.
+    pub order_by: Vec<SortKey>,
+    /// Row cap, applied after sorting.
+    pub limit: Option<usize>,
+    /// Names of every column the operator reads (dedup'd, in first-use
+    /// order) — lets executors resolve block column indices once.
+    pub needed_columns: Vec<String>,
+}
+
+/// Lowers a logical plan into a physical plan.
+pub fn build_physical(logical: LogicalPlan) -> PhysicalPlan {
+    let (core, op) = match logical {
+        LogicalPlan::Projection { core, columns } => (core, PhysicalOp::ProjectScan { columns }),
+        LogicalPlan::Aggregation {
+            core,
+            group_by,
+            aggregates,
+        } => (
+            core,
+            PhysicalOp::HashAggregate {
+                group: group_by,
+                aggs: aggregates,
+            },
+        ),
+    };
+    let mut needed_columns: Vec<String> = Vec::new();
+    let mut need = |name: &str| {
+        if !needed_columns.iter().any(|n| n == name) {
+            needed_columns.push(name.to_owned());
+        }
+    };
+    match &op {
+        PhysicalOp::ProjectScan { columns } => {
+            for c in columns {
+                need(&c.name);
+            }
+        }
+        PhysicalOp::HashAggregate { group, aggs } => {
+            for c in group {
+                need(&c.name);
+            }
+            for a in aggs {
+                if let crate::analyzer::AggArgRef::Column(c) = &a.arg {
+                    need(&c.name);
+                }
+            }
+        }
+    }
+    PhysicalPlan {
+        filter: core.filter,
+        op,
+        output: core.output,
+        order_by: core.order_by,
+        limit: core.limit,
+        needed_columns,
+    }
+}

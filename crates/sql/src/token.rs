@@ -1,0 +1,287 @@
+//! The lexer: statement text → spanned tokens.
+//!
+//! Deliberately a strict superset of the old
+//! `ciao_predicate::parser` lexer, because that parser is now a shim
+//! over this one and every WHERE body the seed corpus accepted must
+//! tokenize identically: identifiers may contain dots (`address.city`),
+//! strings take either quote with no escapes, and `-`/digits start a
+//! number with the same greedy consumption rules. New on top: `*`,
+//! `;`, `<=`, `>=`, `<>`, and `--` line comments.
+
+use crate::error::{Span, SqlError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized contextually,
+    /// case-insensitively — `count` is a fine column name).
+    Ident(String),
+    /// String literal (either quote style, no escapes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// Human-readable description for "found X" error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(w) => format!("`{w}`"),
+            Token::Str(_) => "a string literal".to_owned(),
+            Token::Int(i) => format!("`{i}`"),
+            Token::Float(x) => format!("`{x}`"),
+            Token::Star => "`*`".to_owned(),
+            Token::Comma => "`,`".to_owned(),
+            Token::LParen => "`(`".to_owned(),
+            Token::RParen => "`)`".to_owned(),
+            Token::Semicolon => "`;`".to_owned(),
+            Token::Eq => "`=`".to_owned(),
+            Token::Neq => "`!=`".to_owned(),
+            Token::Lt => "`<`".to_owned(),
+            Token::Gt => "`>`".to_owned(),
+            Token::Le => "`<=`".to_owned(),
+            Token::Ge => "`>=`".to_owned(),
+        }
+    }
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Its byte span in the source.
+    pub span: Span,
+}
+
+/// Tokenizes a statement. Whitespace separates tokens; `--` starts a
+/// comment running to end of line.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let start = pos;
+        let b = bytes[pos];
+        let mut push = |token: Token, end: usize| {
+            out.push(Spanned {
+                token,
+                span: Span::new(start, end),
+            });
+        };
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                pos += 1;
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                // Line comment.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'*' => {
+                pos += 1;
+                push(Token::Star, pos);
+            }
+            b'(' => {
+                pos += 1;
+                push(Token::LParen, pos);
+            }
+            b')' => {
+                pos += 1;
+                push(Token::RParen, pos);
+            }
+            b',' => {
+                pos += 1;
+                push(Token::Comma, pos);
+            }
+            b';' => {
+                pos += 1;
+                push(Token::Semicolon, pos);
+            }
+            b'=' => {
+                pos += 1;
+                push(Token::Eq, pos);
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    pos += 2;
+                    push(Token::Le, pos);
+                }
+                Some(b'>') => {
+                    pos += 2;
+                    push(Token::Neq, pos);
+                }
+                _ => {
+                    pos += 1;
+                    push(Token::Lt, pos);
+                }
+            },
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    push(Token::Ge, pos);
+                } else {
+                    pos += 1;
+                    push(Token::Gt, pos);
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    push(Token::Neq, pos);
+                } else {
+                    return Err(SqlError::lex("expected `!=`", Span::new(pos, pos + 1)));
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                pos += 1;
+                let content_start = pos;
+                while pos < bytes.len() && bytes[pos] != quote {
+                    pos += 1;
+                }
+                if pos == bytes.len() {
+                    return Err(SqlError::lex(
+                        "unterminated string literal",
+                        Span::new(start, pos),
+                    ));
+                }
+                push(Token::Str(input[content_start..pos].to_owned()), pos + 1);
+                pos += 1;
+            }
+            b'-' | b'0'..=b'9' => {
+                pos += 1;
+                while pos < bytes.len()
+                    && matches!(bytes[pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    // Stop `-` from being consumed as part of a second
+                    // number (same rule as the seed predicate lexer).
+                    if matches!(bytes[pos], b'+' | b'-') && !matches!(bytes[pos - 1], b'e' | b'E') {
+                        break;
+                    }
+                    pos += 1;
+                }
+                let text = &input[start..pos];
+                if let Ok(i) = text.parse::<i64>() {
+                    push(Token::Int(i), pos);
+                } else if let Ok(f) = text.parse::<f64>() {
+                    push(Token::Float(f), pos);
+                } else {
+                    return Err(SqlError::lex(
+                        format!("malformed number `{text}`"),
+                        Span::new(start, pos),
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || matches!(bytes[pos], b'_' | b'.'))
+                {
+                    pos += 1;
+                }
+                push(Token::Ident(input[start..pos].to_owned()), pos);
+            }
+            other => {
+                return Err(SqlError::lex(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(pos, pos + 1),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_spans() {
+        let toks = lex(r#"SELECT name, COUNT(*) FROM t WHERE a <= 5;"#).unwrap();
+        assert_eq!(toks[0].token, Token::Ident("SELECT".into()));
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert!(toks.iter().any(|t| t.token == Token::Star));
+        assert!(toks.iter().any(|t| t.token == Token::Le));
+        assert_eq!(toks.last().unwrap().token, Token::Semicolon);
+    }
+
+    #[test]
+    fn numbers_match_seed_lexer_semantics() {
+        assert_eq!(kinds("-5"), vec![Token::Int(-5)]);
+        assert_eq!(kinds("2.5"), vec![Token::Float(2.5)]);
+        assert_eq!(kinds("1e3"), vec![Token::Float(1000.0)]);
+        // `5-3` is two numbers, not subtraction.
+        assert_eq!(kinds("5 -3"), vec![Token::Int(5), Token::Int(-3)]);
+        let err = lex("1.2.3").unwrap_err();
+        assert!(err.message.contains("malformed number"));
+    }
+
+    #[test]
+    fn strings_both_quotes_no_escapes() {
+        assert_eq!(kinds(r#""Bob""#), vec![Token::Str("Bob".into())]);
+        assert_eq!(kinds("'Bob'"), vec![Token::Str("Bob".into())]);
+        let err = lex("\"unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(
+            kinds("address.city"),
+            vec![Token::Ident("address.city".into())]
+        );
+    }
+
+    #[test]
+    fn comments_and_comparison_digraphs() {
+        assert_eq!(
+            kinds("a -- trailing comment\n= 1"),
+            vec![Token::Ident("a".into()), Token::Eq, Token::Int(1)]
+        );
+        assert_eq!(kinds("<>"), vec![Token::Neq]);
+        assert_eq!(kinds(">="), vec![Token::Ge]);
+    }
+
+    #[test]
+    fn bad_characters_error_with_spans() {
+        let err = lex("name ~ 5").unwrap_err();
+        assert_eq!(err.span, Span::new(5, 6));
+        let err = lex("a ! b").unwrap_err();
+        assert!(err.message.contains("expected `!=`"));
+    }
+}

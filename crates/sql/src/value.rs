@@ -1,0 +1,277 @@
+//! Runtime values and types for query results.
+//!
+//! [`SqlValue`] is the cell type of a [`crate::QueryResult`] row. It
+//! carries a *total* ordering (NULL first, then booleans, then
+//! numbers, then strings) so ORDER BY and GROUP BY are deterministic
+//! for any mix of values, and its JSON coercion mirrors
+//! `ciao_columnar::ColumnBuilder` exactly — a parked raw record and a
+//! sealed block must feed identical values into an aggregate or the
+//! full-scan oracle property breaks.
+
+use ciao_columnar::{Cell, DataType};
+use ciao_json::JsonValue;
+use std::cmp::Ordering;
+
+/// The type of an output column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// UTF-8 string.
+    Str,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Nested JSON, surfaced as its serialized text.
+    Json,
+}
+
+impl SqlType {
+    /// Maps a columnar storage type to its SQL-facing type.
+    pub fn from_data_type(dtype: DataType) -> SqlType {
+        match dtype {
+            DataType::Str => SqlType::Str,
+            DataType::Int => SqlType::Int,
+            DataType::Float => SqlType::Float,
+            DataType::Bool => SqlType::Bool,
+            DataType::Json => SqlType::Json,
+        }
+    }
+
+    /// True for `Int` and `Float`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, SqlType::Int | SqlType::Float)
+    }
+}
+
+impl std::fmt::Display for SqlType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Same names the columnar schema prints.
+        f.write_str(match self {
+            SqlType::Str => "str",
+            SqlType::Int => "int",
+            SqlType::Float => "float",
+            SqlType::Bool => "bool",
+            SqlType::Json => "json",
+        })
+    }
+}
+
+/// One cell of a query result.
+#[derive(Debug, Clone)]
+pub enum SqlValue {
+    /// SQL NULL (absent key, JSON null, or coercion failure).
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (also serialized JSON for `json` columns).
+    Str(String),
+}
+
+impl SqlValue {
+    /// True for [`SqlValue::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// Converts a columnar cell. A null cell becomes NULL; a `Json`
+    /// cell surfaces as its serialized text.
+    pub fn from_cell(cell: Cell<'_>) -> SqlValue {
+        match cell {
+            Cell::Null => SqlValue::Null,
+            Cell::Str(s) => SqlValue::Str(s.to_owned()),
+            Cell::Int(i) => SqlValue::Int(i),
+            Cell::Float(x) => SqlValue::Float(x),
+            Cell::Bool(b) => SqlValue::Bool(b),
+            Cell::Json(s) => SqlValue::Str(s.to_owned()),
+        }
+    }
+
+    /// Converts a raw JSON field under a column type, mirroring
+    /// `ColumnBuilder::push` coercion exactly: a missing key, JSON
+    /// null, or type mismatch is NULL; `Float` columns accept any
+    /// number; `Int` columns accept only integral numbers.
+    pub fn from_json(value: Option<&JsonValue>, ty: SqlType) -> SqlValue {
+        let Some(v) = value else {
+            return SqlValue::Null;
+        };
+        match (ty, v) {
+            (_, JsonValue::Null) => SqlValue::Null,
+            (SqlType::Str, JsonValue::String(s)) => SqlValue::Str(s.clone()),
+            (SqlType::Int, JsonValue::Number(n)) if n.is_int() => {
+                SqlValue::Int(n.as_i64().unwrap_or(0))
+            }
+            (SqlType::Float, JsonValue::Number(n)) => SqlValue::Float(n.as_f64()),
+            (SqlType::Bool, JsonValue::Bool(b)) => SqlValue::Bool(*b),
+            (SqlType::Json, JsonValue::Array(_) | JsonValue::Object(_)) => {
+                SqlValue::Str(ciao_json::to_string(v))
+            }
+            _ => SqlValue::Null,
+        }
+    }
+}
+
+impl std::fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlValue::Null => f.write_str("NULL"),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Float(x) => write!(f, "{x}"),
+            SqlValue::Bool(b) => write!(f, "{b}"),
+            SqlValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl PartialEq for SqlValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for SqlValue {}
+
+impl std::hash::Hash for SqlValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            SqlValue::Null => state.write_u8(0),
+            SqlValue::Int(i) => {
+                state.write_u8(1);
+                i.hash(state);
+            }
+            SqlValue::Float(x) => {
+                state.write_u8(2);
+                x.to_bits().hash(state);
+            }
+            SqlValue::Bool(b) => {
+                state.write_u8(3);
+                b.hash(state);
+            }
+            SqlValue::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for SqlValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SqlValue {
+    /// Total order: NULL < booleans < numbers < strings. Ints and
+    /// floats compare cross-type by value (`total_cmp`), with `Int`
+    /// ordered before an exactly-equal `Float` to keep the order
+    /// total.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use SqlValue::*;
+        fn rank(v: &SqlValue) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_null_first() {
+        let mut vals = [
+            SqlValue::Str("a".into()),
+            SqlValue::Float(1.5),
+            SqlValue::Int(2),
+            SqlValue::Null,
+            SqlValue::Bool(true),
+            SqlValue::Bool(false),
+            SqlValue::Int(1),
+        ];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], SqlValue::Bool(false));
+        assert_eq!(vals[2], SqlValue::Bool(true));
+        assert_eq!(vals[3], SqlValue::Int(1));
+        assert_eq!(vals[4], SqlValue::Float(1.5));
+        assert_eq!(vals[5], SqlValue::Int(2));
+        assert_eq!(vals[6], SqlValue::Str("a".into()));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert!(SqlValue::Str("a".into()) < SqlValue::Str("b".into()));
+        assert_eq!(SqlValue::Str("c1".into()), SqlValue::Str("c1".into()));
+        assert!(SqlValue::Str("c0".into()) != SqlValue::Str("c1".into()));
+    }
+
+    #[test]
+    fn int_float_cross_comparison() {
+        assert_eq!(SqlValue::Int(2), SqlValue::Int(2));
+        // 2 and 2.0 compare adjacent but not equal (total order).
+        assert!(SqlValue::Int(2) < SqlValue::Float(2.0));
+        assert!(SqlValue::Float(1.9) < SqlValue::Int(2));
+    }
+
+    #[test]
+    fn json_coercion_mirrors_column_builder() {
+        let int = ciao_json::parse("42").unwrap();
+        let float = ciao_json::parse("2.5").unwrap();
+        let s = ciao_json::parse("\"hi\"").unwrap();
+        let null = ciao_json::parse("null").unwrap();
+        assert_eq!(
+            SqlValue::from_json(Some(&int), SqlType::Int),
+            SqlValue::Int(42)
+        );
+        // Int column rejects a fractional number.
+        assert!(SqlValue::from_json(Some(&float), SqlType::Int).is_null());
+        // Float column accepts any number.
+        assert_eq!(
+            SqlValue::from_json(Some(&int), SqlType::Float),
+            SqlValue::Float(42.0)
+        );
+        assert!(SqlValue::from_json(Some(&s), SqlType::Int).is_null());
+        assert_eq!(
+            SqlValue::from_json(Some(&s), SqlType::Str),
+            SqlValue::Str("hi".into())
+        );
+        assert!(SqlValue::from_json(Some(&null), SqlType::Str).is_null());
+        assert!(SqlValue::from_json(None, SqlType::Str).is_null());
+        let obj = ciao_json::parse(r#"{"a":1}"#).unwrap();
+        assert!(matches!(
+            SqlValue::from_json(Some(&obj), SqlType::Json),
+            SqlValue::Str(_)
+        ));
+        assert!(SqlValue::from_json(Some(&obj), SqlType::Str).is_null());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SqlValue::Null.to_string(), "NULL");
+        assert_eq!(SqlValue::Int(-3).to_string(), "-3");
+        assert_eq!(SqlValue::Float(2.5).to_string(), "2.5");
+        assert_eq!(SqlValue::Bool(true).to_string(), "true");
+        assert_eq!(SqlValue::Str("x".into()).to_string(), "x");
+    }
+}

@@ -1,0 +1,471 @@
+//! Differential suite: the predicate parser shim (now a thin layer
+//! over the `ciao_sql` lexer/parser) must agree with the seed parser
+//! it replaced. The `legacy` module below is a verbatim copy of the
+//! pre-SQL `crates/predicate/src/parser.rs`; every corpus string the
+//! legacy parser accepts must parse to the identical clause list
+//! through the shim, and a list of malformed inputs must be rejected
+//! by both. (The shim's grammar is a superset — `<=`, `>=` and `--`
+//! comments are new — so only legacy-accepted strings are compared.)
+
+use ciao_datagen::Dataset;
+use ciao_predicate::Clause;
+
+/// The seed predicate parser, copied from the pre-SQL
+/// `crates/predicate/src/parser.rs` with only the AST imports
+/// rewritten to go through the public crate API.
+mod legacy {
+    use ciao_predicate::{Clause, SimplePredicate};
+
+    /// Parse failure with byte offset into the predicate text.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct PredicateParseError {
+        /// Byte offset of the offending token.
+        pub offset: usize,
+        /// Human-readable description.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for PredicateParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "predicate parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+
+    impl std::error::Error for PredicateParseError {}
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Token {
+        Ident(String),
+        Str(String),
+        Int(i64),
+        Float(f64),
+        Eq,
+        Neq,
+        Lt,
+        Gt,
+        LParen,
+        RParen,
+        Comma,
+    }
+
+    struct Lexer<'a> {
+        input: &'a str,
+        pos: usize,
+    }
+
+    impl<'a> Lexer<'a> {
+        fn err(&self, message: impl Into<String>) -> PredicateParseError {
+            PredicateParseError {
+                offset: self.pos,
+                message: message.into(),
+            }
+        }
+
+        fn tokens(mut self) -> Result<Vec<(usize, Token)>, PredicateParseError> {
+            let mut out = Vec::new();
+            let bytes = self.input.as_bytes();
+            while self.pos < bytes.len() {
+                let start = self.pos;
+                let b = bytes[self.pos];
+                match b {
+                    b' ' | b'\t' | b'\n' | b'\r' => {
+                        self.pos += 1;
+                    }
+                    b'(' => {
+                        out.push((start, Token::LParen));
+                        self.pos += 1;
+                    }
+                    b')' => {
+                        out.push((start, Token::RParen));
+                        self.pos += 1;
+                    }
+                    b',' => {
+                        out.push((start, Token::Comma));
+                        self.pos += 1;
+                    }
+                    b'=' => {
+                        out.push((start, Token::Eq));
+                        self.pos += 1;
+                    }
+                    b'<' => {
+                        out.push((start, Token::Lt));
+                        self.pos += 1;
+                    }
+                    b'>' => {
+                        out.push((start, Token::Gt));
+                        self.pos += 1;
+                    }
+                    b'!' => {
+                        if bytes.get(self.pos + 1) == Some(&b'=') {
+                            out.push((start, Token::Neq));
+                            self.pos += 2;
+                        } else {
+                            return Err(self.err("expected `!=`"));
+                        }
+                    }
+                    b'"' | b'\'' => {
+                        let quote = b;
+                        self.pos += 1;
+                        let content_start = self.pos;
+                        while self.pos < bytes.len() && bytes[self.pos] != quote {
+                            self.pos += 1;
+                        }
+                        if self.pos == bytes.len() {
+                            return Err(self.err("unterminated string literal"));
+                        }
+                        out.push((
+                            start,
+                            Token::Str(self.input[content_start..self.pos].to_owned()),
+                        ));
+                        self.pos += 1;
+                    }
+                    b'-' | b'0'..=b'9' => {
+                        let num_start = self.pos;
+                        self.pos += 1;
+                        while self.pos < bytes.len()
+                            && matches!(
+                                bytes[self.pos],
+                                b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'
+                            )
+                        {
+                            // Stop `-` from being consumed as part of a second number.
+                            if matches!(bytes[self.pos], b'+' | b'-')
+                                && !matches!(bytes[self.pos - 1], b'e' | b'E')
+                            {
+                                break;
+                            }
+                            self.pos += 1;
+                        }
+                        let text = &self.input[num_start..self.pos];
+                        if let Ok(i) = text.parse::<i64>() {
+                            out.push((num_start, Token::Int(i)));
+                        } else if let Ok(f) = text.parse::<f64>() {
+                            out.push((num_start, Token::Float(f)));
+                        } else {
+                            return Err(PredicateParseError {
+                                offset: num_start,
+                                message: format!("malformed number `{text}`"),
+                            });
+                        }
+                    }
+                    c if c.is_ascii_alphabetic() || c == b'_' => {
+                        while self.pos < bytes.len()
+                            && (bytes[self.pos].is_ascii_alphanumeric()
+                                || matches!(bytes[self.pos], b'_' | b'.'))
+                        {
+                            self.pos += 1;
+                        }
+                        out.push((start, Token::Ident(self.input[start..self.pos].to_owned())));
+                    }
+                    other => {
+                        return Err(self.err(format!("unexpected character `{}`", other as char)));
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+
+    struct TokenStream {
+        tokens: Vec<(usize, Token)>,
+        idx: usize,
+        input_len: usize,
+    }
+
+    impl TokenStream {
+        fn peek(&self) -> Option<&Token> {
+            self.tokens.get(self.idx).map(|(_, t)| t)
+        }
+
+        fn offset(&self) -> usize {
+            self.tokens
+                .get(self.idx)
+                .map_or(self.input_len, |(o, _)| *o)
+        }
+
+        fn next(&mut self) -> Option<Token> {
+            let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
+            if t.is_some() {
+                self.idx += 1;
+            }
+            t
+        }
+
+        fn err(&self, message: impl Into<String>) -> PredicateParseError {
+            PredicateParseError {
+                offset: self.offset(),
+                message: message.into(),
+            }
+        }
+
+        fn expect_ident_kw(&mut self, kw: &str) -> Result<(), PredicateParseError> {
+            match self.next() {
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+                _ => Err(self.err(format!("expected keyword `{kw}`"))),
+            }
+        }
+
+        fn peek_is_kw(&self, kw: &str) -> bool {
+            matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
+        }
+    }
+
+    /// Parses a full `WHERE` body into its conjunctive clauses.
+    pub fn parse_where(input: &str) -> Result<Vec<Clause>, PredicateParseError> {
+        let tokens = Lexer { input, pos: 0 }.tokens()?;
+        let mut ts = TokenStream {
+            tokens,
+            idx: 0,
+            input_len: input.len(),
+        };
+        let mut clauses = vec![parse_clause_inner(&mut ts)?];
+        while ts.peek_is_kw("and") {
+            ts.next();
+            clauses.push(parse_clause_inner(&mut ts)?);
+        }
+        if ts.peek().is_some() {
+            return Err(ts.err("trailing input after predicates"));
+        }
+        Ok(clauses)
+    }
+
+    fn parse_clause_inner(ts: &mut TokenStream) -> Result<Clause, PredicateParseError> {
+        if ts.peek() == Some(&Token::LParen) {
+            ts.next();
+            let mut disjuncts = vec![parse_simple(ts)?];
+            while ts.peek_is_kw("or") {
+                ts.next();
+                disjuncts.push(parse_simple(ts)?);
+            }
+            match ts.next() {
+                Some(Token::RParen) => Ok(Clause::new(disjuncts)),
+                _ => Err(ts.err("expected `)` to close disjunction")),
+            }
+        } else {
+            // Could be `key IN (...)` which desugars to a disjunction.
+            parse_simple_or_in(ts)
+        }
+    }
+
+    fn parse_simple_or_in(ts: &mut TokenStream) -> Result<Clause, PredicateParseError> {
+        // Look ahead: key IN '(' ... ')'
+        let save = ts.idx;
+        if let Some(Token::Ident(key)) = ts.next() {
+            if ts.peek_is_kw("in") {
+                ts.next();
+                if ts.next() != Some(Token::LParen) {
+                    return Err(ts.err("expected `(` after IN"));
+                }
+                let mut disjuncts = Vec::new();
+                loop {
+                    let p = match ts.next() {
+                        Some(Token::Str(s)) => SimplePredicate::StrEq {
+                            key: key.clone(),
+                            value: s,
+                        },
+                        Some(Token::Int(i)) => SimplePredicate::IntEq {
+                            key: key.clone(),
+                            value: i,
+                        },
+                        _ => return Err(ts.err("expected string or integer literal in IN list")),
+                    };
+                    disjuncts.push(p);
+                    match ts.next() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RParen) => break,
+                        _ => return Err(ts.err("expected `,` or `)` in IN list")),
+                    }
+                }
+                return Ok(Clause::new(disjuncts));
+            }
+        }
+        ts.idx = save;
+        Ok(Clause::single(parse_simple(ts)?))
+    }
+
+    fn parse_simple(ts: &mut TokenStream) -> Result<SimplePredicate, PredicateParseError> {
+        let key = match ts.next() {
+            Some(Token::Ident(k)) => k,
+            _ => return Err(ts.err("expected a key identifier")),
+        };
+        match ts.next() {
+            Some(Token::Eq) => match ts.next() {
+                Some(Token::Str(s)) => Ok(SimplePredicate::StrEq { key, value: s }),
+                Some(Token::Int(i)) => Ok(SimplePredicate::IntEq { key, value: i }),
+                Some(Token::Float(x)) => Ok(SimplePredicate::FloatEq { key, value: x }),
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case("true") => {
+                    Ok(SimplePredicate::BoolEq { key, value: true })
+                }
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case("false") => {
+                    Ok(SimplePredicate::BoolEq { key, value: false })
+                }
+                _ => Err(ts.err("expected literal after `=`")),
+            },
+            Some(Token::Neq) => match ts.next() {
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case("null") => {
+                    Ok(SimplePredicate::NotNull { key })
+                }
+                _ => Err(ts.err("only `!= NULL` is supported after `!=`")),
+            },
+            Some(Token::Lt) => match ts.next() {
+                Some(Token::Int(i)) => Ok(SimplePredicate::IntLt { key, value: i }),
+                _ => Err(ts.err("expected integer after `<`")),
+            },
+            Some(Token::Gt) => match ts.next() {
+                Some(Token::Int(i)) => Ok(SimplePredicate::IntGt { key, value: i }),
+                _ => Err(ts.err("expected integer after `>`")),
+            },
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("like") => match ts.next() {
+                Some(Token::Str(s)) => {
+                    let needle = s
+                        .strip_prefix('%')
+                        .and_then(|s| s.strip_suffix('%'))
+                        .ok_or_else(|| ts.err("LIKE pattern must be \"%needle%\""))?;
+                    if needle.contains('%') || needle.is_empty() {
+                        return Err(
+                            ts.err("LIKE pattern must be \"%needle%\" with a non-empty needle")
+                        );
+                    }
+                    Ok(SimplePredicate::StrContains {
+                        key,
+                        needle: needle.to_owned(),
+                    })
+                }
+                _ => Err(ts.err("expected string pattern after LIKE")),
+            },
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("is") => {
+                ts.expect_ident_kw("not")?;
+                ts.expect_ident_kw("null")?;
+                Ok(SimplePredicate::NotNull { key })
+            }
+            _ => Err(ts.err("expected an operator (=, !=, <, >, LIKE, IS NOT NULL, IN)")),
+        }
+    }
+}
+
+/// Every string here is accepted by the seed parser; the shim must
+/// produce the identical clause list for each.
+const HANDWRITTEN: &[&str] = &[
+    r#"name = "Bob""#,
+    "name = 'Bob'",
+    "age = 10",
+    "score = 2.5",
+    "score = -1.5",
+    "n = -42",
+    "rate = 1e3",
+    "isActive = true",
+    "isActive = FALSE",
+    "email != NULL",
+    "email != null",
+    "email IS NOT NULL",
+    "email is not null",
+    r#"text LIKE "%delicious%""#,
+    "text like '%good%'",
+    "age < 30",
+    "age > 18",
+    r#"city IN ("Boston", "Denver")"#,
+    "stars IN (1, 2, 3)",
+    r#"(name = "a" OR name = "b")"#,
+    "(stars = 1 OR stars = 2 OR active = true)",
+    r#"name = "Bob" AND age = 20"#,
+    r#"a = 1 AND (b = "x" OR b = "y") AND c IS NOT NULL AND d LIKE "%z%""#,
+    r#"address.city = "Chicago""#,
+    "a_b = 1",
+    "  spaced   =   7  ",
+];
+
+/// Malformed inputs both parsers must reject (the seed parser's own
+/// rejection list).
+const MALFORMED: &[&str] = &[
+    "",
+    "= 1",
+    "a =",
+    "a != 5",
+    "a LIKE \"no-wildcards\"",
+    "a LIKE \"%%\"",
+    "a LIKE \"%x%y%\"",
+    "a IN ()",
+    "a IN (true)",
+    "(a = 1",
+    "a = 1 AND",
+    "a = 1 extra",
+    "a < 1.5",
+    "a IS NULL",
+    "\"unterminated",
+];
+
+fn assert_agree(text: &str) {
+    let old =
+        legacy::parse_where(text).unwrap_or_else(|e| panic!("seed parser rejected {text:?}: {e}"));
+    let new =
+        ciao_predicate::parse_where(text).unwrap_or_else(|e| panic!("shim rejected {text:?}: {e}"));
+    assert_eq!(old, new, "parsers diverged on {text:?}");
+}
+
+#[test]
+fn handwritten_corpus_parses_identically() {
+    for text in HANDWRITTEN {
+        assert_agree(text);
+    }
+}
+
+#[test]
+fn workload_pool_clauses_round_trip_identically() {
+    for dataset in [Dataset::Yelp, Dataset::WinLog, Dataset::Ycsb] {
+        let pool = ciao_workload::pool::build_pool(dataset);
+        assert!(!pool.is_empty());
+        // Each pool clause rendered back to predicate text must parse
+        // identically through both parsers, and round-trip to itself.
+        for clause in &pool.clauses {
+            let text = clause.to_string();
+            assert_agree(&text);
+            assert_eq!(
+                ciao_predicate::parse_where(&text).unwrap(),
+                vec![clause.clone()],
+                "round trip changed {text:?}"
+            );
+        }
+        // Conjunctions and synthesized disjunctions over pool clauses.
+        let conjunction = pool.clauses[..4.min(pool.len())]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" AND ");
+        assert_agree(&conjunction);
+        let eq_only: Vec<_> = pool
+            .clauses
+            .iter()
+            .flat_map(|c| c.disjuncts().iter().cloned())
+            .filter(|p| {
+                matches!(
+                    p,
+                    ciao_predicate::SimplePredicate::IntEq { .. }
+                        | ciao_predicate::SimplePredicate::StrEq { .. }
+                )
+            })
+            .take(6)
+            .collect();
+        if eq_only.len() >= 2 {
+            let disjunction = Clause::new(eq_only).to_string();
+            assert_agree(&disjunction);
+        }
+    }
+}
+
+#[test]
+fn both_parsers_reject_malformed_inputs() {
+    for text in MALFORMED {
+        assert!(
+            legacy::parse_where(text).is_err(),
+            "seed parser accepted {text:?}"
+        );
+        assert!(
+            ciao_predicate::parse_where(text).is_err(),
+            "shim accepted {text:?}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Golden-file SQL conformance suite.
+//!
+//! Every statement in `tests/support/sql_conformance.sql` runs against
+//! two services holding the same 240 deterministic records:
+//!
+//! * a 2-shard service with a real pushdown plan (`stars = 5` and
+//!   `active = true` ride client bitvectors), and
+//! * a 1-shard zero-budget **oracle** that loaded everything columnar
+//!   and scans it all.
+//!
+//! The suite asserts (a) the pushdown service's rendered output — or
+//! caret-annotated error — matches the checked-in
+//! `sql_conformance.expected` byte-for-byte, and (b) successful
+//! answers are bit-identical to the oracle's. Regenerate the expected
+//! file after an intentional change with:
+//!
+//! ```text
+//! CIAO_UPDATE_GOLDEN=1 cargo test --test sql_golden
+//! ```
+
+use ciao::PushdownPlan;
+use ciao_columnar::Schema;
+use ciao_json::RecordChunk;
+use ciao_optimizer::CostModel;
+use ciao_predicate::parse_query;
+use ciao_service::{Service, ServiceConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// 240 deterministic records. `stars` is clustered (48 records per
+/// value, in order) so sealed blocks get tight zone ranges; `email` is
+/// NULL on every 7th record; `payload` exercises the `json` column
+/// type.
+fn dataset() -> Vec<String> {
+    (0..240)
+        .map(|i| {
+            let email = if i % 7 == 0 {
+                "null".to_owned()
+            } else {
+                format!(r#""u{i}@example.com""#)
+            };
+            format!(
+                concat!(
+                    r#"{{"id":{},"stars":{},"score":{},"name":"user{:03}","#,
+                    r#""city":"{}","active":{},"email":{},"payload":{{"tag":{}}}}}"#
+                ),
+                i,
+                i / 48 + 1,
+                (i % 20) as f64 * 0.5,
+                i,
+                ["Amsterdam", "Boston", "Chicago", "Denver"][i % 4],
+                i % 3 == 0,
+                email,
+                i % 2,
+            )
+        })
+        .collect()
+}
+
+fn start_service(records: &[String], budget: f64, shards: usize) -> Service {
+    let sample: Vec<_> = records
+        .iter()
+        .map(|r| ciao_json::parse(r).unwrap())
+        .collect();
+    let queries = vec![
+        parse_query("q0", "stars = 5").unwrap(),
+        parse_query("q1", "active = true").unwrap(),
+    ];
+    let plan = PushdownPlan::build(
+        &queries,
+        &sample,
+        &CostModel::default_uncalibrated(),
+        budget,
+    )
+    .unwrap();
+    let schema = Arc::new(Schema::infer(&sample).unwrap());
+    let service = Service::start(
+        plan,
+        schema,
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_workers(0)
+            .with_block_size(16),
+    );
+    for chunk in RecordChunk::from_records(records).unwrap().split(48) {
+        assert!(service.enqueue_raw(chunk).is_enqueued());
+        service.drain();
+    }
+    service
+}
+
+fn corpus_statements(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("--"))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn conformance_corpus_matches_golden_file_and_oracle() {
+    let support = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/support");
+    let corpus = std::fs::read_to_string(support.join("sql_conformance.sql"))
+        .expect("read sql_conformance.sql");
+    let statements = corpus_statements(&corpus);
+    assert!(
+        statements.len() >= 40,
+        "corpus holds {} statements",
+        statements.len()
+    );
+
+    let records = dataset();
+    let service = start_service(&records, 30.0, 2);
+    let oracle = start_service(&records, 0.0, 1);
+
+    let mut rendered = String::new();
+    for stmt in &statements {
+        writeln!(rendered, ">>> {stmt}").unwrap();
+        match service.query_sql(stmt) {
+            Ok(result) => {
+                // Bit-identical to the full scan, shard count and
+                // pushdown notwithstanding.
+                let truth = oracle
+                    .query_sql(stmt)
+                    .expect("oracle accepts what the service accepts");
+                assert_eq!(result.columns, truth.columns, "columns diverged: {stmt}");
+                assert_eq!(result.rows, truth.rows, "rows diverged from oracle: {stmt}");
+                writeln!(rendered, "{}", result.render()).unwrap();
+            }
+            Err(err) => {
+                let truth = oracle
+                    .query_sql(stmt)
+                    .expect_err("oracle rejects what the service rejects");
+                assert_eq!(err, truth, "errors diverged: {stmt}");
+                writeln!(rendered, "{}", err.render(stmt)).unwrap();
+            }
+        }
+        rendered.push('\n');
+    }
+
+    let expected_path = support.join("sql_conformance.expected");
+    if std::env::var_os("CIAO_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&expected_path, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path)
+        .expect("read sql_conformance.expected (set CIAO_UPDATE_GOLDEN=1 to create it)");
+    assert!(
+        rendered == expected,
+        "golden mismatch — rerun with CIAO_UPDATE_GOLDEN=1 and diff.\n--- got ---\n{rendered}"
+    );
+}

@@ -1,0 +1,63 @@
+-- SQL conformance corpus: one statement per line. Blank lines and
+-- `--` comment lines are skipped; everything else runs against both
+-- the pushdown service and the full-scan oracle, and its rendered
+-- output (or caret-annotated error) is checked against
+-- sql_conformance.expected. Regenerate with CIAO_UPDATE_GOLDEN=1.
+-- NOTE: projections must carry ORDER BY — without it row order
+-- depends on the shard count, and the suite compares bit-identically
+-- across a 2-shard service and a 1-shard oracle.
+
+-- Projections and WHERE forms.
+SELECT id, name FROM t WHERE stars = 5 ORDER BY id LIMIT 5
+SELECT * FROM t WHERE id < 3 ORDER BY 1
+SELECT name AS who, city FROM t WHERE active = true ORDER BY who LIMIT 4
+SELECT id FROM t WHERE stars = 5 AND active = true ORDER BY id LIMIT 6
+SELECT id, email FROM t WHERE email IS NOT NULL ORDER BY id LIMIT 3
+SELECT id FROM t WHERE name LIKE "%user00%" ORDER BY id
+SELECT id, city FROM t WHERE city IN ("Boston", "Denver") ORDER BY id LIMIT 5
+SELECT id FROM t WHERE stars > 4 ORDER BY id LIMIT 5
+SELECT id FROM t WHERE stars <= 1 ORDER BY id LIMIT 5
+SELECT id FROM t WHERE score = 0.5 ORDER BY id LIMIT 5
+SELECT id FROM t WHERE stars != NULL ORDER BY id LIMIT 3
+SELECT id, stars FROM t WHERE id > 234 ORDER BY stars DESC, id
+SELECT id FROM t ORDER BY id DESC LIMIT 3
+SELECT id FROM t WHERE active = false AND city = 'Chicago' ORDER BY id LIMIT 5
+
+-- Ungrouped aggregates.
+SELECT COUNT(*) FROM t
+SELECT COUNT(*) FROM t WHERE stars = 5
+SELECT COUNT(email) FROM t
+SELECT COUNT(*), AVG(score), MIN(score), MAX(score) FROM t WHERE stars = 5
+SELECT SUM(stars) FROM t
+SELECT AVG(stars) FROM t WHERE active = true
+SELECT MIN(name), MAX(name) FROM t
+SELECT COUNT(*) FROM t WHERE stars = 9
+SELECT SUM(score), AVG(score) FROM t WHERE stars = 9
+SELECT MIN(score) AS lo, MAX(score) AS hi FROM t WHERE city = "Denver"
+
+-- GROUP BY / ORDER BY / LIMIT.
+SELECT stars, COUNT(*) FROM t GROUP BY stars
+SELECT stars, COUNT(*) AS n, AVG(score) FROM t GROUP BY stars ORDER BY stars
+SELECT city, COUNT(*) FROM t WHERE active = true GROUP BY city ORDER BY 2 DESC, city
+SELECT active, COUNT(*) FROM t GROUP BY active ORDER BY active
+SELECT city, stars, COUNT(*) FROM t GROUP BY city, stars ORDER BY city, stars LIMIT 8
+SELECT stars, SUM(id) FROM t GROUP BY stars ORDER BY stars DESC
+SELECT city, COUNT(email) AS emails FROM t GROUP BY city ORDER BY city
+SELECT stars, COUNT(*) FROM t WHERE stars > 7 GROUP BY stars
+SELECT city, MIN(id), MAX(id) FROM t WHERE stars = 3 GROUP BY city ORDER BY city LIMIT 3
+
+-- Keyword case, semicolons, inline comments.
+select stars, count(*) from t group by stars order by stars limit 2;
+SELECT COUNT(*) FROM t WHERE stars = 5 -- trailing comment
+
+-- Errors: unknown columns, type mismatches, malformed grammar.
+SELECT nope FROM t
+SELECT COUNT(*) FROM t WHERE stars = "five"
+SELECT name, COUNT(*) FROM t
+SELECT AVG(name) FROM t
+SELECT id FROM t ORDER BY 7
+SELECT COUNT(*) FROM t WHERE payload = 1
+SELECT id FROM t LIMIT -1
+SELECT SUM(*) FROM t
+SELECT * FROM t GROUP BY stars
+SELECT id FROM t WHERE stars <
