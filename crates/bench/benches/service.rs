@@ -6,10 +6,15 @@
 //! The binary also measures the telemetry tax directly: identical
 //! ingest runs with instrumentation on and off, medians compared, and
 //! the overhead percentage appended to `BENCH_service.json` (see
-//! `ciao_bench::trajectory`). The acceptance budget is 5%.
+//! `ciao_bench::trajectory`). The same comparison runs on the query
+//! path, where telemetry-on now includes the whole profiler (span
+//! tree, workload EWMAs, slow-query log). The acceptance budget is 5%
+//! for both.
 
 use ciao_bench::experiments::service::ServiceEnv;
+use ciao_bench::experiments::sql;
 use ciao_bench::{trajectory, ExperimentScale};
+use ciao_service::Service;
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
 
@@ -129,7 +134,70 @@ fn append_overhead_run() {
     }
 }
 
+/// The profiler's query-path tax, measured the same way: one
+/// instrumented and one uninstrumented 2-shard service over the same
+/// ingested data, the SQL battery replayed on each in interleaved
+/// rounds. Telemetry-on runs the full profiler per statement — span
+/// tree, per-clause workload EWMAs, slow-query log — telemetry-off
+/// skips it all, so the median gap is the profiling overhead.
+fn profiling_overhead_medians(env: &ServiceEnv, iters: usize) -> (f64, f64) {
+    let on = env.run_service_ingest_with(2, true);
+    let off = env.run_service_ingest_with(2, false);
+    let battery = sql::statements();
+    let time_battery = |service: &Service| {
+        let start = Instant::now();
+        for stmt in &battery {
+            black_box(
+                service
+                    .query_sql(stmt)
+                    .expect("battery executes")
+                    .rows
+                    .len(),
+            );
+        }
+        start.elapsed().as_secs_f64()
+    };
+    time_battery(&on); // warm-up, discarded
+    let mut on_samples = Vec::with_capacity(iters);
+    let mut off_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        on_samples.push(time_battery(&on));
+        off_samples.push(time_battery(&off));
+    }
+    on.shutdown();
+    off.shutdown();
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    (median(&mut on_samples), median(&mut off_samples))
+}
+
+fn append_profiling_overhead_run() {
+    const ITERS: usize = 15;
+    let scale = ExperimentScale::tiny();
+    let env = ServiceEnv::new(scale);
+    let (on, off) = profiling_overhead_medians(&env, ITERS);
+    let overhead_pct = (on - off) / off * 100.0;
+    println!(
+        "profiling overhead: median SQL battery {on:.4}s instrumented vs {off:.4}s \
+         uninstrumented ({overhead_pct:+.2}%)"
+    );
+
+    let path = trajectory::output_path();
+    let run = trajectory::run_from_rows("bench-profiling", env.records(), Some(overhead_pct), &[]);
+    match trajectory::append_run(&path, run) {
+        Ok(doc) => println!(
+            "trajectory: appended run #{} to {}",
+            doc.runs.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("trajectory: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     benches();
     append_overhead_run();
+    append_profiling_overhead_run();
 }

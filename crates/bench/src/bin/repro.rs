@@ -15,7 +15,7 @@
 //! benefit — are the reproduction targets. See EXPERIMENTS.md.
 
 use ciao_bench::experiments::{
-    ablation, durability, end_to_end, fig6, hotpath, micro, service, sql, table4, tables,
+    ablation, durability, end_to_end, fig6, hotpath, micro, profile, service, sql, table4, tables,
 };
 use ciao_bench::table::{f3, pct, TextTable};
 use ciao_bench::{perf_gate, trajectory, ExperimentScale};
@@ -47,6 +47,7 @@ fn main() {
             "ablation",
             "service",
             "sql",
+            "profile",
             "durability",
             "micro",
         ]
@@ -81,6 +82,7 @@ fn main() {
             "ablation" => print_ablation(),
             "service" => print_service(scale),
             "sql" => print_sql(scale),
+            "profile" => print_profile(scale),
             "durability" => print_durability(scale),
             "micro" => print_hotpath(scale),
             "validate-bench" => validate_bench(),
@@ -401,6 +403,54 @@ fn print_sql(scale: ExperimentScale) {
     println!(
         "(stage medians on the pushdown service: parse {:.1} µs, plan {:.1} µs, exec {:.1} µs.\n Covered WHERE clauses ride the same pushed bitvectors and zone maps as the\n COUNT(*) path, so aggregates skip blocks too; every answer is bit-identical\n to the zero-budget single-shard service that scanned everything.)\n",
         report.parse_p50_us, report.plan_p50_us, report.exec_p50_us
+    );
+}
+
+fn print_profile(scale: ExperimentScale) {
+    println!("## Profile — EXPLAIN ANALYZE battery through the query profiler (YCSB, 2 shards)\n");
+    let report = profile::run(scale, 2);
+    let mut t = TextTable::new(&[
+        "Statement",
+        "Matched",
+        "Blocks",
+        "Pruned",
+        "Skipped rows",
+        "Parked parsed",
+        "Clauses",
+        "Exec(ms)",
+    ]);
+    for r in &report.rows {
+        t.row(&[
+            r.statement.clone(),
+            r.rows_matched.to_string(),
+            r.blocks_total.to_string(),
+            r.blocks_pruned.to_string(),
+            r.rows_skipped.to_string(),
+            r.parked_parsed.to_string(),
+            r.clauses.to_string(),
+            format!("{:.3}", r.exec_ms),
+        ]);
+    }
+    println!("{t}");
+
+    println!("### Workload statistics after the battery (EWMA α = 0.2)\n");
+    let mut w = TextTable::new(&["Clause", "Pushed", "Seen", "Frequency", "Selectivity"]);
+    for c in &report.clauses {
+        w.row(&[
+            c.text.clone(),
+            if c.pushed { "yes".into() } else { "no".into() },
+            c.queries_seen.to_string(),
+            f3(c.frequency),
+            c.selectivity.map_or("-".into(), f3),
+        ]);
+    }
+    println!("{w}");
+    println!(
+        "(slow-query log captured {} statements at threshold 0; the last statement's\n span tree — {} spans — exported {} Chrome trace events to {}. Open it in\n chrome://tracing or Perfetto to see parse/plan/execute and per-shard rows.)\n",
+        report.slow_queries,
+        report.trace_spans,
+        report.trace_events,
+        report.trace_path.display()
     );
 }
 

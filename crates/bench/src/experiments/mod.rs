@@ -7,6 +7,7 @@ pub mod end_to_end;
 pub mod fig6;
 pub mod hotpath;
 pub mod micro;
+pub mod profile;
 pub mod service;
 pub mod sql;
 pub mod table4;

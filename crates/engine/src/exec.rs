@@ -50,6 +50,11 @@ impl Executor {
         self.pushed.len()
     }
 
+    /// Whether this exact clause is in the pushed-predicate registry.
+    pub fn is_pushed(&self, clause: &Clause) -> bool {
+        self.pushed.contains_key(clause)
+    }
+
     /// Ids of the query's clauses that were pushed down.
     pub fn pushed_ids_for(&self, query: &Query) -> Vec<u32> {
         let mut ids: Vec<u32> = query

@@ -30,6 +30,7 @@
 pub mod exec;
 pub mod metrics;
 pub mod plan_exec;
+pub mod profile;
 pub mod raw_scan;
 pub mod result;
 pub mod row_eval;
@@ -40,6 +41,7 @@ pub mod zone;
 pub use exec::{Executor, QueryOutcome};
 pub use metrics::{QueryMetrics, ScanMetrics};
 pub use plan_exec::{finalize, AggState, PartialData, PartialResult};
+pub use profile::{ClauseProfile, QueryProfile};
 pub use raw_scan::scan_raw_records;
 pub use result::{ColumnDesc, QueryResult};
 pub use row_eval::{eval_clause_on_block, eval_query_on_block, eval_simple_on_block};

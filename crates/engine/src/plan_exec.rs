@@ -21,9 +21,10 @@
 
 use crate::exec::Executor;
 use crate::metrics::QueryMetrics;
+use crate::profile::{ClauseProfile, QueryProfile};
 use crate::result::{ColumnDesc, QueryResult};
 use ciao_columnar::{Block, Table};
-use ciao_predicate::{clauses_from_sql, eval_query, Query};
+use ciao_predicate::{clauses_from_sql, eval_clause, Query};
 use ciao_sql::{
     AggArgRef, AggCall, AggFunc, OutputSource, PhysicalOp, PhysicalPlan, SqlType, SqlValue,
 };
@@ -238,6 +239,8 @@ pub struct PartialResult {
     pub data: PartialData,
     /// This shard's scan counters and timings.
     pub metrics: QueryMetrics,
+    /// This shard's per-block / per-clause execution profile.
+    pub profile: QueryProfile,
 }
 
 impl PartialResult {
@@ -251,14 +254,17 @@ impl PartialResult {
         PartialResult {
             data,
             metrics: QueryMetrics::default(),
+            profile: QueryProfile::default(),
         }
     }
 
     /// Folds another shard's partial in: projection rows append in
     /// merge order; group states merge per key; metrics merge per
-    /// [`QueryMetrics::merge`].
+    /// [`QueryMetrics::merge`]; profiles merge per
+    /// [`QueryProfile::merge`].
     pub fn merge(&mut self, other: PartialResult) {
         self.metrics.merge(&other.metrics);
+        self.profile.merge(&other.profile);
         match (&mut self.data, other.data) {
             (PartialData::Rows(rows), PartialData::Rows(more)) => rows.extend(more),
             (PartialData::Groups(groups), PartialData::Groups(more)) => {
@@ -342,6 +348,16 @@ impl Executor {
         let query = Query::new("sql", clauses_from_sql(&plan.filter));
         let pushed_ids = self.pushed_ids_for(&query);
         let mut out = PartialResult::empty(plan);
+        out.profile.clauses = query
+            .clauses
+            .iter()
+            .map(|c| ClauseProfile {
+                text: c.to_string(),
+                pushed: self.is_pushed(c),
+                rows_evaluated: 0,
+                rows_passed: 0,
+            })
+            .collect();
         let group_count = match &plan.op {
             PhysicalOp::HashAggregate { group, .. } => group.len(),
             PhysicalOp::ProjectScan { .. } => 0,
@@ -354,9 +370,12 @@ impl Executor {
         // Columnar side: the scan_count loop with an operator feed
         // instead of a counter.
         for block in table.blocks() {
+            out.profile.blocks_total += 1;
             if !crate::zone::block_can_match(&query, block) {
                 out.metrics.table_scan.blocks_pruned += 1;
                 out.metrics.table_scan.rows_skipped += block.row_count();
+                out.profile.blocks_pruned_zone += 1;
+                out.profile.rows_skipped_zone += block.row_count() as u64;
                 continue;
             }
             out.metrics.table_scan.blocks_visited += 1;
@@ -369,14 +388,29 @@ impl Executor {
                 block.metadata().skip_mask(&pushed_ids)
             };
             if let Some(mask) = &mask {
-                out.metrics.table_scan.rows_skipped += mask.count_zeros();
+                let zeros = mask.count_zeros();
+                out.metrics.table_scan.rows_skipped += zeros;
+                out.profile.rows_skipped_mask += zeros as u64;
+                if zeros == block.row_count() {
+                    // Opened, but the fused mask excluded every row.
+                    out.profile.blocks_pruned_mask += 1;
+                }
             }
             let mut feed = |row: usize| {
                 out.metrics.table_scan.rows_scanned += 1;
-                if !crate::row_eval::eval_query_on_block(&query, block, row) {
-                    return;
+                out.profile.rows_scanned += 1;
+                // The clause conjunction, short-circuited exactly like
+                // eval_query_on_block — but counting per-clause
+                // evaluations and passes for the profile.
+                for (ci, clause) in query.clauses.iter().enumerate() {
+                    out.profile.clauses[ci].rows_evaluated += 1;
+                    if !crate::row_eval::eval_clause_on_block(clause, block, row) {
+                        return;
+                    }
+                    out.profile.clauses[ci].rows_passed += 1;
                 }
                 out.metrics.table_scan.rows_matched += 1;
+                out.profile.rows_matched += 1;
                 match (&mut out.data, &cols) {
                     (PartialData::Rows(rows), BlockCols::Project(idxs)) => {
                         rows.push(idxs.iter().map(|&i| block_value(block, row, i)).collect());
@@ -417,17 +451,23 @@ impl Executor {
         if pushed_ids.is_empty() {
             let raw_start = Instant::now();
             out.metrics.scanned_parked = true;
-            for rec in parked {
+            'parked: for rec in parked {
                 out.metrics.raw_scan.records_parsed += 1;
                 out.metrics.raw_scan.rows_scanned += 1;
+                out.profile.parked_rows_parsed += 1;
                 let Ok(value) = ciao_json::parse(rec.as_ref()) else {
                     // Malformed parked record: cannot match anything.
                     continue;
                 };
-                if !eval_query(&query, &value) {
-                    continue;
+                for (ci, clause) in query.clauses.iter().enumerate() {
+                    out.profile.clauses[ci].rows_evaluated += 1;
+                    if !eval_clause(clause, &value) {
+                        continue 'parked;
+                    }
+                    out.profile.clauses[ci].rows_passed += 1;
                 }
                 out.metrics.raw_scan.rows_matched += 1;
+                out.profile.parked_rows_matched += 1;
                 match (&mut out.data, &plan.op) {
                     (PartialData::Rows(rows), PhysicalOp::ProjectScan { columns }) => {
                         rows.push(
@@ -472,7 +512,11 @@ impl Executor {
 /// states (or take projection rows), apply ORDER BY with a full-row
 /// tie-break, then LIMIT.
 pub fn finalize(plan: &PhysicalPlan, partial: PartialResult) -> QueryResult {
-    let PartialResult { data, metrics } = partial;
+    let PartialResult {
+        data,
+        metrics,
+        profile,
+    } = partial;
     let mut rows: Vec<Vec<SqlValue>> = match data {
         PartialData::Rows(rows) => rows,
         PartialData::Groups(groups) => {
@@ -548,6 +592,7 @@ pub fn finalize(plan: &PhysicalPlan, partial: PartialResult) -> QueryResult {
             .collect(),
         rows,
         metrics,
+        profile,
     }
 }
 
@@ -724,6 +769,73 @@ mod tests {
         );
         let sharded = finalize(&plan, merged);
         assert_eq!(whole.rows, sharded.rows);
+    }
+
+    #[test]
+    fn profile_reconciles_with_metrics_on_both_paths() {
+        let e = env();
+        // Covered path: skip-masks, no parked fallback.
+        let covered = run(&e, "SELECT COUNT(*) FROM t WHERE stars = 5");
+        assert!(
+            covered.profile.reconciles_with(&covered.metrics),
+            "covered: {:?} vs {:?}",
+            covered.profile,
+            covered.metrics
+        );
+        assert_eq!(covered.profile.parked_rows_parsed, 0);
+        assert_eq!(covered.profile.clauses.len(), 1);
+        assert!(covered.profile.clauses[0].pushed);
+        assert_eq!(covered.profile.clauses[0].text, "stars = 5");
+        // Every surviving skip-mask row re-verified true.
+        assert_eq!(covered.profile.clauses[0].selectivity(), Some(1.0));
+
+        // Uncovered path: full scan plus the parked JIT fallback, with
+        // short-circuited per-clause counters.
+        let uncovered = run(&e, r#"SELECT name FROM t WHERE stars < 3 AND city = "c0""#);
+        assert!(
+            uncovered.profile.reconciles_with(&uncovered.metrics),
+            "uncovered: {:?} vs {:?}",
+            uncovered.profile,
+            uncovered.metrics
+        );
+        assert_eq!(uncovered.profile.parked_rows_parsed, e.parked.len() as u64);
+        let [first, second] = &uncovered.profile.clauses[..] else {
+            panic!("expected two clause profiles");
+        };
+        assert!(!first.pushed && !second.pushed);
+        // The first clause runs on every row actually fed to the
+        // operator (zone maps pruned the stars=5 table blocks); the
+        // second only on rows that survived the first.
+        assert_eq!(
+            first.rows_evaluated,
+            uncovered.profile.rows_scanned + uncovered.profile.parked_rows_parsed
+        );
+        assert_eq!(second.rows_evaluated, first.rows_passed);
+        assert_eq!(
+            second.rows_passed,
+            uncovered.profile.total_matched(),
+            "last clause's passes are the match count"
+        );
+        assert_eq!(
+            uncovered.rows.len() as u64,
+            uncovered.profile.total_matched()
+        );
+    }
+
+    #[test]
+    fn sharded_profile_merge_reconciles() {
+        let e = env();
+        let plan =
+            ciao_sql::compile("SELECT city, COUNT(*) FROM t GROUP BY city", &e.schema).unwrap();
+        let (left, right) = e.parked.split_at(e.parked.len() / 2);
+        let mut merged = e.exec.execute_plan(&e.table, left, &plan);
+        merged.merge(
+            e.exec
+                .execute_plan(&ciao_columnar::Table::default(), right, &plan),
+        );
+        let r = finalize(&plan, merged);
+        assert!(r.profile.reconciles_with(&r.metrics));
+        assert_eq!(r.profile.parked_rows_parsed, e.parked.len() as u64);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The typed result set a SQL plan execution produces.
 
 use crate::metrics::QueryMetrics;
+use crate::profile::QueryProfile;
 use ciao_sql::{SqlType, SqlValue};
 
 /// One output column's name and type.
@@ -23,9 +24,56 @@ pub struct QueryResult {
     pub rows: Vec<Vec<SqlValue>>,
     /// Merged scan counters and timings across every shard touched.
     pub metrics: QueryMetrics,
+    /// Merged per-stage / per-clause execution profile (the EXPLAIN
+    /// ANALYZE payload).
+    pub profile: QueryProfile,
 }
 
 impl QueryResult {
+    /// Renders the `EXPLAIN ANALYZE` annotation section from this
+    /// result's profile and row count: a `-- analyze --` separator,
+    /// then per-stage counters and one line per WHERE clause.
+    ///
+    /// Deliberately free of wall-clock timings so the rendering is
+    /// deterministic for a fixed dataset and shard layout (the golden
+    /// conformance suite snapshots it). `rows matched` / `rows
+    /// returned` are additionally config-invariant — they restate the
+    /// query's answer, not the skipping strategy — and are the lines
+    /// the suite compares across service configurations.
+    pub fn analyze_lines(&self) -> Vec<String> {
+        let p = &self.profile;
+        let mut lines = vec![
+            "-- analyze --".to_owned(),
+            format!("rows matched: {}", p.total_matched()),
+            format!("rows returned: {}", self.rows.len()),
+            format!(
+                "blocks: total={} pruned_zone={} pruned_mask={} visited={}",
+                p.blocks_total,
+                p.blocks_pruned_zone,
+                p.blocks_pruned_mask,
+                p.blocks_total - p.blocks_pruned_zone
+            ),
+            format!(
+                "rows: scanned={} skipped_zone={} skipped_mask={}",
+                p.rows_scanned, p.rows_skipped_zone, p.rows_skipped_mask
+            ),
+            format!(
+                "parked fallback: parsed={} matched={}",
+                p.parked_rows_parsed, p.parked_rows_matched
+            ),
+        ];
+        for c in &p.clauses {
+            let selectivity = c
+                .selectivity()
+                .map_or_else(|| "n/a".to_owned(), |s| format!("{s:.3}"));
+            lines.push(format!(
+                "clause {}: pushed={} evaluated={} passed={} selectivity={selectivity}",
+                c.text, c.pushed, c.rows_evaluated, c.rows_passed
+            ));
+        }
+        lines
+    }
+
     /// Renders the result as stable, diff-friendly text: a `name:type`
     /// header, then one `|`-separated line per row. Used by the golden
     /// conformance suite, so the format must stay deterministic.
@@ -68,6 +116,7 @@ mod tests {
                 vec![SqlValue::Null, SqlValue::Int(1)],
             ],
             metrics: QueryMetrics::default(),
+            profile: QueryProfile::default(),
         };
         assert_eq!(r.render(), "city:str | count(*):int\nChicago | 3\nNULL | 1");
     }

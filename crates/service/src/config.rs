@@ -2,6 +2,7 @@
 
 use crate::compactor::CompactionPolicy;
 use ciao_storage::StorageConfig;
+use std::time::Duration;
 
 /// How an incoming chunk is routed to a shard.
 ///
@@ -46,6 +47,10 @@ pub struct ServiceConfig {
     pub telemetry: bool,
     /// Trace-event ring capacity (oldest events evicted beyond it).
     pub event_capacity: usize,
+    /// SQL statements at or above this end-to-end execution time enter
+    /// the bounded slow-query log (requires telemetry; `Duration::ZERO`
+    /// logs every statement).
+    pub slow_query_threshold: Duration,
     /// Durability. `None` (the default) keeps the service purely
     /// in-memory; `Some` write-ahead-logs every acked chunk, persists
     /// epoch snapshots at [`crate::Service::checkpoint`], and makes
@@ -64,6 +69,7 @@ impl Default for ServiceConfig {
             compaction: CompactionPolicy::default(),
             telemetry: true,
             event_capacity: ciao_telemetry::registry::DEFAULT_EVENT_CAPACITY,
+            slow_query_threshold: Duration::from_millis(100),
             storage: None,
         }
     }
@@ -122,6 +128,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets the slow-query log threshold (`Duration::ZERO` logs every
+    /// SQL statement).
+    pub fn with_slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = threshold;
+        self
+    }
+
     /// Enables durability rooted at `storage.dir` (WAL + snapshots).
     pub fn with_storage(mut self, storage: StorageConfig) -> Self {
         self.storage = Some(storage);
@@ -153,7 +166,8 @@ mod tests {
             .with_block_size(64)
             .with_routing(Routing::Hash)
             .with_telemetry(false)
-            .with_event_capacity(32);
+            .with_event_capacity(32)
+            .with_slow_query_threshold(Duration::from_millis(5));
         assert_eq!(cfg.shards, 8);
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.queue_capacity, 16);
@@ -161,6 +175,7 @@ mod tests {
         assert_eq!(cfg.routing, Routing::Hash);
         assert!(!cfg.telemetry);
         assert_eq!(cfg.event_capacity, 32);
+        assert_eq!(cfg.slow_query_threshold, Duration::from_millis(5));
         assert!(ServiceConfig::default().telemetry, "on by default");
     }
 

@@ -38,6 +38,13 @@
 //!   compaction-tick, query), backpressure counters, and a bounded
 //!   trace-event ring via `ciao_telemetry`; [`Service::shutdown`]
 //!   drains the queue and joins every worker.
+//! * **Query profiling** — `EXPLAIN` / `EXPLAIN ANALYZE` statements
+//!   flow through [`Service::query_sql`]; every executed statement
+//!   records a per-query span tree ([`Service::last_query_trace`],
+//!   Chrome-trace exportable), folds its per-clause profile into a
+//!   [`WorkloadStats`] collector ([`Service::workload_stats`]), and
+//!   lands in a bounded slow-query log ([`Service::slow_queries`])
+//!   when it crosses [`ServiceConfig::slow_query_threshold`].
 //!
 //! ## Quickstart
 //!
@@ -83,6 +90,7 @@ pub mod queue;
 pub mod service;
 pub mod shard;
 pub mod telemetry;
+pub mod workload;
 
 pub use compactor::{CompactionPolicy, CompactionStats};
 pub use config::{Routing, ServiceConfig};
@@ -91,6 +99,7 @@ pub use queue::{EnqueueResult, IngestQueue};
 pub use service::{DurabilityStatus, Service};
 pub use shard::{Shard, ShardSnapshot};
 pub use telemetry::ServiceTelemetry;
+pub use workload::{ClauseStats, SlowQueryEntry, SlowQueryLog, WorkloadStats};
 
 // Re-exported so storage-backed deployments configure durability
 // without naming `ciao_storage` directly.

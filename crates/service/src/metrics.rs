@@ -23,6 +23,10 @@ pub struct ServiceMetrics {
     pub ingested_records: u64,
     /// Queries answered (fan-out counts once, not per shard).
     pub queries: u64,
+    /// SQL statements whose execution crossed the configured
+    /// slow-query threshold (lifetime count, including entries the
+    /// bounded log ring has since evicted). Zero with telemetry off.
+    pub slow_queries: u64,
     /// Cumulative wall-clock time producers spent blocked inside
     /// [`crate::Service::enqueue_wait`] waiting for queue capacity —
     /// the backpressure cost the bounded queue passes upstream.

@@ -6,15 +6,16 @@ use crate::metrics::ServiceMetrics;
 use crate::queue::{EnqueueResult, IngestJob, IngestQueue};
 use crate::shard::Shard;
 use crate::telemetry::{names, ServiceTelemetry};
+use crate::workload::{SlowQueryEntry, SlowQueryLog, WorkloadStats};
 use ciao::PushdownPlan;
 use ciao_client::{ChunkFilterResult, Prefilter};
 use ciao_columnar::Schema;
-use ciao_engine::{PartialResult, QueryOutcome, QueryResult};
+use ciao_engine::{ColumnDesc, PartialResult, QueryOutcome, QueryResult};
 use ciao_json::RecordChunk;
 use ciao_predicate::Query;
-use ciao_sql::SqlError;
+use ciao_sql::{SqlError, SqlType, SqlValue, Statement};
 use ciao_storage::{CheckpointStats, RecoveryReport, ShardSnapshot, StorageError, Store};
-use ciao_telemetry::TelemetrySnapshot;
+use ciao_telemetry::{SpanTree, TelemetrySnapshot};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -53,7 +54,19 @@ struct Inner {
     ingest_gate: RwLock<()>,
     /// Snapshot files written by checkpoints over this service's life.
     snapshots_written: AtomicU64,
+    /// Per-clause frequency/selectivity EWMAs fed by every executed
+    /// SQL statement's profile. Only populated while telemetry is on.
+    workload: Mutex<WorkloadStats>,
+    /// Bounded ring of statements at or above the slow-query
+    /// threshold. Only populated while telemetry is on.
+    slow_log: Mutex<SlowQueryLog>,
+    /// The most recent SQL statement's span tree, `None` until the
+    /// first statement or while telemetry is off.
+    last_trace: Mutex<Option<SpanTree>>,
 }
+
+/// Entries the slow-query ring retains before evicting the oldest.
+const SLOW_QUERY_LOG_CAPACITY: usize = 64;
 
 impl Inner {
     fn route(&self, seq_hint: u64, chunk: &RecordChunk) -> usize {
@@ -100,6 +113,20 @@ impl Inner {
         if let Some(t) = &self.telemetry {
             t.wal_appends.inc();
         }
+    }
+}
+
+/// Wraps rendered plan/annotation lines as a one-column result set
+/// (`plan:str`, one row per line) so `EXPLAIN` output flows through
+/// the same [`QueryResult`] machinery as any `SELECT`.
+fn plan_text_result(lines: Vec<String>) -> QueryResult {
+    QueryResult {
+        columns: vec![ColumnDesc {
+            name: "plan".to_owned(),
+            ty: SqlType::Str,
+        }],
+        rows: lines.into_iter().map(|l| vec![SqlValue::Str(l)]).collect(),
+        ..QueryResult::default()
     }
 }
 
@@ -234,6 +261,12 @@ impl Service {
             storage,
             ingest_gate: RwLock::new(()),
             snapshots_written: AtomicU64::new(0),
+            workload: Mutex::new(WorkloadStats::default()),
+            slow_log: Mutex::new(SlowQueryLog::new(
+                config.slow_query_threshold,
+                SLOW_QUERY_LOG_CAPACITY,
+            )),
+            last_trace: Mutex::new(None),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -439,53 +472,130 @@ impl Service {
         merged
     }
 
-    /// Executes one SQL `SELECT` statement end to end: lex + parse,
-    /// analyze against the service's schema, plan, then fan the
-    /// physical plan out across every shard and merge the partials
-    /// into one [`QueryResult`] — bit-identical to running the same
-    /// statement on a single shard holding all the records. Covered
-    /// `WHERE` clauses ride the same pushed-bitvector skip masks and
-    /// zone maps as [`Service::query`], so aggregates over sealed
-    /// blocks skip work exactly like counts do.
+    /// Executes one SQL statement end to end: lex + parse, analyze
+    /// against the service's schema, plan, then fan the physical plan
+    /// out across every shard and merge the partials into one
+    /// [`QueryResult`] — bit-identical to running the same statement
+    /// on a single shard holding all the records. Covered `WHERE`
+    /// clauses ride the same pushed-bitvector skip masks and zone maps
+    /// as [`Service::query`], so aggregates over sealed blocks skip
+    /// work exactly like counts do.
+    ///
+    /// `EXPLAIN <select>` returns the physical plan as a one-column
+    /// (`plan:str`) result without executing anything; `EXPLAIN
+    /// ANALYZE <select>` executes the statement and appends the live
+    /// per-stage / per-clause profile annotations
+    /// ([`QueryResult::analyze_lines`]) under the tree, carrying the
+    /// real [`QueryResult::metrics`] and [`QueryResult::profile`].
+    ///
+    /// While telemetry is on, every executed statement also records a
+    /// span tree ([`Service::last_query_trace`]), folds its profile
+    /// into the workload collector ([`Service::workload_stats`]), and
+    /// lands in the slow-query log when it crosses the configured
+    /// threshold ([`Service::slow_queries`]).
     ///
     /// Errors (with the offending source span) on any lex, parse, or
     /// analysis failure; [`SqlError::render`] turns one into a
     /// caret-annotated excerpt of `sql`.
     pub fn query_sql(&self, sql: &str) -> Result<QueryResult, SqlError> {
+        let mut trace = self
+            .inner
+            .telemetry
+            .as_ref()
+            .map(|_| SpanTree::new("query_sql"));
+
         let parse_started = Instant::now();
+        let parse_span = trace.as_mut().map(|t| t.begin("parse"));
         let statement = ciao_sql::parse(sql)?;
         let parsed_in = parse_started.elapsed();
+        if let (Some(t), Some(span)) = (trace.as_mut(), parse_span) {
+            t.end(span);
+        }
+
         let plan_started = Instant::now();
+        let plan_span = trace.as_mut().map(|t| t.begin("plan"));
         let plan = ciao_sql::plan(&statement, &self.schema)?;
         let planned_in = plan_started.elapsed();
+        if let (Some(t), Some(span)) = (trace.as_mut(), plan_span) {
+            t.end(span);
+        }
+
+        // Plain EXPLAIN never executes: render the plan tree, record
+        // the frontend stage latencies, and leave every
+        // execution-side series (queries counter, sql_exec histogram,
+        // workload stats) untouched.
+        if let Statement::Explain { analyze: false, .. } = &statement {
+            if let Some(t) = &self.inner.telemetry {
+                t.sql_parse.record_duration(parsed_in);
+                t.sql_plan.record_duration(planned_in);
+            }
+            self.store_trace(trace);
+            return Ok(plan_text_result(ciao_sql::render_plan(&plan)));
+        }
 
         let exec_started = Instant::now();
+        let exec_span = trace.as_mut().map(|t| t.begin("execute"));
         self.drain();
-        self.inner.queries.fetch_add(1, Ordering::Relaxed);
-        let mut partials: Vec<PartialResult> = Vec::with_capacity(self.inner.shards.len());
+        let seq = self.inner.queries.fetch_add(1, Ordering::Relaxed) + 1;
+        // Shard threads time themselves against the tree's origin so
+        // their spans land on the right offsets after the join.
+        let origin = trace.as_ref().map(|t| t.origin());
+        let time_shard = |shard: &Mutex<Shard>| {
+            let start_ns = origin.map_or(0, |o| o.elapsed().as_nanos() as u64);
+            let started = Instant::now();
+            let partial = shard.lock().execute_plan(&plan);
+            (partial, start_ns, started.elapsed().as_nanos() as u64)
+        };
+        let mut timed: Vec<(PartialResult, u64, u64)> = Vec::with_capacity(self.inner.shards.len());
         if self.inner.shards.len() == 1 {
-            partials.push(self.inner.shards[0].lock().execute_plan(&plan));
+            timed.push(time_shard(&self.inner.shards[0]));
         } else {
-            let plan = &plan;
+            let time_shard = &time_shard;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .inner
                     .shards
                     .iter()
-                    .map(|shard| scope.spawn(move || shard.lock().execute_plan(plan)))
+                    .map(|shard| scope.spawn(move || time_shard(shard)))
                     .collect();
-                partials.extend(handles.into_iter().map(|h| h.join().expect("shard query")));
+                timed.extend(handles.into_iter().map(|h| h.join().expect("shard query")));
             });
+        }
+        if let Some(t) = &self.inner.telemetry {
+            for (i, (partial, _, _)) in timed.iter().enumerate() {
+                let p = &partial.profile;
+                let permille = (p.blocks_pruned_zone * 1000)
+                    .checked_div(p.blocks_total)
+                    .unwrap_or(0);
+                t.prune_rate[i].set(permille as i64);
+            }
+        }
+        if let Some(tree) = trace.as_mut() {
+            for (i, (partial, start_ns, dur_ns)) in timed.iter().enumerate() {
+                let span = tree.add_complete(
+                    exec_span,
+                    &format!("shard{i}"),
+                    (i + 1) as u64,
+                    *start_ns,
+                    *dur_ns,
+                );
+                tree.attr(span, "blocks_pruned", partial.profile.blocks_pruned_zone);
+                tree.attr(span, "rows_scanned", partial.profile.rows_scanned);
+                tree.attr(span, "parked_parsed", partial.profile.parked_rows_parsed);
+            }
         }
         // Merge in shard order: group states and row batches combine
         // associatively, and finalize() re-sorts, so the answer is
         // independent of which shard finished first.
         let mut merged = PartialResult::empty(&plan);
-        for partial in partials {
+        for (partial, _, _) in timed {
             merged.merge(partial);
         }
         let result = ciao_engine::finalize(&plan, merged);
         let executed_in = exec_started.elapsed();
+        if let (Some(t), Some(span)) = (trace.as_mut(), exec_span) {
+            t.end(span);
+        }
 
         if let Some(t) = &self.inner.telemetry {
             t.sql_parse.record_duration(parsed_in);
@@ -500,8 +610,48 @@ impl Service {
                     ("pruned", result.metrics.table_scan.blocks_pruned as u64),
                 ],
             );
+            self.inner.workload.lock().observe(&result.profile);
+            let slow = self.inner.slow_log.lock().observe(SlowQueryEntry {
+                seq,
+                sql: sql.to_owned(),
+                elapsed: executed_in,
+                rows_returned: result.rows.len(),
+                rows_matched: result.profile.total_matched(),
+            });
+            if slow {
+                t.slow_queries.inc();
+            }
         }
-        Ok(result)
+        if let Some(tree) = trace.as_mut() {
+            let root = tree.root();
+            tree.attr(root, "sql", sql);
+            tree.attr(root, "rows", result.rows.len());
+            tree.attr(root, "matched", result.profile.total_matched());
+        }
+        self.store_trace(trace);
+
+        match &statement {
+            // EXPLAIN ANALYZE: the plan tree annotated with the live
+            // profile, carrying the real metrics/profile so callers
+            // can reconcile the rendered numbers against them.
+            Statement::Explain { .. } => {
+                let mut lines = ciao_sql::render_plan(&plan);
+                lines.extend(result.analyze_lines());
+                let mut annotated = plan_text_result(lines);
+                annotated.metrics = result.metrics;
+                annotated.profile = result.profile;
+                Ok(annotated)
+            }
+            Statement::Select(_) => Ok(result),
+        }
+    }
+
+    /// Finishes a statement's span tree (when one was recorded) and
+    /// retains it as the most-recent trace.
+    fn store_trace(&self, trace: Option<SpanTree>) {
+        let Some(mut tree) = trace else { return };
+        tree.finish();
+        *self.inner.last_trace.lock() = Some(tree);
     }
 
     /// One background-maintenance tick: runs the configured compaction
@@ -629,6 +779,30 @@ impl Service {
         Some(t.snapshot())
     }
 
+    /// Per-clause workload statistics (frequency/selectivity EWMAs)
+    /// aggregated from every executed SQL statement's profile — the
+    /// observed-workload input a future re-optimization pass compares
+    /// against the pushdown plan's assumed workload. Empty when
+    /// telemetry is off.
+    pub fn workload_stats(&self) -> WorkloadStats {
+        self.inner.workload.lock().clone()
+    }
+
+    /// The slow-query log's retained window, oldest first. Empty when
+    /// telemetry is off or nothing crossed
+    /// [`ServiceConfig::slow_query_threshold`].
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.inner.slow_log.lock().snapshot()
+    }
+
+    /// The span tree recorded for the most recent SQL statement
+    /// (parse/plan/execute stages, per-shard child spans on their own
+    /// tracks). `None` before any statement or with telemetry off.
+    /// Export with [`SpanTree::to_chrome_trace`].
+    pub fn last_query_trace(&self) -> Option<SpanTree> {
+        self.inner.last_trace.lock().clone()
+    }
+
     /// A point-in-time observability snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
         ServiceMetrics {
@@ -639,6 +813,7 @@ impl Service {
             ingested_chunks: self.inner.ingested_chunks.load(Ordering::Relaxed),
             ingested_records: self.inner.ingested_records.load(Ordering::Relaxed),
             queries: self.inner.queries.load(Ordering::Relaxed),
+            slow_queries: self.inner.slow_log.lock().total(),
             blocked: Duration::from_nanos(self.inner.blocked_nanos.load(Ordering::Relaxed)),
             shards: self
                 .inner
@@ -1146,6 +1321,163 @@ mod tests {
         assert!(snap.events.iter().any(|e| e.kind == names::EVENT_SQL_QUERY));
         assert_eq!(service.metrics().queries, 2);
         service.shutdown();
+    }
+
+    #[test]
+    fn explain_renders_without_executing_and_analyze_executes() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default().with_shards(3).with_workers(0),
+        );
+        for chunk in all.split(64) {
+            assert!(service.enqueue_raw(chunk).is_enqueued());
+        }
+        service.drain();
+
+        let lines = |r: &QueryResult| -> Vec<String> {
+            assert_eq!(r.columns.len(), 1);
+            assert_eq!(r.columns[0].name, "plan");
+            r.rows
+                .iter()
+                .map(|row| match &row[0] {
+                    SqlValue::Str(s) => s.clone(),
+                    other => panic!("plan rows are strings, got {other:?}"),
+                })
+                .collect()
+        };
+
+        // Plain EXPLAIN: a plan tree, nothing executed.
+        let explained = service
+            .query_sql("EXPLAIN SELECT COUNT(*) FROM reviews WHERE stars = 5")
+            .unwrap();
+        let tree = lines(&explained);
+        assert!(tree[0].starts_with("HashAggregate"), "{tree:?}");
+        assert!(tree.iter().any(|l| l.contains("Filter: stars = 5")));
+        assert!(!tree.iter().any(|l| l.contains("-- analyze --")));
+        assert_eq!(service.metrics().queries, 0, "EXPLAIN does not execute");
+        let t = service.telemetry().unwrap();
+        assert_eq!(t.sql_parse.count(), 1);
+        assert_eq!(t.sql_exec.count(), 0);
+
+        // EXPLAIN ANALYZE: same tree plus live annotations, and the
+        // carried metrics/profile are the real execution's.
+        let analyzed = service
+            .query_sql("EXPLAIN ANALYZE SELECT COUNT(*) FROM reviews WHERE stars = 5")
+            .unwrap();
+        let annotated = lines(&analyzed);
+        assert_eq!(&annotated[..tree.len()], &tree[..], "tree prefix matches");
+        assert!(annotated.contains(&"-- analyze --".to_owned()));
+        assert!(annotated.contains(&"rows matched: 80".to_owned()));
+        assert!(analyzed.profile.reconciles_with(&analyzed.metrics));
+        assert_eq!(analyzed.profile.total_matched(), 80);
+        assert_eq!(service.metrics().queries, 1, "ANALYZE executes once");
+        assert_eq!(t.sql_exec.count(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn profiler_feeds_workload_stats_slow_log_and_trace() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_shards(2)
+                .with_workers(0)
+                .with_slow_query_threshold(Duration::ZERO),
+        );
+        for chunk in all.split(64) {
+            assert!(service.enqueue_raw(chunk).is_enqueued());
+        }
+        service
+            .query_sql("SELECT COUNT(*) FROM reviews WHERE stars = 5")
+            .unwrap();
+        service
+            .query_sql("SELECT COUNT(*) FROM reviews WHERE stars = 5")
+            .unwrap();
+        service
+            .query_sql("SELECT COUNT(*) FROM reviews WHERE stars = 2")
+            .unwrap();
+
+        let w = service.workload_stats();
+        assert_eq!(w.queries, 3);
+        // The pushed clause: its skip mask removes non-matching rows
+        // before clause evaluation, so observed selectivity is
+        // conditionally 1 — the profiler reports what was evaluated,
+        // not the raw data distribution.
+        let c5 = w.clause("stars = 5").expect("clause tracked");
+        assert_eq!(c5.queries_seen, 2);
+        assert!(c5.pushed);
+        assert_eq!(c5.selectivity_ewma, Some(1.0));
+        // Seeded at 1.0, present again (stays 1.0), then absent once:
+        // one default-alpha (0.2) step toward 0.
+        assert!((c5.frequency_ewma - 0.8).abs() < 1e-9);
+        // The unpushed clause falls back to scanning: zone maps prune
+        // the loaded blocks (all stars = 5), so it is evaluated on the
+        // 320 parked rows, of which 80 match — observed selectivity is
+        // the ground truth over what actually ran.
+        let c2 = w.clause("stars = 2").expect("clause tracked");
+        assert!(!c2.pushed);
+        let sel = c2.selectivity_ewma.unwrap();
+        assert!(
+            (sel - 0.25).abs() < 1e-9,
+            "80 of 320 parked match, got {sel}"
+        );
+
+        // A zero threshold logs every executed statement.
+        let slow = service.slow_queries();
+        assert_eq!(slow.len(), 3);
+        assert_eq!(slow[0].seq, 1);
+        assert_eq!(slow[2].rows_matched, 80);
+        assert_eq!(service.metrics().slow_queries, 3);
+        let snap = service.telemetry_snapshot().unwrap();
+        assert_eq!(snap.counter(names::SLOW_QUERIES_TOTAL), Some(3));
+        // Per-shard prune gauges were refreshed by the last scan.
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(name, _)| name.starts_with(names::SHARD_PRUNE_PERMILLE)));
+
+        // The last statement left a full span tree.
+        let trace = service.last_query_trace().expect("trace recorded");
+        let spans: Vec<&str> = trace.spans().iter().map(|s| s.name()).collect();
+        assert_eq!(&spans[..4], &["query_sql", "parse", "plan", "execute"]);
+        assert!(spans.contains(&"shard0") && spans.contains(&"shard1"));
+        assert!(trace.spans()[0].dur_ns() > 0, "finish() closed the root");
+        assert!(trace.to_chrome_trace().contains("\"traceEvents\""));
+        service.shutdown();
+    }
+
+    #[test]
+    fn profiler_surfaces_are_inert_with_telemetry_off() {
+        let (plan, schema, all) = plan_and_schema(10.0);
+        let service = Service::start(
+            plan,
+            schema,
+            ServiceConfig::default()
+                .with_workers(0)
+                .with_telemetry(false)
+                .with_slow_query_threshold(Duration::ZERO),
+        );
+        for chunk in all.split(100) {
+            assert!(service.enqueue_raw(chunk).is_enqueued());
+        }
+        let result = service
+            .query_sql("SELECT COUNT(*) FROM reviews WHERE stars = 5")
+            .unwrap();
+        assert_eq!(result.rows, vec![vec![SqlValue::Int(80)]]);
+        assert!(service.last_query_trace().is_none());
+        assert_eq!(service.workload_stats().queries, 0);
+        assert!(service.slow_queries().is_empty());
+        assert_eq!(service.metrics().slow_queries, 0);
+        // EXPLAIN still renders — the profiler gates recording, not
+        // the statement forms.
+        let explained = service
+            .query_sql("EXPLAIN SELECT COUNT(*) FROM reviews")
+            .unwrap();
+        assert!(!explained.rows.is_empty());
     }
 
     #[test]

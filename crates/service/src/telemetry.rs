@@ -9,7 +9,7 @@
 //! behind [`crate::ServiceConfig::telemetry`] for benchmarks that
 //! want a zero-instrumentation baseline.
 
-use ciao_telemetry::{Counter, EventRing, Histogram, Telemetry, TelemetrySnapshot};
+use ciao_telemetry::{Counter, EventRing, Gauge, Histogram, Telemetry, TelemetrySnapshot};
 use std::sync::Arc;
 
 /// Metric and event names published by a [`crate::Service`].
@@ -50,6 +50,11 @@ pub mod names {
     pub const WAL_REPLAYED_TOTAL: &str = "ciao_service_wal_replayed_total";
     /// Per-shard snapshot files written by checkpoints.
     pub const SNAPSHOTS_WRITTEN_TOTAL: &str = "ciao_service_snapshots_written_total";
+    /// Zone-map block prune rate of the last SQL scan, in permille
+    /// (prefix; one gauge per shard, suffixed `_shard<i>`).
+    pub const SHARD_PRUNE_PERMILLE: &str = "ciao_service_shard_prune_permille";
+    /// SQL statements slower than the configured slow-query threshold.
+    pub const SLOW_QUERIES_TOTAL: &str = "ciao_service_slow_queries_total";
 
     /// Trace-event kind: a shard sealed an ingest epoch.
     pub const EVENT_EPOCH_SEAL: &str = "epoch_seal";
@@ -97,6 +102,10 @@ pub struct ServiceTelemetry {
     pub wal_replayed: Counter,
     /// Snapshot files written by checkpoints.
     pub snapshots_written: Counter,
+    /// Per-shard zone-map prune rate of the last SQL scan (permille).
+    pub prune_rate: Vec<Gauge>,
+    /// SQL statements that crossed the slow-query threshold.
+    pub slow_queries: Counter,
 }
 
 impl ServiceTelemetry {
@@ -109,6 +118,27 @@ impl ServiceTelemetry {
                 .map(|i| registry.histogram(&format!("{prefix}_shard{i}")))
                 .collect()
         };
+        // HELP text rides the Prometheus exposition; register it once
+        // here so scrapes are self-describing.
+        registry.set_help(names::QUERY_NS, "End-to-end query latency (nanoseconds)");
+        registry.set_help(
+            names::QUEUE_FULL_TOTAL,
+            "Enqueue attempts refused with QueueFull (backpressure)",
+        );
+        registry.set_help(
+            names::SLOW_QUERIES_TOTAL,
+            "SQL statements slower than the configured slow-query threshold",
+        );
+        let prune_rate = (0..shards)
+            .map(|i| {
+                let name = format!("{}_shard{i}", names::SHARD_PRUNE_PERMILLE);
+                registry.set_help(
+                    &name,
+                    "Zone-map block prune rate of the shard's last SQL scan, in permille",
+                );
+                registry.gauge(&name)
+            })
+            .collect();
         Arc::new(ServiceTelemetry {
             enqueue_wait: registry.histogram(names::ENQUEUE_WAIT_NS),
             query: registry.histogram(names::QUERY_NS),
@@ -122,6 +152,8 @@ impl ServiceTelemetry {
             wal_appends: registry.counter(names::WAL_APPENDS_TOTAL),
             wal_replayed: registry.counter(names::WAL_REPLAYED_TOTAL),
             snapshots_written: registry.counter(names::SNAPSHOTS_WRITTEN_TOTAL),
+            prune_rate,
+            slow_queries: registry.counter(names::SLOW_QUERIES_TOTAL),
             registry,
         })
     }
@@ -177,6 +209,16 @@ mod tests {
         // The merged view is detached: later records don't leak in.
         t.ingest_ack[1].record(9);
         assert_eq!(merged.count(), 2);
+    }
+
+    #[test]
+    fn help_text_reaches_the_exposition() {
+        let t = ServiceTelemetry::new(2, 16);
+        t.prune_rate[1].set(750);
+        let text = t.snapshot().prometheus_text();
+        assert!(text.contains("# HELP ciao_service_query_ns"));
+        assert!(text.contains("# HELP ciao_service_shard_prune_permille_shard1"));
+        assert!(text.contains("ciao_service_shard_prune_permille_shard1 750"));
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Workload statistics: what the query stream actually looks like.
+//!
+//! Every executed SQL statement's [`QueryProfile`] folds into a
+//! [`WorkloadStats`] collector — per-clause observed frequency and
+//! selectivity EWMAs — plus a bounded [`SlowQueryLog`] ring. This is
+//! the observed-workload input a future online re-optimization pass
+//! (ROADMAP item 5) feeds back into submodular plan re-selection: the
+//! paper's plan is built from an *assumed* workload, and these
+//! statistics are the drift signal between that assumption and
+//! production traffic.
+
+use ciao_engine::QueryProfile;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Smoothing factor the collectors default to: each new query moves an
+/// EWMA 20% of the way toward the fresh observation.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.2;
+
+/// Exponentially weighted statistics for one WHERE clause, keyed by
+/// its canonical text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseStats {
+    /// Canonical clause text (`ciao_predicate::Clause` display form).
+    pub text: String,
+    /// Whether any observed execution rode a pushed bitvector.
+    pub pushed: bool,
+    /// Queries whose WHERE conjunction contained this clause.
+    pub queries_seen: u64,
+    /// Executions that actually evaluated the clause on ≥1 row (zero
+    /// while every query the clause appeared in was fully pruned).
+    pub observations: u64,
+    /// EWMA of per-query presence (1 when a query used the clause, 0
+    /// when it did not) — the clause's observed workload frequency.
+    pub frequency_ewma: f64,
+    /// EWMA of observed selectivity (`rows_passed / rows_evaluated`),
+    /// `None` until the first real observation. Under conjunctive
+    /// short-circuiting this is conditional on clause order.
+    pub selectivity_ewma: Option<f64>,
+}
+
+/// Per-clause frequency/selectivity EWMAs over every executed query.
+#[derive(Debug, Clone)]
+pub struct WorkloadStats {
+    alpha: f64,
+    /// Profiles folded in so far.
+    pub queries: u64,
+    clauses: Vec<ClauseStats>,
+}
+
+impl Default for WorkloadStats {
+    fn default() -> Self {
+        WorkloadStats::new(DEFAULT_EWMA_ALPHA)
+    }
+}
+
+impl WorkloadStats {
+    /// An empty collector with the given EWMA smoothing factor
+    /// (`0 < alpha <= 1`; larger forgets faster).
+    pub fn new(alpha: f64) -> WorkloadStats {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        WorkloadStats {
+            alpha,
+            queries: 0,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Folds one executed query's profile in. Every already-known
+    /// clause gets a frequency observation (present or absent); a
+    /// clause first seen here is seeded at frequency 1. Selectivity
+    /// only updates when the clause was evaluated on at least one row,
+    /// so fully-pruned executions don't dilute it.
+    pub fn observe(&mut self, profile: &QueryProfile) {
+        self.queries += 1;
+        for cp in &profile.clauses {
+            if !self.clauses.iter().any(|c| c.text == cp.text) {
+                self.clauses.push(ClauseStats {
+                    text: cp.text.clone(),
+                    pushed: false,
+                    queries_seen: 0,
+                    observations: 0,
+                    frequency_ewma: 1.0,
+                    selectivity_ewma: None,
+                });
+            }
+        }
+        for stats in &mut self.clauses {
+            let in_query = profile.clauses.iter().find(|cp| cp.text == stats.text);
+            let present = if in_query.is_some() { 1.0 } else { 0.0 };
+            if stats.queries_seen > 0 || in_query.is_none() {
+                stats.frequency_ewma += self.alpha * (present - stats.frequency_ewma);
+            }
+            let Some(cp) = in_query else {
+                continue;
+            };
+            stats.queries_seen += 1;
+            stats.pushed |= cp.pushed;
+            if let Some(s) = cp.selectivity() {
+                stats.observations += 1;
+                stats.selectivity_ewma = Some(match stats.selectivity_ewma {
+                    Some(prev) => prev + self.alpha * (s - prev),
+                    None => s,
+                });
+            }
+        }
+    }
+
+    /// Every clause seen so far, in first-seen order.
+    pub fn clauses(&self) -> &[ClauseStats] {
+        &self.clauses
+    }
+
+    /// Looks up one clause's statistics by canonical text.
+    pub fn clause(&self, text: &str) -> Option<&ClauseStats> {
+        self.clauses.iter().find(|c| c.text == text)
+    }
+}
+
+/// One entry in the slow-query log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQueryEntry {
+    /// 1-based position in the service's executed-statement sequence.
+    pub seq: u64,
+    /// The statement text as submitted.
+    pub sql: String,
+    /// End-to-end execution time (drain + fan-out + merge + finalize).
+    pub elapsed: Duration,
+    /// Rows in the final answer (after LIMIT).
+    pub rows_returned: usize,
+    /// Rows the WHERE conjunction matched across both sides.
+    pub rows_matched: u64,
+}
+
+/// A bounded ring of the slowest statements: everything at or above
+/// the threshold is kept, oldest entries evicted beyond the capacity.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold: Duration,
+    capacity: usize,
+    entries: VecDeque<SlowQueryEntry>,
+    total: u64,
+}
+
+impl SlowQueryLog {
+    /// An empty log keeping at most `capacity` entries at or above
+    /// `threshold`.
+    pub fn new(threshold: Duration, capacity: usize) -> SlowQueryLog {
+        assert!(capacity > 0, "slow-query log capacity must be positive");
+        SlowQueryLog {
+            threshold,
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Records one execution; returns whether it crossed the threshold
+    /// (and therefore entered the ring).
+    pub fn observe(&mut self, entry: SlowQueryEntry) -> bool {
+        if entry.elapsed < self.threshold {
+            return false;
+        }
+        self.total += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+        true
+    }
+
+    /// Slow executions observed over the log's lifetime (including
+    /// entries since evicted from the ring).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained window, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowQueryEntry> {
+        self.entries.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciao_engine::ClauseProfile;
+
+    fn profile(clauses: &[(&str, u64, u64)]) -> QueryProfile {
+        QueryProfile {
+            clauses: clauses
+                .iter()
+                .map(|&(text, evaluated, passed)| ClauseProfile {
+                    text: text.to_owned(),
+                    pushed: false,
+                    rows_evaluated: evaluated,
+                    rows_passed: passed,
+                })
+                .collect(),
+            ..QueryProfile::default()
+        }
+    }
+
+    #[test]
+    fn selectivity_ewma_converges_to_ground_truth() {
+        let mut w = WorkloadStats::new(0.3);
+        // A fixed workload: the clause always passes 25 of 100 rows.
+        for _ in 0..50 {
+            w.observe(&profile(&[("stars = 5", 100, 25)]));
+        }
+        let c = w.clause("stars = 5").unwrap();
+        assert_eq!(c.queries_seen, 50);
+        assert!(
+            (c.selectivity_ewma.unwrap() - 0.25).abs() < 1e-9,
+            "constant observations converge exactly"
+        );
+        assert!((c.frequency_ewma - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_tracks_presence_across_queries() {
+        let mut w = WorkloadStats::new(0.5);
+        // Alternate between two single-clause queries.
+        for i in 0..40 {
+            if i % 2 == 0 {
+                w.observe(&profile(&[("a = 1", 10, 5)]));
+            } else {
+                w.observe(&profile(&[("b = 2", 10, 1)]));
+            }
+        }
+        let a = w.clause("a = 1").unwrap();
+        let b = w.clause("b = 2").unwrap();
+        // Each appears in half the queries: the EWMA oscillates around
+        // 0.5 (with alpha 0.5 it alternates between 1/3 and 2/3).
+        assert!(a.frequency_ewma > 0.2 && a.frequency_ewma < 0.8);
+        assert!(b.frequency_ewma > 0.2 && b.frequency_ewma < 0.8);
+        assert_eq!(w.queries, 40);
+        assert_eq!(a.queries_seen, 20);
+    }
+
+    #[test]
+    fn pruned_executions_do_not_dilute_selectivity() {
+        let mut w = WorkloadStats::default();
+        w.observe(&profile(&[("a = 1", 100, 50)]));
+        // Zone maps pruned everything: clause never ran.
+        w.observe(&profile(&[("a = 1", 0, 0)]));
+        let a = w.clause("a = 1").unwrap();
+        assert_eq!(a.observations, 1);
+        assert_eq!(a.queries_seen, 2);
+        assert_eq!(a.selectivity_ewma, Some(0.5));
+    }
+
+    #[test]
+    fn slow_log_ring_keeps_newest_and_counts_total() {
+        let mut log = SlowQueryLog::new(Duration::from_millis(10), 2);
+        let entry = |seq, ms| SlowQueryEntry {
+            seq,
+            sql: format!("SELECT {seq}"),
+            elapsed: Duration::from_millis(ms),
+            rows_returned: 1,
+            rows_matched: 1,
+        };
+        assert!(!log.observe(entry(1, 5)), "below threshold: skipped");
+        assert!(log.observe(entry(2, 10)), "at threshold: recorded");
+        assert!(log.observe(entry(3, 20)));
+        assert!(log.observe(entry(4, 30)));
+        assert_eq!(log.total(), 3);
+        let snap = log.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4],
+            "bounded ring evicts oldest"
+        );
+    }
+}

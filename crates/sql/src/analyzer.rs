@@ -98,9 +98,13 @@ pub struct AnalyzedSelect {
     pub grouped: bool,
 }
 
-/// Analyzes a statement against the schema.
+/// Analyzes a statement against the schema. An `EXPLAIN [ANALYZE]`
+/// statement analyzes (and therefore plans) its inner SELECT — the
+/// caller decides whether to render or execute the resulting plan.
 pub fn analyze(stmt: &Statement, schema: &Schema) -> Result<AnalyzedSelect, SqlError> {
-    let Statement::Select(select) = stmt;
+    let select = match stmt {
+        Statement::Select(select) | Statement::Explain { select, .. } => select,
+    };
 
     let filter = check_filter(&select.where_clauses, schema)?;
 

@@ -9,12 +9,19 @@
 
 use crate::error::Span;
 
-/// A parsed SQL statement. Only `SELECT` exists today; the enum leaves
-/// room for more without breaking the public API.
+/// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// A `SELECT` statement.
     Select(Select),
+    /// `EXPLAIN [ANALYZE] <select>` — render the physical plan tree,
+    /// annotated with live execution counters when `analyze` is set.
+    Explain {
+        /// True for `EXPLAIN ANALYZE` (execute, then annotate).
+        analyze: bool,
+        /// The statement being explained.
+        select: Select,
+    },
 }
 
 /// The body of a `SELECT` statement.

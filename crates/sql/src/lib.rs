@@ -36,6 +36,7 @@
 mod analyzer;
 mod ast;
 mod error;
+mod explain;
 mod logical;
 mod parser;
 mod physical;
@@ -50,6 +51,7 @@ pub use ast::{
     Statement, WhereClause,
 };
 pub use error::{Span, SqlError, Stage};
+pub use explain::{render_clause, render_plan};
 pub use logical::{build_logical, LogicalPlan, PlanCore};
 pub use parser::{parse, parse_where_body};
 pub use physical::{build_physical, PhysicalOp, PhysicalPlan};

@@ -7,9 +7,10 @@
 //! grammar wraps it:
 //!
 //! ```text
-//! statement := SELECT item (',' item)*
+//! statement := [EXPLAIN [ANALYZE]] select [';']
+//! select    := SELECT item (',' item)*
 //!              [FROM ident] [WHERE where] [GROUP BY ident (',' ident)*]
-//!              [ORDER BY key (',' key)*] [LIMIT int] [';']
+//!              [ORDER BY key (',' key)*] [LIMIT int]
 //! item      := '*' | column [AS ident] | agg '(' args ')' [AS ident]
 //! agg       := COUNT | SUM | MIN | MAX | AVG
 //! args      := '*' | ident (',' ident)*        -- arity checked later
@@ -33,6 +34,8 @@ use crate::token::{lex, Spanned, Token};
 /// Parses a full SQL statement.
 pub fn parse(sql: &str) -> Result<Statement, SqlError> {
     let mut p = Parser::new(sql)?;
+    let explain = p.eat_kw("explain");
+    let analyze = explain && p.eat_kw("analyze");
     let select = p.parse_select()?;
     if p.peek() == Some(&Token::Semicolon) {
         p.next();
@@ -43,7 +46,11 @@ pub fn parse(sql: &str) -> Result<Statement, SqlError> {
             tok.describe()
         )));
     }
-    Ok(Statement::Select(select))
+    Ok(if explain {
+        Statement::Explain { analyze, select }
+    } else {
+        Statement::Select(select)
+    })
 }
 
 /// Parses a bare WHERE body (no `WHERE` keyword) into its conjunctive
@@ -522,6 +529,7 @@ mod tests {
     fn select(sql: &str) -> Select {
         match parse(sql).unwrap() {
             Statement::Select(s) => s,
+            Statement::Explain { .. } => panic!("expected a bare SELECT"),
         }
     }
 
@@ -610,6 +618,20 @@ mod tests {
         assert_eq!(err.message, "expected keyword `BY`");
         let err = parse("SELECT a FROM t; SELECT b").unwrap_err();
         assert!(err.message.contains("expected end of statement"));
+    }
+
+    #[test]
+    fn explain_wraps_a_select() {
+        let s = parse("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+        let s = parse("explain analyze select a from t limit 3;").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        // ANALYZE alone is not a statement, and EXPLAIN needs a SELECT.
+        assert!(parse("ANALYZE SELECT a FROM t").is_err());
+        assert!(parse("EXPLAIN").is_err());
+        // `explain` with no `(` stays a valid column name in SELECT.
+        let s = select("SELECT explain FROM t");
+        assert!(matches!(&s.items[0], SelectItem::Column { name, .. } if name.name == "explain"));
     }
 
     #[test]

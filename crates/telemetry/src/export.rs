@@ -23,6 +23,8 @@ pub struct TelemetrySnapshot {
     pub events: Vec<TraceEvent>,
     /// Events evicted from the ring to make room.
     pub dropped_events: u64,
+    /// `(name, help text)` registered via [`crate::Telemetry::set_help`].
+    pub help: Vec<(String, String)>,
 }
 
 impl TelemetrySnapshot {
@@ -50,16 +52,27 @@ impl TelemetrySnapshot {
     /// Prometheus-style text exposition. Histograms emit cumulative
     /// `_bucket{le="…"}` lines for non-empty buckets (plus `+Inf`),
     /// with `le` bounds in the histogram's recorded unit (nanoseconds
-    /// for the service's latency metrics).
+    /// for the service's latency metrics). Metrics with registered
+    /// help text get a `# HELP` line, escaped per the exposition
+    /// format; the ring's eviction count is always exported as
+    /// `ciao_telemetry_dropped_events_total`.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
+        let help_line = |out: &mut String, name: &str| {
+            if let Some((_, text)) = self.help.iter().find(|(n, _)| n == name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(text));
+            }
+        };
         for (name, value) in &self.counters {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
         }
         for (name, value) in &self.gauges {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
         }
         for (name, h) in &self.histograms {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cum = 0u64;
             for (i, &n) in h.buckets.iter().enumerate() {
@@ -67,12 +80,19 @@ impl TelemetrySnapshot {
                     continue;
                 }
                 cum += n;
-                let le = bucket_bounds(i).1;
+                let le = escape_label_value(&bucket_bounds(i).1.to_string());
                 let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
             }
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
         }
+        let _ = writeln!(
+            out,
+            "# HELP ciao_telemetry_dropped_events_total Trace events evicted from the bounded ring\n\
+             # TYPE ciao_telemetry_dropped_events_total counter\n\
+             ciao_telemetry_dropped_events_total {}",
+            self.dropped_events
+        );
         out
     }
 
@@ -157,7 +177,19 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn write_json_string(out: &mut String, s: &str) {
+/// Escapes HELP text per the Prometheus exposition format: `\` and
+/// newline only.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the exposition format: `\`, newline,
+/// and `"`.
+fn escape_label_value(s: &str) -> String {
+    escape_help(s).replace('"', "\\\"")
+}
+
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -226,6 +258,45 @@ mod tests {
         let events = v.get("events").unwrap().as_array().unwrap();
         assert_eq!(events[0].get("kind").unwrap().as_str(), Some("queue_full"));
         assert_eq!(events[0].get("shard").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn prometheus_help_lines_are_escaped() {
+        let t = Telemetry::new();
+        t.counter("requests_total").inc();
+        t.set_help("requests_total", "Total \"requests\"\nwith a \\ backslash");
+        let text = t.snapshot().prometheus_text();
+        // Newlines and backslashes are escaped so the HELP comment
+        // stays a single exposition line; quotes pass through (only
+        // label values escape them).
+        assert!(
+            text.contains("# HELP requests_total Total \"requests\"\\nwith a \\\\ backslash"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE requests_total counter"));
+        // A metric without help emits no HELP line.
+        t.counter("bare_total").inc();
+        let text = t.snapshot().prometheus_text();
+        assert!(!text.contains("# HELP bare_total"));
+    }
+
+    #[test]
+    fn prometheus_exports_dropped_events() {
+        let t = Telemetry::with_event_capacity(2);
+        for i in 0u64..5 {
+            t.events().push("tick", None, &[("i", i)]);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.dropped_events, 3);
+        let text = snap.prometheus_text();
+        assert!(text.contains("# TYPE ciao_telemetry_dropped_events_total counter"));
+        assert!(text.contains("\nciao_telemetry_dropped_events_total 3\n"));
+    }
+
+    #[test]
+    fn label_value_escaping_covers_exposition_specials() {
+        assert_eq!(super::escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::escape_help("a\"b\\c\nd"), "a\"b\\\\c\\nd");
     }
 
     #[test]

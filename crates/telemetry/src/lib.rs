@@ -20,9 +20,13 @@
 //! * [`EventRing`] — a bounded ring buffer of structured
 //!   [`TraceEvent`]s (epoch seals, compaction ticks, `QueueFull`
 //!   backpressure, plan evaluations) with a dropped-event counter.
+//! * [`SpanTree`] — a per-query tree of parent/child spans with
+//!   monotonic timings and typed [`AttrValue`] attributes, exporting
+//!   as Chrome `trace_event` JSON (`chrome://tracing` / Perfetto).
 //! * [`Telemetry`] — a named registry tying the above together, with
 //!   two exporters on its [`TelemetrySnapshot`]: Prometheus-style text
-//!   exposition and a JSON snapshot.
+//!   exposition (HELP text via [`Telemetry::set_help`], escaped per
+//!   the exposition format) and a JSON snapshot.
 //!
 //! The crate has **zero dependencies** (std only) and every recording
 //! operation is a handful of relaxed atomic ops; pushing a trace event
@@ -51,9 +55,11 @@ pub mod export;
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod spantree;
 
 pub use events::{EventRing, TraceEvent};
 pub use export::TelemetrySnapshot;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Telemetry};
 pub use span::ScopedTimer;
+pub use spantree::{AttrValue, Span, SpanId, SpanTree};

@@ -70,6 +70,7 @@ pub struct Telemetry {
     counters: Mutex<Vec<(String, Counter)>>,
     gauges: Mutex<Vec<(String, Gauge)>>,
     histograms: Mutex<Vec<(String, Histogram)>>,
+    help: Mutex<Vec<(String, String)>>,
     events: EventRing,
 }
 
@@ -94,7 +95,19 @@ impl Telemetry {
             counters: Mutex::new(Vec::new()),
             gauges: Mutex::new(Vec::new()),
             histograms: Mutex::new(Vec::new()),
+            help: Mutex::new(Vec::new()),
             events: EventRing::new(capacity),
+        }
+    }
+
+    /// Registers (or replaces) the HELP text exported for `name`. The
+    /// Prometheus exporter escapes it per the exposition format.
+    pub fn set_help(&self, name: &str, text: &str) {
+        let mut entries = self.help.lock().unwrap();
+        if let Some((_, slot)) = entries.iter_mut().find(|(n, _)| n == name) {
+            text.clone_into(slot);
+        } else {
+            entries.push((name.to_owned(), text.to_owned()));
         }
     }
 
@@ -158,6 +171,7 @@ impl Telemetry {
             histograms,
             events: self.events.snapshot(),
             dropped_events: self.events.dropped(),
+            help: self.help.lock().unwrap().clone(),
         }
     }
 }

@@ -1,0 +1,394 @@
+//! Per-query span trees: parent/child timing with typed attributes.
+//!
+//! The registry's histograms answer "how slow is this stage on
+//! average"; a [`SpanTree`] answers "where did *this* query spend its
+//! time". A tree is built by one owner (no interior locking — it is
+//! plain mutable state, cheap enough to record always-on), carries
+//! monotonic timings relative to a single origin [`Instant`], and
+//! exports as Chrome `trace_event` JSON loadable into
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+//!
+//! Two recording styles compose:
+//!
+//! * [`SpanTree::begin`] / [`SpanTree::end`] — stack-scoped spans on
+//!   the owning thread (parse → plan → execute);
+//! * [`SpanTree::add_complete`] — retroactive spans from offsets other
+//!   threads measured against [`SpanTree::origin`] (per-shard
+//!   execution recorded after the fan-out joins), each on its own
+//!   `track` so concurrent shards render as parallel rows.
+//!
+//! ```
+//! use ciao_telemetry::{AttrValue, SpanTree};
+//! let mut tree = SpanTree::new("query");
+//! let parse = tree.begin("parse");
+//! tree.attr(parse, "bytes", 42i64);
+//! tree.end(parse);
+//! tree.finish();
+//! assert!(tree.to_chrome_trace().contains("\"traceEvents\""));
+//! ```
+
+use std::time::Instant;
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute.
+    Str(String),
+    /// An integer attribute.
+    Int(i64),
+    /// A float attribute.
+    Float(f64),
+    /// A boolean attribute.
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> AttrValue {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> AttrValue {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+/// Handle to a span inside one [`SpanTree`]. Only meaningful for the
+/// tree that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// One recorded span: a named interval with a parent link and typed
+/// attributes. Timings are nanosecond offsets from the tree's origin.
+#[derive(Debug, Clone)]
+pub struct Span {
+    name: String,
+    parent: Option<usize>,
+    track: u64,
+    start_ns: u64,
+    dur_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Index of the parent span within [`SpanTree::spans`], if any.
+    pub fn parent(&self) -> Option<usize> {
+        self.parent
+    }
+
+    /// Start offset from the tree origin, nanoseconds.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Duration in nanoseconds (0 until the span is ended).
+    pub fn dur_ns(&self) -> u64 {
+        self.dur_ns
+    }
+
+    /// The rendering track (Chrome `tid`); concurrent shard spans use
+    /// distinct tracks so they draw as parallel rows.
+    pub fn track(&self) -> u64 {
+        self.track
+    }
+
+    /// The span's attributes, in recording order.
+    pub fn attrs(&self) -> &[(&'static str, AttrValue)] {
+        &self.attrs
+    }
+}
+
+/// A tree of timed spans for a single operation (typically one query).
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    origin: Instant,
+    spans: Vec<Span>,
+    stack: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Starts a tree whose root span opens now.
+    pub fn new(root: &str) -> SpanTree {
+        let mut tree = SpanTree {
+            origin: Instant::now(),
+            spans: Vec::new(),
+            stack: Vec::new(),
+        };
+        let id = tree.push_span(root, None, 0, 0);
+        tree.stack.push(id.0);
+        tree
+    }
+
+    /// The instant all span offsets are measured from. Copy this into
+    /// worker threads to time work for [`SpanTree::add_complete`].
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Nanoseconds elapsed since the tree's origin.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a child of the innermost open span, starting now.
+    pub fn begin(&mut self, name: &str) -> SpanId {
+        let parent = self.stack.last().copied();
+        let start = self.elapsed_ns();
+        let id = self.push_span(name, parent, 0, start);
+        self.stack.push(id.0);
+        id
+    }
+
+    /// Closes a span opened by [`SpanTree::begin`], setting its
+    /// duration. Any still-open spans nested inside it close too.
+    pub fn end(&mut self, id: SpanId) {
+        let now = self.elapsed_ns();
+        while let Some(&top) = self.stack.last() {
+            self.stack.pop();
+            self.spans[top].dur_ns = now.saturating_sub(self.spans[top].start_ns);
+            if top == id.0 {
+                return;
+            }
+        }
+        // `id` was not on the stack (already ended): just refresh it.
+        self.spans[id.0].dur_ns = now.saturating_sub(self.spans[id.0].start_ns);
+    }
+
+    /// Closes every span still open, the root last.
+    pub fn finish(&mut self) {
+        let now = self.elapsed_ns();
+        while let Some(top) = self.stack.pop() {
+            self.spans[top].dur_ns = now.saturating_sub(self.spans[top].start_ns);
+        }
+    }
+
+    /// Records an already-measured interval as a child of `parent`
+    /// (the root when `None`). `track` picks the rendering row —
+    /// concurrent shards should use distinct non-zero tracks.
+    pub fn add_complete(
+        &mut self,
+        parent: Option<SpanId>,
+        name: &str,
+        track: u64,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> SpanId {
+        let parent = parent
+            .map(|p| p.0)
+            .or(if self.spans.is_empty() { None } else { Some(0) });
+        let id = self.push_span(name, parent, track, start_ns);
+        self.spans[id.0].dur_ns = dur_ns;
+        id
+    }
+
+    /// Attaches a typed attribute to a span.
+    pub fn attr(&mut self, id: SpanId, key: &'static str, value: impl Into<AttrValue>) {
+        self.spans[id.0].attrs.push((key, value.into()));
+    }
+
+    /// All spans in creation order; index 0 is the root.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The root span's id.
+    pub fn root(&self) -> SpanId {
+        SpanId(0)
+    }
+
+    fn push_span(
+        &mut self,
+        name: &str,
+        parent: Option<usize>,
+        track: u64,
+        start_ns: u64,
+    ) -> SpanId {
+        self.spans.push(Span {
+            name: name.to_owned(),
+            parent,
+            track,
+            start_ns,
+            dur_ns: 0,
+            attrs: Vec::new(),
+        });
+        SpanId(self.spans.len() - 1)
+    }
+
+    /// Exports the tree as Chrome `trace_event` JSON (an object with a
+    /// `traceEvents` array of complete `ph:"X"` events, timestamps in
+    /// microseconds). Load the file via `chrome://tracing` or
+    /// Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            crate::export::write_json_string(&mut out, &span.name);
+            let ts = span.start_ns as f64 / 1e3;
+            let dur = span.dur_ns as f64 / 1e3;
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    ",\"cat\":\"ciao\",\"ph\":\"X\",\"ts\":{ts:?},\"dur\":{dur:?},\"pid\":1,\"tid\":{}",
+                    span.track + 1
+                ),
+            );
+            out.push_str(",\"args\":{");
+            for (j, (key, value)) in span.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                crate::export::write_json_string(&mut out, key);
+                out.push(':');
+                match value {
+                    AttrValue::Str(s) => crate::export::write_json_string(&mut out, s),
+                    AttrValue::Int(v) => {
+                        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                    }
+                    AttrValue::Float(v) => {
+                        let rendered = if v.is_finite() {
+                            format!("{v:?}")
+                        } else {
+                            "0".to_owned()
+                        };
+                        out.push_str(&rendered);
+                    }
+                    AttrValue::Bool(v) => {
+                        out.push_str(if *v { "true" } else { "false" });
+                    }
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_durations() {
+        let mut tree = SpanTree::new("query");
+        let parse = tree.begin("parse");
+        tree.end(parse);
+        let exec = tree.begin("execute");
+        let inner = tree.begin("shard0");
+        tree.end(inner);
+        tree.end(exec);
+        tree.finish();
+
+        let spans = tree.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].name(), "query");
+        assert_eq!(spans[0].parent(), None);
+        assert_eq!(spans[1].parent(), Some(0));
+        assert_eq!(spans[2].parent(), Some(0));
+        assert_eq!(spans[3].parent(), Some(2));
+        // Monotonic: children start no earlier than their parent and
+        // the root covers everything it contains.
+        for s in &spans[1..] {
+            let p = &spans[s.parent().unwrap()];
+            assert!(s.start_ns() >= p.start_ns());
+        }
+        assert!(spans[0].dur_ns() >= spans[2].dur_ns());
+        assert!(spans[2].dur_ns() >= spans[3].dur_ns());
+    }
+
+    #[test]
+    fn end_closes_dangling_children() {
+        let mut tree = SpanTree::new("root");
+        let outer = tree.begin("outer");
+        let _inner = tree.begin("inner"); // never ended explicitly
+        tree.end(outer);
+        // Only the root remains open.
+        let next = tree.begin("after");
+        assert_eq!(tree.spans()[next.0].parent(), Some(0));
+    }
+
+    #[test]
+    fn add_complete_records_foreign_timings() {
+        let mut tree = SpanTree::new("query");
+        let exec = tree.begin("execute");
+        let shard = tree.add_complete(Some(exec), "shard1", 2, 500, 1_000);
+        tree.attr(shard, "blocks_pruned", 7u64);
+        tree.end(exec);
+        tree.finish();
+        let s = &tree.spans()[shard.0];
+        assert_eq!(s.start_ns(), 500);
+        assert_eq!(s.dur_ns(), 1_000);
+        assert_eq!(s.track(), 2);
+        assert_eq!(s.attrs()[0], ("blocks_pruned", AttrValue::Int(7)));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_shape() {
+        let mut tree = SpanTree::new("query");
+        let parse = tree.begin("parse");
+        tree.attr(parse, "sql", "SELECT \"x\"\nFROM t");
+        tree.attr(parse, "ok", true);
+        tree.attr(parse, "ratio", 0.5f64);
+        tree.end(parse);
+        tree.finish();
+
+        let json = tree.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("query"));
+        assert_eq!(events[1].get("pid").unwrap().as_i64(), Some(1));
+        let args = events[1].get("args").unwrap();
+        assert_eq!(
+            args.get("sql").unwrap().as_str(),
+            Some("SELECT \"x\"\nFROM t")
+        );
+        assert_eq!(args.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(args.get("ratio").unwrap().as_f64(), Some(0.5));
+        // Every event's ts/dur is microseconds ≥ 0.
+        for e in events {
+            assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+        }
+    }
+}

@@ -98,6 +98,31 @@ fn corpus_statements(text: &str) -> Vec<String> {
         .collect()
 }
 
+/// `EXPLAIN ANALYZE` output depends on the service shape (a sharded
+/// budgeted service prunes differently than the zero-budget oracle),
+/// so the oracle comparison is restricted to the config-invariant
+/// lines: the plan tree (rendered from the plan alone) and the `rows
+/// matched:` / `rows returned:` annotations, which restate the
+/// statement's answer rather than the skipping strategy. The golden
+/// file still pins the service's full render — it is deterministic for
+/// the suite's fixed configuration.
+fn stable_analyze_lines(result: &ciao_engine::QueryResult) -> Vec<String> {
+    let mut stable = Vec::new();
+    let mut in_tree = true;
+    for row in &result.rows {
+        let ciao_sql::SqlValue::Str(line) = &row[0] else {
+            panic!("EXPLAIN rows are strings, got {row:?}");
+        };
+        if line == "-- analyze --" {
+            in_tree = false;
+        }
+        if in_tree || line.starts_with("rows matched:") || line.starts_with("rows returned:") {
+            stable.push(line.clone());
+        }
+    }
+    stable
+}
+
 #[test]
 fn conformance_corpus_matches_golden_file_and_oracle() {
     let support = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/support");
@@ -125,7 +150,15 @@ fn conformance_corpus_matches_golden_file_and_oracle() {
                     .query_sql(stmt)
                     .expect("oracle accepts what the service accepts");
                 assert_eq!(result.columns, truth.columns, "columns diverged: {stmt}");
-                assert_eq!(result.rows, truth.rows, "rows diverged from oracle: {stmt}");
+                if stmt.to_ascii_uppercase().starts_with("EXPLAIN ANALYZE") {
+                    assert_eq!(
+                        stable_analyze_lines(&result),
+                        stable_analyze_lines(&truth),
+                        "stable EXPLAIN ANALYZE lines diverged: {stmt}"
+                    );
+                } else {
+                    assert_eq!(result.rows, truth.rows, "rows diverged from oracle: {stmt}");
+                }
                 writeln!(rendered, "{}", result.render()).unwrap();
             }
             Err(err) => {

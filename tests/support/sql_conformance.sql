@@ -61,3 +61,21 @@ SELECT id FROM t LIMIT -1
 SELECT SUM(*) FROM t
 SELECT * FROM t GROUP BY stars
 SELECT id FROM t WHERE stars <
+
+-- EXPLAIN renders the physical plan without executing; EXPLAIN ANALYZE
+-- executes and appends live profile annotations. Only config-invariant
+-- lines are oracle-compared (see sql_golden.rs).
+EXPLAIN SELECT city, stars FROM t WHERE stars = 5 AND active = true LIMIT 5
+EXPLAIN SELECT city, COUNT(*) AS n, AVG(score) FROM t WHERE stars > 2 GROUP BY city ORDER BY n DESC, city LIMIT 3
+EXPLAIN SELECT COUNT(*) FROM t WHERE city LIKE "%os%" AND email != NULL
+explain select stars, count(*) from t group by stars;
+EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE stars = 5
+EXPLAIN ANALYZE SELECT city, COUNT(*) AS n FROM t WHERE stars = 5 AND active = true GROUP BY city ORDER BY n DESC, city
+EXPLAIN ANALYZE SELECT id, city FROM t WHERE id > 200 ORDER BY id LIMIT 4
+
+-- EXPLAIN error paths: inner statements fail like any other; ANALYZE
+-- alone and bare EXPLAIN are grammar errors.
+EXPLAIN SELECT nope FROM t
+EXPLAIN ANALYZE SELECT AVG(name) FROM t
+ANALYZE SELECT id FROM t
+EXPLAIN
